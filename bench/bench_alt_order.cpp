@@ -1,0 +1,84 @@
+// Search-order ablation (Section 4).
+//
+// The paper compares its size -> line -> associativity -> prediction order
+// against an alternative that tunes line size first (line, assoc, pred,
+// size), reporting that the alternative misses the optimum in 10/18
+// instruction caches and 7/18 data caches, by up to 7% extra energy. We
+// sweep ALL 24 parameter orders over every benchmark and stream and report,
+// per order, how often it misses the exhaustive optimum, the worst energy
+// gap, and the average number of configurations examined.
+#include <iostream>
+
+#include "common.hpp"
+
+namespace stcache {
+namespace {
+
+std::string order_name(const std::array<Param, 4>& order) {
+  std::string s;
+  for (Param p : order) {
+    if (!s.empty()) s += "->";
+    s += to_string(p);
+  }
+  return s;
+}
+
+struct OrderStats {
+  unsigned i_miss = 0, d_miss = 0;
+  double worst_gap = 0.0;
+  unsigned evaluations = 0;
+  unsigned runs = 0;
+};
+
+int run() {
+  bench::print_header(
+      "Search-order ablation: misses of the optimum and worst-case energy "
+      "gap for all 24 parameter orders",
+      "Section 4 (alternative-heuristic comparison)");
+
+  const EnergyModel model;
+  const auto orders = all_param_orders();
+  std::vector<OrderStats> stats(orders.size());
+
+  // One evaluator per stream: the 27-point space is measured once and all
+  // 24 orders walk the memoized landscape.
+  for (const auto& [name, split] : bench::all_split_traces()) {
+    for (const bool instruction : {true, false}) {
+      const Trace& stream = instruction ? split.ifetch : split.data;
+      TraceEvaluator eval(stream, model);
+      const SearchResult ex = tune_exhaustive(eval);
+      for (std::size_t o = 0; o < orders.size(); ++o) {
+        const SearchResult heur = tune(eval, orders[o]);
+        if (heur.best != ex.best) {
+          (instruction ? stats[o].i_miss : stats[o].d_miss) += 1;
+          stats[o].worst_gap = std::max(
+              stats[o].worst_gap, heur.best_energy / ex.best_energy - 1.0);
+        }
+        stats[o].evaluations += heur.configs_examined;
+        ++stats[o].runs;
+      }
+    }
+  }
+
+  Table table({"order", "I misses", "D misses", "worst gap", "avg examined"});
+  for (std::size_t o = 0; o < orders.size(); ++o) {
+    const bool is_paper = orders[o] == kPaperOrder;
+    table.add_row(
+        {order_name(orders[o]) + (is_paper ? "  <- paper" : ""),
+         std::to_string(stats[o].i_miss), std::to_string(stats[o].d_miss),
+         fmt_percent(stats[o].worst_gap, 1),
+         fmt_double(static_cast<double>(stats[o].evaluations) / stats[o].runs,
+                    1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n(Paper: its order misses only 2 data-cache optima out of\n"
+            << " 18; the line-size-first alternative misses 10/18 I and\n"
+            << " 7/18 D, with configurations up to 7% worse.)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main() { return stcache::run(); }

@@ -1,0 +1,6 @@
+// Figure 3: average instruction-cache miss rate (top) and normalized
+// instruction-fetch energy (bottom) across the 18 size/line/associativity
+// configurations, averaged over all benchmarks.
+#include "common.hpp"
+
+int main() { return stcache::bench::run_config_space_figure(true); }

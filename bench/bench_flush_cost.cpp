@@ -1,0 +1,62 @@
+// Flush-cost experiment (Section 4, final paragraph).
+//
+// What would it cost to search cache sizes in descending (8->4->2 KB)
+// order instead of the heuristic's ascending order? Descending forces the
+// dirty contents of every bank being shut down out to memory; ascending
+// only writes back the few dirty lines stranded by the index change. The
+// paper reports write-back energies of 9.48 uJ - 12 mJ (average 5.38 mJ),
+// about 48,000x its tuner energy.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/flush_cost.hpp"
+
+namespace stcache {
+namespace {
+
+int run() {
+  bench::print_header(
+      "Reconfiguration write-back cost: ascending vs. descending size "
+      "search on each benchmark's data stream",
+      "Section 4 (cache-flushing cost analysis)");
+
+  const EnergyModel model;
+  Table table({"Ben.", "asc lines", "desc lines", "asc energy", "desc energy",
+               "desc/tuner"});
+
+  // Tuner energy for a typical 6-configuration search (Equation 2).
+  const double tuner = model.tuner_energy(6);
+
+  double asc_total = 0, desc_total = 0;
+  unsigned n = 0;
+  for (const std::string& name : bench::workload_names()) {
+    const SplitTrace& split = bench::all_split_traces().at(name);
+    const FlushCostReport r = measure_flush_cost(split.data, model);
+    table.add_row({name, std::to_string(r.ascending_writeback_lines),
+                   std::to_string(r.descending_writeback_lines),
+                   fmt_si_energy(r.ascending_writeback_energy),
+                   fmt_si_energy(r.descending_writeback_energy),
+                   fmt_double(r.descending_writeback_energy / tuner, 0) + "x"});
+    asc_total += r.ascending_writeback_energy;
+    desc_total += r.descending_writeback_energy;
+    ++n;
+  }
+  table.add_row({"Average:", "", "", fmt_si_energy(asc_total / n),
+                 fmt_si_energy(desc_total / n),
+                 fmt_double(desc_total / n / tuner, 0) + "x"});
+  table.print(std::cout);
+
+  std::cout << "\nTuner energy for a 6-configuration search: "
+            << fmt_si_energy(tuner) << "\n"
+            << "Instruction caches cost nothing in either direction (never\n"
+            << "dirty). The paper's 48,000x ratio comes from full-benchmark\n"
+            << "runs with far larger dirty volumes; the claim reproduced\n"
+            << "here is the orders-of-magnitude asymmetry and the near-zero\n"
+            << "cost of the ascending order.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main() { return stcache::run(); }

@@ -1,0 +1,82 @@
+// Measurement-interval sensitivity of the tuner's decisions.
+//
+// The paper evaluates the heuristic on full-benchmark simulations, but the
+// hardware tuner measures bounded intervals of a RUNNING program with a
+// warm, just-reconfigured cache. How short can the interval be before the
+// decisions degrade? For each benchmark's instruction stream we tune with
+// live windows of 10k / 50k / 200k accesses (LiveTunerPort over a cursor
+// that keeps advancing, exactly like the hardware) and compare the chosen
+// configuration's full-trace energy against the full-trace oracle tuning.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/ports.hpp"
+#include "core/tuner_fsmd.hpp"
+#include "util/stats.hpp"
+
+namespace stcache {
+namespace {
+
+// Tune with live windows of `window` accesses; return the chosen config.
+CacheConfig live_tune(const Trace& stream, std::size_t window,
+                      const EnergyModel& model) {
+  ConfigurableCache cache(CacheConfig::parse("2K_1W_16B"));
+  std::size_t cursor = 0;
+  LiveTunerPort port(cache, [&] {
+    for (std::size_t i = 0; i < window; ++i) {
+      const TraceRecord& r = stream[cursor];
+      cache.access(r.addr, r.kind == AccessKind::kWrite);
+      cursor = (cursor + 1) % stream.size();  // programs loop; so do we
+    }
+  });
+  TunerFsmd tuner(model, cache.timing(), TunerFsmd::shift_for(window * 2));
+  return tuner.run(port).best;
+}
+
+int run() {
+  bench::print_header(
+      "Sensitivity of tuning decisions to the measurement-interval length",
+      "hardware-methodology gap between Section 3.5 and the Table 1 "
+      "evaluation");
+
+  const EnergyModel model;
+  const std::size_t kWindows[] = {10'000, 50'000, 200'000};
+
+  Table table({"Ben.", "oracle", "10k window", "50k window", "200k window"});
+  RunningStats regret[3];
+
+  for (const std::string& name : bench::workload_names()) {
+    const Trace& stream = bench::all_split_traces().at(name).ifetch;
+    TraceEvaluator eval(stream, model);
+    const SearchResult oracle = tune(eval);
+
+    std::vector<std::string> cells = {name, oracle.best.name()};
+    for (std::size_t w = 0; w < 3; ++w) {
+      const CacheConfig chosen = live_tune(stream, kWindows[w], model);
+      const double gap = eval.energy(chosen) / oracle.best_energy - 1.0;
+      regret[w].add(gap);
+      cells.push_back(chosen.name() +
+                      (gap > 0.001 ? " (+" + fmt_percent(gap, 1) + ")" : ""));
+    }
+    table.add_row(cells);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nMean energy regret vs. the full-trace oracle:\n";
+  const char* labels[] = {"10k", "50k", "200k"};
+  for (std::size_t w = 0; w < 3; ++w) {
+    std::cout << "  " << labels[w] << " windows: mean "
+              << fmt_percent(regret[w].mean(), 2) << ", worst "
+              << fmt_percent(regret[w].max(), 1) << "\n";
+  }
+  std::cout << "\nReading: interval tuning on a warm, looping program\n"
+            << "reproduces the oracle decisions once the window covers a\n"
+            << "few loop iterations; very short windows can be fooled by\n"
+            << "the cold-start transient of freshly grown configurations.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main() { return stcache::run(); }

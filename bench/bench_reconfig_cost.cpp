@@ -1,0 +1,94 @@
+// Reconfiguration-transition cost (the Figure 5 analysis, quantified).
+//
+// For each class of configuration change the paper analyzes — increasing
+// associativity, increasing size, changing line size, decreasing size —
+// measure, on a warm cache running a real benchmark's data stream:
+//   * what fraction of the previously hitting blocks still hit, and
+//   * how many dirty lines the switch wrote back.
+// This substantiates the heuristic's ordering rules: grow, never shrink;
+// hits survive associativity increases completely and size increases
+// partially; line-size changes are free.
+#include <iostream>
+#include <unordered_set>
+
+#include "common.hpp"
+#include "cache/configurable_cache.hpp"
+
+namespace stcache {
+namespace {
+
+struct TransitionReport {
+  double hit_survival = 0.0;
+  std::uint64_t writebacks = 0;
+};
+
+TransitionReport measure_transition(const char* from, const char* to,
+                                    std::span<const TraceRecord> stream) {
+  ConfigurableCache cache(CacheConfig::parse(from));
+  // Warm with the first half of the stream.
+  const std::size_t half = stream.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    cache.access(stream[i].addr, stream[i].kind == AccessKind::kWrite);
+  }
+  // Sample which recently-touched blocks currently hit.
+  std::unordered_set<std::uint32_t> hitting;
+  const std::size_t window = std::min<std::size_t>(half, 20'000);
+  for (std::size_t i = half - window; i < half; ++i) {
+    const std::uint32_t block_addr = stream[i].addr & ~15u;
+    if (cache.probe(block_addr)) hitting.insert(block_addr);
+  }
+
+  TransitionReport r;
+  r.writebacks = cache.reconfigure(CacheConfig::parse(to));
+  if (!hitting.empty()) {
+    std::size_t survived = 0;
+    for (std::uint32_t a : hitting) {
+      if (cache.probe(a)) ++survived;
+    }
+    r.hit_survival = static_cast<double>(survived) / hitting.size();
+  }
+  return r;
+}
+
+int run() {
+  bench::print_header(
+      "Cost of each reconfiguration class on a warm cache (hit survival "
+      "and forced write-backs)",
+      "Figure 5 analysis (Section 3.3)");
+
+  const struct {
+    const char* label;
+    const char* from;
+    const char* to;
+  } kTransitions[] = {
+      {"assoc up (1W->2W @8K)", "8K_1W_16B", "8K_2W_16B"},
+      {"assoc up (2W->4W @8K)", "8K_2W_16B", "8K_4W_16B"},
+      {"line up (16B->64B)", "4K_1W_16B", "4K_1W_64B"},
+      {"line down (64B->16B)", "4K_1W_64B", "4K_1W_16B"},
+      {"size up (2K->4K)", "2K_1W_16B", "4K_1W_16B"},
+      {"size up (4K->8K)", "4K_1W_16B", "8K_1W_16B"},
+      {"size down (8K->2K)", "8K_1W_16B", "2K_1W_16B"},
+      {"assoc down (4W->1W @8K)", "8K_4W_16B", "8K_1W_16B"},
+  };
+
+  Table table({"transition", "hit survival", "dirty write-backs"});
+  const SplitTrace& split = bench::all_split_traces().at("ucbqsort");
+  for (const auto& t : kTransitions) {
+    const TransitionReport r = measure_transition(t.from, t.to, split.data);
+    table.add_row({t.label, fmt_percent(r.hit_survival, 1),
+                   std::to_string(r.writebacks)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: associativity increases and line-size changes\n"
+            << "preserve all hits at zero write-back cost; size increases\n"
+            << "lose the blocks whose new index bit flipped (extra misses,\n"
+            << "cheap write-backs); shrinking pays for every dirty line in\n"
+            << "the gated banks — which is why the heuristic only grows.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main() { return stcache::run(); }

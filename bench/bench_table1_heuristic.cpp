@@ -1,0 +1,110 @@
+// Table 1: per-benchmark results of the search heuristic.
+//
+// For every benchmark and both caches: the configuration the heuristic
+// selects, the number of configurations it examined, and the energy savings
+// relative to the 8 KB 4-way 32 B base cache. Rows where the heuristic
+// missed the exhaustive optimum also show the optimal configuration and the
+// gap, mirroring the paper's `optimal` sub-rows for pjpeg and mpeg2.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/tuner_fsmd.hpp"
+#include "core/ports.hpp"
+
+namespace stcache {
+namespace {
+
+struct StreamResult {
+  SearchResult heur;
+  SearchResult exhaustive;
+  double base_energy = 0.0;
+  double pred_accuracy = 0.0;  // of the heuristic's choice, if predicting
+
+  double savings() const { return 1.0 - heur.best_energy / base_energy; }
+  bool optimal() const { return heur.best == exhaustive.best; }
+  double gap() const {
+    return heur.best_energy / exhaustive.best_energy - 1.0;
+  }
+};
+
+StreamResult evaluate_stream(std::span<const TraceRecord> stream,
+                             const EnergyModel& model) {
+  TraceEvaluator eval(stream, model);
+  StreamResult r;
+  r.heur = tune(eval);
+  r.exhaustive = tune_exhaustive(eval);
+  r.base_energy = eval.energy(base_cache());
+  if (r.heur.best.way_prediction) {
+    r.pred_accuracy = eval.stats(r.heur.best).prediction_accuracy();
+  }
+  return r;
+}
+
+int run() {
+  bench::print_header(
+      "Table 1: heuristic-selected configurations, configurations examined, "
+      "and energy savings vs. the 8K_4W_32B base",
+      "Table 1");
+
+  const EnergyModel model;
+  Table table({"Ben.", "I-cache cfg.", "No.", "D-cache cfg.", "No.", "I-E%",
+               "D-E%"});
+
+  double i_savings = 0, d_savings = 0, i_count = 0, d_count = 0;
+  unsigned i_misses = 0, d_misses = 0;
+  unsigned n = 0;
+  std::vector<std::string> optimal_notes;
+
+  for (const std::string& name : bench::workload_names()) {
+    const SplitTrace& split = bench::all_split_traces().at(name);
+    const StreamResult ic = evaluate_stream(split.ifetch, model);
+    const StreamResult dc = evaluate_stream(split.data, model);
+
+    table.add_row({name, ic.heur.best.name(),
+                   std::to_string(ic.heur.configs_examined),
+                   dc.heur.best.name(),
+                   std::to_string(dc.heur.configs_examined),
+                   fmt_percent(ic.savings(), 1), fmt_percent(dc.savings(), 1)});
+    if (!ic.optimal()) {
+      ++i_misses;
+      optimal_notes.push_back(name + " I-cache optimal: " +
+                              ic.exhaustive.best.name() + " (heuristic " +
+                              fmt_percent(ic.gap(), 1) + " worse)");
+    }
+    if (!dc.optimal()) {
+      ++d_misses;
+      optimal_notes.push_back(name + " D-cache optimal: " +
+                              dc.exhaustive.best.name() + " (heuristic " +
+                              fmt_percent(dc.gap(), 1) + " worse)");
+    }
+
+    i_savings += ic.savings();
+    d_savings += dc.savings();
+    i_count += ic.heur.configs_examined;
+    d_count += dc.heur.configs_examined;
+    ++n;
+  }
+
+  table.add_row({"Average:", "", fmt_double(i_count / n, 1), "",
+                 fmt_double(d_count / n, 1), fmt_percent(i_savings / n, 1),
+                 fmt_percent(d_savings / n, 1)});
+  table.print(std::cout);
+
+  std::cout << "\nHeuristic vs. exhaustive (27 configurations):\n"
+            << "  I-caches: optimal in " << (n - i_misses) << "/" << n
+            << " benchmarks\n"
+            << "  D-caches: optimal in " << (n - d_misses) << "/" << n
+            << " benchmarks\n";
+  for (const std::string& note : optimal_notes) {
+    std::cout << "    " << note << "\n";
+  }
+  std::cout << "(Paper: ~5.8 configurations searched on average, optimal in\n"
+            << " all but two data caches — pjpeg 5% and mpeg2 2% worse —\n"
+            << " with average savings of 45%/55% for I/D.)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main() { return stcache::run(); }

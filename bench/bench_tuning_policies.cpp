@@ -1,0 +1,142 @@
+// Tuning-application policies (Section 1's list of deployment approaches).
+//
+// The paper leaves WHEN to tune orthogonal to the tuner design: at task
+// startup, periodically, or on detected phase changes. This ablation runs
+// a two-phase workload (the instruction stream of a small-footprint kernel
+// followed by a large-footprint one) under four policies and reports total
+// memory-access energy, the number of tuning sessions, and tuner overhead:
+//
+//   fixed-base     never tune; run the 8K_4W_32B base cache
+//   one-shot       tune once at startup (optimal for phase 1 only)
+//   periodic       retune every N intervals
+//   phase-change   retune when the miss rate departs from the tuned point
+#include <iostream>
+
+#include "common.hpp"
+#include "core/controller.hpp"
+
+namespace stcache {
+namespace {
+
+constexpr std::size_t kIntervalAccesses = 50'000;
+constexpr std::size_t kSearchIntervalAccesses = 8'000;  // short search windows
+
+// Phase 1: crc (2 KB loop). Phase 2: padpcm (8 KB live code). Each phase
+// is repeated several times so that the retuning transient (a handful of
+// measurement intervals spent in too-small configurations) amortizes the
+// way it would over the paper's billion-instruction runs.
+Trace phased_trace() {
+  const auto& traces = bench::all_split_traces();
+  constexpr int kRepeats = 4;
+  Trace t;
+  const Trace& first = traces.at("crc").ifetch;
+  const Trace& second = traces.at("padpcm").ifetch;
+  t.reserve((first.size() + second.size()) * kRepeats);
+  for (int i = 0; i < kRepeats; ++i) t.insert(t.end(), first.begin(), first.end());
+  for (int i = 0; i < kRepeats; ++i) t.insert(t.end(), second.begin(), second.end());
+  return t;
+}
+
+struct PolicyOutcome {
+  double energy = 0.0;        // Equation 1 over the whole run
+  double tuner_energy = 0.0;  // Equation 2 over all sessions
+  unsigned sessions = 0;
+  std::string final_config;
+  std::uint64_t reconfig_writebacks = 0;
+};
+
+PolicyOutcome run_policy(const Trace& trace, const EnergyModel& model,
+                         const ControllerParams* params /* null = fixed base */) {
+  ConfigurableCache cache(params != nullptr ? CacheConfig::parse("2K_1W_16B")
+                                            : base_cache());
+  PolicyOutcome out;
+  std::size_t cursor = 0;
+
+  auto run_n = [&](std::size_t n) {
+    const CacheStats before = cache.stats();
+    const std::size_t end = std::min(cursor + n, trace.size());
+    for (; cursor < end; ++cursor) {
+      cache.access(trace[cursor].addr,
+                   trace[cursor].kind == AccessKind::kWrite);
+    }
+    out.energy += model.evaluate(cache.config(), cache.stats() - before).total();
+  };
+  IntervalFns fns;
+  fns.quiet = [&] { run_n(kIntervalAccesses); };
+  fns.search = [&] { run_n(kSearchIntervalAccesses); };
+
+  if (params == nullptr) {
+    while (cursor < trace.size()) fns.quiet();
+  } else {
+    TuningController controller(cache, model, *params,
+                                TunerFsmd::shift_for(kIntervalAccesses * 2));
+    while (cursor < trace.size()) controller.step(fns);
+    out.sessions = static_cast<unsigned>(controller.sessions().size());
+    out.tuner_energy = controller.total_tuner_energy();
+  }
+  out.final_config = cache.config().name();
+  out.reconfig_writebacks = cache.stats().reconfig_writeback_bytes / 16;
+  return out;
+}
+
+int run() {
+  bench::print_header(
+      "Tuning-policy ablation on a two-phase workload (crc then padpcm "
+      "instruction streams)",
+      "Section 1 (deployment approaches) / Section 4");
+
+  const EnergyModel model;
+  const Trace trace = phased_trace();
+  std::cout << "Workload: " << trace.size() << " accesses in "
+            << (trace.size() + kIntervalAccesses - 1) / kIntervalAccesses
+            << " intervals; phase boundary at access "
+            << 4 * bench::all_split_traces().at("crc").ifetch.size() << ".\n\n";
+
+  ControllerParams oneshot;
+  oneshot.trigger = TuningTrigger::kOneShot;
+  ControllerParams periodic;
+  periodic.trigger = TuningTrigger::kPeriodic;
+  periodic.period_intervals = 30;
+  ControllerParams phase;
+  phase.trigger = TuningTrigger::kPhaseChange;
+  phase.miss_rate_delta = 0.02;
+  phase.phase_debounce = 2;
+
+  struct Row {
+    const char* name;
+    const ControllerParams* params;
+  };
+  const Row rows[] = {{"fixed 8K_4W_32B base", nullptr},
+                      {"one-shot (startup only)", &oneshot},
+                      {"periodic (every 30 intervals)", &periodic},
+                      {"phase-change detector", &phase}};
+
+  Table table({"policy", "total energy", "sessions", "tuner energy",
+               "final config", "reconfig WBs"});
+  double base_energy = 0.0;
+  for (const Row& row : rows) {
+    const PolicyOutcome out = run_policy(trace, model, row.params);
+    if (row.params == nullptr) base_energy = out.energy;
+    table.add_row({row.name,
+                   fmt_si_energy(out.energy) + " (" +
+                       fmt_percent(1.0 - out.energy / base_energy, 1) + ")",
+                   std::to_string(out.sessions),
+                   fmt_si_energy(out.tuner_energy), out.final_config,
+                   std::to_string(out.reconfig_writebacks)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: one-shot tunes perfectly for phase 1 but strands\n"
+            << "phase 2 on a too-small cache. Every retune pays a search\n"
+            << "transient (a few short intervals in deliberately small\n"
+            << "configurations), so the periodic policy's gain depends on\n"
+            << "its period, while the phase-change detector retunes exactly\n"
+            << "twice and captures the adaptive benefit. Reconfiguration\n"
+            << "write-backs stay at zero: instruction caches never dirty.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main() { return stcache::run(); }

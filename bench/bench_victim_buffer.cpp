@@ -1,0 +1,88 @@
+// Victim-buffer ablation: buffer vs. associativity for conflict misses.
+//
+// The paper's research group studies a small fully associative victim
+// buffer as an alternative to set associativity (it removes conflict
+// misses without the per-access energy of probing extra ways, and — being
+// fully tagged — it is immune to reconfiguration). This harness compares,
+// on every benchmark's data stream:
+//
+//   1W          the tuned direct-mapped configuration alone
+//   1W + VB8    the same with an 8-entry victim buffer
+//   2W          the same size, 2-way set associative
+//
+// reporting off-chip misses and Equation 1 energy for each.
+#include <iostream>
+
+#include "common.hpp"
+#include "cache/configurable_cache.hpp"
+#include "util/stats.hpp"
+
+namespace stcache {
+namespace {
+
+struct Outcome {
+  std::uint64_t offchip_misses = 0;
+  double energy = 0.0;
+};
+
+Outcome run(const CacheConfig& cfg, std::span<const TraceRecord> stream,
+            std::uint32_t victim_entries, const EnergyModel& model) {
+  ConfigurableCache cache(cfg, {}, WritePolicy::kWriteBack, victim_entries);
+  for (const TraceRecord& r : stream) {
+    cache.access(r.addr, r.kind == AccessKind::kWrite);
+  }
+  return {cache.stats().misses,
+          model.evaluate(cfg, cache.stats(), victim_entries).total()};
+}
+
+int run_bench() {
+  bench::print_header(
+      "Victim buffer vs. associativity on each benchmark's data stream",
+      "victim-buffer extension (companion work of the same group)");
+
+  const EnergyModel model;
+  Table table({"Ben.", "size", "1W misses", "1W+VB8 misses", "2W misses",
+               "1W energy", "1W+VB8 energy", "2W energy"});
+
+  GeoMean vb_ratio, assoc_ratio;
+  for (const std::string& name : bench::workload_names()) {
+    const SplitTrace& split = bench::all_split_traces().at(name);
+
+    // Direct-mapped configuration at the size the heuristic would choose
+    // for a direct-mapped walk: use 4K_1W_32B as the common comparison
+    // point (2-way exists at 4K, so all three columns are legal).
+    const CacheConfig dm = CacheConfig::parse("4K_1W_32B");
+    CacheConfig two_way = dm;
+    two_way.assoc = Assoc::w2;
+
+    const Outcome plain = run(dm, split.data, 0, model);
+    const Outcome with_vb = run(dm, split.data, 8, model);
+    const Outcome assoc = run(two_way, split.data, 0, model);
+
+    vb_ratio.add(with_vb.energy / plain.energy);
+    assoc_ratio.add(assoc.energy / plain.energy);
+
+    table.add_row({name, "4K", std::to_string(plain.offchip_misses),
+                   std::to_string(with_vb.offchip_misses),
+                   std::to_string(assoc.offchip_misses),
+                   fmt_si_energy(plain.energy), fmt_si_energy(with_vb.energy),
+                   fmt_si_energy(assoc.energy)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nGeometric-mean energy vs. plain direct-mapped:\n"
+            << "  + victim buffer: " << fmt_double(vb_ratio.value(), 3) << "x\n"
+            << "  2-way assoc:     " << fmt_double(assoc_ratio.value(), 3)
+            << "x\n"
+            << "Reading: the buffer removes most conflict misses at a tag-\n"
+            << "compare cost per miss, while associativity pays an extra\n"
+            << "way probe on EVERY access — on conflict-light kernels the\n"
+            << "buffer wins, which is why it is attractive for tunable\n"
+            << "direct-mapped configurations.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main() { return stcache::run_bench(); }

@@ -1,0 +1,66 @@
+// Way-prediction accuracy and payoff (Section 3.3 / Table 1 discussion).
+//
+// The paper (citing Powell et al.) assumes prediction accuracy around 90%
+// for set-associative instruction caches and around 70% for data caches,
+// and observes in its Table 1 that prediction only paid off for 4-way
+// instruction caches. This harness measures the MRU predictor's actual
+// accuracy on every benchmark and both streams for the three
+// set-associative platform configurations, plus the resulting energy delta
+// of turning prediction on.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+
+namespace stcache {
+namespace {
+
+int run() {
+  bench::print_header(
+      "MRU way-prediction accuracy and energy payoff per benchmark",
+      "Section 3.3 (way-prediction discussion)");
+
+  const EnergyModel model;
+  const char* kConfigs[] = {"4K_2W_16B", "8K_2W_32B", "8K_4W_32B"};
+
+  for (const char* base_name : kConfigs) {
+    const CacheConfig off = CacheConfig::parse(base_name);
+    CacheConfig on = off;
+    on.way_prediction = true;
+    std::cout << "\n--- " << off.name() << " vs " << on.name() << " ---\n";
+
+    Table table({"Ben.", "I accuracy", "I energy delta", "D accuracy",
+                 "D energy delta"});
+    RunningStats i_acc, d_acc;
+    for (const std::string& name : bench::workload_names()) {
+      const SplitTrace& split = bench::all_split_traces().at(name);
+      std::string cells[4];
+      int idx = 0;
+      for (const bool instruction : {true, false}) {
+        const Trace& stream = instruction ? split.ifetch : split.data;
+        TraceEvaluator eval(stream, model);
+        const double accuracy = eval.stats(on).prediction_accuracy();
+        const double delta = eval.energy(on) / eval.energy(off) - 1.0;
+        (instruction ? i_acc : d_acc).add(accuracy);
+        cells[idx++] = fmt_percent(accuracy, 1);
+        cells[idx++] = fmt_percent(delta, 1);
+      }
+      table.add_row({name, cells[0], cells[1], cells[2], cells[3]});
+    }
+    table.print(std::cout);
+    std::cout << "average accuracy: I " << fmt_percent(i_acc.mean(), 1)
+              << ", D " << fmt_percent(d_acc.mean(), 1) << "\n";
+  }
+
+  std::cout << "\n(Paper/Powell: ~90% accuracy for I, ~70% for D. Negative\n"
+            << "energy deltas mean prediction pays off. Our embedded\n"
+            << "kernels' sequential data scans push D accuracy above the\n"
+            << "literature's 70%, which is why some data caches in our\n"
+            << "Table 1 select prediction — see EXPERIMENTS.md.)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main() { return stcache::run(); }

@@ -1,0 +1,90 @@
+// Write-policy ablation: write-back (the paper's platform default) versus
+// write-through with no-write-allocate (the M*CORE-style alternative).
+//
+// Write-through makes the self-tuning story trivially safe — no line is
+// ever dirty, so every reconfiguration (including the descending size
+// order the paper warns against) is free. The price is per-store off-chip
+// traffic. This harness quantifies both sides on every benchmark's data
+// stream under the heuristic's chosen configuration.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+#include "cache/configurable_cache.hpp"
+#include "core/flush_cost.hpp"
+#include "trace/replay.hpp"
+
+namespace stcache {
+namespace {
+
+CacheStats run_policy(const CacheConfig& cfg, std::span<const TraceRecord> stream,
+                      WritePolicy policy) {
+  ConfigurableCache cache(cfg, {}, policy);
+  for (const TraceRecord& r : stream) {
+    cache.access(r.addr, r.kind == AccessKind::kWrite);
+  }
+  return cache.stats();
+}
+
+int run() {
+  bench::print_header(
+      "Write-back vs. write-through data caches under the tuned "
+      "configuration",
+      "platform write-policy ablation (M*CORE lineage, Section 1)");
+
+  const EnergyModel model;
+  Table table({"Ben.", "tuned cfg", "WB energy", "WT energy", "WT/WB",
+               "WB desc. flush", "WT desc. flush"});
+
+  GeoMean ratio;
+  for (const std::string& name : bench::workload_names()) {
+    const SplitTrace& split = bench::all_split_traces().at(name);
+
+    // Tune under write-back (the paper's flow), then compare policies at
+    // the chosen configuration.
+    TraceEvaluator eval(split.data, model);
+    const SearchResult tuned = tune(eval);
+
+    const CacheStats wb = run_policy(tuned.best, split.data, WritePolicy::kWriteBack);
+    const CacheStats wt = run_policy(tuned.best, split.data, WritePolicy::kWriteThrough);
+    const double e_wb = model.evaluate(tuned.best, wb).total();
+    const double e_wt = model.evaluate(tuned.best, wt).total();
+    ratio.add(e_wt / e_wb);
+
+    // Descending-size flush cost under each policy.
+    const FlushCostReport wb_flush = measure_flush_cost(split.data, model);
+    auto wt_desc_writebacks = [&] {
+      ConfigurableCache cache(CacheConfig::parse("8K_1W_16B"), {},
+                              WritePolicy::kWriteThrough);
+      const std::size_t third = split.data.size() / 3;
+      std::uint64_t total = 0;
+      for (std::size_t i = 0; i < split.data.size(); ++i) {
+        if (i == third) total += cache.reconfigure(CacheConfig::parse("4K_1W_16B"));
+        if (i == 2 * third) total += cache.reconfigure(CacheConfig::parse("2K_1W_16B"));
+        cache.access(split.data[i].addr,
+                     split.data[i].kind == AccessKind::kWrite);
+      }
+      return total;
+    };
+
+    table.add_row({name, tuned.best.name(), fmt_si_energy(e_wb),
+                   fmt_si_energy(e_wt), fmt_double(e_wt / e_wb, 2) + "x",
+                   std::to_string(wb_flush.descending_writeback_lines) + " lines",
+                   std::to_string(wt_desc_writebacks()) + " lines"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nGeometric-mean WT/WB energy ratio: "
+            << fmt_double(ratio.value(), 2)
+            << "x\nReading: write-through removes every reconfiguration\n"
+            << "write-back (right column is all zeros) but costs more total\n"
+            << "energy on write-heavy kernels — which is why the paper's\n"
+            << "platform keeps write-back and instead makes the SEARCH\n"
+            << "ORDER flush-free.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main() { return stcache::run(); }

@@ -1,0 +1,138 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each bench binary regenerates one table or figure of the paper. The
+// helpers here capture workload traces once per process and provide the
+// common "evaluate a configuration on a stream" plumbing.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/heuristic.hpp"
+#include "energy/energy_model.hpp"
+#include "trace/trace.hpp"
+#include "util/table.hpp"
+#include "workloads/workload.hpp"
+
+namespace stcache::bench {
+
+// Captured and split traces for every workload, computed lazily and cached
+// for the lifetime of the process.
+inline const std::map<std::string, SplitTrace>& all_split_traces() {
+  static const std::map<std::string, SplitTrace> kTraces = [] {
+    std::map<std::string, SplitTrace> m;
+    for (const Workload& w : all_workloads()) {
+      m.emplace(w.name, split_trace(capture_trace(w)));
+    }
+    return m;
+  }();
+  return kTraces;
+}
+
+// Workload names in the paper's Table 1 order.
+inline std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  for (const Workload& w : all_workloads()) names.push_back(w.name);
+  return names;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "================================================================\n"
+            << title << "\n"
+            << "(reproduces " << paper_ref << " of Zhang/Vahid/Lysecky, DATE'04)\n"
+            << "================================================================\n";
+}
+
+}  // namespace stcache::bench
+
+namespace stcache::bench {
+
+// Shared implementation of Figures 3 and 4: sweep the 18 base
+// configurations over all benchmarks' instruction or data streams,
+// reporting average miss rate and average normalized energy (normalized
+// per-benchmark to the 8 KB 4-way 32 B base, as the figures normalize
+// fetch energy).
+inline int run_config_space_figure(bool instruction_stream) {
+  const char* which = instruction_stream ? "instruction" : "data";
+  print_header(std::string("Average ") + which +
+                   " miss rate and normalized energy over the 18 "
+                   "size/line/associativity configurations",
+               instruction_stream ? "Figure 3" : "Figure 4");
+
+  const EnergyModel model;
+  const auto& traces = all_split_traces();
+
+  Table table({"config", "avg miss rate", "avg normalized energy"});
+  struct Row {
+    CacheConfig cfg;
+    double miss_sum = 0.0;
+    double energy_sum = 0.0;
+  };
+  std::vector<Row> rows;
+  for (const CacheConfig& cfg : base_configs()) rows.push_back({cfg, 0, 0});
+
+  unsigned n = 0;
+  for (const auto& [name, split] : traces) {
+    const Trace& stream = instruction_stream ? split.ifetch : split.data;
+    TraceEvaluator eval(stream, model);
+    const double base = eval.energy(base_cache());
+    for (Row& row : rows) {
+      row.miss_sum += eval.stats(row.cfg).miss_rate();
+      row.energy_sum += eval.energy(row.cfg) / base;
+    }
+    ++n;
+  }
+
+  for (const Row& row : rows) {
+    table.add_row({row.cfg.name(), fmt_percent(row.miss_sum / n, 2),
+                   fmt_double(row.energy_sum / n, 3)});
+  }
+  table.print(std::cout);
+
+  // The figures' qualitative reading: size has the largest impact, line
+  // size matters more for data than instructions, associativity the least.
+  auto avg_over = [&](auto pred) {
+    double sum = 0;
+    unsigned count = 0;
+    for (const Row& row : rows) {
+      if (pred(row.cfg)) {
+        sum += row.energy_sum / n;
+        ++count;
+      }
+    }
+    return sum / count;
+  };
+  std::cout << "\nAverage normalized energy by total size:\n";
+  for (CacheSizeKB s : kCacheSizes) {
+    std::cout << "  " << to_string(s) << "B-class: "
+              << fmt_double(avg_over([&](const CacheConfig& c) {
+                              return c.size_kb == s;
+                            }),
+                            3)
+              << "\n";
+  }
+  std::cout << "Average normalized energy by line size:\n";
+  for (LineBytes l : kLineSizes) {
+    std::cout << "  " << to_string(l) << ": "
+              << fmt_double(avg_over([&](const CacheConfig& c) {
+                              return c.line == l;
+                            }),
+                            3)
+              << "\n";
+  }
+  std::cout << "Average normalized energy by associativity:\n";
+  for (Assoc a : kAssocs) {
+    std::cout << "  " << to_string(a) << ": "
+              << fmt_double(avg_over([&](const CacheConfig& c) {
+                              return c.assoc == a;
+                            }),
+                            3)
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace stcache::bench

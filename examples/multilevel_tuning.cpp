@@ -1,0 +1,59 @@
+// Multi-level tuning (Section 3.4): apply the one-parameter-at-a-time
+// heuristic to a two-level hierarchy — 16 KB 8-way L1 I/D caches with
+// configurable line size and a 256 KB 8-way unified L2 — and compare the
+// number of configurations examined against the 64-point cross product.
+//
+// Build & run:  ./build/examples/example_multilevel_tuning [workload]
+#include <iostream>
+
+#include "core/multilevel.hpp"
+#include "trace/synthetic.hpp"
+#include "util/table.hpp"
+#include "workloads/workload.hpp"
+
+using namespace stcache;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "mpeg2";
+
+  Trace trace;
+  if (name == "parser-like") {
+    ParserLikeParams params;
+    params.accesses = 1'000'000;
+    trace = gen_parser_like(params);
+    std::cout << "Two-level tuning of the parser-like synthetic workload\n\n";
+  } else {
+    const Workload& workload = find_workload(name);
+    trace = capture_trace(workload);
+    std::cout << "Two-level tuning of " << workload.name << " ("
+              << workload.description << ")\n\n";
+  }
+
+  const EnergyModel model;
+  const TwoLevelSearchResult heuristic = tune_two_level(trace, model);
+  const TwoLevelSearchResult optimum = tune_two_level_exhaustive(trace, model);
+
+  Table table({"search", "configuration", "configs examined", "energy"});
+  table.add_row({"heuristic", heuristic.best.name(),
+                 std::to_string(heuristic.configs_examined),
+                 fmt_si_energy(heuristic.best_energy)});
+  table.add_row({"exhaustive", optimum.best.name(),
+                 std::to_string(optimum.configs_examined),
+                 fmt_si_energy(optimum.best_energy)});
+  table.print(std::cout);
+
+  const TwoLevelStats stats = simulate_two_level(heuristic.best, trace);
+  std::cout << "\nHierarchy behavior under the tuned configuration:\n"
+            << "  L1I miss rate: " << fmt_percent(stats.l1i.miss_rate(), 2)
+            << "\n  L1D miss rate: " << fmt_percent(stats.l1d.miss_rate(), 2)
+            << "\n  L2  miss rate: " << fmt_percent(stats.l2.miss_rate(), 2)
+            << " (of " << stats.l2.accesses << " L2 accesses)\n";
+
+  std::cout << "\nThe heuristic searched " << heuristic.configs_examined
+            << " of the 64 possible configurations (the paper: the sums of\n"
+            << "the parameter value counts instead of their product) and\n"
+            << "came within "
+            << fmt_percent(heuristic.best_energy / optimum.best_energy - 1.0, 1)
+            << " of the exhaustive optimum.\n";
+  return 0;
+}

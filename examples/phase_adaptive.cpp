@@ -1,0 +1,100 @@
+// Phase-adaptive tuning across a task switch.
+//
+// Section 1 of the paper lists "whenever a program phase change is
+// detected" among the ways the self-tuning hardware can be deployed. This
+// example runs two different kernels back-to-back on the same system —
+// a task switch, the most drastic phase change an embedded system sees —
+// with the TuningController watching the I-cache:
+//
+//   task 1: crc    (2 KB hot loop  -> a small cache wins)
+//   task 2: padpcm (8 KB live code -> the small cache thrashes)
+//
+// The phase detector notices the miss-rate jump after the switch and
+// retunes. Both tasks' checksums are verified: tuning stays transparent.
+//
+// Build & run:  ./build/examples/example_phase_adaptive
+#include <iostream>
+#include <memory>
+
+#include "core/controller.hpp"
+#include "isa/assembler.hpp"
+#include "sim/cpu.hpp"
+#include "sim/system.hpp"
+#include "util/table.hpp"
+#include "workloads/workload.hpp"
+
+using namespace stcache;
+
+int main() {
+  const Workload& task1 = find_workload("crc");
+  const Workload& task2 = find_workload("padpcm");
+  std::cout << "Task 1: " << task1.name << " — " << task1.description << "\n"
+            << "Task 2: " << task2.name << " — " << task2.description << "\n\n";
+
+  SplitCacheSystem system(CacheConfig::parse("2K_1W_16B"),
+                          CacheConfig::parse("8K_4W_32B"));
+
+  // The caches persist across the task switch (their contents simply stop
+  // being useful); only the CPU state is replaced.
+  const Program prog1 = assemble(task1.source, task1.name);
+  const Program prog2 = assemble(task2.source, task2.name);
+  auto cpu = std::make_unique<Cpu>(prog1, system, task1.mem_bytes);
+  const Workload* active = &task1;
+  bool all_done = false;
+
+  auto run_some = [&](std::uint64_t instructions) {
+    if (all_done) return;
+    const RunResult r = cpu->run(instructions);
+    if (!r.halted) return;
+    // Task finished: verify it and switch to the next one.
+    if (cpu->reg(kV0) != active->expected_checksum) {
+      std::cerr << "CHECKSUM MISMATCH in " << active->name << "!\n";
+      std::exit(1);
+    }
+    std::cout << "  [" << active->name << " completed, checksum OK]\n";
+    if (active == &task1) {
+      active = &task2;
+      cpu = std::make_unique<Cpu>(prog2, system, task2.mem_bytes);
+    } else {
+      all_done = true;
+    }
+  };
+
+  ControllerParams params;
+  params.trigger = TuningTrigger::kPhaseChange;
+  params.miss_rate_delta = 0.03;
+  params.phase_debounce = 2;
+  const EnergyModel model;
+  TuningController controller(system.icache(), model, params,
+                              TunerFsmd::shift_for(120'000));
+
+  IntervalFns fns;
+  fns.quiet = [&] { run_some(50'000); };
+  fns.search = [&] { run_some(12'000); };  // short search windows
+
+  Table log({"interval", "event", "I-cache config"});
+  unsigned interval = 0;
+  while (!all_done) {
+    const bool tuned = controller.step(fns);
+    ++interval;
+    if (tuned) {
+      log.add_row({std::to_string(interval), "tuning session",
+                   controller.current().name()});
+    }
+  }
+  log.print(std::cout);
+
+  std::cout << "\nTuning sessions:\n";
+  for (const TuningSession& s : controller.sessions()) {
+    std::cout << "  chose " << s.chosen.name() << " after "
+              << s.configs_examined << " configurations ("
+              << fmt_si_energy(s.tuner_energy) << "); reference miss rate "
+              << fmt_percent(s.reference_miss_rate, 2) << "\n";
+  }
+  std::cout << "\nTotal tuner energy: "
+            << fmt_si_energy(controller.total_tuner_energy())
+            << " — both tasks ran to completion, checksums intact,\n"
+            << "and the I-cache followed the workload across the task\n"
+            << "switch without a single flush.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+//  1. Pick a benchmark kernel (real assembly, executed on the bundled ISS).
+//  2. Capture its memory-access trace.
+//  3. Let the paper's heuristic tune the instruction and data caches.
+//  4. Compare against the fixed 8 KB 4-way base cache.
+//
+// Build & run:  ./build/examples/example_quickstart [workload]
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "core/heuristic.hpp"
+#include "energy/energy_model.hpp"
+#include "util/table.hpp"
+#include "workloads/workload.hpp"
+
+using namespace stcache;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "crc";
+  const Workload& workload = find_workload(name);
+  std::cout << "Workload: " << workload.name << " — " << workload.description
+            << "\n\n";
+
+  // Run the kernel once on the instruction-set simulator, recording every
+  // instruction fetch and data access.
+  const Trace trace = capture_trace(workload);
+  const SplitTrace split = split_trace(trace);
+  std::cout << "Captured " << split.ifetch.size() << " instruction fetches and "
+            << split.data.size() << " data accesses.\n\n";
+
+  // Tune each cache with the paper's heuristic (size -> line size ->
+  // associativity -> way prediction, each walked while energy improves).
+  const EnergyModel model;
+  Table table({"cache", "selected config", "configs examined",
+               "energy (tuned)", "energy (8K_4W_32B base)", "savings"});
+  for (const bool instruction : {true, false}) {
+    const Trace& stream = instruction ? split.ifetch : split.data;
+    TraceEvaluator evaluator(stream, model);
+    const SearchResult result = tune(evaluator);
+    const double base_energy = evaluator.energy(base_cache());
+    table.add_row({instruction ? "I-cache" : "D-cache", result.best.name(),
+                   std::to_string(result.configs_examined),
+                   fmt_si_energy(result.best_energy),
+                   fmt_si_energy(base_energy),
+                   fmt_percent(1.0 - result.best_energy / base_energy, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe heuristic examined a handful of the 27 possible\n"
+            << "configurations and never required a cache flush.\n";
+  return 0;
+}

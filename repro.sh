@@ -1,0 +1,20 @@
+#!/bin/sh
+# Reproduce everything: build, run the full test suite, and regenerate every
+# table/figure harness. Outputs land in test_output.txt and bench_output.txt
+# at the repository root (the files EXPERIMENTS.md numbers come from).
+set -e
+cd "$(dirname "$0")"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "\n########## $(basename "$b") ##########\n" >> bench_output.txt
+  "$b" >> bench_output.txt 2>&1
+done
+
+echo "Done. See test_output.txt and bench_output.txt."

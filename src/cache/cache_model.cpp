@@ -1,0 +1,102 @@
+#include "cache/cache_model.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+bool CacheGeometry::valid() const {
+  if (size_bytes == 0 || assoc == 0 || line_bytes == 0) return false;
+  if (!std::has_single_bit(size_bytes) || !std::has_single_bit(assoc) ||
+      !std::has_single_bit(line_bytes)) {
+    return false;
+  }
+  if (line_bytes < 4) return false;
+  return size_bytes >= assoc * line_bytes;
+}
+
+CacheModel::CacheModel(CacheGeometry geometry, TimingParams timing)
+    : geometry_(geometry), timing_(timing) {
+  if (!geometry_.valid()) {
+    fail("CacheModel: invalid geometry (size=" +
+         std::to_string(geometry_.size_bytes) +
+         ", assoc=" + std::to_string(geometry_.assoc) +
+         ", line=" + std::to_string(geometry_.line_bytes) + ")");
+  }
+  lines_.resize(static_cast<std::size_t>(geometry_.num_sets()) * geometry_.assoc);
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(geometry_.line_bytes));
+  set_mask_ = geometry_.num_sets() - 1;
+}
+
+CacheModel::AccessResult CacheModel::access(std::uint32_t addr, bool is_write) {
+  ++tick_;
+  ++stats_.accesses;
+  if (is_write) ++stats_.write_accesses;
+  else ++stats_.read_accesses;
+
+  const std::uint32_t block = block_of(addr);
+  const std::uint32_t set = set_of(block);
+  Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.assoc];
+
+  Line* hit_line = nullptr;
+  for (std::uint32_t w = 0; w < geometry_.assoc; ++w) {
+    if (base[w].valid && base[w].block == block) {
+      hit_line = &base[w];
+      break;
+    }
+  }
+
+  AccessResult result;
+  if (hit_line != nullptr) {
+    ++stats_.hits;
+    hit_line->last_use = tick_;
+    hit_line->dirty = hit_line->dirty || is_write;
+    result.hit = true;
+    result.cycles = timing_.hit_cycles;
+  } else {
+    ++stats_.misses;
+    // Victim: first invalid way, else LRU.
+    Line* victim = &base[0];
+    for (std::uint32_t w = 0; w < geometry_.assoc; ++w) {
+      if (!base[w].valid) {
+        victim = &base[w];
+        break;
+      }
+      if (base[w].last_use < victim->last_use) victim = &base[w];
+    }
+    if (victim->valid && victim->dirty) {
+      stats_.writeback_bytes += geometry_.line_bytes;
+    }
+    *victim = Line{block, tick_, true, is_write};
+    stats_.fill_bytes += geometry_.line_bytes;
+    result.hit = false;
+    const std::uint32_t stall = timing_.miss_stall_cycles(geometry_.line_bytes);
+    result.cycles = timing_.hit_cycles + stall;
+    stats_.stall_cycles += stall;
+  }
+  stats_.cycles += result.cycles;
+  return result;
+}
+
+bool CacheModel::probe(std::uint32_t addr) const {
+  const std::uint32_t block = block_of(addr);
+  const std::uint32_t set = set_of(block);
+  const Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.assoc];
+  for (std::uint32_t w = 0; w < geometry_.assoc; ++w) {
+    if (base[w].valid && base[w].block == block) return true;
+  }
+  return false;
+}
+
+std::uint64_t CacheModel::flush() {
+  std::uint64_t dirty = 0;
+  for (Line& line : lines_) {
+    if (line.valid && line.dirty) ++dirty;
+    line = Line{};
+  }
+  stats_.reconfig_writeback_bytes += dirty * geometry_.line_bytes;
+  return dirty;
+}
+
+}  // namespace stcache

@@ -1,0 +1,119 @@
+#include "cache/config.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+std::uint32_t CacheConfig::index_bits() const {
+  return static_cast<std::uint32_t>(std::countr_zero(num_sets()));
+}
+
+bool CacheConfig::valid() const {
+  // Size must be one of 2/4/8 KB, associativity 1/2/4, line 16/32/64.
+  bool size_ok = size_kb == CacheSizeKB::k2 || size_kb == CacheSizeKB::k4 ||
+                 size_kb == CacheSizeKB::k8;
+  bool assoc_ok = assoc == Assoc::w1 || assoc == Assoc::w2 || assoc == Assoc::w4;
+  bool line_ok = line == LineBytes::b16 || line == LineBytes::b32 ||
+                 line == LineBytes::b64;
+  if (!size_ok || !assoc_ok || !line_ok) return false;
+  // Way shutdown implements size reduction, so ways() cannot exceed the
+  // number of powered banks.
+  if (ways() > banks_powered()) return false;
+  // Way prediction only exists for set-associative configurations.
+  if (way_prediction && assoc == Assoc::w1) return false;
+  return true;
+}
+
+std::string to_string(CacheSizeKB s) {
+  return std::to_string(static_cast<unsigned>(s)) + "K";
+}
+std::string to_string(Assoc a) {
+  return std::to_string(static_cast<unsigned>(a)) + "W";
+}
+std::string to_string(LineBytes l) {
+  return std::to_string(static_cast<unsigned>(l)) + "B";
+}
+
+std::string CacheConfig::name() const {
+  std::string n = to_string(size_kb) + "_" + to_string(assoc) + "_" +
+                  to_string(line);
+  if (way_prediction) n += "_P";
+  return n;
+}
+
+CacheConfig CacheConfig::parse(const std::string& name) {
+  // Expected shape: <size>K_<ways>W_<line>B[_P]
+  CacheConfig cfg;
+  std::size_t pos = 0;
+  auto read_uint = [&](char terminator) -> unsigned {
+    std::size_t start = pos;
+    unsigned v = 0;
+    while (pos < name.size() && name[pos] >= '0' && name[pos] <= '9') {
+      v = v * 10 + static_cast<unsigned>(name[pos] - '0');
+      ++pos;
+    }
+    if (pos == start || pos >= name.size() || name[pos] != terminator) {
+      fail("CacheConfig::parse: malformed config name '" + name + "'");
+    }
+    ++pos;  // consume terminator
+    return v;
+  };
+  unsigned size = read_uint('K');
+  if (pos >= name.size() || name[pos] != '_') fail("CacheConfig::parse: '" + name + "'");
+  ++pos;
+  unsigned ways = read_uint('W');
+  if (pos >= name.size() || name[pos] != '_') fail("CacheConfig::parse: '" + name + "'");
+  ++pos;
+  unsigned line = read_uint('B');
+  if (pos != name.size()) {
+    if (name.substr(pos) != "_P") {
+      fail("CacheConfig::parse: trailing junk in '" + name + "'");
+    }
+    cfg.way_prediction = true;
+  }
+  cfg.size_kb = static_cast<CacheSizeKB>(size);
+  cfg.assoc = static_cast<Assoc>(ways);
+  cfg.line = static_cast<LineBytes>(line);
+  if (!cfg.valid()) {
+    fail("CacheConfig::parse: '" + name + "' is not a legal configuration");
+  }
+  return cfg;
+}
+
+namespace {
+
+std::vector<CacheConfig> make_all(bool include_prediction) {
+  std::vector<CacheConfig> out;
+  for (CacheSizeKB s : kCacheSizes) {
+    for (LineBytes l : kLineSizes) {
+      for (Assoc a : kAssocs) {
+        for (bool p : {false, true}) {
+          if (p && !include_prediction) continue;
+          CacheConfig cfg{s, a, l, p};
+          if (cfg.valid()) out.push_back(cfg);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<CacheConfig>& all_configs() {
+  static const std::vector<CacheConfig> kAll = make_all(true);
+  return kAll;
+}
+
+const std::vector<CacheConfig>& base_configs() {
+  static const std::vector<CacheConfig> kBase = make_all(false);
+  return kBase;
+}
+
+CacheConfig base_cache() {
+  return CacheConfig{CacheSizeKB::k8, Assoc::w4, LineBytes::b32, false};
+}
+
+}  // namespace stcache

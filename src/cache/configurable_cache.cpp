@@ -1,0 +1,363 @@
+#include "cache/configurable_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+ConfigurableCache::ConfigurableCache(CacheConfig config, TimingParams timing,
+                                     WritePolicy write_policy,
+                                     std::uint32_t victim_entries)
+    : config_(config), timing_(timing), write_policy_(write_policy) {
+  if (!config_.valid()) {
+    fail("ConfigurableCache: invalid configuration " + config.name());
+  }
+  if (victim_entries > 64) {
+    fail("ConfigurableCache: victim buffer larger than 64 entries is not a victim buffer");
+  }
+  victim_.resize(victim_entries);
+  for (auto& bank : banks_) bank.resize(kRowsPerBank);
+  for (std::uint32_t b = 0; b < kNumBanks; ++b) {
+    bank_powered_[b] = b < config_.banks_powered();
+  }
+}
+
+ConfigurableCache::Location ConfigurableCache::candidate(
+    const CacheConfig& cfg, std::uint32_t block, std::uint32_t way) {
+  const std::uint32_t index = block & (cfg.num_sets() - 1);
+  const std::uint32_t row = index & (kRowsPerBank - 1);
+  const std::uint32_t group = index >> 7;  // log2(kRowsPerBank) == 7
+  return Location{way * cfg.banks_per_way() + group, row};
+}
+
+bool ConfigurableCache::reachable(const CacheConfig& cfg, std::uint32_t block,
+                                  Location loc) {
+  for (std::uint32_t w = 0; w < cfg.ways(); ++w) {
+    Location cand = candidate(cfg, block, w);
+    if (cand.bank == loc.bank && cand.row == loc.row) return true;
+  }
+  return false;
+}
+
+std::uint32_t ConfigurableCache::predict_way(std::uint32_t block) const {
+  std::uint32_t best_way = 0;
+  std::uint64_t best_use = 0;
+  bool found_valid = false;
+  for (std::uint32_t w = 0; w < config_.ways(); ++w) {
+    const Line& line = line_at(candidate(config_, block, w));
+    if (line.valid && (!found_valid || line.last_use > best_use)) {
+      best_way = w;
+      best_use = line.last_use;
+      found_valid = true;
+    }
+  }
+  return best_way;
+}
+
+ConfigurableCache::AccessResult ConfigurableCache::access(std::uint32_t addr,
+                                                          bool is_write,
+                                                          std::uint32_t bytes) {
+  ++tick_;
+  ++stats_.accesses;
+  if (is_write) ++stats_.write_accesses;
+  else ++stats_.read_accesses;
+
+  const std::uint32_t block = addr >> 4;
+  const bool predicting = config_.way_prediction && config_.ways() > 1;
+  const std::uint32_t predicted_way = predicting ? predict_way(block) : 0;
+  if (predicting) ++stats_.pred_accesses;
+
+  // Probe all candidate ways; full tag compare. (Under the coherent
+  // reconfiguration policy at most one copy of a block is ever reachable;
+  // under kPowerGatingOnly duplicates can arise, in which case the first
+  // match wins, mirroring a priority encoder.)
+  std::uint32_t hit_way = 0;
+  Line* hit_line = nullptr;
+  for (std::uint32_t w = 0; w < config_.ways(); ++w) {
+    Line& line = line_at(candidate(config_, block, w));
+    if (line.valid && line.block == block) {
+      hit_line = &line;
+      hit_way = w;
+      break;
+    }
+  }
+
+  const bool write_through =
+      is_write && write_policy_ == WritePolicy::kWriteThrough;
+  if (write_through) stats_.write_through_bytes += bytes;
+
+  AccessResult result;
+  if (hit_line != nullptr) {
+    ++stats_.hits;
+    hit_line->last_use = tick_;
+    hit_line->dirty = hit_line->dirty || (is_write && !write_through);
+    result.hit = true;
+    result.cycles = timing_.hit_cycles;
+    if (predicting) {
+      if (hit_way == predicted_way) {
+        ++stats_.pred_first_hits;
+        result.predicted_first_hit = true;
+      } else {
+        ++stats_.pred_mispredicts;
+        result.cycles += timing_.mispredict_penalty;
+        stats_.stall_cycles += timing_.mispredict_penalty;
+      }
+    }
+  } else if (write_through) {
+    // No-write-allocate: the store goes straight to the write buffer and
+    // memory; the cache is untouched and the processor does not stall.
+    ++stats_.wt_store_misses;
+    result.hit = false;
+    result.cycles = timing_.hit_cycles;
+  } else if (!victim_.empty() && [&] {
+               ++stats_.victim_probes;
+               Line rescued;
+               if (!victim_take(block, &rescued)) return false;
+               // Swap: the rescued line enters the main array at its
+               // candidate slot; whatever lived there retires to the
+               // buffer. Pick the LRU way like a normal fill.
+               std::uint32_t victim_way = 0;
+               bool chosen = false;
+               std::uint64_t oldest = 0;
+               for (std::uint32_t w = 0; w < config_.ways(); ++w) {
+                 const Line& line = line_at(candidate(config_, block, w));
+                 if (!line.valid) {
+                   victim_way = w;
+                   chosen = true;
+                   break;
+                 }
+                 if (!chosen || line.last_use < oldest) {
+                   victim_way = w;
+                   oldest = line.last_use;
+                   chosen = true;
+                 }
+               }
+               Line& slot = line_at(candidate(config_, block, victim_way));
+               victim_insert(slot);
+               rescued.last_use = tick_;
+               rescued.dirty = rescued.dirty || is_write;
+               slot = rescued;
+               ++stats_.victim_hits;
+               return true;
+             }()) {
+    result.hit = false;  // a main-array miss, served on chip
+    result.cycles = timing_.hit_cycles + timing_.victim_hit_penalty;
+    stats_.stall_cycles += timing_.victim_hit_penalty;
+  } else {
+    ++stats_.misses;
+    // Line concatenation: fill every 16 B subline of the aligned logical
+    // line into the same logical way. The victim way is chosen at the
+    // accessed subline's set (invalid way first, else LRU).
+    const std::uint32_t sublines = config_.sublines_per_line();
+    const std::uint32_t base_block = block & ~(sublines - 1);
+
+    std::uint32_t victim_way = 0;
+    {
+      bool chosen = false;
+      std::uint64_t oldest = 0;
+      for (std::uint32_t w = 0; w < config_.ways(); ++w) {
+        const Line& line = line_at(candidate(config_, block, w));
+        if (!line.valid) {
+          victim_way = w;
+          chosen = true;
+          break;
+        }
+        if (!chosen || line.last_use < oldest) {
+          victim_way = w;
+          oldest = line.last_use;
+          chosen = true;
+        }
+      }
+    }
+
+    for (std::uint32_t s = 0; s < sublines; ++s) {
+      const std::uint32_t sub_block = base_block + s;
+      // If the subline is already present in some way (e.g. fetched by an
+      // earlier miss under a different line size), leave it there — filling
+      // a second copy would violate the single-reachable-copy invariant.
+      bool already_present = false;
+      for (std::uint32_t w = 0; w < config_.ways(); ++w) {
+        const Line& line = line_at(candidate(config_, sub_block, w));
+        if (line.valid && line.block == sub_block) {
+          already_present = true;
+          break;
+        }
+      }
+      if (already_present) continue;
+
+      Line& slot = line_at(candidate(config_, sub_block, victim_way));
+      if (!victim_.empty()) {
+        victim_insert(slot);  // displaced line retires to the victim buffer
+      } else if (slot.valid && slot.dirty) {
+        stats_.writeback_bytes += kPhysicalLineBytes;
+      }
+      slot = Line{sub_block, tick_, true, false};
+      stats_.fill_bytes += kPhysicalLineBytes;
+    }
+
+    // Mark the accessed subline.
+    Line& accessed = line_at(candidate(config_, block, victim_way));
+    STC_ASSERT(accessed.valid && accessed.block == block,
+               "fill did not install the accessed block");
+    accessed.dirty = is_write && write_policy_ == WritePolicy::kWriteBack;
+    accessed.last_use = tick_;
+
+    result.hit = false;
+    const std::uint32_t stall = timing_.miss_stall_cycles(config_.line_bytes());
+    result.cycles = timing_.hit_cycles + stall;
+    stats_.stall_cycles += stall;
+  }
+
+  stats_.cycles += result.cycles;
+  return result;
+}
+
+std::uint64_t ConfigurableCache::handle_power_gating(const CacheConfig& next) {
+  std::uint64_t dirty_writebacks = 0;
+  for (std::uint32_t b = 0; b < kNumBanks; ++b) {
+    const bool was_on = bank_powered_[b];
+    const bool now_on = b < next.banks_powered();
+    if (was_on && !now_on) {
+      // Bank is being power-gated: dirty contents must reach memory first,
+      // everything is lost afterwards.
+      for (Line& line : banks_[b]) {
+        if (line.valid && line.dirty) {
+          ++dirty_writebacks;
+          stats_.reconfig_writeback_bytes += kPhysicalLineBytes;
+        }
+        line = Line{};
+      }
+    } else if (!was_on && now_on) {
+      // Bank comes back up with undefined contents: invalidate.
+      for (Line& line : banks_[b]) line = Line{};
+    }
+    bank_powered_[b] = now_on;
+  }
+  return dirty_writebacks;
+}
+
+std::uint64_t ConfigurableCache::reconfigure(const CacheConfig& next,
+                                             ReconfigPolicy policy) {
+  if (!next.valid()) {
+    fail("ConfigurableCache::reconfigure: invalid configuration " + next.name());
+  }
+  std::uint64_t dirty_writebacks = handle_power_gating(next);
+
+  if (policy == ReconfigPolicy::kWritebackUnreachableDirty) {
+    // Lines the new mapping cannot reach are invalidated (dirty ones are
+    // written back first). Merely cleaning them is not enough: a stale copy
+    // stranded now could become reachable again after a later associativity
+    // increase and serve outdated data.
+    for (std::uint32_t b = 0; b < next.banks_powered(); ++b) {
+      for (std::uint32_t r = 0; r < kRowsPerBank; ++r) {
+        Line& line = banks_[b][r];
+        if (line.valid && !reachable(next, line.block, Location{b, r})) {
+          if (line.dirty) {
+            ++dirty_writebacks;
+            stats_.reconfig_writeback_bytes += kPhysicalLineBytes;
+          }
+          line = Line{};
+        }
+      }
+    }
+  }
+
+  config_ = next;
+  return dirty_writebacks;
+}
+
+std::uint64_t ConfigurableCache::flush() {
+  std::uint64_t dirty = 0;
+  for (Line& entry : victim_) {
+    if (entry.valid && entry.dirty) {
+      ++dirty;
+      stats_.reconfig_writeback_bytes += kPhysicalLineBytes;
+    }
+    entry = Line{};
+  }
+  for (std::uint32_t b = 0; b < kNumBanks; ++b) {
+    if (!bank_powered_[b]) continue;
+    for (Line& line : banks_[b]) {
+      if (line.valid && line.dirty) {
+        ++dirty;
+        stats_.reconfig_writeback_bytes += kPhysicalLineBytes;
+      }
+      line = Line{};
+    }
+  }
+  return dirty;
+}
+
+bool ConfigurableCache::victim_take(std::uint32_t block, Line* out) {
+  for (Line& entry : victim_) {
+    if (entry.valid && entry.block == block) {
+      *out = entry;
+      entry = Line{};
+      return true;
+    }
+  }
+  return false;
+}
+
+void ConfigurableCache::victim_insert(const Line& line) {
+  if (victim_.empty() || !line.valid) return;
+  Line* slot = &victim_[0];
+  for (Line& entry : victim_) {
+    if (!entry.valid) {
+      slot = &entry;
+      break;
+    }
+    if (entry.last_use < slot->last_use) slot = &entry;
+  }
+  if (slot->valid && slot->dirty) {
+    stats_.writeback_bytes += kPhysicalLineBytes;
+  }
+  *slot = line;
+}
+
+bool ConfigurableCache::probe(std::uint32_t addr) const {
+  const std::uint32_t block = addr >> 4;
+  for (std::uint32_t w = 0; w < config_.ways(); ++w) {
+    const Line& line = line_at(candidate(config_, block, w));
+    if (line.valid && line.block == block) return true;
+  }
+  return false;
+}
+
+bool ConfigurableCache::stored_anywhere(std::uint32_t addr) const {
+  const std::uint32_t block = addr >> 4;
+  for (std::uint32_t b = 0; b < kNumBanks; ++b) {
+    if (!bank_powered_[b]) continue;
+    for (const Line& line : banks_[b]) {
+      if (line.valid && line.block == block) return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t ConfigurableCache::dirty_unreachable_lines() const {
+  std::uint64_t count = 0;
+  for (std::uint32_t b = 0; b < kNumBanks; ++b) {
+    if (!bank_powered_[b]) continue;
+    for (std::uint32_t r = 0; r < kRowsPerBank; ++r) {
+      const Line& line = banks_[b][r];
+      if (line.valid && line.dirty &&
+          !reachable(config_, line.block, Location{b, r})) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::uint64_t ConfigurableCache::valid_lines() const {
+  std::uint64_t count = 0;
+  for (std::uint32_t b = 0; b < kNumBanks; ++b) {
+    if (!bank_powered_[b]) continue;
+    for (const Line& line : banks_[b]) {
+      if (line.valid) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace stcache

@@ -1,0 +1,171 @@
+// The paper's highly configurable cache (Zhang/Vahid ISCA'03 mechanism,
+// driven by the DATE'04 self-tuning heuristic).
+//
+// Physical organization: four 2 KB banks of 128 rows x 16 B. A logical
+// configuration (CacheConfig) maps onto this storage as follows, for a
+// 16 B-granular block number b (b = addr >> 4):
+//
+//   index  = b mod num_sets            (7..9 bits)
+//   row    = index mod 128             (row within every bank)
+//   group  = index / 128               (which bank of a concatenated way)
+//   way w  -> bank  w * banks_per_way + group
+//
+// Key properties this mapping gives us (all verified by tests):
+//  * At fixed size, the candidate banks of a block are NESTED across
+//    associativities: the 1-way candidate is one of the 2-way candidates,
+//    which are among the 4-way candidates. Increasing associativity
+//    therefore never turns a present block into an unreachable one
+//    (Figure 5(a) of the paper).
+//  * The full block address is stored per physical line ("always check the
+//    full tag"), so a line left behind by a previous configuration can
+//    never produce a false hit: it is either found by an exact match or
+//    ignored.
+//  * Changing line size changes only the fill granularity (line
+//    concatenation over 16 B physical lines), never the mapping, so it is
+//    trivially flush-free.
+//  * Increasing cache size can strand lines whose new index selects a
+//    different bank. Clean stranded lines are harmless (full tag). Dirty
+//    stranded lines must be written back for coherence; the default
+//    reconfiguration policy does exactly that and reports the cost, which
+//    the flush-cost experiment shows is orders of magnitude below the cost
+//    of the descending-size search order the paper warns against.
+//
+// Way prediction: MRU-based first-probe of one way (Powell et al., cited by
+// the paper). A correct prediction accesses a single way; a misprediction
+// costs one extra cycle and a full-set probe.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "cache/stats.hpp"
+
+namespace stcache {
+
+// Store handling. The platform's M*CORE ancestor made this configurable;
+// write-back is the paper's (and our) default. Write-through with
+// no-write-allocate keeps every line clean, which makes every
+// reconfiguration free — at the price of per-store off-chip traffic that
+// the energy model charges (see the write-policy ablation bench).
+enum class WritePolicy : std::uint8_t { kWriteBack, kWriteThrough };
+
+enum class ReconfigPolicy {
+  // Invalidate lines that the new configuration cannot reach, writing back
+  // the dirty ones (guarantees coherence; zero-cost for associativity and
+  // line-size changes, cheap for size increases, full shutdown-bank
+  // write-back for size decreases).
+  kWritebackUnreachableDirty,
+  // Only handle power gating (banks switched off lose contents, banks
+  // switched on come up invalidated); leave reachable-but-stale dirty lines
+  // alone. This is the paper's idealized "no write back needed when
+  // growing" mode; it is NOT coherent for data caches and exists so the
+  // experiments can quantify the difference.
+  kPowerGatingOnly,
+};
+
+class ConfigurableCache {
+ public:
+  struct AccessResult {
+    bool hit = false;
+    bool predicted_first_hit = false;  // prediction on and first probe hit
+    std::uint32_t cycles = 0;
+  };
+
+  // `victim_entries`: size of the optional fully associative victim buffer
+  // (0 = absent). The buffer holds 16 B physical lines evicted from the
+  // main array; a main-array miss that hits the buffer swaps lines on chip
+  // instead of going to memory (Jouppi-style; the mechanism this research
+  // group studies as an alternative to associativity for conflict misses).
+  // Being fully associative with full tags, the buffer is untouched by
+  // reconfiguration — it keeps working across every configuration change.
+  explicit ConfigurableCache(CacheConfig config, TimingParams timing = {},
+                             WritePolicy write_policy = WritePolicy::kWriteBack,
+                             std::uint32_t victim_entries = 0);
+
+  std::uint32_t victim_entries() const {
+    return static_cast<std::uint32_t>(victim_.size());
+  }
+
+  // Perform one access; addr is a byte address, `bytes` the access width
+  // (used by write-through stores to account forwarded traffic).
+  AccessResult access(std::uint32_t addr, bool is_write,
+                      std::uint32_t bytes = 4);
+
+  WritePolicy write_policy() const { return write_policy_; }
+
+  // Switch to a new configuration WITHOUT flushing. Returns the number of
+  // dirty 16 B lines written back (power-gated banks + unreachable lines,
+  // per the policy). Contents that remain reachable keep serving hits.
+  std::uint64_t reconfigure(const CacheConfig& next,
+                            ReconfigPolicy policy = ReconfigPolicy::kWritebackUnreachableDirty);
+
+  // Write back all dirty lines and invalidate everything (the expensive
+  // operation the heuristic is designed to avoid). Returns dirty lines
+  // written back.
+  std::uint64_t flush();
+
+  const CacheConfig& config() const { return config_; }
+  const TimingParams& timing() const { return timing_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  // --- introspection (tests & experiments) --------------------------------
+  // Would an access to addr hit under the current configuration?
+  bool probe(std::uint32_t addr) const;
+  // Is the 16 B block present anywhere in powered storage, reachable or not?
+  bool stored_anywhere(std::uint32_t addr) const;
+  // Dirty lines the current configuration cannot reach (coherence hazards
+  // under kPowerGatingOnly).
+  std::uint64_t dirty_unreachable_lines() const;
+  // Number of valid lines in powered banks.
+  std::uint64_t valid_lines() const;
+
+ private:
+  struct Line {
+    std::uint32_t block = 0;   // full block address (addr >> 4): the full tag
+    std::uint64_t last_use = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  struct Location {
+    std::uint32_t bank;
+    std::uint32_t row;
+  };
+
+  Line& line_at(Location loc) { return banks_[loc.bank][loc.row]; }
+  const Line& line_at(Location loc) const { return banks_[loc.bank][loc.row]; }
+
+  // Candidate location of `block` in logical way `way` under `cfg`.
+  static Location candidate(const CacheConfig& cfg, std::uint32_t block,
+                            std::uint32_t way);
+  // Is the line at `loc` (holding `block`) reachable under `cfg`?
+  static bool reachable(const CacheConfig& cfg, std::uint32_t block,
+                        Location loc);
+
+  // MRU way among the candidates of `block` (valid lines preferred);
+  // returns way index.
+  std::uint32_t predict_way(std::uint32_t block) const;
+
+  std::uint64_t handle_power_gating(const CacheConfig& next);
+
+  // Probe the victim buffer for `block`; on hit, remove and return its
+  // contents via `out` (swap-out happens at the call site).
+  bool victim_take(std::uint32_t block, Line* out);
+  // Insert a line displaced from the main array into the victim buffer,
+  // evicting (and write-back-accounting) the LRU entry if full.
+  void victim_insert(const Line& line);
+
+  CacheConfig config_;
+  TimingParams timing_;
+  WritePolicy write_policy_ = WritePolicy::kWriteBack;
+  CacheStats stats_;
+  std::array<std::vector<Line>, kNumBanks> banks_;
+  std::array<bool, kNumBanks> bank_powered_{};
+  std::vector<Line> victim_;  // fully associative, LRU by timestamp
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace stcache

@@ -1,0 +1,129 @@
+// Event counters shared by all cache models.
+//
+// These are exactly the quantities Equation 1 of the paper consumes: total
+// accesses, misses, the off-chip traffic they induce (fills, write-backs),
+// way-prediction outcomes, and the cycle count (for static energy and for
+// the stall-energy term).
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t read_accesses = 0;
+  std::uint64_t write_accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  // Off-chip traffic, in bytes.
+  std::uint64_t fill_bytes = 0;        // bytes fetched on misses
+  std::uint64_t writeback_bytes = 0;   // dirty bytes evicted during operation
+  std::uint64_t reconfig_writeback_bytes = 0;  // dirty bytes flushed by reconfiguration
+  // Write-through mode only: store bytes forwarded to memory, and store
+  // misses that bypassed the cache (no-write-allocate).
+  std::uint64_t write_through_bytes = 0;
+  std::uint64_t wt_store_misses = 0;
+
+  // Victim-buffer extension: probes issued on main-cache misses, and the
+  // probes that hit (a victim hit swaps lines on chip; it is NOT counted
+  // in `misses`, which tracks accesses that went off chip).
+  std::uint64_t victim_probes = 0;
+  std::uint64_t victim_hits = 0;
+
+  // Way-prediction bookkeeping (zero when prediction is off).
+  std::uint64_t pred_accesses = 0;     // accesses issued with prediction on
+  std::uint64_t pred_first_hits = 0;   // hit in the predicted way
+  std::uint64_t pred_mispredicts = 0;  // hit, but in a non-predicted way
+
+  // Total cycles spent by the processor on these accesses, including miss
+  // stalls and mispredict penalty cycles.
+  std::uint64_t cycles = 0;
+  // The subset of `cycles` during which the processor was stalled waiting
+  // on the memory system (miss stalls + mispredict penalties); this is what
+  // the E_uP_stall term of Equation 1 charges.
+  std::uint64_t stall_cycles = 0;
+
+  double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+
+  // Fraction of prediction-on accesses that hit in the predicted way
+  // (the paper quotes ~90% for I$ and ~70% for D$).
+  double prediction_accuracy() const {
+    return pred_accesses == 0
+               ? 0.0
+               : static_cast<double>(pred_first_hits) /
+                     static_cast<double>(pred_accesses);
+  }
+
+  CacheStats& operator+=(const CacheStats& o) {
+    accesses += o.accesses;
+    read_accesses += o.read_accesses;
+    write_accesses += o.write_accesses;
+    hits += o.hits;
+    misses += o.misses;
+    fill_bytes += o.fill_bytes;
+    writeback_bytes += o.writeback_bytes;
+    reconfig_writeback_bytes += o.reconfig_writeback_bytes;
+    write_through_bytes += o.write_through_bytes;
+    wt_store_misses += o.wt_store_misses;
+    victim_probes += o.victim_probes;
+    victim_hits += o.victim_hits;
+    pred_accesses += o.pred_accesses;
+    pred_first_hits += o.pred_first_hits;
+    pred_mispredicts += o.pred_mispredicts;
+    cycles += o.cycles;
+    stall_cycles += o.stall_cycles;
+    return *this;
+  }
+
+  // Counter difference (for interval-based tuning): every field of *this
+  // must be >= the corresponding field of `earlier`.
+  CacheStats operator-(const CacheStats& earlier) const {
+    auto sub = [](std::uint64_t a, std::uint64_t b) {
+      if (a < b) fail("CacheStats: negative counter delta");
+      return a - b;
+    };
+    CacheStats d;
+    d.accesses = sub(accesses, earlier.accesses);
+    d.read_accesses = sub(read_accesses, earlier.read_accesses);
+    d.write_accesses = sub(write_accesses, earlier.write_accesses);
+    d.hits = sub(hits, earlier.hits);
+    d.misses = sub(misses, earlier.misses);
+    d.fill_bytes = sub(fill_bytes, earlier.fill_bytes);
+    d.writeback_bytes = sub(writeback_bytes, earlier.writeback_bytes);
+    d.reconfig_writeback_bytes =
+        sub(reconfig_writeback_bytes, earlier.reconfig_writeback_bytes);
+    d.write_through_bytes = sub(write_through_bytes, earlier.write_through_bytes);
+    d.wt_store_misses = sub(wt_store_misses, earlier.wt_store_misses);
+    d.victim_probes = sub(victim_probes, earlier.victim_probes);
+    d.victim_hits = sub(victim_hits, earlier.victim_hits);
+    d.pred_accesses = sub(pred_accesses, earlier.pred_accesses);
+    d.pred_first_hits = sub(pred_first_hits, earlier.pred_first_hits);
+    d.pred_mispredicts = sub(pred_mispredicts, earlier.pred_mispredicts);
+    d.cycles = sub(cycles, earlier.cycles);
+    d.stall_cycles = sub(stall_cycles, earlier.stall_cycles);
+    return d;
+  }
+};
+
+// Timing model of the memory system, in processor cycles.
+struct TimingParams {
+  std::uint32_t hit_cycles = 1;          // cache hit latency
+  std::uint32_t mispredict_penalty = 1;  // extra cycle on way mispredict
+  std::uint32_t victim_hit_penalty = 2;  // swap-in latency on a victim hit
+  std::uint32_t mem_latency = 20;        // cycles to the first 16 B beat
+  std::uint32_t cycles_per_beat = 8;     // per 16 B transferred (16-bit bus)
+
+  std::uint32_t miss_stall_cycles(std::uint32_t line_bytes) const {
+    std::uint32_t beats = (line_bytes + 15u) / 16u;
+    return mem_latency + beats * cycles_per_beat;
+  }
+};
+
+}  // namespace stcache

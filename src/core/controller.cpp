@@ -1,0 +1,100 @@
+#include "core/controller.hpp"
+
+#include "core/ports.hpp"
+
+namespace stcache {
+
+TuningController::TuningController(ConfigurableCache& cache,
+                                   const EnergyModel& model,
+                                   ControllerParams params,
+                                   unsigned counter_shift)
+    : cache_(&cache),
+      model_(&model),
+      params_(params),
+      counter_shift_(counter_shift) {}
+
+double TuningController::total_tuner_energy() const {
+  double total = 0.0;
+  for (const TuningSession& s : sessions_) total += s.tuner_energy;
+  return total;
+}
+
+bool TuningController::trigger_fired(double interval_miss_rate) {
+  if (!tuned_once_) return true;  // every policy tunes at startup
+  switch (params_.trigger) {
+    case TuningTrigger::kOneShot:
+      return false;
+    case TuningTrigger::kPeriodic:
+      return intervals_since_tune_ >= params_.period_intervals;
+    case TuningTrigger::kPhaseChange: {
+      const double reference = sessions_.back().reference_miss_rate;
+      const double delta = interval_miss_rate > reference
+                               ? interval_miss_rate - reference
+                               : reference - interval_miss_rate;
+      if (delta > params_.miss_rate_delta) {
+        ++phase_strikes_;
+      } else {
+        phase_strikes_ = 0;
+      }
+      return phase_strikes_ >= params_.phase_debounce;
+    }
+  }
+  fail("TuningController: bad trigger");
+}
+
+void TuningController::run_tuning_session(const IntervalFns& fns) {
+  const std::function<void()>& search = fns.search ? fns.search : fns.quiet;
+  LiveTunerPort port(*cache_, search);
+  TunerFsmd tuner(*model_, cache_->timing(), counter_shift_);
+  const TunerFsmd::Result result = tuner.run(port);
+  // The search leaves the cache in the last-probed configuration; switch to
+  // the winner (ascending walks mean this can only grow parameters or
+  // toggle prediction, so it stays flush-free in practice).
+  cache_->reconfigure(result.best);
+
+  // One settling interval under the chosen configuration establishes the
+  // phase detector's reference miss rate.
+  const CacheStats before = cache_->stats();
+  fns.quiet();
+  const CacheStats delta = cache_->stats() - before;
+
+  TuningSession session;
+  session.started_at_interval = interval_count_;
+  session.chosen = result.best;
+  session.configs_examined = result.configs_examined;
+  session.tuner_energy = result.tuner_energy;
+  session.reference_miss_rate = delta.miss_rate();
+  sessions_.push_back(session);
+
+  intervals_since_tune_ = 0;
+  phase_strikes_ = 0;
+  tuned_once_ = true;
+  interval_count_ += result.configs_examined + 1;  // measurement intervals
+}
+
+bool TuningController::step(const std::function<void()>& run_interval) {
+  return step(IntervalFns{run_interval, {}});
+}
+
+bool TuningController::step(const IntervalFns& fns) {
+  if (!tuned_once_) {
+    run_tuning_session(fns);
+    return true;
+  }
+
+  // Quiet interval: the application runs, the counters are watched, the
+  // tuner datapath is powered down.
+  const CacheStats before = cache_->stats();
+  fns.quiet();
+  const CacheStats delta = cache_->stats() - before;
+  ++interval_count_;
+  ++intervals_since_tune_;
+
+  if (trigger_fired(delta.miss_rate())) {
+    run_tuning_session(fns);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace stcache

@@ -1,0 +1,99 @@
+// Tuning-application policies (Section 1 of the paper).
+//
+// "The tuning could be applied using different approaches, perhaps being
+//  applied only during a special software-selected tuning mode, during the
+//  startup of a task, whenever a program phase change is detected, or at
+//  fixed time periods. The choice of approach is orthogonal to the design
+//  of the self-tuning architecture itself."
+//
+// This module implements that orthogonal layer: a TuningController owns one
+// configurable cache of a live system and decides WHEN to rerun the search
+// the tuner implements, based on a pluggable trigger policy:
+//
+//   kOneShot     tune once at task startup, then lock the configuration;
+//   kPeriodic    retune every N intervals;
+//   kPhaseChange retune when the interval miss rate departs from the miss
+//                rate observed when the current configuration was chosen
+//                (the Balasubramonian-style phase detector the paper cites).
+//
+// The controller drives the same TunerFsmd hardware model used everywhere
+// else; between tuning sessions the tuner is "shut down" (costs nothing),
+// exactly as Section 4 describes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/configurable_cache.hpp"
+#include "core/tuner_fsmd.hpp"
+
+namespace stcache {
+
+enum class TuningTrigger : std::uint8_t { kOneShot, kPeriodic, kPhaseChange };
+
+struct ControllerParams {
+  TuningTrigger trigger = TuningTrigger::kOneShot;
+  // kPeriodic: retune after this many quiet intervals.
+  std::uint32_t period_intervals = 64;
+  // kPhaseChange: retune when the interval miss rate differs from the
+  // chosen-time miss rate by more than this absolute amount...
+  double miss_rate_delta = 0.05;
+  // ...for this many consecutive intervals (debounce).
+  std::uint32_t phase_debounce = 2;
+};
+
+// Interval callbacks: the controller distinguishes quiet monitoring
+// intervals from the (usually shorter) measurement intervals a tuning
+// session uses, so that the search transient — a few intervals spent in
+// deliberately-too-small configurations — costs as little as possible.
+struct IntervalFns {
+  std::function<void()> quiet;
+  std::function<void()> search;  // defaults to `quiet` when empty
+};
+
+// One record per completed tuning session (for reporting and tests).
+struct TuningSession {
+  std::uint64_t started_at_interval = 0;
+  CacheConfig chosen;
+  unsigned configs_examined = 0;
+  double tuner_energy = 0.0;
+  double reference_miss_rate = 0.0;  // miss rate of the chosen config
+};
+
+class TuningController {
+ public:
+  // The controller owns reconfiguration of `cache`; `run_interval` advances
+  // the application by one measurement interval (same contract as
+  // LiveTunerPort).
+  TuningController(ConfigurableCache& cache, const EnergyModel& model,
+                   ControllerParams params, unsigned counter_shift);
+
+  // Advance one interval: either a quiet monitoring interval (the tuner is
+  // powered off) or, if the trigger fires, a full tuning session. Returns
+  // true if a tuning session ran during this call.
+  bool step(const std::function<void()>& run_interval);
+  bool step(const IntervalFns& fns);
+
+  const CacheConfig& current() const { return cache_->config(); }
+  const std::vector<TuningSession>& sessions() const { return sessions_; }
+  std::uint64_t intervals() const { return interval_count_; }
+  double total_tuner_energy() const;
+
+ private:
+  bool trigger_fired(double interval_miss_rate);
+  void run_tuning_session(const IntervalFns& fns);
+
+  ConfigurableCache* cache_;
+  const EnergyModel* model_;
+  ControllerParams params_;
+  unsigned counter_shift_;
+
+  std::vector<TuningSession> sessions_;
+  std::uint64_t interval_count_ = 0;
+  std::uint64_t intervals_since_tune_ = 0;
+  std::uint32_t phase_strikes_ = 0;
+  bool tuned_once_ = false;
+};
+
+}  // namespace stcache

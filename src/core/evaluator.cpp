@@ -1,0 +1,24 @@
+#include "core/evaluator.hpp"
+
+#include "trace/replay.hpp"
+
+namespace stcache {
+
+const TraceEvaluator::Entry& TraceEvaluator::measure(const CacheConfig& cfg) {
+  auto it = cache_.find(cfg.name());
+  if (it == cache_.end()) {
+    Entry e;
+    e.stats = measure_config(cfg, stream_, timing_);
+    e.energy = model_->evaluate(cfg, e.stats).total();
+    it = cache_.emplace(cfg.name(), e).first;
+  }
+  return it->second;
+}
+
+double TraceEvaluator::energy(const CacheConfig& cfg) { return measure(cfg).energy; }
+
+const CacheStats& TraceEvaluator::stats(const CacheConfig& cfg) {
+  return measure(cfg).stats;
+}
+
+}  // namespace stcache

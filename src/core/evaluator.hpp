@@ -1,0 +1,62 @@
+// Energy evaluation oracle used by the tuning heuristics.
+//
+// The heuristic (Figure 6) repeatedly asks "what is the total memory-access
+// energy of configuration X?" — in hardware that answer comes from running
+// an interval and combining the hit/miss/cycle counters with the stored
+// energy constants; in the paper's evaluation (and ours for Table 1) it
+// comes from replaying the benchmark's full trace. Both are Evaluators.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+
+#include "cache/config.hpp"
+#include "cache/stats.hpp"
+#include "energy/energy_model.hpp"
+#include "trace/trace.hpp"
+
+namespace stcache {
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+  // Total energy (joules) of running the workload under `cfg`.
+  virtual double energy(const CacheConfig& cfg) = 0;
+  // Number of distinct configurations evaluated so far (the paper's "No."
+  // column; repeated queries for an already-measured configuration are
+  // free, as the tuner registers hold the previous result).
+  virtual unsigned evaluations() const = 0;
+};
+
+// Full-trace evaluator: replays the (single-cache) address stream through a
+// cold cache per configuration and applies Equation 1. Results are
+// memoized.
+class TraceEvaluator final : public Evaluator {
+ public:
+  TraceEvaluator(std::span<const TraceRecord> stream, const EnergyModel& model,
+                 TimingParams timing = {})
+      : stream_(stream), model_(&model), timing_(timing) {}
+
+  double energy(const CacheConfig& cfg) override;
+  unsigned evaluations() const override {
+    return static_cast<unsigned>(cache_.size());
+  }
+
+  // Full breakdown and stats of a configuration (measured on demand).
+  const CacheStats& stats(const CacheConfig& cfg);
+
+ private:
+  struct Entry {
+    CacheStats stats;
+    double energy = 0.0;
+  };
+  const Entry& measure(const CacheConfig& cfg);
+
+  std::span<const TraceRecord> stream_;
+  const EnergyModel* model_;
+  TimingParams timing_;
+  std::map<std::string, Entry> cache_;
+};
+
+}  // namespace stcache

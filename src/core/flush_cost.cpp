@@ -1,0 +1,56 @@
+#include "core/flush_cost.hpp"
+
+#include <array>
+
+#include "cache/configurable_cache.hpp"
+#include "trace/replay.hpp"
+
+namespace stcache {
+
+namespace {
+
+// Run the schedule: replay equal slices of the stream under each size,
+// reconfiguring between slices; return dirty lines written back by the
+// reconfigurations (not by ordinary evictions).
+std::uint64_t run_schedule(std::span<const TraceRecord> stream,
+                           std::span<const CacheSizeKB> sizes,
+                           TimingParams timing) {
+  ConfigurableCache cache(
+      CacheConfig{sizes.front(), Assoc::w1, LineBytes::b16, false}, timing);
+  std::uint64_t reconfig_writebacks = 0;
+  const std::size_t slice = stream.size() / sizes.size();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t begin = i * slice;
+    const std::size_t end = i + 1 == sizes.size() ? stream.size() : begin + slice;
+    if (i > 0) {
+      reconfig_writebacks += cache.reconfigure(
+          CacheConfig{sizes[i], Assoc::w1, LineBytes::b16, false});
+    }
+    replay(cache, stream.subspan(begin, end - begin));
+  }
+  return reconfig_writebacks;
+}
+
+}  // namespace
+
+FlushCostReport measure_flush_cost(std::span<const TraceRecord> stream,
+                                   const EnergyModel& model,
+                                   TimingParams timing) {
+  static constexpr std::array<CacheSizeKB, 3> kAscending = {
+      CacheSizeKB::k2, CacheSizeKB::k4, CacheSizeKB::k8};
+  static constexpr std::array<CacheSizeKB, 3> kDescending = {
+      CacheSizeKB::k8, CacheSizeKB::k4, CacheSizeKB::k2};
+
+  FlushCostReport report;
+  report.ascending_writeback_lines = run_schedule(stream, kAscending, timing);
+  report.descending_writeback_lines = run_schedule(stream, kDescending, timing);
+
+  const double per_line = model.offchip_writeback_energy_per_line();
+  report.ascending_writeback_energy =
+      static_cast<double>(report.ascending_writeback_lines) * per_line;
+  report.descending_writeback_energy =
+      static_cast<double>(report.descending_writeback_lines) * per_line;
+  return report;
+}
+
+}  // namespace stcache

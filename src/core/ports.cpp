@@ -1,0 +1,28 @@
+#include "core/ports.hpp"
+
+#include "trace/replay.hpp"
+
+namespace stcache {
+
+TunerCounters counters_from_stats(const CacheStats& s) {
+  TunerCounters c;
+  c.accesses = s.accesses;
+  c.hits = s.hits;
+  c.misses = s.misses;
+  c.cycles = s.cycles;
+  c.pred_first_hits = s.pred_first_hits;
+  return c;
+}
+
+TunerCounters TraceTunerPort::measure(const CacheConfig& cfg) {
+  return counters_from_stats(measure_config(cfg, stream_, timing_));
+}
+
+TunerCounters LiveTunerPort::measure(const CacheConfig& cfg) {
+  reconfig_writebacks_ += cache_->reconfigure(cfg);
+  const CacheStats before = cache_->stats();
+  run_interval_();
+  return counters_from_stats(cache_->stats() - before);
+}
+
+}  // namespace stcache

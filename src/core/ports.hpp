@@ -1,0 +1,60 @@
+// TunerPort implementations: how the FSMD tuner's configuration register
+// and counters attach to a platform.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/tuner_fsmd.hpp"
+#include "sim/system.hpp"
+#include "trace/trace.hpp"
+
+namespace stcache {
+
+// Offline port: each measurement replays the benchmark's full (single-
+// stream) trace through a cold cache — the paper's Table 1 methodology.
+class TraceTunerPort final : public TunerPort {
+ public:
+  TraceTunerPort(std::span<const TraceRecord> stream, TimingParams timing = {})
+      : stream_(stream), timing_(timing) {}
+
+  TunerCounters measure(const CacheConfig& cfg) override;
+
+ private:
+  std::span<const TraceRecord> stream_;
+  TimingParams timing_;
+};
+
+// Online port: the tuner owns one cache of a live SplitCacheSystem and
+// measures by letting the processor run a fixed number of instructions
+// per configuration. Reconfiguration goes through
+// ConfigurableCache::reconfigure — never a flush — so the application keeps
+// running correctly throughout the search (the paper's headline property).
+//
+// The caller supplies a `run_interval` callback that advances the
+// processor; this keeps the port independent of Cpu so tests can drive it
+// with synthetic streams.
+class LiveTunerPort final : public TunerPort {
+ public:
+  using IntervalFn = std::function<void()>;
+
+  LiveTunerPort(ConfigurableCache& cache, IntervalFn run_interval)
+      : cache_(&cache), run_interval_(std::move(run_interval)) {}
+
+  TunerCounters measure(const CacheConfig& cfg) override;
+
+  // Dirty lines written back across all reconfigurations (the cost the
+  // ascending search keeps near zero).
+  std::uint64_t reconfig_writebacks() const { return reconfig_writebacks_; }
+
+ private:
+  ConfigurableCache* cache_;
+  IntervalFn run_interval_;
+  std::uint64_t reconfig_writebacks_ = 0;
+};
+
+// Convert a CacheStats delta into the counter set the tuner datapath
+// latches.
+TunerCounters counters_from_stats(const CacheStats& s);
+
+}  // namespace stcache

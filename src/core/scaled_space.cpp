@@ -1,0 +1,112 @@
+#include "core/scaled_space.hpp"
+
+#include "trace/replay.hpp"
+#include "util/error.hpp"
+
+namespace stcache {
+
+ScaledSpace ScaledSpace::embedded_32k() {
+  return ScaledSpace{{4096, 8192, 16384, 32768}, {1, 2, 4, 8}, {16, 32, 64, 128}};
+}
+
+ScaledSpace ScaledSpace::desktop_64k() {
+  return ScaledSpace{{8192, 16384, 32768, 65536}, {1, 2, 4, 8}, {16, 32, 64, 128}};
+}
+
+bool ScaledSpace::valid(const CacheGeometry& g) const {
+  return g.valid() && g.num_sets() >= 1;
+}
+
+unsigned ScaledSpace::total_configs() const {
+  unsigned n = 0;
+  for (std::uint32_t s : sizes) {
+    for (std::uint32_t a : assocs) {
+      for (std::uint32_t l : lines) {
+        if (valid(CacheGeometry{s, a, l})) ++n;
+      }
+    }
+  }
+  return n;
+}
+
+std::string geometry_name(const CacheGeometry& g) {
+  return std::to_string(g.size_bytes / 1024) + "K_" + std::to_string(g.assoc) +
+         "W_" + std::to_string(g.line_bytes) + "B";
+}
+
+double ScaledEvaluator::energy(const CacheGeometry& g) {
+  const std::string key = geometry_name(g);
+  auto it = memo_.find(key);
+  if (it == memo_.end()) {
+    const CacheStats stats = measure_geometry(g, stream_, timing_);
+    it = memo_.emplace(key, model_->evaluate_generic(g, stats).total()).first;
+  }
+  return it->second;
+}
+
+ScaledSearchResult tune_scaled(ScaledEvaluator& eval, const ScaledSpace& space) {
+  if (space.sizes.empty() || space.assocs.empty() || space.lines.empty()) {
+    fail("tune_scaled: empty parameter space");
+  }
+  ScaledSearchResult r;
+  CacheGeometry current{space.sizes.front(), space.assocs.front(),
+                        space.lines.front()};
+  if (!space.valid(current)) fail("tune_scaled: smallest configuration invalid");
+  double current_energy = eval.energy(current);
+  ++r.configs_examined;
+
+  auto walk = [&](auto values, auto apply) {
+    for (std::uint32_t v : values) {
+      CacheGeometry cand = current;
+      apply(cand, v);
+      if (cand == current) continue;  // handled below via value ordering
+      // Only ascend.
+      bool ascending = false;
+      if (cand.size_bytes > current.size_bytes) ascending = true;
+      if (cand.line_bytes > current.line_bytes) ascending = true;
+      if (cand.assoc > current.assoc) ascending = true;
+      if (!ascending || !space.valid(cand)) continue;
+      const double e = eval.energy(cand);
+      ++r.configs_examined;
+      if (e < current_energy) {
+        current = cand;
+        current_energy = e;
+      } else {
+        break;
+      }
+    }
+  };
+
+  walk(space.sizes, [](CacheGeometry& g, std::uint32_t v) { g.size_bytes = v; });
+  walk(space.lines, [](CacheGeometry& g, std::uint32_t v) { g.line_bytes = v; });
+  walk(space.assocs, [](CacheGeometry& g, std::uint32_t v) { g.assoc = v; });
+
+  r.best = current;
+  r.best_energy = current_energy;
+  return r;
+}
+
+ScaledSearchResult tune_scaled_exhaustive(ScaledEvaluator& eval,
+                                          const ScaledSpace& space) {
+  ScaledSearchResult r;
+  bool first = true;
+  for (std::uint32_t s : space.sizes) {
+    for (std::uint32_t a : space.assocs) {
+      for (std::uint32_t l : space.lines) {
+        const CacheGeometry g{s, a, l};
+        if (!space.valid(g)) continue;
+        const double e = eval.energy(g);
+        ++r.configs_examined;
+        if (first || e < r.best_energy) {
+          r.best = g;
+          r.best_energy = e;
+          first = false;
+        }
+      }
+    }
+  }
+  if (first) fail("tune_scaled_exhaustive: no valid configuration");
+  return r;
+}
+
+}  // namespace stcache

@@ -1,0 +1,77 @@
+// Heuristic accuracy on larger caches — the paper's declared future work.
+//
+// "While our search heuristic is scalable to larger caches, which have
+//  more possible settings for cache size, line size, and associativity,
+//  we have not analyzed the accuracy of our heuristic with larger caches
+//  but plan to do so as future work." (Section 3.4)
+//
+// This module carries out that analysis: a generalized parameter space
+// (arbitrary size/associativity/line-size value lists), the same
+// ascending-greedy heuristic over it, and an exhaustive baseline. Caches
+// are modeled with the generic CacheModel + mini-CACTI energy (way
+// prediction is a platform-specific mechanism and is excluded here, as the
+// paper's own scaling discussion excludes it).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "energy/energy_model.hpp"
+#include "trace/trace.hpp"
+
+namespace stcache {
+
+struct ScaledSpace {
+  std::vector<std::uint32_t> sizes;   // bytes, ascending
+  std::vector<std::uint32_t> assocs;  // ways, ascending
+  std::vector<std::uint32_t> lines;   // bytes, ascending
+
+  // The platform of the paper scaled up one notch: 4-32 KB, up to 8-way,
+  // 16-128 B lines (4*4*4 = 64 legal combinations).
+  static ScaledSpace embedded_32k();
+  // A desktop-ish L1 space: 8-64 KB, up to 8-way, 16-128 B (64 points).
+  static ScaledSpace desktop_64k();
+
+  // Number of geometrically valid configurations.
+  unsigned total_configs() const;
+  bool valid(const CacheGeometry& g) const;
+};
+
+// Full-trace evaluator over generic geometries, memoized.
+class ScaledEvaluator {
+ public:
+  ScaledEvaluator(std::span<const TraceRecord> stream, const EnergyModel& model,
+                  TimingParams timing = {})
+      : stream_(stream), model_(&model), timing_(timing) {}
+
+  double energy(const CacheGeometry& g);
+  unsigned evaluations() const { return static_cast<unsigned>(memo_.size()); }
+
+ private:
+  std::span<const TraceRecord> stream_;
+  const EnergyModel* model_;
+  TimingParams timing_;
+  std::map<std::string, double> memo_;
+};
+
+struct ScaledSearchResult {
+  CacheGeometry best{};
+  double best_energy = 0.0;
+  unsigned configs_examined = 0;
+};
+
+// The Figure 6 heuristic generalized: start from the smallest configuration
+// and walk size, then line size, then associativity, each ascending while
+// energy improves.
+ScaledSearchResult tune_scaled(ScaledEvaluator& eval, const ScaledSpace& space);
+
+ScaledSearchResult tune_scaled_exhaustive(ScaledEvaluator& eval,
+                                          const ScaledSpace& space);
+
+std::string geometry_name(const CacheGeometry& g);
+
+}  // namespace stcache

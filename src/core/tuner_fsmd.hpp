@@ -1,0 +1,142 @@
+// Cycle- and bit-accurate model of the hardware cache tuner (Section 3.5).
+//
+// The tuner is an FSMD: three nested state machines (PSM walks the
+// parameters, VSM walks a parameter's values, CSM sequences the energy
+// calculation) controlling a small datapath built from
+//
+//   * fifteen 16-bit registers: six per-size/associativity hit energies,
+//     three per-line-size miss energies, three per-size static energies,
+//     and three runtime counters (hits, misses, total cycles) — plus, in
+//     our model, three predicted-probe energies so way prediction can be
+//     evaluated from counters alone (a documented refinement; the paper
+//     does not say how its datapath evaluates W=on),
+//   * a 32-bit energy register and a 32-bit lowest-energy register,
+//   * a 7-bit configuration register,
+//   * one adder, one comparator, and one slow sequential multiplier.
+//
+// Energy arithmetic is unsigned fixed-point (util/fixed_point.hpp): the
+// constants are quantized to a common energy LSB at construction, counters
+// are prescaled by a power-of-two shift so they fit 16 bits, and the
+// products accumulate in the 32-bit energy register with sticky
+// saturation. Tests validate that the FSMD reaches the same configuration
+// as the double-precision heuristic and quantify the residual
+// quantization error.
+//
+// Cycle accounting per configuration evaluation (matching the paper's
+// gate-level figure of 64 cycles):
+//
+//   VSM interface            2
+//   counter load             3   (three registers through the one port)
+//   3 sequential multiplies 51   (17 cycles each)
+//   3 accumulate adds        3
+//   compare                  1
+//   best/config update       2
+//   PSM transition           2
+//   total                   64
+//
+// A way-prediction evaluation needs one extra multiply (+17 cycles).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cache/config.hpp"
+#include "core/heuristic.hpp"
+#include "energy/energy_model.hpp"
+#include "util/fixed_point.hpp"
+
+namespace stcache {
+
+// Raw counters the platform hands the tuner after a measurement interval.
+struct TunerCounters {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t pred_first_hits = 0;  // only meaningful when prediction is on
+};
+
+// What the hardware tuner plugs into: it writes the configuration register
+// and, after the interval, reads back the counters.
+class TunerPort {
+ public:
+  virtual ~TunerPort() = default;
+  virtual TunerCounters measure(const CacheConfig& cfg) = 0;
+};
+
+class TunerFsmd {
+ public:
+  struct Result {
+    CacheConfig best;
+    unsigned configs_examined = 0;
+    std::uint64_t tuner_cycles = 0;  // total clock cycles spent calculating
+    double tuner_energy = 0.0;       // Equation 2, from cycles and P_tuner
+    bool saturated = false;          // any fixed-point overflow observed
+  };
+
+  // `counter_shift`: counters are prescaled by 2^counter_shift before
+  // entering the 16-bit registers. Choose so the largest expected interval
+  // counter fits; measure() results that still overflow saturate (sticky).
+  TunerFsmd(const EnergyModel& model, TimingParams timing,
+            unsigned counter_shift);
+
+  // Convenience: pick the smallest shift that makes `max_expected_count`
+  // fit in 16 bits.
+  static unsigned shift_for(std::uint64_t max_expected_count);
+
+  // Execute the full tuning session (the paper's order: size, line size,
+  // associativity, way prediction).
+  Result run(TunerPort& port);
+
+  // Fixed-point energy of one measurement, in energy-LSB*2^shift units.
+  // Exposed for the quantization-error tests.
+  U32 quantized_energy(const CacheConfig& cfg, const TunerCounters& c) const;
+
+  // Physical value of one energy LSB (joules).
+  double energy_lsb() const { return energy_lsb_; }
+
+  // Cycle-accounting constants (documented above).
+  static constexpr unsigned kInterfaceCycles = 2;
+  static constexpr unsigned kCounterLoadCycles = 3;
+  static constexpr unsigned kMulCycles = 17;
+  static constexpr unsigned kAddCycles = 1;
+  static constexpr unsigned kCompareCycles = 1;
+  static constexpr unsigned kUpdateCycles = 2;
+  static constexpr unsigned kPsmCycles = 2;
+  static constexpr unsigned kCyclesPerEvaluation =
+      kInterfaceCycles + kCounterLoadCycles + 3 * kMulCycles + 3 * kAddCycles +
+      kCompareCycles + kUpdateCycles + kPsmCycles;  // == 64
+  // Static-energy constants are stored per 2^kStaticShift cycles to keep
+  // 16-bit resolution on a per-cycle quantity.
+  static constexpr unsigned kStaticShift = 10;
+
+ private:
+  struct SizeAssoc {
+    CacheSizeKB size;
+    Assoc assoc;
+  };
+  static constexpr std::array<SizeAssoc, 6> kSizeAssocs = {{
+      {CacheSizeKB::k2, Assoc::w1},
+      {CacheSizeKB::k4, Assoc::w1},
+      {CacheSizeKB::k4, Assoc::w2},
+      {CacheSizeKB::k8, Assoc::w1},
+      {CacheSizeKB::k8, Assoc::w2},
+      {CacheSizeKB::k8, Assoc::w4},
+  }};
+
+  unsigned size_assoc_index(const CacheConfig& cfg) const;
+  U16 quantize_counter(std::uint64_t raw) const;
+
+  const EnergyModel* model_;
+  TimingParams timing_;
+  unsigned counter_shift_;
+  double energy_lsb_ = 0.0;
+
+  // Constant registers (quantized at construction).
+  std::array<U16, 6> hit_energy_q_{};     // per size/assoc
+  std::array<U16, 3> pred_energy_q_{};    // per set-assoc size/assoc (model refinement)
+  std::array<U16, 3> miss_energy_q_{};    // per line size
+  std::array<U16, 3> static_energy_q_{};  // per size, per 2^10 cycles
+};
+
+}  // namespace stcache

@@ -1,0 +1,165 @@
+#include "core/tuner_stepper.hpp"
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+namespace {
+
+unsigned state_budget(TunerStepper::Csm s) {
+  using Csm = TunerStepper::Csm;
+  switch (s) {
+    case Csm::kIdle: return 0;
+    case Csm::kInterface: return TunerFsmd::kInterfaceCycles;       // 2
+    case Csm::kLoadCounters: return TunerFsmd::kCounterLoadCycles;  // 3
+    case Csm::kMul1:
+    case Csm::kMul2:
+    case Csm::kMul3:
+    case Csm::kMul4: return TunerFsmd::kMulCycles;                  // 17
+    case Csm::kAccumulate: return 3 * TunerFsmd::kAddCycles;        // 3
+    case Csm::kCompare: return TunerFsmd::kCompareCycles;           // 1
+    case Csm::kUpdate: return TunerFsmd::kUpdateCycles;             // 2
+    case Csm::kPsmAdvance: return TunerFsmd::kPsmCycles;            // 2
+  }
+  fail("TunerStepper: bad CSM state");
+}
+
+}  // namespace
+
+TunerStepper::TunerStepper(const EnergyModel& model, TimingParams timing,
+                           unsigned counter_shift)
+    : math_(model, timing, counter_shift), model_(&model) {}
+
+Param TunerStepper::psm_param() const {
+  switch (psm_) {
+    case Psm::kP1Size: return Param::kSize;
+    case Psm::kP2Line: return Param::kLine;
+    case Psm::kP3Assoc: return Param::kAssoc;
+    case Psm::kP4Pred: return Param::kPred;
+    default: fail("TunerStepper: no parameter in this PSM state");
+  }
+}
+
+void TunerStepper::begin_evaluation(TunerPort& port) {
+  // The application runs its measurement interval; the tuner idles (no
+  // cycles charged — Equation 2 charges only calculation time).
+  latched_counters_ = port.measure(candidate_);
+  ++configs_examined_;
+  csm_ = Csm::kInterface;
+  state_cycles_left_ = state_budget(csm_);
+}
+
+void TunerStepper::finish_compare() {
+  compare_better_ = !have_lowest_ || energy_reg_ < lowest_reg_;
+}
+
+void TunerStepper::advance_psm() {
+  switch (psm_) {
+    case Psm::kStart: psm_ = Psm::kP1Size; break;
+    case Psm::kP1Size: psm_ = Psm::kP2Line; break;
+    case Psm::kP2Line: psm_ = Psm::kP3Assoc; break;
+    case Psm::kP3Assoc: psm_ = Psm::kP4Pred; break;
+    case Psm::kP4Pred: psm_ = Psm::kDone; break;
+    case Psm::kDone: break;
+  }
+  if (psm_ != Psm::kDone) {
+    queue_ = ascending_candidates(current_, psm_param());
+    queue_pos_ = 0;
+  }
+}
+
+bool TunerStepper::step(TunerPort& port) {
+  if (psm_ == Psm::kDone) return false;
+
+  // Control dispatch (combinational; consumes no cycles): when the datapath
+  // is idle, either launch the next evaluation or advance the PSM.
+  while (csm_ == Csm::kIdle) {
+    if (psm_ == Psm::kStart) {
+      if (configs_examined_ == 0) {
+        candidate_ = current_;
+        begin_evaluation(port);
+        break;
+      }
+      advance_psm();
+      continue;
+    }
+    if (queue_pos_ < queue_.size()) {
+      const CacheConfig cand = queue_[queue_pos_++];
+      if (!cand.valid()) {
+        queue_pos_ = queue_.size();  // the walk cannot grow further
+        continue;
+      }
+      candidate_ = cand;
+      begin_evaluation(port);
+      break;
+    }
+    advance_psm();
+    if (psm_ == Psm::kDone) return false;
+  }
+
+  // One clock edge.
+  ++cycles_;
+  if (--state_cycles_left_ > 0) return true;
+
+  // State exit effects.
+  switch (csm_) {
+    case Csm::kInterface:
+      csm_ = Csm::kLoadCounters;
+      break;
+    case Csm::kLoadCounters:
+      csm_ = Csm::kMul1;
+      break;
+    case Csm::kMul1:
+      csm_ = Csm::kMul2;
+      break;
+    case Csm::kMul2:
+      csm_ = Csm::kMul3;
+      break;
+    case Csm::kMul3:
+      csm_ = candidate_.way_prediction ? Csm::kMul4 : Csm::kAccumulate;
+      break;
+    case Csm::kMul4:
+      csm_ = Csm::kAccumulate;
+      break;
+    case Csm::kAccumulate:
+      // The accumulated sum becomes visible in the energy register.
+      energy_reg_ = math_.quantized_energy(candidate_, *latched_counters_);
+      saturated_ = saturated_ || energy_reg_.saturated();
+      csm_ = Csm::kCompare;
+      break;
+    case Csm::kCompare:
+      finish_compare();
+      csm_ = Csm::kUpdate;
+      break;
+    case Csm::kUpdate:
+      if (compare_better_) {
+        lowest_reg_ = energy_reg_;
+        current_ = candidate_;
+        have_lowest_ = true;
+      } else if (psm_ != Psm::kStart) {
+        queue_pos_ = queue_.size();  // energy regressed: end this walk
+      }
+      csm_ = Csm::kPsmAdvance;
+      break;
+    case Csm::kPsmAdvance:
+      csm_ = Csm::kIdle;
+      break;
+    case Csm::kIdle:
+      fail("TunerStepper: clocked an idle datapath");
+  }
+  if (csm_ != Csm::kIdle) state_cycles_left_ = state_budget(csm_);
+  return true;
+}
+
+std::uint64_t TunerStepper::run_to_completion(TunerPort& port) {
+  while (step(port)) {
+  }
+  return cycles_;
+}
+
+double TunerStepper::tuner_energy() const {
+  return static_cast<double>(cycles_) * model_->params().tuner_power *
+         model_->params().cycle_seconds();
+}
+
+}  // namespace stcache

@@ -1,0 +1,124 @@
+// Clock-steppable model of the cache tuner FSMD (Figures 7 and 8).
+//
+// TunerFsmd (tuner_fsmd.hpp) models the tuner at transaction granularity
+// with aggregate cycle accounting; TunerStepper refines it to one clock
+// edge per step() call, with the three state machines of Figure 8 made
+// explicit:
+//
+//   PSM  (parameter state machine)  Start -> P1 size -> P2 line ->
+//                                   P3 assoc -> P4 prediction -> Done
+//   VSM  (value state machine)      picks the next ascending value of the
+//                                   current parameter, requests a
+//                                   measurement interval, hands the
+//                                   counters to the CSM, applies the
+//                                   comparator verdict
+//   CSM  (calculation state machine) sequences the datapath: interface,
+//                                   counter load, one multiply at a time
+//                                   through the single sequential
+//                                   multiplier, accumulate, compare, update
+//
+// The datapath registers (energy register, lowest-energy register,
+// configuration register) are observable between steps, which is what the
+// RTL-validation tests use. The aggregate and steppable models must agree
+// exactly on decisions, visit order, and total cycles; a test asserts it.
+//
+// Measurement intervals (TunerPort::measure) consume no tuner cycles: while
+// the application runs, the tuner datapath idles, just as Section 4's
+// energy accounting assumes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/heuristic.hpp"
+#include "core/tuner_fsmd.hpp"
+
+namespace stcache {
+
+class TunerStepper {
+ public:
+  enum class Psm : std::uint8_t {
+    kStart,
+    kP1Size,
+    kP2Line,
+    kP3Assoc,
+    kP4Pred,
+    kDone,
+  };
+  enum class Csm : std::uint8_t {
+    kIdle,
+    kInterface,      // VSM<->CSM handshake           (2 cycles)
+    kLoadCounters,   // 3 counter registers            (3 cycles)
+    kMul1,           // misses * E_miss                (17 cycles)
+    kMul2,           // cycles10 * E_static            (17 cycles)
+    kMul3,           // accesses * E_hit / E_pred      (17 cycles)
+    kMul4,           // pred only: second-probe term   (17 cycles)
+    kAccumulate,     // 3 adds through the one adder   (3 cycles)
+    kCompare,        // comparator                     (1 cycle)
+    kUpdate,         // best/config registers          (2 cycles)
+    kPsmAdvance,     // PSM transition                 (2 cycles)
+  };
+
+  TunerStepper(const EnergyModel& model, TimingParams timing,
+               unsigned counter_shift);
+
+  // Advance one clock. Returns false once the PSM reaches Done (further
+  // calls are no-ops). `port` is consulted only when a new measurement is
+  // needed.
+  bool step(TunerPort& port);
+
+  // Run to completion; returns the cycle count.
+  std::uint64_t run_to_completion(TunerPort& port);
+
+  bool done() const { return psm_ == Psm::kDone; }
+  std::uint64_t cycles() const { return cycles_; }
+  unsigned configs_examined() const { return configs_examined_; }
+
+  // --- observable architectural state -------------------------------------
+  Psm psm() const { return psm_; }
+  Csm csm() const { return csm_; }
+  // Configuration register (the configuration currently applied/being
+  // evaluated).
+  const CacheConfig& config_reg() const { return candidate_; }
+  // Energy register (result of the in-flight/last calculation).
+  U32 energy_reg() const { return energy_reg_; }
+  // Lowest-energy register.
+  U32 lowest_reg() const { return lowest_reg_; }
+  // The winning configuration; only meaningful when done().
+  const CacheConfig& best() const { return current_; }
+  double tuner_energy() const;
+  bool saturated() const { return saturated_; }
+
+ private:
+  void begin_evaluation(TunerPort& port);
+  void finish_compare();
+  void advance_psm();
+  Param psm_param() const;
+
+  // Static structure.
+  TunerFsmd math_;  // reuses the datapath arithmetic (constants, quantize)
+  const EnergyModel* model_;
+
+  // Architectural state.
+  Psm psm_ = Psm::kStart;
+  Csm csm_ = Csm::kIdle;
+  unsigned state_cycles_left_ = 0;  // cycles remaining in the current state
+  std::uint64_t cycles_ = 0;
+  unsigned configs_examined_ = 0;
+  bool saturated_ = false;
+
+  CacheConfig current_{CacheSizeKB::k2, Assoc::w1, LineBytes::b16, false};
+  CacheConfig candidate_ = current_;
+  U32 energy_reg_{};
+  U32 lowest_reg_{};
+  bool have_lowest_ = false;
+  bool compare_better_ = false;
+
+  // Walk bookkeeping (the VSM's candidate queue for the active parameter).
+  std::vector<CacheConfig> queue_;
+  std::size_t queue_pos_ = 0;
+  std::optional<TunerCounters> latched_counters_;
+};
+
+}  // namespace stcache

@@ -1,0 +1,70 @@
+// Technology and platform constants for the energy model (Equation 1 and 2
+// of the paper), in SI units.
+//
+// The paper takes cache hit energy from a 0.18 um CMOS layout of the
+// configurable cache (cross-checked against CACTI), off-chip access energy
+// from a Samsung memory datasheet, and stall energy from a 0.18 um MIPS
+// processor. We do not have those artifacts; the constants below are
+// datasheet-plausible 0.18 um values chosen so that the *ratios* the
+// heuristic depends on hold (an off-chip access costs roughly two orders of
+// magnitude more than a cache hit; static energy is a small but visible
+// fraction; larger/wider caches cost more per access). DESIGN.md records
+// this substitution.
+#pragma once
+
+namespace stcache {
+
+struct EnergyParams {
+  // --- technology --------------------------------------------------------
+  double vdd = 1.8;                 // volts, 0.18 um nominal supply
+  double clock_hz = 200e6;          // paper's tuner runs at 200 MHz
+
+  // --- cache array (mini-CACTI inputs) ------------------------------------
+  // Effective switched capacitance per bitline, per row attached (drain +
+  // wire), and fixed per-bitline overhead (precharge, sense amp, mux).
+  double c_bitline_per_row = 1.8e-15;   // farads per cell on the bitline
+  double c_bitline_fixed = 40e-15;      // farads
+  double bitline_swing = 0.4;           // fraction of vdd swung on a read
+  // Wordline capacitance per attached cell and driver overhead.
+  double c_wordline_per_cell = 1.2e-15; // farads
+  double c_wordline_fixed = 30e-15;     // farads
+  // Row decoder energy per decoded row-address bit.
+  double e_decode_per_bit = 6e-12;      // joules
+  // Tag comparator energy per tag bit compared.
+  double e_compare_per_bit = 0.35e-12;  // joules
+  // Global routing / output mux energy per powered 2 KB bank spanned.
+  double e_route_per_bank = 32e-12;     // joules
+  // Sense amplifier energy per bit sensed.
+  double e_sense_per_bit = 0.15e-12;    // joules
+  // Output driver energy for a 32-bit word delivered to the CPU.
+  double e_output_word = 15e-12;        // joules
+
+  // --- static (leakage) ---------------------------------------------------
+  // Leakage power per powered 2 KB bank (0.18 um leakage is modest; gated
+  // banks leak nothing thanks to the gated-Vdd shutdown).
+  double p_static_per_bank = 0.12e-3;   // watts
+
+  // --- off-chip memory -----------------------------------------------------
+  // Fixed energy per off-chip transaction (row activation, control) and
+  // incremental energy per byte transferred, read or write.
+  double e_mem_fixed = 3e-9;            // joules per transaction
+  double e_mem_per_byte = 0.20e-9;      // joules per byte
+
+  // --- processor -----------------------------------------------------------
+  // Power burned by the stalled microprocessor while waiting on a miss.
+  double p_cpu_stall = 75e-3;           // watts
+
+  // --- tuner hardware (Section 3.5 / 4) ------------------------------------
+  double tuner_power = 2.69e-3;         // watts at 200 MHz (paper's synthesis)
+  unsigned tuner_cycles_per_config = 64;  // gate-level simulation result
+  unsigned tuner_gates = 4000;            // reported size
+  double tuner_area_mm2 = 0.039;          // 0.18 um CMOS
+
+  double cycle_seconds() const { return 1.0 / clock_hz; }
+  double e_static_per_bank_cycle() const {
+    return p_static_per_bank * cycle_seconds();
+  }
+  double e_stall_per_cycle() const { return p_cpu_stall * cycle_seconds(); }
+};
+
+}  // namespace stcache

@@ -1,0 +1,89 @@
+#include "energy/energy_model.hpp"
+
+namespace stcache {
+
+EnergyBreakdown EnergyModel::evaluate(const CacheConfig& cfg,
+                                      const CacheStats& s,
+                                      std::uint32_t victim_entries) const {
+  EnergyBreakdown e;
+
+  const double e_full = hit_energy(cfg);
+  const double e_pred = predicted_probe_energy(cfg);
+
+  // Probe energy. Prediction-on accesses always pay the predicted-way
+  // probe; only those that do not first-hit pay the full-set probe on the
+  // second cycle (a miss also falls through to the full probe). With
+  // prediction off every access pays the full-set probe, regardless of any
+  // stale prediction counters in the stats.
+  if (cfg.way_prediction) {
+    const double pred_accesses = static_cast<double>(s.pred_accesses);
+    const double pred_first_hits = static_cast<double>(s.pred_first_hits);
+    const double unpredicted =
+        static_cast<double>(s.accesses - s.pred_accesses);
+    e.cache_access = pred_accesses * e_pred +
+                     (pred_accesses - pred_first_hits) * e_full +
+                     unpredicted * e_full;
+  } else {
+    e.cache_access = static_cast<double>(s.accesses) * e_full;
+  }
+
+  // Victim-buffer activity: every probe pays the CAM compare; every hit
+  // pays the on-chip swap (which is what saves the off-chip access).
+  e.cache_access +=
+      static_cast<double>(s.victim_probes) *
+          cacti_.victim_probe_energy(victim_entries) +
+      static_cast<double>(s.victim_hits) * cacti_.victim_swap_energy();
+
+  // Filling fetched lines into the array.
+  const double fill_lines =
+      static_cast<double>(s.fill_bytes) / kPhysicalLineBytes;
+  e.cache_fill = fill_lines * fill_energy_per_line(cfg);
+
+  // Leakage of the powered banks over the whole interval.
+  e.cache_static = static_cast<double>(s.cycles) *
+                   params_.e_static_per_bank_cycle() *
+                   static_cast<double>(cfg.banks_powered());
+
+  // Off-chip: one read transaction per miss (the logical line), plus
+  // write-back traffic (evictions and reconfiguration write-backs).
+  const double wb_lines =
+      static_cast<double>(s.writeback_bytes + s.reconfig_writeback_bytes) /
+      kPhysicalLineBytes;
+  e.offchip = static_cast<double>(s.misses) *
+                  offchip_read_energy(cfg.line_bytes()) +
+              wb_lines * offchip_writeback_energy_per_line() +
+              // Write-through traffic: the write buffer coalesces stores, so
+              // charge the per-16B write-back energy pro-rated by bytes.
+              (static_cast<double>(s.write_through_bytes) / kPhysicalLineBytes) *
+                  offchip_writeback_energy_per_line();
+
+  // Processor stall energy.
+  e.cpu_stall =
+      static_cast<double>(s.stall_cycles) * params_.e_stall_per_cycle();
+
+  return e;
+}
+
+EnergyBreakdown EnergyModel::evaluate_generic(const CacheGeometry& g,
+                                              const CacheStats& s) const {
+  EnergyBreakdown e;
+  e.cache_access = static_cast<double>(s.accesses) * cacti_.generic_access_energy(g);
+
+  const double fill_lines = static_cast<double>(s.fill_bytes) / g.line_bytes;
+  e.cache_fill = fill_lines * cacti_.generic_fill_energy_per_line(g);
+
+  e.cache_static = static_cast<double>(s.cycles) *
+                   params_.e_static_per_bank_cycle() *
+                   MiniCacti::generic_bank_equivalents(g);
+
+  const double wb_bytes =
+      static_cast<double>(s.writeback_bytes + s.reconfig_writeback_bytes);
+  e.offchip = static_cast<double>(s.misses) * offchip_read_energy(g.line_bytes) +
+              (wb_bytes / kPhysicalLineBytes) * offchip_writeback_energy_per_line();
+
+  e.cpu_stall =
+      static_cast<double>(s.stall_cycles) * params_.e_stall_per_cycle();
+  return e;
+}
+
+}  // namespace stcache

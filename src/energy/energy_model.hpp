@@ -1,0 +1,104 @@
+// Equation 1 and Equation 2 of the paper.
+//
+//   E_total   = E_dynamic + E_static
+//   E_dynamic = Cache_total * E_hit + Cache_misses * E_miss
+//   E_miss    = E_offchip_access + E_uP_stall + E_cache_block_fill
+//   E_static  = Cycles * E_static_per_cycle
+//
+//   E_tuner   = P_tuner * Time_total * NumSearch            (Equation 2)
+//
+// The model consumes CacheStats counters and produces an itemized
+// EnergyBreakdown so experiments can plot the on-chip / off-chip
+// decomposition of Figure 2 as well as the E_total the heuristic minimizes.
+#pragma once
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+#include "cache/stats.hpp"
+#include "energy/constants.hpp"
+#include "energy/mini_cacti.hpp"
+
+namespace stcache {
+
+struct EnergyBreakdown {
+  double cache_access = 0.0;  // dynamic probe/hit energy of the cache array
+  double cache_fill = 0.0;    // writing fetched lines into the array
+  double cache_static = 0.0;  // leakage over the elapsed cycles
+  double offchip = 0.0;       // off-chip memory fetch + write-back energy
+  double cpu_stall = 0.0;     // processor energy while stalled on misses
+
+  double total() const {
+    return cache_access + cache_fill + cache_static + offchip + cpu_stall;
+  }
+  // The paper's Figure 2 split: energy dissipated on chip by the cache ...
+  double onchip_cache() const { return cache_access + cache_fill + cache_static; }
+  // ... versus energy attributable to going off chip.
+  double offchip_memory() const { return offchip + cpu_stall; }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o) {
+    cache_access += o.cache_access;
+    cache_fill += o.cache_fill;
+    cache_static += o.cache_static;
+    offchip += o.offchip;
+    cpu_stall += o.cpu_stall;
+    return *this;
+  }
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(const EnergyParams& params = EnergyParams{})
+      : params_(params), cacti_(params) {}
+
+  const EnergyParams& params() const { return params_; }
+  const MiniCacti& cacti() const { return cacti_; }
+
+  // --- per-event energies (platform cache) --------------------------------
+  double hit_energy(const CacheConfig& cfg) const {
+    return cacti_.platform_access_energy(cfg);
+  }
+  double predicted_probe_energy(const CacheConfig& cfg) const {
+    return cacti_.platform_predicted_probe_energy(cfg);
+  }
+  double fill_energy_per_line(const CacheConfig& cfg) const {
+    return cacti_.platform_fill_energy_per_line(cfg);
+  }
+  // Off-chip energy of one read transaction of `bytes`.
+  double offchip_read_energy(std::uint32_t bytes) const {
+    return params_.e_mem_fixed + static_cast<double>(bytes) * params_.e_mem_per_byte;
+  }
+  // Off-chip energy of writing back one 16 B line (page-mode write: half
+  // the fixed transaction overhead).
+  double offchip_writeback_energy_per_line() const {
+    return 0.5 * params_.e_mem_fixed +
+           static_cast<double>(kPhysicalLineBytes) * params_.e_mem_per_byte;
+  }
+
+  // --- Equation 1 -----------------------------------------------------------
+  // Evaluate total memory-access energy of running with `cfg` for the
+  // interval summarized by `stats` (platform cache). `victim_entries` sizes
+  // the optional victim buffer whose probes/hits appear in the stats.
+  EnergyBreakdown evaluate(const CacheConfig& cfg, const CacheStats& stats,
+                           std::uint32_t victim_entries = 0) const;
+
+  // Same for a generic cache geometry (Figure 2 sweep, L2 caches).
+  EnergyBreakdown evaluate_generic(const CacheGeometry& g,
+                                   const CacheStats& stats) const;
+
+  // --- Equation 2 -----------------------------------------------------------
+  // Energy consumed by the hardware tuner searching `configs_searched`
+  // configurations (P_tuner * time_per_search * NumSearch).
+  double tuner_energy(unsigned configs_searched) const {
+    const double seconds_per_search =
+        static_cast<double>(params_.tuner_cycles_per_config) *
+        params_.cycle_seconds();
+    return params_.tuner_power * seconds_per_search *
+           static_cast<double>(configs_searched);
+  }
+
+ private:
+  EnergyParams params_;
+  MiniCacti cacti_;
+};
+
+}  // namespace stcache

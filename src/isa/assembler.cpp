@@ -1,0 +1,682 @@
+#include "isa/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+
+#include "isa/isa.hpp"
+#include "util/error.hpp"
+
+namespace stcache {
+
+std::uint32_t Program::end_address() const {
+  std::uint32_t end = 0;
+  for (const Segment& s : segments) {
+    end = std::max(end, s.base + static_cast<std::uint32_t>(s.bytes.size()));
+  }
+  return end;
+}
+
+std::uint32_t Program::symbol(const std::string& name) const {
+  auto it = symbols.find(name);
+  if (it == symbols.end()) fail("Program::symbol: undefined symbol '" + name + "'");
+  return it->second;
+}
+
+namespace {
+
+struct Line {
+  int number = 0;
+  std::vector<std::string> labels;
+  std::string head;                // directive or mnemonic (lowercased)
+  std::vector<std::string> args;   // comma-separated operand strings
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+class Assembler {
+ public:
+  Assembler(const std::string& source, const std::string& unit)
+      : unit_(unit) {
+    split_lines(source);
+  }
+
+  Program run() {
+    pass1();
+    pass2();
+    finalize();
+    return std::move(program_);
+  }
+
+ private:
+  // ---- error reporting ----------------------------------------------------
+  [[noreturn]] void err(const Line& line, const std::string& msg) const {
+    fail(unit_ + ":" + std::to_string(line.number) + ": " + msg);
+  }
+
+  // ---- lexing ---------------------------------------------------------------
+  void split_lines(const std::string& source) {
+    std::string current;
+    int number = 1;
+    auto flush = [&]() {
+      parse_line(current, number);
+      current.clear();
+    };
+    for (char c : source) {
+      if (c == '\n') {
+        flush();
+        ++number;
+      } else {
+        current += c;
+      }
+    }
+    flush();
+  }
+
+  void parse_line(const std::string& raw, int number) {
+    std::string text = raw;
+    // Strip comments ('#' or ';'), but not inside double-quoted strings
+    // (.ascii operands may contain either character).
+    bool in_str = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '"' && (i == 0 || text[i - 1] != '\\')) in_str = !in_str;
+      if ((text[i] == '#' || text[i] == ';') && !in_str) {
+        text = text.substr(0, i);
+        break;
+      }
+    }
+    text = trim(text);
+
+    Line line;
+    line.number = number;
+
+    // Peel off leading labels.
+    for (;;) {
+      std::size_t i = 0;
+      while (i < text.size() && is_ident_char(text[i])) ++i;
+      if (i > 0 && i < text.size() && text[i] == ':') {
+        line.labels.push_back(text.substr(0, i));
+        text = trim(text.substr(i + 1));
+      } else {
+        break;
+      }
+    }
+
+    if (!text.empty()) {
+      std::size_t i = 0;
+      while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+      line.head = text.substr(0, i);
+      std::transform(line.head.begin(), line.head.end(), line.head.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      std::string rest = trim(text.substr(i));
+      // Split on commas at top level (no nesting in this syntax beyond
+      // parentheses in memory operands, which never contain commas), but
+      // never inside a double-quoted string (.ascii/.asciiz operands).
+      std::string piece;
+      bool in_string = false;
+      for (char c : rest) {
+        if (c == '"') in_string = !in_string;
+        if (c == ',' && !in_string) {
+          line.args.push_back(trim(piece));
+          piece.clear();
+        } else {
+          piece += c;
+        }
+      }
+      if (!trim(piece).empty()) line.args.push_back(trim(piece));
+      for (const std::string& a : line.args) {
+        if (a.empty()) err(line, "empty operand");
+      }
+    }
+
+    if (!line.labels.empty() || !line.head.empty()) lines_.push_back(line);
+  }
+
+  // ---- expressions ----------------------------------------------------------
+  // Evaluate an integer expression. `require_defined` controls whether an
+  // unknown symbol is an error (pass 2 / immediate directives) or simply
+  // reported as unresolved (pass 1 sizing never needs values of forward
+  // labels, but .org/.space/.equ do).
+  std::optional<std::int64_t> eval(const Line& line, const std::string& expr,
+                                   bool require_defined) const {
+    std::size_t pos = 0;
+    auto out = parse_sum(line, expr, pos, require_defined);
+    if (pos != expr.size()) err(line, "trailing junk in expression '" + expr + "'");
+    return out;
+  }
+
+  std::optional<std::int64_t> parse_sum(const Line& line, const std::string& s,
+                                        std::size_t& pos,
+                                        bool require_defined) const {
+    auto left = parse_term(line, s, pos, require_defined);
+    for (;;) {
+      while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) ++pos;
+      if (pos >= s.size() || (s[pos] != '+' && s[pos] != '-')) break;
+      char op = s[pos++];
+      auto right = parse_term(line, s, pos, require_defined);
+      if (!left || !right) {
+        left = std::nullopt;
+        continue;
+      }
+      left = op == '+' ? *left + *right : *left - *right;
+    }
+    return left;
+  }
+
+  std::optional<std::int64_t> parse_term(const Line& line, const std::string& s,
+                                         std::size_t& pos,
+                                         bool require_defined) const {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) ++pos;
+    if (pos >= s.size()) err(line, "expected operand in expression '" + s + "'");
+
+    // %hi(expr) / %lo(expr)
+    if (s[pos] == '%') {
+      std::size_t start = ++pos;
+      while (pos < s.size() && std::isalpha(static_cast<unsigned char>(s[pos]))) ++pos;
+      std::string fn = s.substr(start, pos - start);
+      if (pos >= s.size() || s[pos] != '(') err(line, "expected '(' after %" + fn);
+      ++pos;
+      std::size_t depth = 1, inner_start = pos;
+      while (pos < s.size() && depth > 0) {
+        if (s[pos] == '(') ++depth;
+        if (s[pos] == ')') --depth;
+        ++pos;
+      }
+      if (depth != 0) err(line, "unbalanced parentheses in expression");
+      std::string inner = s.substr(inner_start, pos - 1 - inner_start);
+      auto v = eval(line, inner, require_defined);
+      if (!v) return std::nullopt;
+      auto u = static_cast<std::uint32_t>(*v);
+      if (fn == "hi") return static_cast<std::int64_t>(u >> 16);
+      if (fn == "lo") return static_cast<std::int64_t>(u & 0xffffu);
+      err(line, "unknown operator %" + fn);
+    }
+
+    // Unary minus.
+    if (s[pos] == '-') {
+      ++pos;
+      auto v = parse_term(line, s, pos, require_defined);
+      if (!v) return std::nullopt;
+      return -*v;
+    }
+
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      std::int64_t value = 0;
+      if (pos + 1 < s.size() && s[pos] == '0' && (s[pos + 1] == 'x' || s[pos + 1] == 'X')) {
+        pos += 2;
+        std::size_t start = pos;
+        while (pos < s.size() && std::isxdigit(static_cast<unsigned char>(s[pos]))) {
+          char c = static_cast<char>(std::tolower(s[pos]));
+          value = value * 16 + (c <= '9' ? c - '0' : c - 'a' + 10);
+          ++pos;
+        }
+        if (pos == start) err(line, "malformed hex literal");
+      } else {
+        while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+          value = value * 10 + (s[pos] - '0');
+          ++pos;
+        }
+      }
+      return value;
+    }
+
+    // Character literal.
+    if (s[pos] == '\'') {
+      if (pos + 2 >= s.size() || s[pos + 2] != '\'') err(line, "malformed char literal");
+      std::int64_t v = static_cast<unsigned char>(s[pos + 1]);
+      pos += 3;
+      return v;
+    }
+
+    // Symbol.
+    if (is_ident_char(s[pos]) && !std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      std::size_t start = pos;
+      while (pos < s.size() && is_ident_char(s[pos])) ++pos;
+      std::string name = s.substr(start, pos - start);
+      auto it = symbols_.find(name);
+      if (it != symbols_.end()) return static_cast<std::int64_t>(it->second);
+      if (require_defined) err(line, "undefined symbol '" + name + "'");
+      return std::nullopt;
+    }
+
+    err(line, "unexpected character '" + std::string(1, s[pos]) + "' in expression");
+  }
+
+  // ---- layout ---------------------------------------------------------------
+  enum class Section { kText, kData };
+
+  struct Cursor {
+    std::uint32_t lc = 0;  // location counter
+  };
+
+  Cursor& cur() { return section_ == Section::kText ? text_ : data_; }
+  const Cursor& cur() const { return section_ == Section::kText ? text_ : data_; }
+
+  // Parse a double-quoted string operand with C-style escapes
+  // (\n \t \0 \\ \").
+  std::string string_literal(const Line& line, const std::string& a) const {
+    if (a.size() < 2 || a.front() != '"' || a.back() != '"') {
+      err(line, "expected a quoted string, got '" + a + "'");
+    }
+    std::string out;
+    for (std::size_t i = 1; i + 1 < a.size(); ++i) {
+      char c = a[i];
+      if (c == '\\' && i + 2 < a.size()) {
+        ++i;
+        switch (a[i]) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          default: err(line, "unknown escape in string literal");
+        }
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  // Size in bytes this statement occupies (pass 1 and 2 must agree).
+  std::uint32_t statement_size(const Line& line) {
+    const std::string& h = line.head;
+    if (h.empty()) return 0;
+    if (h[0] == '.') {
+      if (h == ".word") return 4 * static_cast<std::uint32_t>(line.args.size());
+      if (h == ".ascii" || h == ".asciiz") {
+        std::uint32_t total = 0;
+        for (const std::string& a : line.args) {
+          total += static_cast<std::uint32_t>(string_literal(line, a).size());
+        }
+        if (h == ".asciiz") total += static_cast<std::uint32_t>(line.args.size());
+        return total;
+      }
+      if (h == ".half") return 2 * static_cast<std::uint32_t>(line.args.size());
+      if (h == ".byte") return static_cast<std::uint32_t>(line.args.size());
+      if (h == ".space") {
+        auto v = eval(line, line.args.at(0), true);
+        if (!v || *v < 0) err(line, ".space size must be a defined non-negative value");
+        return static_cast<std::uint32_t>(*v);
+      }
+      return 0;  // .text/.data/.org/.align/.equ handled by the caller
+    }
+    if (h == "li" || h == "la") return 8;
+    return 4;  // every other (pseudo-)instruction is one word
+  }
+
+  void advance_directive(const Line& line) {
+    const std::string& h = line.head;
+    if (h == ".text") {
+      section_ = Section::kText;
+    } else if (h == ".data") {
+      section_ = Section::kData;
+    } else if (h == ".org") {
+      if (line.args.size() != 1) err(line, ".org takes one argument");
+      auto v = eval(line, line.args[0], true);
+      cur().lc = static_cast<std::uint32_t>(*v);
+    } else if (h == ".align") {
+      if (line.args.size() != 1) err(line, ".align takes one argument");
+      auto v = eval(line, line.args[0], true);
+      if (!v || *v <= 0 || (*v & (*v - 1)) != 0) err(line, ".align needs a power of two");
+      auto a = static_cast<std::uint32_t>(*v);
+      cur().lc = (cur().lc + a - 1) & ~(a - 1);
+    } else if (h == ".equ") {
+      if (line.args.size() != 2) err(line, ".equ takes NAME, value");
+      auto v = eval(line, line.args[1], true);
+      symbols_[line.args[0]] = static_cast<std::uint32_t>(*v);
+    }
+  }
+
+  bool is_layout_directive(const std::string& h) {
+    return h == ".text" || h == ".data" || h == ".org" || h == ".align" ||
+           h == ".equ";
+  }
+
+  void pass1() {
+    section_ = Section::kText;
+    text_.lc = kDefaultTextBase;
+    data_.lc = kDefaultDataBase;
+    for (const Line& line : lines_) {
+      for (const std::string& label : line.labels) {
+        if (symbols_.count(label) != 0) err(line, "duplicate label '" + label + "'");
+        symbols_[label] = cur().lc;
+      }
+      if (line.head.empty()) continue;
+      if (is_layout_directive(line.head)) {
+        advance_directive(line);
+        // Labels on the same line as .org/.align bind BEFORE the directive;
+        // that is surprising, so forbid it.
+        if (!line.labels.empty() && (line.head == ".org" || line.head == ".align")) {
+          err(line, "label and " + line.head + " on one line is ambiguous");
+        }
+        continue;
+      }
+      if (line.head[0] == '.' && line.head != ".word" && line.head != ".half" &&
+          line.head != ".byte" && line.head != ".space" &&
+          line.head != ".ascii" && line.head != ".asciiz") {
+        err(line, "unknown directive '" + line.head + "'");
+      }
+      if (section_ == Section::kText && line.head[0] != '.' && cur().lc % 4 != 0) {
+        err(line, "instruction at unaligned address");
+      }
+      cur().lc += statement_size(line);
+    }
+  }
+
+  // ---- emission ---------------------------------------------------------------
+  void open_segment(std::uint32_t base) {
+    segments_.push_back(Segment{base, {}});
+  }
+
+  void emit_byte(std::uint8_t b) {
+    segments_.back().bytes.push_back(b);
+    ++cur().lc;
+  }
+
+  void emit_u16(std::uint32_t v) {
+    emit_byte(static_cast<std::uint8_t>(v & 0xff));
+    emit_byte(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  }
+
+  void emit_u32(std::uint32_t v) {
+    emit_u16(v & 0xffff);
+    emit_u16(v >> 16);
+  }
+
+  // Ensure the active segment's write position equals the current section's
+  // location counter; start a new segment otherwise (after .org/.align or a
+  // section switch).
+  void align_segment() {
+    if (segments_.empty()) {
+      open_segment(cur().lc);
+      return;
+    }
+    const Segment& s = segments_.back();
+    if (s.base + s.bytes.size() != cur().lc) open_segment(cur().lc);
+  }
+
+  void pass2() {
+    section_ = Section::kText;
+    text_.lc = kDefaultTextBase;
+    data_.lc = kDefaultDataBase;
+    for (const Line& line : lines_) {
+      if (line.head.empty()) continue;
+      if (is_layout_directive(line.head)) {
+        advance_directive(line);
+        continue;
+      }
+      align_segment();
+      if (line.head[0] == '.') {
+        emit_data_directive(line);
+      } else {
+        emit_instruction(line);
+      }
+    }
+  }
+
+  void emit_data_directive(const Line& line) {
+    const std::string& h = line.head;
+    if (h == ".word") {
+      for (const std::string& a : line.args) {
+        emit_u32(static_cast<std::uint32_t>(*eval(line, a, true)));
+      }
+    } else if (h == ".half") {
+      for (const std::string& a : line.args) {
+        auto v = *eval(line, a, true);
+        if (v < -32768 || v > 65535) err(line, ".half value out of range");
+        emit_u16(static_cast<std::uint32_t>(v) & 0xffffu);
+      }
+    } else if (h == ".byte") {
+      for (const std::string& a : line.args) {
+        auto v = *eval(line, a, true);
+        if (v < -128 || v > 255) err(line, ".byte value out of range");
+        emit_byte(static_cast<std::uint8_t>(v));
+      }
+    } else if (h == ".ascii" || h == ".asciiz") {
+      for (const std::string& a : line.args) {
+        for (char ch : string_literal(line, a)) {
+          emit_byte(static_cast<std::uint8_t>(ch));
+        }
+        if (h == ".asciiz") emit_byte(0);
+      }
+    } else if (h == ".space") {
+      auto n = *eval(line, line.args.at(0), true);
+      std::uint8_t fill = 0;
+      if (line.args.size() > 1) {
+        fill = static_cast<std::uint8_t>(*eval(line, line.args[1], true));
+      }
+      for (std::int64_t i = 0; i < n; ++i) emit_byte(fill);
+    } else {
+      err(line, "unknown directive '" + h + "'");
+    }
+  }
+
+  // ---- instruction operand helpers ---------------------------------------
+  std::uint8_t reg_arg(const Line& line, const std::string& a) const {
+    auto r = parse_reg(a);
+    if (!r) err(line, "expected register, got '" + a + "'");
+    return *r;
+  }
+
+  std::int32_t imm_arg(const Line& line, const std::string& a, std::int64_t lo,
+                       std::int64_t hi) const {
+    auto v = eval(line, a, true);
+    if (*v < lo || *v > hi) {
+      err(line, "immediate " + std::to_string(*v) + " out of range [" +
+                    std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    }
+    return static_cast<std::int32_t>(*v);
+  }
+
+  // off(base)
+  std::pair<std::int32_t, std::uint8_t> mem_arg(const Line& line,
+                                                const std::string& a) const {
+    auto open = a.rfind('(');
+    if (open == std::string::npos || a.back() != ')') {
+      err(line, "expected offset(base), got '" + a + "'");
+    }
+    std::string off = trim(a.substr(0, open));
+    std::string base = trim(a.substr(open + 1, a.size() - open - 2));
+    std::int32_t imm = off.empty() ? 0 : imm_arg(line, off, -32768, 32767);
+    return {imm, reg_arg(line, base)};
+  }
+
+  std::int32_t branch_offset(const Line& line, const std::string& a) const {
+    auto v = eval(line, a, true);
+    std::int64_t delta = *v - (static_cast<std::int64_t>(cur().lc) + 4);
+    if (delta % 4 != 0) err(line, "misaligned branch target");
+    std::int64_t words = delta / 4;
+    if (words < -32768 || words > 32767) err(line, "branch target out of range");
+    return static_cast<std::int32_t>(words);
+  }
+
+  void emit(const Instr& in) { emit_u32(encode(in)); }
+
+  void expect_args(const Line& line, std::size_t n) const {
+    if (line.args.size() != n) {
+      err(line, line.head + " expects " + std::to_string(n) + " operand(s), got " +
+                    std::to_string(line.args.size()));
+    }
+  }
+
+  void emit_instruction(const Line& line) {
+    const std::string& h = line.head;
+
+    // ---- pseudo-instructions ----
+    if (h == "nop") {
+      expect_args(line, 0);
+      emit(Instr{Op::kSll, kZero, 0, kZero, 0, 0, 0});
+      return;
+    }
+    if (h == "move") {
+      expect_args(line, 2);
+      emit(Instr{Op::kAdd, reg_arg(line, line.args[0]), reg_arg(line, line.args[1]),
+                 kZero, 0, 0, 0});
+      return;
+    }
+    if (h == "not") {
+      expect_args(line, 2);
+      emit(Instr{Op::kNor, reg_arg(line, line.args[0]), reg_arg(line, line.args[1]),
+                 kZero, 0, 0, 0});
+      return;
+    }
+    if (h == "neg") {
+      expect_args(line, 2);
+      emit(Instr{Op::kSub, reg_arg(line, line.args[0]), kZero,
+                 reg_arg(line, line.args[1]), 0, 0, 0});
+      return;
+    }
+    if (h == "li" || h == "la") {
+      expect_args(line, 2);
+      const std::uint8_t rd = reg_arg(line, line.args[0]);
+      auto v = eval(line, line.args[1], true);
+      const auto u = static_cast<std::uint32_t>(*v);
+      Instr lui{Op::kLui, 0, 0, rd, 0, static_cast<std::int32_t>(u >> 16), 0};
+      Instr ori{Op::kOri, 0, rd, rd, 0, static_cast<std::int32_t>(u & 0xffffu), 0};
+      emit(lui);
+      emit(ori);
+      return;
+    }
+    if (h == "b") {
+      expect_args(line, 1);
+      emit(Instr{Op::kBeq, 0, kZero, kZero, 0, branch_offset(line, line.args[0]), 0});
+      return;
+    }
+    if (h == "beqz" || h == "bnez") {
+      expect_args(line, 2);
+      emit(Instr{h == "beqz" ? Op::kBeq : Op::kBne, 0, reg_arg(line, line.args[0]),
+                 kZero, 0, branch_offset(line, line.args[1]), 0});
+      return;
+    }
+    if (h == "bgt" || h == "ble" || h == "bgtu" || h == "bleu") {
+      expect_args(line, 3);
+      Op op = (h == "bgt") ? Op::kBlt : (h == "ble") ? Op::kBge
+              : (h == "bgtu") ? Op::kBltu : Op::kBgeu;
+      // Swap the operands: a > b  <=>  b < a.
+      emit(Instr{op, 0, reg_arg(line, line.args[1]), reg_arg(line, line.args[0]), 0,
+                 branch_offset(line, line.args[2]), 0});
+      return;
+    }
+    if (h == "subi") {
+      expect_args(line, 3);
+      emit(Instr{Op::kAddi, 0, reg_arg(line, line.args[1]), reg_arg(line, line.args[0]),
+                 0, -imm_arg(line, line.args[2], -32767, 32768), 0});
+      return;
+    }
+    if (h == "ret") {
+      expect_args(line, 0);
+      emit(Instr{Op::kJr, 0, kRa, 0, 0, 0, 0});
+      return;
+    }
+
+    // ---- real instructions ----
+    auto op = parse_mnemonic(h);
+    if (!op) err(line, "unknown mnemonic '" + h + "'");
+    Instr in;
+    in.op = *op;
+
+    if (*op == Op::kHalt) {
+      expect_args(line, 0);
+    } else if (*op == Op::kJr) {
+      expect_args(line, 1);
+      in.rs = reg_arg(line, line.args[0]);
+    } else if (*op == Op::kJalr) {
+      if (line.args.size() == 1) {
+        in.rd = kRa;
+        in.rs = reg_arg(line, line.args[0]);
+      } else {
+        expect_args(line, 2);
+        in.rd = reg_arg(line, line.args[0]);
+        in.rs = reg_arg(line, line.args[1]);
+      }
+    } else if (*op == Op::kJ || *op == Op::kJal) {
+      expect_args(line, 1);
+      in.target = static_cast<std::uint32_t>(*eval(line, line.args[0], true));
+    } else if (*op == Op::kSll || *op == Op::kSrl || *op == Op::kSra) {
+      expect_args(line, 3);
+      in.rd = reg_arg(line, line.args[0]);
+      in.rt = reg_arg(line, line.args[1]);
+      in.shamt = static_cast<std::uint8_t>(imm_arg(line, line.args[2], 0, 31));
+    } else if (*op == Op::kSllv || *op == Op::kSrlv || *op == Op::kSrav) {
+      expect_args(line, 3);
+      in.rd = reg_arg(line, line.args[0]);
+      in.rt = reg_arg(line, line.args[1]);
+      in.rs = reg_arg(line, line.args[2]);
+    } else if (*op == Op::kLui) {
+      expect_args(line, 2);
+      in.rt = reg_arg(line, line.args[0]);
+      in.imm = imm_arg(line, line.args[1], 0, 65535);
+    } else if (is_branch(*op)) {
+      expect_args(line, 3);
+      in.rs = reg_arg(line, line.args[0]);
+      in.rt = reg_arg(line, line.args[1]);
+      in.imm = branch_offset(line, line.args[2]);
+    } else if (is_load(*op) || is_store(*op)) {
+      expect_args(line, 2);
+      in.rt = reg_arg(line, line.args[0]);
+      auto [imm, base] = mem_arg(line, line.args[1]);
+      in.imm = imm;
+      in.rs = base;
+    } else if (*op == Op::kAddi || *op == Op::kSlti || *op == Op::kSltiu ||
+               *op == Op::kAndi || *op == Op::kOri || *op == Op::kXori) {
+      expect_args(line, 3);
+      in.rt = reg_arg(line, line.args[0]);
+      in.rs = reg_arg(line, line.args[1]);
+      const bool logical = *op == Op::kAndi || *op == Op::kOri || *op == Op::kXori;
+      in.imm = logical ? imm_arg(line, line.args[2], 0, 65535)
+                       : imm_arg(line, line.args[2], -32768, 32767);
+    } else {
+      // Three-register ALU.
+      expect_args(line, 3);
+      in.rd = reg_arg(line, line.args[0]);
+      in.rs = reg_arg(line, line.args[1]);
+      in.rt = reg_arg(line, line.args[2]);
+    }
+    emit(in);
+  }
+
+  void finalize() {
+    // Drop empty segments, sort, check for overlap.
+    std::erase_if(segments_, [](const Segment& s) { return s.bytes.empty(); });
+    std::sort(segments_.begin(), segments_.end(),
+              [](const Segment& a, const Segment& b) { return a.base < b.base; });
+    for (std::size_t i = 1; i < segments_.size(); ++i) {
+      const Segment& prev = segments_[i - 1];
+      if (prev.base + prev.bytes.size() > segments_[i].base) {
+        fail(unit_ + ": overlapping segments at 0x" + std::to_string(segments_[i].base));
+      }
+    }
+    program_.segments = std::move(segments_);
+    program_.symbols = std::move(symbols_);
+    auto it = program_.symbols.find("main");
+    program_.entry = it != program_.symbols.end()
+                         ? it->second
+                         : (program_.segments.empty() ? 0 : program_.segments.front().base);
+  }
+
+  std::string unit_;
+  std::vector<Line> lines_;
+  std::map<std::string, std::uint32_t> symbols_;
+  std::vector<Segment> segments_;
+  Section section_ = Section::kText;
+  Cursor text_, data_;
+  Program program_;
+};
+
+}  // namespace
+
+Program assemble(const std::string& source, const std::string& unit_name) {
+  return Assembler(source, unit_name).run();
+}
+
+}  // namespace stcache

@@ -1,0 +1,64 @@
+// Two-pass assembler for the stcache ISA.
+//
+// Syntax (MIPS-flavored):
+//
+//     # comment                ; comment
+//     .text                    switch to the text section
+//     .data                    switch to the data section
+//     .org 0x1000              set the current section's location counter
+//     .align 4                 align location counter (power of two)
+//     .word 1, 0x2, label      emit 32-bit words (labels allowed)
+//     .half 1, 2               emit 16-bit halves
+//     .byte 1, 2               emit bytes
+//     .space 256 [, fill]      reserve bytes
+//     .equ NAME, expr          define a constant
+//     label:                   define a label at the location counter
+//     add t0, t1, t2           machine instruction
+//     lw  t0, 8(sp)            memory operand
+//
+// Pseudo-instructions (expanded with fixed sizes so pass 1 can lay out
+// labels): li rd, imm32 (lui+ori, 2 words) - la rd, label (2 words) -
+// move rd, rs - nop - not rd, rs - neg rd, rs - b label -
+// bgt/ble/bgtu/bleu rs, rt, label - subi rt, rs, imm - beqz/bnez rs, label -
+// jal without ra clobber notes.
+//
+// Immediates/expressions: decimal, 0x hex, 'c' chars, label names,
+// %hi(label) and %lo(label), and NAME defined by .equ. A single +/- offset
+// is allowed (e.g. la t0, buf+16; lw t0, %lo(buf+4)(t1)).
+//
+// Default layout: .text starts at 0x0, .data at 0x00010000. The entry
+// point is the label `main` if present, else the first text address.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stcache {
+
+struct Segment {
+  std::uint32_t base = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct Program {
+  std::vector<Segment> segments;  // disjoint, sorted by base
+  std::uint32_t entry = 0;
+  std::map<std::string, std::uint32_t> symbols;
+
+  // Highest address occupied by any segment (exclusive).
+  std::uint32_t end_address() const;
+  // Look up a symbol; throws stcache::Error if absent.
+  std::uint32_t symbol(const std::string& name) const;
+};
+
+// Assemble `source`. Throws stcache::Error with a line-numbered message on
+// any syntax or range error. `unit_name` is used in error messages only.
+Program assemble(const std::string& source,
+                 const std::string& unit_name = "<asm>");
+
+inline constexpr std::uint32_t kDefaultTextBase = 0x00000000;
+inline constexpr std::uint32_t kDefaultDataBase = 0x00010000;
+
+}  // namespace stcache

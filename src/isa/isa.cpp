@@ -1,0 +1,313 @@
+#include "isa/isa.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+namespace {
+
+// Encoding format classes.
+enum class Fmt : std::uint8_t { kR, kI, kBranch, kMem, kJ, kShift };
+
+struct OpInfo {
+  Op op;
+  Fmt fmt;
+  std::uint8_t opcode;  // bits 31..26
+  std::uint8_t funct;   // bits 5..0 (R-type only, opcode == 0)
+  const char* name;
+};
+
+constexpr std::array<OpInfo, 44> kOpTable = {{
+    {Op::kAdd, Fmt::kR, 0x00, 0x20, "add"},
+    {Op::kSub, Fmt::kR, 0x00, 0x22, "sub"},
+    {Op::kAnd, Fmt::kR, 0x00, 0x24, "and"},
+    {Op::kOr, Fmt::kR, 0x00, 0x25, "or"},
+    {Op::kXor, Fmt::kR, 0x00, 0x26, "xor"},
+    {Op::kNor, Fmt::kR, 0x00, 0x27, "nor"},
+    {Op::kSlt, Fmt::kR, 0x00, 0x2a, "slt"},
+    {Op::kSltu, Fmt::kR, 0x00, 0x2b, "sltu"},
+    {Op::kSll, Fmt::kShift, 0x00, 0x00, "sll"},
+    {Op::kSrl, Fmt::kShift, 0x00, 0x02, "srl"},
+    {Op::kSra, Fmt::kShift, 0x00, 0x03, "sra"},
+    {Op::kSllv, Fmt::kR, 0x00, 0x04, "sllv"},
+    {Op::kSrlv, Fmt::kR, 0x00, 0x06, "srlv"},
+    {Op::kSrav, Fmt::kR, 0x00, 0x07, "srav"},
+    {Op::kMul, Fmt::kR, 0x00, 0x18, "mul"},
+    {Op::kMulhu, Fmt::kR, 0x00, 0x19, "mulhu"},
+    {Op::kDiv, Fmt::kR, 0x00, 0x1a, "div"},
+    {Op::kDivu, Fmt::kR, 0x00, 0x1c, "divu"},
+    {Op::kRem, Fmt::kR, 0x00, 0x1b, "rem"},
+    {Op::kRemu, Fmt::kR, 0x00, 0x1d, "remu"},
+    {Op::kJr, Fmt::kR, 0x00, 0x08, "jr"},
+    {Op::kJalr, Fmt::kR, 0x00, 0x09, "jalr"},
+    {Op::kHalt, Fmt::kR, 0x00, 0x3f, "halt"},
+    {Op::kAddi, Fmt::kI, 0x08, 0, "addi"},
+    {Op::kSlti, Fmt::kI, 0x0a, 0, "slti"},
+    {Op::kSltiu, Fmt::kI, 0x0b, 0, "sltiu"},
+    {Op::kAndi, Fmt::kI, 0x0c, 0, "andi"},
+    {Op::kOri, Fmt::kI, 0x0d, 0, "ori"},
+    {Op::kXori, Fmt::kI, 0x0e, 0, "xori"},
+    {Op::kLui, Fmt::kI, 0x0f, 0, "lui"},
+    {Op::kBeq, Fmt::kBranch, 0x04, 0, "beq"},
+    {Op::kBne, Fmt::kBranch, 0x05, 0, "bne"},
+    {Op::kBlt, Fmt::kBranch, 0x06, 0, "blt"},
+    {Op::kBge, Fmt::kBranch, 0x07, 0, "bge"},
+    {Op::kBltu, Fmt::kBranch, 0x16, 0, "bltu"},
+    {Op::kBgeu, Fmt::kBranch, 0x17, 0, "bgeu"},
+    {Op::kLb, Fmt::kMem, 0x20, 0, "lb"},
+    {Op::kLh, Fmt::kMem, 0x21, 0, "lh"},
+    {Op::kLw, Fmt::kMem, 0x23, 0, "lw"},
+    {Op::kLbu, Fmt::kMem, 0x24, 0, "lbu"},
+    {Op::kLhu, Fmt::kMem, 0x25, 0, "lhu"},
+    {Op::kSb, Fmt::kMem, 0x28, 0, "sb"},
+    {Op::kSh, Fmt::kMem, 0x29, 0, "sh"},
+    {Op::kSw, Fmt::kMem, 0x2b, 0, "sw"},
+}};
+
+const OpInfo& info_of(Op op) {
+  for (const OpInfo& e : kOpTable) {
+    if (e.op == op) return e;
+  }
+  // J-type ops are handled separately (they need 26-bit targets).
+  static const OpInfo kJInfo{Op::kJ, Fmt::kJ, 0x02, 0, "j"};
+  static const OpInfo kJalInfo{Op::kJal, Fmt::kJ, 0x03, 0, "jal"};
+  if (op == Op::kJ) return kJInfo;
+  if (op == Op::kJal) return kJalInfo;
+  fail("info_of: unknown op");
+}
+
+void check_reg(std::uint8_t r, const char* which) {
+  if (r >= kNumRegs) fail(std::string("encode: register out of range: ") + which);
+}
+
+}  // namespace
+
+std::uint32_t encode(const Instr& in) {
+  const OpInfo& info = info_of(in.op);
+  check_reg(in.rd, "rd");
+  check_reg(in.rs, "rs");
+  check_reg(in.rt, "rt");
+  switch (info.fmt) {
+    case Fmt::kR:
+      return (static_cast<std::uint32_t>(info.opcode) << 26) |
+             (static_cast<std::uint32_t>(in.rs) << 21) |
+             (static_cast<std::uint32_t>(in.rt) << 16) |
+             (static_cast<std::uint32_t>(in.rd) << 11) | info.funct;
+    case Fmt::kShift: {
+      if (in.shamt >= 32) fail("encode: shamt out of range");
+      return (static_cast<std::uint32_t>(info.opcode) << 26) |
+             (static_cast<std::uint32_t>(in.rt) << 16) |
+             (static_cast<std::uint32_t>(in.rd) << 11) |
+             (static_cast<std::uint32_t>(in.shamt) << 6) | info.funct;
+    }
+    case Fmt::kI:
+    case Fmt::kBranch:
+    case Fmt::kMem: {
+      if (in.imm < -32768 || in.imm > 65535) {
+        fail("encode: immediate " + std::to_string(in.imm) +
+             " does not fit in 16 bits (" + info.name + ")");
+      }
+      // Logical ops and lui treat the immediate as unsigned 16-bit; the
+      // arithmetic ones as signed. Both fit the same field.
+      const auto imm16 = static_cast<std::uint32_t>(in.imm) & 0xffffu;
+      return (static_cast<std::uint32_t>(info.opcode) << 26) |
+             (static_cast<std::uint32_t>(in.rs) << 21) |
+             (static_cast<std::uint32_t>(in.rt) << 16) | imm16;
+    }
+    case Fmt::kJ: {
+      if (in.target % 4 != 0) fail("encode: misaligned jump target");
+      const std::uint32_t word_target = in.target >> 2;
+      if (word_target >= (1u << 26)) fail("encode: jump target out of range");
+      return (static_cast<std::uint32_t>(info.opcode) << 26) | word_target;
+    }
+  }
+  fail("encode: unreachable");
+}
+
+Instr decode(std::uint32_t word) {
+  const auto opcode = static_cast<std::uint8_t>(word >> 26);
+  const auto rs = static_cast<std::uint8_t>((word >> 21) & 31);
+  const auto rt = static_cast<std::uint8_t>((word >> 16) & 31);
+  const auto rd = static_cast<std::uint8_t>((word >> 11) & 31);
+  const auto shamt = static_cast<std::uint8_t>((word >> 6) & 31);
+  const auto funct = static_cast<std::uint8_t>(word & 63);
+  const auto imm16 = static_cast<std::uint16_t>(word & 0xffff);
+
+  // J-type first.
+  if (opcode == 0x02 || opcode == 0x03) {
+    Instr in;
+    in.op = opcode == 0x02 ? Op::kJ : Op::kJal;
+    in.target = (word & ((1u << 26) - 1)) << 2;
+    return in;
+  }
+
+  for (const OpInfo& e : kOpTable) {
+    if (e.opcode != opcode) continue;
+    if (opcode == 0x00 && e.funct != funct) continue;
+    // Populate only the fields the format defines, so don't-care bits in
+    // the word never leak into the decoded instruction: decode() is a
+    // canonicalizing inverse of encode().
+    Instr in;
+    in.op = e.op;
+    switch (e.fmt) {
+      case Fmt::kR:
+        in.rs = rs;
+        in.rt = rt;
+        in.rd = rd;
+        break;
+      case Fmt::kShift:
+        in.rt = rt;
+        in.rd = rd;
+        in.shamt = shamt;
+        break;
+      case Fmt::kI:
+      case Fmt::kBranch:
+      case Fmt::kMem: {
+        in.rs = rs;
+        in.rt = rt;
+        // Logical immediates (andi/ori/xori) and lui are zero-extended; the
+        // rest sign-extended.
+        const bool zero_ext = e.op == Op::kAndi || e.op == Op::kOri ||
+                              e.op == Op::kXori || e.op == Op::kLui;
+        in.imm = zero_ext
+                     ? static_cast<std::int32_t>(imm16)
+                     : static_cast<std::int32_t>(static_cast<std::int16_t>(imm16));
+        break;
+      }
+      case Fmt::kJ:
+        break;  // handled above
+    }
+    return in;
+  }
+  fail("decode: unknown instruction word 0x" + [&] {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%08x", word);
+    return std::string(buf);
+  }());
+}
+
+bool is_load(Op op) {
+  return op == Op::kLb || op == Op::kLbu || op == Op::kLh || op == Op::kLhu ||
+         op == Op::kLw;
+}
+
+bool is_store(Op op) { return op == Op::kSb || op == Op::kSh || op == Op::kSw; }
+
+bool is_branch(Op op) {
+  return op == Op::kBeq || op == Op::kBne || op == Op::kBlt || op == Op::kBge ||
+         op == Op::kBltu || op == Op::kBgeu;
+}
+
+bool is_jump(Op op) {
+  return op == Op::kJ || op == Op::kJal || op == Op::kJr || op == Op::kJalr;
+}
+
+std::uint32_t access_bytes(Op op) {
+  switch (op) {
+    case Op::kLb:
+    case Op::kLbu:
+    case Op::kSb:
+      return 1;
+    case Op::kLh:
+    case Op::kLhu:
+    case Op::kSh:
+      return 2;
+    case Op::kLw:
+    case Op::kSw:
+      return 4;
+    default:
+      fail("access_bytes: not a memory op");
+  }
+}
+
+std::string mnemonic(Op op) { return info_of(op).name; }
+
+std::optional<Op> parse_mnemonic(const std::string& name) {
+  for (const OpInfo& e : kOpTable) {
+    if (name == e.name) return e.op;
+  }
+  if (name == "j") return Op::kJ;
+  if (name == "jal") return Op::kJal;
+  return std::nullopt;
+}
+
+namespace {
+constexpr const char* kRegNames[kNumRegs] = {
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0",   "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0",   "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8",   "t9", "k0", "k1", "gp", "sp", "fp", "ra"};
+}  // namespace
+
+std::string reg_name(std::uint8_t reg) {
+  if (reg >= kNumRegs) fail("reg_name: register out of range");
+  return kRegNames[reg];
+}
+
+std::optional<std::uint8_t> parse_reg(const std::string& name) {
+  std::string n = name;
+  if (!n.empty() && n.front() == '$') n = n.substr(1);
+  for (std::uint8_t i = 0; i < kNumRegs; ++i) {
+    if (n == kRegNames[i]) return i;
+  }
+  // Numeric forms: r8 / 8.
+  if (!n.empty() && (n.front() == 'r' || n.front() == 'R')) n = n.substr(1);
+  if (!n.empty()) {
+    unsigned v = 0;
+    for (char c : n) {
+      if (c < '0' || c > '9') return std::nullopt;
+      v = v * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (v < kNumRegs) return static_cast<std::uint8_t>(v);
+  }
+  return std::nullopt;
+}
+
+std::string disassemble(std::uint32_t word, std::uint32_t pc) {
+  Instr in = decode(word);
+  const std::string m = mnemonic(in.op);
+  auto r = [](std::uint8_t reg) { return reg_name(reg); };
+  switch (in.op) {
+    case Op::kHalt:
+      return m;
+    case Op::kJr:
+      return m + " " + r(in.rs);
+    case Op::kJalr:
+      return m + " " + r(in.rd) + ", " + r(in.rs);
+    case Op::kSll:
+    case Op::kSrl:
+    case Op::kSra:
+      return m + " " + r(in.rd) + ", " + r(in.rt) + ", " +
+             std::to_string(in.shamt);
+    case Op::kJ:
+    case Op::kJal:
+      return m + " 0x" + [&] {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%x", in.target);
+        return std::string(buf);
+      }();
+    case Op::kLui:
+      return m + " " + r(in.rt) + ", " + std::to_string(in.imm);
+    default:
+      break;
+  }
+  if (is_load(in.op) || is_store(in.op)) {
+    return m + " " + r(in.rt) + ", " + std::to_string(in.imm) + "(" + r(in.rs) + ")";
+  }
+  if (is_branch(in.op)) {
+    const std::uint32_t dest = pc + 4 + (static_cast<std::uint32_t>(in.imm) << 2);
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%x", dest);
+    return m + " " + r(in.rs) + ", " + r(in.rt) + ", " + buf;
+  }
+  if (info_of(in.op).fmt == Fmt::kI) {
+    return m + " " + r(in.rt) + ", " + r(in.rs) + ", " + std::to_string(in.imm);
+  }
+  // R-type.
+  return m + " " + r(in.rd) + ", " + r(in.rs) + ", " + r(in.rt);
+}
+
+}  // namespace stcache

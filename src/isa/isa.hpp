@@ -1,0 +1,99 @@
+// A compact 32-bit MIPS-like ISA.
+//
+// The paper collects per-benchmark cache access/miss counts with
+// SimpleScalar's MIPS-like model. We stand up the equivalent substrate from
+// scratch: a small RISC ISA with a real 32-bit binary encoding, a two-pass
+// assembler (assembler.hpp), a disassembler, and an in-order ISS
+// (sim/cpu.hpp). The workload kernels in src/workloads are written in this
+// assembly, so the instruction-fetch and data address streams driving the
+// cache experiments come from genuinely executed programs.
+//
+// Deliberate simplifications vs. real MIPS (documented here because they
+// are visible to workload authors):
+//  * mul/div/rem write a GPR directly; there are no HI/LO registers.
+//  * Branches are fused compare-and-branch (blt/bge/bltu/bgeu exist as
+//    first-class opcodes instead of slt+beq idioms).
+//  * No branch delay slots.
+//  * div/rem by zero produce 0 instead of trapping.
+//  * halt is an instruction (funct 0x3f) instead of a syscall convention.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace stcache {
+
+// Mnemonic-level operations.
+enum class Op : std::uint8_t {
+  // R-type ALU
+  kAdd, kSub, kAnd, kOr, kXor, kNor, kSlt, kSltu,
+  kSll, kSrl, kSra, kSllv, kSrlv, kSrav,
+  kMul, kMulhu, kDiv, kDivu, kRem, kRemu,
+  kJr, kJalr, kHalt,
+  // I-type ALU
+  kAddi, kSlti, kSltiu, kAndi, kOri, kXori, kLui,
+  // branches (I-type, PC-relative word offset)
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  // memory (I-type, offset(base))
+  kLb, kLbu, kLh, kLhu, kLw, kSb, kSh, kSw,
+  // jumps (J-type)
+  kJ, kJal,
+};
+
+inline constexpr int kNumRegs = 32;
+
+// Conventional register numbers (MIPS o32 names).
+inline constexpr std::uint8_t kZero = 0, kAt = 1, kV0 = 2, kV1 = 3;
+inline constexpr std::uint8_t kA0 = 4, kA1 = 5, kA2 = 6, kA3 = 7;
+inline constexpr std::uint8_t kT0 = 8, kT1 = 9, kT2 = 10, kT3 = 11;
+inline constexpr std::uint8_t kT4 = 12, kT5 = 13, kT6 = 14, kT7 = 15;
+inline constexpr std::uint8_t kS0 = 16, kS1 = 17, kS2 = 18, kS3 = 19;
+inline constexpr std::uint8_t kS4 = 20, kS5 = 21, kS6 = 22, kS7 = 23;
+inline constexpr std::uint8_t kT8 = 24, kT9 = 25, kK0 = 26, kK1 = 27;
+inline constexpr std::uint8_t kGp = 28, kSp = 29, kFp = 30, kRa = 31;
+
+// One decoded instruction. Field usage depends on the operation class:
+//   R-type ALU:    rd <- rs OP rt        (shifts-by-immediate use shamt)
+//   I-type ALU:    rt <- rs OP imm
+//   branch:        if (rs CMP rt) pc += 4 + imm*4
+//   memory:        rt <-> mem[rs + imm]
+//   jump:          pc <- target (byte address, must be word aligned)
+struct Instr {
+  Op op = Op::kHalt;
+  std::uint8_t rd = 0;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::uint8_t shamt = 0;
+  std::int32_t imm = 0;        // sign-extended 16-bit immediate
+  std::uint32_t target = 0;    // jump target (byte address)
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+// Binary encoding <-> decoded form. encode() throws stcache::Error if a
+// field is out of range (immediate does not fit 16 bits, misaligned jump
+// target, ...). decode() throws on unknown opcode/funct patterns.
+std::uint32_t encode(const Instr& instr);
+Instr decode(std::uint32_t word);
+
+// Instruction classification helpers used by the ISS and tests.
+bool is_load(Op op);
+bool is_store(Op op);
+bool is_branch(Op op);
+bool is_jump(Op op);
+// Bytes accessed by a load/store op (1, 2 or 4).
+std::uint32_t access_bytes(Op op);
+
+// Mnemonic <-> Op.
+std::string mnemonic(Op op);
+std::optional<Op> parse_mnemonic(const std::string& name);
+
+// Register name ("t0", "$t0", "r8", "$8") <-> number.
+std::string reg_name(std::uint8_t reg);
+std::optional<std::uint8_t> parse_reg(const std::string& name);
+
+// Human-readable disassembly of one encoded word.
+std::string disassemble(std::uint32_t word, std::uint32_t pc);
+
+}  // namespace stcache

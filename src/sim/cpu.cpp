@@ -1,0 +1,238 @@
+#include "sim/cpu.hpp"
+
+#include <bit>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+Cpu::Cpu(const Program& program, MemorySystem& memory, std::uint32_t mem_bytes)
+    : memory_(&memory) {
+  if (!std::has_single_bit(mem_bytes) || mem_bytes < (1u << 16)) {
+    fail("Cpu: memory size must be a power of two >= 64 KB");
+  }
+  if (program.end_address() > mem_bytes) {
+    fail("Cpu: program does not fit in " + std::to_string(mem_bytes) + " bytes");
+  }
+  mem_.assign(mem_bytes, 0);
+  std::uint32_t text_end = 0;
+  for (const Segment& s : program.segments) {
+    std::copy(s.bytes.begin(), s.bytes.end(), mem_.begin() + s.base);
+    // Everything below the data base counts as text (the assembler places
+    // code at low addresses).
+    if (s.base < kDefaultDataBase) {
+      text_end = std::max(
+          text_end, s.base + static_cast<std::uint32_t>(s.bytes.size()));
+    }
+  }
+  text_end_ = text_end;
+  decode_cache_.resize(text_end_ / 4 + 1);
+  decode_valid_.assign(decode_cache_.size(), false);
+  pc_ = program.entry;
+  regs_[kSp] = mem_bytes - 16;
+}
+
+std::uint32_t Cpu::reg(std::uint8_t r) const {
+  if (r >= kNumRegs) fail("Cpu::reg: register out of range");
+  return regs_[r];
+}
+
+void Cpu::set_reg(std::uint8_t r, std::uint32_t value) {
+  if (r >= kNumRegs) fail("Cpu::set_reg: register out of range");
+  if (r != kZero) regs_[r] = value;
+}
+
+std::uint8_t Cpu::mem_at(std::uint32_t addr) const {
+  if (addr >= mem_.size()) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "memory access out of range: 0x%08x", addr);
+    fail(buf);
+  }
+  return mem_[addr];
+}
+
+std::uint32_t Cpu::read_mem(std::uint32_t addr, std::uint32_t bytes) const {
+  std::uint32_t v = 0;
+  for (std::uint32_t i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint32_t>(mem_at(addr + i)) << (8 * i);
+  }
+  return v;
+}
+
+void Cpu::write_mem(std::uint32_t addr, std::uint32_t bytes, std::uint32_t value) {
+  if (addr < text_end_) {
+    trap("store into text segment (self-modifying code is not supported)");
+  }
+  for (std::uint32_t i = 0; i < bytes; ++i) {
+    if (addr + i >= mem_.size()) trap("store out of range");
+    mem_[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+std::uint32_t Cpu::load_word(std::uint32_t addr) const { return read_mem(addr, 4); }
+
+void Cpu::store_word(std::uint32_t addr, std::uint32_t value) {
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    mem_.at(addr + i) = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+const Instr& Cpu::fetch_decoded(std::uint32_t addr) {
+  if (addr % 4 != 0) trap("unaligned instruction fetch");
+  if (addr >= text_end_) trap("instruction fetch outside text segment");
+  const std::uint32_t slot = addr / 4;
+  if (!decode_valid_[slot]) {
+    decode_cache_[slot] = decode(read_mem(addr, 4));
+    decode_valid_[slot] = true;
+  }
+  return decode_cache_[slot];
+}
+
+void Cpu::trap(const std::string& what) const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, " (pc=0x%08x)", pc_);
+  fail("Cpu trap: " + what + buf);
+}
+
+RunResult Cpu::run(std::uint64_t max_instructions) {
+  RunResult result;
+  while (result.instructions < max_instructions) {
+    const Instr& in = fetch_decoded(pc_);
+    result.cycles += memory_->ifetch(pc_);
+    ++result.instructions;
+    std::uint32_t next_pc = pc_ + 4;
+
+    const std::uint32_t rs = regs_[in.rs];
+    const std::uint32_t rt = regs_[in.rt];
+    auto set = [&](std::uint8_t r, std::uint32_t v) {
+      if (r != kZero) regs_[r] = v;
+    };
+
+    switch (in.op) {
+      case Op::kAdd: set(in.rd, rs + rt); break;
+      case Op::kSub: set(in.rd, rs - rt); break;
+      case Op::kAnd: set(in.rd, rs & rt); break;
+      case Op::kOr: set(in.rd, rs | rt); break;
+      case Op::kXor: set(in.rd, rs ^ rt); break;
+      case Op::kNor: set(in.rd, ~(rs | rt)); break;
+      case Op::kSlt:
+        set(in.rd, static_cast<std::int32_t>(rs) < static_cast<std::int32_t>(rt) ? 1 : 0);
+        break;
+      case Op::kSltu: set(in.rd, rs < rt ? 1 : 0); break;
+      case Op::kSll: set(in.rd, rt << in.shamt); break;
+      case Op::kSrl: set(in.rd, rt >> in.shamt); break;
+      case Op::kSra:
+        set(in.rd, static_cast<std::uint32_t>(static_cast<std::int32_t>(rt) >> in.shamt));
+        break;
+      case Op::kSllv: set(in.rd, rt << (rs & 31)); break;
+      case Op::kSrlv: set(in.rd, rt >> (rs & 31)); break;
+      case Op::kSrav:
+        set(in.rd, static_cast<std::uint32_t>(static_cast<std::int32_t>(rt) >> (rs & 31)));
+        break;
+      case Op::kMul: set(in.rd, rs * rt); break;
+      case Op::kMulhu:
+        set(in.rd, static_cast<std::uint32_t>(
+                       (static_cast<std::uint64_t>(rs) * rt) >> 32));
+        break;
+      case Op::kDiv:
+        set(in.rd, rt == 0 ? 0
+                           : static_cast<std::uint32_t>(
+                                 static_cast<std::int32_t>(rs) /
+                                 static_cast<std::int32_t>(rt)));
+        break;
+      case Op::kDivu: set(in.rd, rt == 0 ? 0 : rs / rt); break;
+      case Op::kRem:
+        set(in.rd, rt == 0 ? 0
+                           : static_cast<std::uint32_t>(
+                                 static_cast<std::int32_t>(rs) %
+                                 static_cast<std::int32_t>(rt)));
+        break;
+      case Op::kRemu: set(in.rd, rt == 0 ? 0 : rs % rt); break;
+      case Op::kJr: next_pc = rs; break;
+      case Op::kJalr:
+        set(in.rd, pc_ + 4);
+        next_pc = rs;
+        break;
+      case Op::kHalt:
+        result.halted = true;
+        return result;
+
+      case Op::kAddi: set(in.rt, rs + static_cast<std::uint32_t>(in.imm)); break;
+      case Op::kSlti:
+        set(in.rt, static_cast<std::int32_t>(rs) < in.imm ? 1 : 0);
+        break;
+      case Op::kSltiu:
+        set(in.rt, rs < static_cast<std::uint32_t>(in.imm) ? 1 : 0);
+        break;
+      case Op::kAndi: set(in.rt, rs & static_cast<std::uint32_t>(in.imm)); break;
+      case Op::kOri: set(in.rt, rs | static_cast<std::uint32_t>(in.imm)); break;
+      case Op::kXori: set(in.rt, rs ^ static_cast<std::uint32_t>(in.imm)); break;
+      case Op::kLui: set(in.rt, static_cast<std::uint32_t>(in.imm) << 16); break;
+
+      case Op::kBeq:
+        if (rs == rt) next_pc = pc_ + 4 + (static_cast<std::uint32_t>(in.imm) << 2);
+        break;
+      case Op::kBne:
+        if (rs != rt) next_pc = pc_ + 4 + (static_cast<std::uint32_t>(in.imm) << 2);
+        break;
+      case Op::kBlt:
+        if (static_cast<std::int32_t>(rs) < static_cast<std::int32_t>(rt)) {
+          next_pc = pc_ + 4 + (static_cast<std::uint32_t>(in.imm) << 2);
+        }
+        break;
+      case Op::kBge:
+        if (static_cast<std::int32_t>(rs) >= static_cast<std::int32_t>(rt)) {
+          next_pc = pc_ + 4 + (static_cast<std::uint32_t>(in.imm) << 2);
+        }
+        break;
+      case Op::kBltu:
+        if (rs < rt) next_pc = pc_ + 4 + (static_cast<std::uint32_t>(in.imm) << 2);
+        break;
+      case Op::kBgeu:
+        if (rs >= rt) next_pc = pc_ + 4 + (static_cast<std::uint32_t>(in.imm) << 2);
+        break;
+
+      case Op::kLb:
+      case Op::kLbu:
+      case Op::kLh:
+      case Op::kLhu:
+      case Op::kLw: {
+        const std::uint32_t addr = rs + static_cast<std::uint32_t>(in.imm);
+        const std::uint32_t bytes = access_bytes(in.op);
+        if (addr % bytes != 0) trap("unaligned load");
+        result.cycles += memory_->dread(addr, bytes);
+        std::uint32_t v = read_mem(addr, bytes);
+        if (in.op == Op::kLb) {
+          v = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+              static_cast<std::int8_t>(v)));
+        } else if (in.op == Op::kLh) {
+          v = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+              static_cast<std::int16_t>(v)));
+        }
+        set(in.rt, v);
+        break;
+      }
+      case Op::kSb:
+      case Op::kSh:
+      case Op::kSw: {
+        const std::uint32_t addr = rs + static_cast<std::uint32_t>(in.imm);
+        const std::uint32_t bytes = access_bytes(in.op);
+        if (addr % bytes != 0) trap("unaligned store");
+        result.cycles += memory_->dwrite(addr, bytes);
+        write_mem(addr, bytes, rt);
+        break;
+      }
+
+      case Op::kJ: next_pc = in.target; break;
+      case Op::kJal:
+        set(kRa, pc_ + 4);
+        next_pc = in.target;
+        break;
+    }
+    pc_ = next_pc;
+  }
+  return result;  // budget exhausted, halted == false
+}
+
+}  // namespace stcache

@@ -1,0 +1,60 @@
+// In-order instruction-set simulator for the stcache ISA.
+//
+// Single-issue, stall-on-miss: every instruction pays its instruction-fetch
+// cycles (1 on an I$ hit), and loads/stores additionally pay their data
+// access cycles. This is the standard embedded-core timing model the
+// paper's energy equations assume (the stall cycles show up as E_uP_stall).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/isa.hpp"
+#include "sim/memory_system.hpp"
+
+namespace stcache {
+
+struct RunResult {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  bool halted = false;  // false => instruction budget exhausted
+};
+
+class Cpu {
+ public:
+  // Loads `program` into a fresh flat memory image of `mem_bytes` bytes
+  // (power of two). The stack pointer starts at the top of memory.
+  Cpu(const Program& program, MemorySystem& memory,
+      std::uint32_t mem_bytes = 1u << 22);
+
+  // Execute until halt or until `max_instructions` have retired.
+  RunResult run(std::uint64_t max_instructions = 1ull << 32);
+
+  // --- state inspection (tests, self-check harness) ------------------------
+  std::uint32_t reg(std::uint8_t r) const;
+  void set_reg(std::uint8_t r, std::uint32_t value);
+  std::uint32_t pc() const { return pc_; }
+  std::uint32_t load_word(std::uint32_t addr) const;
+  std::uint8_t load_byte(std::uint32_t addr) const { return mem_at(addr); }
+  void store_word(std::uint32_t addr, std::uint32_t value);
+  std::uint32_t mem_bytes() const { return static_cast<std::uint32_t>(mem_.size()); }
+
+ private:
+  std::uint8_t mem_at(std::uint32_t addr) const;
+  std::uint32_t read_mem(std::uint32_t addr, std::uint32_t bytes) const;
+  void write_mem(std::uint32_t addr, std::uint32_t bytes, std::uint32_t value);
+  const Instr& fetch_decoded(std::uint32_t addr);
+
+  [[noreturn]] void trap(const std::string& what) const;
+
+  std::vector<std::uint8_t> mem_;
+  std::vector<Instr> decode_cache_;
+  std::vector<bool> decode_valid_;
+  std::uint32_t text_end_ = 0;  // stores below this address are rejected
+  std::uint32_t regs_[kNumRegs] = {};
+  std::uint32_t pc_ = 0;
+  MemorySystem* memory_;
+};
+
+}  // namespace stcache

@@ -1,0 +1,33 @@
+// Interface between the CPU model and the memory hierarchy.
+//
+// The CPU is purely functional against a flat memory image; the
+// MemorySystem only observes the *address stream* and returns the cycle
+// cost of each access. This mirrors how the paper uses SimpleScalar: the
+// simulator supplies per-configuration access and miss counts, nothing
+// else.
+#pragma once
+
+#include <cstdint>
+
+namespace stcache {
+
+class MemorySystem {
+ public:
+  virtual ~MemorySystem() = default;
+
+  // Each returns the number of cycles the access takes (>= 1).
+  virtual std::uint32_t ifetch(std::uint32_t addr) = 0;
+  virtual std::uint32_t dread(std::uint32_t addr, std::uint32_t bytes) = 0;
+  virtual std::uint32_t dwrite(std::uint32_t addr, std::uint32_t bytes) = 0;
+};
+
+// Idealized memory: every access takes one cycle. Used for functional
+// testing of workloads and for fast trace-free runs.
+class PerfectMemory final : public MemorySystem {
+ public:
+  std::uint32_t ifetch(std::uint32_t) override { return 1; }
+  std::uint32_t dread(std::uint32_t, std::uint32_t) override { return 1; }
+  std::uint32_t dwrite(std::uint32_t, std::uint32_t) override { return 1; }
+};
+
+}  // namespace stcache

@@ -1,0 +1,70 @@
+// Complete simulated system: CPU + split configurable I$/D$ + off-chip
+// memory timing — the platform of the paper's Figure 1 (minus the tuner,
+// which lives in core/ and attaches through the stats/reconfigure API the
+// way the hardware tuner attaches through counter and configuration
+// registers).
+#pragma once
+
+#include <cstdint>
+
+#include "cache/config.hpp"
+#include "cache/configurable_cache.hpp"
+#include "sim/memory_system.hpp"
+
+namespace stcache {
+
+class SplitCacheSystem final : public MemorySystem {
+ public:
+  // Platform options beyond the tuned parameters: the data cache's write
+  // policy and optional victim buffers on either side (instruction caches
+  // are read-only, so their write policy is irrelevant and fixed).
+  struct Options {
+    WritePolicy dcache_write_policy = WritePolicy::kWriteBack;
+    std::uint32_t icache_victim_entries = 0;
+    std::uint32_t dcache_victim_entries = 0;
+  };
+
+  SplitCacheSystem(const CacheConfig& icfg, const CacheConfig& dcfg,
+                   TimingParams timing, Options options)
+      : icache_(icfg, timing, WritePolicy::kWriteBack,
+                options.icache_victim_entries),
+        dcache_(dcfg, timing, options.dcache_write_policy,
+                options.dcache_victim_entries) {}
+
+  // (Options cannot be a default argument of the constructor above while
+  // the enclosing class is still incomplete, hence the delegation.)
+  SplitCacheSystem(const CacheConfig& icfg, const CacheConfig& dcfg,
+                   TimingParams timing = {})
+      : SplitCacheSystem(icfg, dcfg, timing, Options{}) {}
+
+  std::uint32_t ifetch(std::uint32_t addr) override {
+    const auto cycles = icache_.access(addr, false).cycles;
+    total_cycles_ += cycles;
+    return cycles;
+  }
+  std::uint32_t dread(std::uint32_t addr, std::uint32_t) override {
+    const auto cycles = dcache_.access(addr, false).cycles;
+    total_cycles_ += cycles;
+    return cycles;
+  }
+  std::uint32_t dwrite(std::uint32_t addr, std::uint32_t bytes) override {
+    const auto cycles = dcache_.access(addr, true, bytes).cycles;
+    total_cycles_ += cycles;
+    return cycles;
+  }
+
+  ConfigurableCache& icache() { return icache_; }
+  ConfigurableCache& dcache() { return dcache_; }
+  const ConfigurableCache& icache() const { return icache_; }
+  const ConfigurableCache& dcache() const { return dcache_; }
+
+  // Cycles spent in the memory system since construction (both caches).
+  std::uint64_t total_cycles() const { return total_cycles_; }
+
+ private:
+  ConfigurableCache icache_;
+  ConfigurableCache dcache_;
+  std::uint64_t total_cycles_ = 0;
+};
+
+}  // namespace stcache

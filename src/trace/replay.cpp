@@ -1,0 +1,35 @@
+#include "trace/replay.hpp"
+
+namespace stcache {
+
+CacheStats replay(ConfigurableCache& cache, std::span<const TraceRecord> stream) {
+  const CacheStats before = cache.stats();
+  for (const TraceRecord& r : stream) {
+    cache.access(r.addr, r.kind == AccessKind::kWrite);
+  }
+  return cache.stats() - before;
+}
+
+CacheStats replay(CacheModel& cache, std::span<const TraceRecord> stream) {
+  const CacheStats before = cache.stats();
+  for (const TraceRecord& r : stream) {
+    cache.access(r.addr, r.kind == AccessKind::kWrite);
+  }
+  return cache.stats() - before;
+}
+
+CacheStats measure_config(const CacheConfig& cfg,
+                          std::span<const TraceRecord> stream,
+                          const TimingParams& timing) {
+  ConfigurableCache cache(cfg, timing);
+  return replay(cache, stream);
+}
+
+CacheStats measure_geometry(const CacheGeometry& g,
+                            std::span<const TraceRecord> stream,
+                            const TimingParams& timing) {
+  CacheModel cache(g, timing);
+  return replay(cache, stream);
+}
+
+}  // namespace stcache

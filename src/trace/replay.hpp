@@ -1,0 +1,31 @@
+// Replay drivers: feed a captured address stream through a cache model and
+// collect the CacheStats that Equation 1 consumes.
+#pragma once
+
+#include <span>
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+#include "cache/configurable_cache.hpp"
+#include "trace/trace.hpp"
+
+namespace stcache {
+
+// Replay `stream` through an existing cache (state and stats accumulate;
+// callers that want a cold run construct a fresh cache). Returns the stats
+// delta contributed by this replay.
+CacheStats replay(ConfigurableCache& cache, std::span<const TraceRecord> stream);
+CacheStats replay(CacheModel& cache, std::span<const TraceRecord> stream);
+
+// Cold-start evaluation of one configuration against one stream: construct
+// a fresh cache, replay, return its stats. This is the paper's
+// per-configuration measurement primitive.
+CacheStats measure_config(const CacheConfig& cfg,
+                          std::span<const TraceRecord> stream,
+                          const TimingParams& timing = {});
+
+CacheStats measure_geometry(const CacheGeometry& g,
+                            std::span<const TraceRecord> stream,
+                            const TimingParams& timing = {});
+
+}  // namespace stcache

@@ -1,0 +1,32 @@
+#include "trace/trace.hpp"
+
+#include <unordered_set>
+
+namespace stcache {
+
+SplitTrace split_trace(const Trace& combined) {
+  SplitTrace out;
+  for (const TraceRecord& r : combined) {
+    if (r.kind == AccessKind::kIFetch) out.ifetch.push_back(r);
+    else out.data.push_back(r);
+  }
+  return out;
+}
+
+TraceSummary summarize(std::span<const TraceRecord> trace) {
+  TraceSummary s;
+  std::unordered_set<std::uint32_t> blocks;
+  for (const TraceRecord& r : trace) {
+    ++s.accesses;
+    switch (r.kind) {
+      case AccessKind::kIFetch: ++s.ifetches; break;
+      case AccessKind::kRead: ++s.reads; break;
+      case AccessKind::kWrite: ++s.writes; break;
+    }
+    blocks.insert(r.addr >> 4);
+  }
+  s.unique_blocks = blocks.size();
+  return s;
+}
+
+}  // namespace stcache

@@ -1,0 +1,75 @@
+// Memory-access traces.
+//
+// A Trace is the bridge between the ISS and the cache experiments: each
+// workload is executed once to capture its instruction-fetch and data
+// address streams, and the streams are then replayed through any number of
+// cache configurations (27 per cache for the exhaustive baseline). This is
+// exactly the methodology of the paper, which runs SimpleScalar per
+// benchmark and evaluates all configurations from the resulting behavior.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/memory_system.hpp"
+
+namespace stcache {
+
+enum class AccessKind : std::uint8_t { kIFetch = 0, kRead = 1, kWrite = 2 };
+
+struct TraceRecord {
+  std::uint32_t addr = 0;
+  AccessKind kind = AccessKind::kIFetch;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+using Trace = std::vector<TraceRecord>;
+
+// A MemorySystem that records the address stream. Accesses cost one cycle
+// each: trace capture is timing-independent (replay applies the timing).
+class TracingMemory final : public MemorySystem {
+ public:
+  std::uint32_t ifetch(std::uint32_t addr) override {
+    trace_.push_back({addr, AccessKind::kIFetch});
+    return 1;
+  }
+  std::uint32_t dread(std::uint32_t addr, std::uint32_t) override {
+    trace_.push_back({addr, AccessKind::kRead});
+    return 1;
+  }
+  std::uint32_t dwrite(std::uint32_t addr, std::uint32_t) override {
+    trace_.push_back({addr, AccessKind::kWrite});
+    return 1;
+  }
+
+  const Trace& trace() const { return trace_; }
+  Trace take() { return std::move(trace_); }
+  void reserve(std::size_t n) { trace_.reserve(n); }
+
+ private:
+  Trace trace_;
+};
+
+// Split a combined trace into the instruction stream and the data stream
+// (the paper tunes I$ and D$ independently).
+struct SplitTrace {
+  Trace ifetch;
+  Trace data;
+};
+SplitTrace split_trace(const Trace& combined);
+
+// --- summary statistics -----------------------------------------------------
+struct TraceSummary {
+  std::uint64_t accesses = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t ifetches = 0;
+  // Distinct 16 B blocks touched (the working-set footprint in bytes is
+  // 16 * unique_blocks).
+  std::uint64_t unique_blocks = 0;
+};
+TraceSummary summarize(std::span<const TraceRecord> trace);
+
+}  // namespace stcache

@@ -1,0 +1,125 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+namespace {
+
+constexpr std::size_t kRecordBytes = 5;
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  char buf[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  os.write(buf, 4);
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  put_u32(os, static_cast<std::uint32_t>(v));
+  put_u32(os, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  unsigned char buf[4];
+  is.read(reinterpret_cast<char*>(buf), 4);
+  if (!is) fail("trace read: unexpected end of stream");
+  return static_cast<std::uint32_t>(buf[0]) |
+         (static_cast<std::uint32_t>(buf[1]) << 8) |
+         (static_cast<std::uint32_t>(buf[2]) << 16) |
+         (static_cast<std::uint32_t>(buf[3]) << 24);
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  const std::uint64_t lo = get_u32(is);
+  const std::uint64_t hi = get_u32(is);
+  return lo | (hi << 32);
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os.write(kTraceMagic, 4);
+  put_u32(os, kTraceFormatVersion);
+  put_u64(os, trace.size());
+  // Buffered record emission to keep this fast for multi-million-record
+  // traces.
+  std::vector<char> buffer;
+  buffer.reserve(1 << 16);
+  for (const TraceRecord& r : trace) {
+    buffer.push_back(static_cast<char>(r.kind));
+    buffer.push_back(static_cast<char>(r.addr));
+    buffer.push_back(static_cast<char>(r.addr >> 8));
+    buffer.push_back(static_cast<char>(r.addr >> 16));
+    buffer.push_back(static_cast<char>(r.addr >> 24));
+    if (buffer.size() + kRecordBytes > buffer.capacity()) {
+      os.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      buffer.clear();
+    }
+  }
+  os.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  if (!os) fail("trace write: stream failure");
+}
+
+Trace read_trace(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kTraceMagic, 4) != 0) {
+    fail("trace read: bad magic (not an STCT trace)");
+  }
+  const std::uint32_t version = get_u32(is);
+  if (version != kTraceFormatVersion) {
+    fail("trace read: unsupported format version " + std::to_string(version));
+  }
+  const std::uint64_t count = get_u64(is);
+  // Guard against absurd counts before allocating.
+  if (count > (1ull << 32)) fail("trace read: implausible record count");
+
+  Trace trace;
+  trace.reserve(count);
+  std::vector<unsigned char> buffer(kRecordBytes * 4096);
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    const std::uint64_t batch =
+        remaining < 4096 ? remaining : static_cast<std::uint64_t>(4096);
+    is.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(batch * kRecordBytes));
+    if (!is) fail("trace read: truncated record section");
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      const unsigned char* p = &buffer[i * kRecordBytes];
+      if (p[0] > static_cast<unsigned char>(AccessKind::kWrite)) {
+        fail("trace read: invalid access kind " + std::to_string(p[0]));
+      }
+      TraceRecord r;
+      r.kind = static_cast<AccessKind>(p[0]);
+      r.addr = static_cast<std::uint32_t>(p[1]) |
+               (static_cast<std::uint32_t>(p[2]) << 8) |
+               (static_cast<std::uint32_t>(p[3]) << 16) |
+               (static_cast<std::uint32_t>(p[4]) << 24);
+      trace.push_back(r);
+    }
+    remaining -= batch;
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const Trace& trace) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) fail("save_trace: cannot open '" + path + "' for writing");
+  write_trace(os, trace);
+  os.flush();
+  if (!os) fail("save_trace: write to '" + path + "' failed");
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail("load_trace: cannot open '" + path + "'");
+  return read_trace(is);
+}
+
+}  // namespace stcache

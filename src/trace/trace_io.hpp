@@ -1,0 +1,34 @@
+// Binary trace file format ("STCT"): capture once, tune anywhere.
+//
+// Layout (little-endian):
+//   offset 0   char[4]   magic "STCT"
+//   offset 4   u32       format version (currently 1)
+//   offset 8   u64       record count
+//   offset 16  records   5 bytes each: u8 kind (AccessKind), u32 address
+//
+// The format is deliberately dense (5 B/record): a 2 M-access kernel trace
+// is ~10 MB. Readers validate the magic, version, and record count against
+// the file size and reject malformed kinds, so a truncated or corrupted
+// file fails loudly instead of producing silently wrong experiments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace stcache {
+
+inline constexpr char kTraceMagic[4] = {'S', 'T', 'C', 'T'};
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+// Stream-level primitives.
+void write_trace(std::ostream& os, const Trace& trace);
+Trace read_trace(std::istream& is);
+
+// File-level convenience; throws stcache::Error on any I/O or format
+// problem, with the path in the message.
+void save_trace(const std::string& path, const Trace& trace);
+Trace load_trace(const std::string& path);
+
+}  // namespace stcache

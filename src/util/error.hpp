@@ -1,0 +1,34 @@
+// Common error type for the stcache library.
+//
+// All library components throw stcache::Error (a std::runtime_error) on
+// precondition violations and unrecoverable conditions; assertions that
+// indicate internal logic bugs use STC_ASSERT which throws as well so that
+// tests can observe them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stcache {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& message) {
+  throw Error(message);
+}
+
+}  // namespace stcache
+
+// Internal-invariant check; active in all build types because the library's
+// correctness claims (flushless reconfiguration, tag coherence) are the
+// point of the reproduction.
+#define STC_ASSERT(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::stcache::fail(std::string("assertion failed: ") + (msg) + " [" +   \
+                      __FILE__ + ":" + std::to_string(__LINE__) + "]");    \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,27 @@
+#include "util/fixed_point.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace stcache {
+
+U16 quantize16(double value, double units_per_lsb) {
+  if (!(units_per_lsb > 0.0)) {
+    fail("quantize16: units_per_lsb must be positive");
+  }
+  if (!(value >= 0.0)) {
+    fail("quantize16: value must be non-negative, got " + std::to_string(value));
+  }
+  double raw = std::round(value / units_per_lsb);
+  if (raw > static_cast<double>(U16::max_raw())) {
+    fail("quantize16: value " + std::to_string(value) +
+         " does not fit in 16 bits at scale " + std::to_string(units_per_lsb));
+  }
+  return U16::from_raw(static_cast<std::uint64_t>(raw));
+}
+
+double dequantize(std::uint64_t raw, double units_per_lsb) {
+  return static_cast<double>(raw) * units_per_lsb;
+}
+
+}  // namespace stcache

@@ -1,0 +1,91 @@
+// Fixed-point arithmetic matching the cache tuner's hardware datapath.
+//
+// The paper's tuner (Section 3.5) stores per-configuration energy constants
+// in fifteen 16-bit registers and accumulates energy results in two 32-bit
+// registers, using a single adder and a single (slow, sequential)
+// multiplier. We model that arithmetic exactly so the FSMD tuner can be
+// validated against the behavioural (double-precision) heuristic, and so we
+// can quantify the decision error introduced by quantization — one of the
+// ablations DESIGN.md calls out.
+//
+// Representation: unsigned Q-format. A UFixed<W> holds a W-bit magnitude; a
+// separate scale (picojoules per LSB, cycles per LSB, ...) is carried by
+// the caller. Multiplication of 16x32 -> 32 bits mirrors the datapath
+// multiplier. Saturation mirrors what a careful RTL implementation would do
+// (and the tests assert the experiments never actually saturate).
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+// Unsigned saturating fixed-point value of Width bits (1 <= Width <= 63).
+template <unsigned Width>
+class UFixed {
+  static_assert(Width >= 1 && Width <= 63, "width out of range");
+
+ public:
+  static constexpr std::uint64_t max_raw() { return (1ULL << Width) - 1; }
+
+  constexpr UFixed() = default;
+
+  // Saturating construction from a raw integer.
+  static constexpr UFixed from_raw(std::uint64_t raw) {
+    UFixed v;
+    v.saturated_ = raw > max_raw();
+    v.raw_ = v.saturated_ ? max_raw() : raw;
+    return v;
+  }
+
+  static constexpr UFixed saturated_max() {
+    UFixed v;
+    v.raw_ = max_raw();
+    v.saturated_ = true;
+    return v;
+  }
+
+  constexpr std::uint64_t raw() const { return raw_; }
+  constexpr bool saturated() const { return saturated_; }
+
+  // Saturating add (the datapath's adder). Saturation is sticky.
+  friend constexpr UFixed operator+(UFixed a, UFixed b) {
+    UFixed v = from_raw(a.raw_ + b.raw_);  // cannot wrap uint64 for Width<=63
+    v.saturated_ = v.saturated_ || a.saturated_ || b.saturated_;
+    return v;
+  }
+
+  friend constexpr bool operator<(UFixed a, UFixed b) { return a.raw_ < b.raw_; }
+  friend constexpr bool operator==(UFixed a, UFixed b) { return a.raw_ == b.raw_; }
+
+ private:
+  std::uint64_t raw_ = 0;
+  bool saturated_ = false;
+};
+
+using U16 = UFixed<16>;
+using U32 = UFixed<32>;
+
+// 16 x 32 -> 32-bit saturating multiply: the tuner multiplies a 16-bit
+// energy constant by a 32-bit event count. A real sequential multiplier
+// produces the full 48-bit product; the datapath keeps the low 32 bits and
+// raises a (sticky) saturation flag if the high bits are nonzero.
+inline U32 mul_16x32(U16 constant, U32 count) {
+  std::uint64_t product = constant.raw() * count.raw();  // <= 48 bits
+  if (product > U32::max_raw() || constant.saturated() || count.saturated()) {
+    return U32::saturated_max();
+  }
+  return U32::from_raw(product);
+}
+
+// Quantize a physical quantity (e.g. picojoules) to a 16-bit register given
+// a scale (physical units per LSB). Rounds to nearest; throws if the value
+// does not fit, because a constant that cannot be represented means the
+// chosen scale is wrong (a design error, not a runtime condition).
+U16 quantize16(double value, double units_per_lsb);
+
+// Dequantize back to physical units.
+double dequantize(std::uint64_t raw, double units_per_lsb);
+
+}  // namespace stcache

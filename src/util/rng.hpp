@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation for workload inputs,
+// synthetic traces, and property tests.
+//
+// We use splitmix64: tiny, fast, and with well-understood statistical
+// quality for this purpose. Determinism across platforms matters more than
+// cryptographic strength — every experiment in EXPERIMENTS.md must be
+// exactly reproducible from a seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace stcache {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  // Next 64 uniformly distributed bits.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // bounds used here (all << 2^32).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli draw with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  // Geometric-ish run length in [1, max_len] with mean roughly `mean`.
+  std::uint32_t next_run_length(double mean, std::uint32_t max_len) {
+    double u = next_double();
+    // Inverse CDF of geometric with success prob 1/mean.
+    double p = 1.0 / mean;
+    auto len = static_cast<std::uint32_t>(1.0 + (u == 0.0 ? 0.0 : -std::log(1.0 - u) / p));
+    if (len < 1) len = 1;
+    if (len > max_len) len = max_len;
+    return len;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace stcache

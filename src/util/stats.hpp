@@ -1,0 +1,72 @@
+// Small statistics accumulators used across experiments.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+// Running mean / min / max / count over double samples.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    sum_ += x;
+    sum_sq_ += x * x;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    if (count_ == 0) fail("RunningStats::mean on empty accumulator");
+    return sum_ / static_cast<double>(count_);
+  }
+  double min() const {
+    if (count_ == 0) fail("RunningStats::min on empty accumulator");
+    return min_;
+  }
+  double max() const {
+    if (count_ == 0) fail("RunningStats::max on empty accumulator");
+    return max_;
+  }
+  // Population variance / stddev.
+  double variance() const {
+    double m = mean();
+    return sum_sq_ / static_cast<double>(count_) - m * m;
+  }
+  double stddev() const { return std::sqrt(std::max(0.0, variance())); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Geometric mean over strictly positive samples (standard for normalized
+// energy/speedup ratios).
+class GeoMean {
+ public:
+  void add(double x) {
+    if (!(x > 0.0)) fail("GeoMean::add requires positive samples");
+    log_sum_ += std::log(x);
+    ++count_;
+  }
+  std::uint64_t count() const { return count_; }
+  double value() const {
+    if (count_ == 0) fail("GeoMean::value on empty accumulator");
+    return std::exp(log_sum_ / static_cast<double>(count_));
+  }
+
+ private:
+  double log_sum_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace stcache

@@ -1,0 +1,110 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  }
+  // Heuristic: at least half the characters are digits, and it starts with
+  // a digit, sign, or dot.
+  char first = s.front();
+  return (std::isdigit(static_cast<unsigned char>(first)) || first == '-' ||
+          first == '+' || first == '.') &&
+         digits * 2 >= s.size();
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) fail("Table: at least one column required");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    fail("Table::add_row: expected " + std::to_string(headers_.size()) +
+         " cells, got " + std::to_string(cells.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_cell = [&](const std::string& cell, std::size_t width, bool right) {
+    std::size_t pad = width - cell.size();
+    if (right) os << std::string(pad, ' ') << cell;
+    else os << cell << std::string(pad, ' ');
+  };
+
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << "  ";
+    emit_cell(headers_[c], widths[c], false);
+  }
+  os << '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << "  ";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      emit_cell(row[c], widths[c], looks_numeric(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_si_energy(double joules) {
+  struct Unit {
+    double scale;
+    const char* name;
+  };
+  static constexpr Unit kUnits[] = {
+      {1.0, "J"},     {1e-3, "mJ"}, {1e-6, "uJ"},
+      {1e-9, "nJ"},   {1e-12, "pJ"},
+  };
+  for (const Unit& u : kUnits) {
+    if (std::fabs(joules) >= u.scale || &u == &kUnits[4]) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.3f %s", joules / u.scale, u.name);
+      return buf;
+    }
+  }
+  return "0 J";
+}
+
+}  // namespace stcache

@@ -1,0 +1,39 @@
+// Plain-text table printer for the experiment harnesses in bench/.
+//
+// Every bench binary regenerates one of the paper's tables or figures as an
+// aligned ASCII table (figures are emitted as the data series behind them),
+// so the output can be diffed across runs and pasted into EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stcache {
+
+class Table {
+ public:
+  // Column headers define the table width.
+  explicit Table(std::vector<std::string> headers);
+
+  // Add a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Render with column alignment. Numeric-looking cells are right-aligned,
+  // everything else left-aligned.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers shared by the bench binaries.
+std::string fmt_double(double v, int precision);
+std::string fmt_percent(double fraction, int precision = 1);  // 0.45 -> "45.0%"
+std::string fmt_si_energy(double joules);  // 1.2e-3 -> "1.200 mJ"
+
+}  // namespace stcache

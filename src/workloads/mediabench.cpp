@@ -1,0 +1,1474 @@
+// MediaBench-like kernels: jpeg (unrolled 8x8 DCT), pjpeg (table-driven
+// progressive scans), epic (wavelet pyramid), g721 (branchy two-channel
+// predictive codec), pegwit (bignum modular exponentiation), mpeg2 (block
+// motion estimation).
+//
+// Where the assembly is generated programmatically (jpeg's unrolled DCT,
+// g721's channel clones), the C++ reference replicates the generated code
+// exactly — same constants, same evaluation order, same integer widths.
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace stcache {
+
+namespace {
+
+std::uint32_t lcg_fill_bytes(std::vector<std::uint8_t>& out, std::uint32_t seed,
+                             std::size_t bytes) {
+  out.resize(bytes);
+  std::uint32_t x = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    x = lcg_next(x);
+    out[i] = static_cast<std::uint8_t>(x >> 16);
+  }
+  return x;
+}
+
+// The byte-generator loop shared by several kernels ((lcg >> 16) & 0xff).
+std::string gen_bytes_asm(const std::string& label, const std::string& buf,
+                          std::uint32_t count, std::uint32_t seed) {
+  std::string s;
+  s += "        la   t0, " + buf + "\n";
+  s += "        li   t1, " + std::to_string(count) + "\n";
+  s += "        li   t2, " + std::to_string(seed) + "\n";
+  s += "        li   t3, 1103515245\n";
+  s += label + ":  mul  t2, t2, t3\n";
+  s += "        addi t2, t2, 12345\n";
+  s += "        srl  t4, t2, 16\n";
+  s += "        sb   t4, 0(t0)\n";
+  s += "        addi t0, t0, 1\n";
+  s += "        subi t1, t1, 1\n";
+  s += "        bnez t1, " + label + "\n";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Shared integer DCT basis: C[u][x] = round(64 * cos((2x+1) u pi / 16)),
+// except row 0 which uses the orthonormal 45 (= round(64/sqrt(2))).
+// ---------------------------------------------------------------------------
+
+const std::array<std::array<int, 8>, 8>& dct_basis() {
+  static const std::array<std::array<int, 8>, 8> kBasis = [] {
+    std::array<std::array<int, 8>, 8> c{};
+    for (int u = 0; u < 8; ++u) {
+      for (int x = 0; x < 8; ++x) {
+        if (u == 0) {
+          c[u][x] = 45;
+        } else {
+          c[u][x] = static_cast<int>(std::lround(
+              64.0 * std::cos((2 * x + 1) * u * 3.14159265358979323846 / 16.0)));
+        }
+      }
+    }
+    return c;
+  }();
+  return kBasis;
+}
+
+int jpeg_qtab(int i) { return 8 + ((i * 3) & 31); }
+
+// Zigzag scan order of an 8x8 block (shared by the jpeg and pjpeg
+// entropy/progressive stages).
+const std::array<int, 64>& zigzag_order() {
+  static const std::array<int, 64> kZigzag = [] {
+    std::array<int, 64> z{};
+    int idx = 0;
+    for (int d = 0; d < 15; ++d) {
+      if (d % 2 == 0) {
+        for (int y = std::min(d, 7); y >= 0 && d - y <= 7; --y) z[idx++] = y * 8 + (d - y);
+      } else {
+        for (int x = std::min(d, 7); x >= 0 && d - x <= 7; --x) z[idx++] = (d - x) * 8 + x;
+      }
+    }
+    return z;
+  }();
+  return kZigzag;
+}
+
+
+// ---------------------------------------------------------------------------
+// jpeg: 8x8 blocks of a 64x64 image through a fully unrolled separable
+// integer DCT plus quantization. The unrolled transforms give jpeg the
+// multi-kilobyte instruction footprint Table 1 shows.
+// ---------------------------------------------------------------------------
+
+std::uint32_t jpeg_reference() {
+  std::vector<std::uint8_t> img;
+  lcg_fill_bytes(img, 9, 64 * 64);
+  const auto& c = dct_basis();
+  const auto& zz = zigzag_order();
+  std::uint32_t checksum = 0;
+  std::uint32_t out_bytes = 0;  // entropy-coded stream length
+
+  for (int by = 0; by < 64; by += 8) {
+    for (int bx = 0; bx < 64; bx += 8) {
+      std::int32_t in[64], tmp[64], out[64], q[64];
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          in[y * 8 + x] = img[(by + y) * 64 + bx + x];
+        }
+      }
+      for (int r = 0; r < 8; ++r) {        // row transform
+        for (int u = 0; u < 8; ++u) {
+          std::int32_t acc = 0;
+          for (int x = 0; x < 8; ++x) acc += in[r * 8 + x] * c[u][x];
+          tmp[r * 8 + u] = acc >> 6;
+        }
+      }
+      for (int col = 0; col < 8; ++col) {  // column transform
+        for (int u = 0; u < 8; ++u) {
+          std::int32_t acc = 0;
+          for (int x = 0; x < 8; ++x) acc += tmp[x * 8 + col] * c[u][x];
+          out[u * 8 + col] = acc >> 6;
+        }
+      }
+      for (int i = 0; i < 64; ++i) {
+        q[i] = out[i] / jpeg_qtab(i);  // trunc toward zero
+        checksum += static_cast<std::uint32_t>(q[i]) * static_cast<std::uint32_t>(i + 1);
+      }
+      // Entropy stage: zigzag scan with (run, category) symbol emission —
+      // the run-length/category structure of a baseline JPEG encoder, with
+      // the Huffman table replaced by direct byte emission.
+      std::uint32_t run = 0;
+      for (int i = 0; i < 64; ++i) {
+        const std::int32_t v = q[zz[i]];
+        if (v == 0) {
+          ++run;
+          continue;
+        }
+        std::uint32_t mag = static_cast<std::uint32_t>(v < 0 ? -v : v);
+        std::uint32_t cat = 0;
+        while (mag != 0) {
+          ++cat;
+          mag >>= 1;
+        }
+        const auto sym = static_cast<std::uint8_t>((run << 4) | (cat & 0xF));
+        const auto low = static_cast<std::uint8_t>(v);
+        checksum += sym;
+        checksum += low;
+        out_bytes += 2;
+        run = 0;
+      }
+      checksum += run;  // end-of-block: trailing zero count
+      ++out_bytes;
+    }
+  }
+  return checksum + out_bytes * 7u;
+}
+
+// Emit a fully unrolled 8-point DCT function: reads 8 words at a0 with
+// byte stride `in_stride`, writes 8 words at a1 with stride `out_stride`.
+std::string unrolled_dct_fn(const std::string& name, int in_stride,
+                            int out_stride) {
+  const auto& c = dct_basis();
+  std::string s = name + ":\n";
+  for (int u = 0; u < 8; ++u) {
+    s += "        li   t4, 0\n";
+    for (int x = 0; x < 8; ++x) {
+      const int k = c[u][x];
+      s += "        lw   t0, " + std::to_string(x * in_stride) + "(a0)\n";
+      if (k == 0) continue;
+      s += "        li   t1, " + std::to_string(k) + "\n";
+      s += "        mul  t0, t0, t1\n";
+      s += "        add  t4, t4, t0\n";
+    }
+    s += "        sra  t4, t4, 6\n";
+    s += "        sw   t4, " + std::to_string(u * out_stride) + "(a1)\n";
+  }
+  s += "        ret\n\n";
+  return s;
+}
+
+std::string jpeg_source() {
+  std::string s;
+  s += "# jpeg: 8x8 unrolled integer DCT + quantization over a 64x64 image.\n";
+  s += "        .text\n";
+  s += "main:\n";
+  s += gen_bytes_asm("geni", "img", 64 * 64, 9);
+  s += "        li   s0, 0\n";        // checksum
+  s += "        la   s6, jout\n";     // entropy output cursor
+  s += "        li   s7, 0\n";        // entropy byte count
+  s += "        li   s1, 0\n";        // by
+  s += "blky:   li   s2, 0\n";        // bx
+  s += "blkx:\n";
+  // load block: in[y*8+x] = img[(by+y)*64 + bx+x]
+  s += "        la   t5, img\n";
+  s += "        sll  t6, s1, 6\n";    // by*64
+  s += "        add  t5, t5, t6\n";
+  s += "        add  t5, t5, s2\n";   // &img[by][bx]
+  s += "        la   t6, blkin\n";
+  s += "        li   t7, 8\n";
+  s += "ldrow:  li   t8, 8\n";
+  s += "        move t9, t5\n";
+  s += "ldpix:  lbu  t0, 0(t9)\n";
+  s += "        sw   t0, 0(t6)\n";
+  s += "        addi t9, t9, 1\n";
+  s += "        addi t6, t6, 4\n";
+  s += "        subi t8, t8, 1\n";
+  s += "        bnez t8, ldpix\n";
+  s += "        addi t5, t5, 64\n";
+  s += "        subi t7, t7, 1\n";
+  s += "        bnez t7, ldrow\n";
+  // row transforms
+  s += "        la   a0, blkin\n";
+  s += "        la   a1, blktmp\n";
+  s += "        li   s3, 8\n";
+  s += "rowt:   jal  dct_row\n";
+  s += "        addi a0, a0, 32\n";
+  s += "        addi a1, a1, 32\n";
+  s += "        subi s3, s3, 1\n";
+  s += "        bnez s3, rowt\n";
+  // column transforms
+  s += "        la   a0, blktmp\n";
+  s += "        la   a1, blkout\n";
+  s += "        li   s3, 8\n";
+  s += "colt:   jal  dct_col\n";
+  s += "        addi a0, a0, 4\n";
+  s += "        addi a1, a1, 4\n";
+  s += "        subi s3, s3, 1\n";
+  s += "        bnez s3, colt\n";
+  // quantize + checksum (quantized coefficients kept for the entropy pass)
+  s += "        la   t5, blkout\n";
+  s += "        la   t6, qtab\n";
+  s += "        la   t9, blkq\n";
+  s += "        li   t7, 0\n";        // i
+  s += "        li   t8, 64\n";
+  s += "quant:  lw   t0, 0(t5)\n";
+  s += "        lw   t1, 0(t6)\n";
+  s += "        div  t0, t0, t1\n";
+  s += "        sw   t0, 0(t9)\n";
+  s += "        addi t2, t7, 1\n";
+  s += "        mul  t0, t0, t2\n";
+  s += "        add  s0, s0, t0\n";
+  s += "        addi t5, t5, 4\n";
+  s += "        addi t6, t6, 4\n";
+  s += "        addi t9, t9, 4\n";
+  s += "        addi t7, t7, 1\n";
+  s += "        bne  t7, t8, quant\n";
+  // entropy stage: zigzag (run, category) symbols into the output stream.
+  // s6 = output cursor (persists across blocks), s7 = running byte count.
+  s += "        la   t7, zigzag\n";
+  s += "        li   t8, 0\n";        // i
+  s += "        li   t9, 0\n";        // zero run
+  s += "ezz:    lw   t0, 0(t7)\n";
+  s += "        sll  t0, t0, 2\n";
+  s += "        la   t1, blkq\n";
+  s += "        add  t0, t0, t1\n";
+  s += "        lw   t0, 0(t0)\n";    // v = q[zz[i]]
+  s += "        bnez t0, envz\n";
+  s += "        addi t9, t9, 1\n";
+  s += "        b    eznext\n";
+  s += "envz:   move t2, t0\n";       // |v|
+  s += "        bge  t2, zero, emag\n";
+  s += "        neg  t2, t2\n";
+  s += "emag:   li   t3, 0\n";        // category
+  s += "ecat:   beqz t2, ecatd\n";
+  s += "        addi t3, t3, 1\n";
+  s += "        srl  t2, t2, 1\n";
+  s += "        b    ecat\n";
+  s += "ecatd:  sll  t4, t9, 4\n";
+  s += "        andi t3, t3, 0xF\n";
+  s += "        or   t4, t4, t3\n";   // sym = run<<4 | cat
+  s += "        sb   t4, 0(s6)\n";    // symbol byte
+  s += "        sb   t0, 1(s6)\n";    // low byte of v
+  s += "        andi t4, t4, 0xFF\n";
+  s += "        add  s0, s0, t4\n";
+  s += "        andi t0, t0, 0xFF\n";
+  s += "        add  s0, s0, t0\n";
+  s += "        addi s6, s6, 2\n";
+  s += "        addi s7, s7, 2\n";
+  s += "        li   t9, 0\n";
+  s += "eznext: addi t7, t7, 4\n";
+  s += "        addi t8, t8, 1\n";
+  s += "        li   t0, 64\n";
+  s += "        bne  t8, t0, ezz\n";
+  s += "        add  s0, s0, t9\n";   // end-of-block trailing-zero count
+  s += "        addi s7, s7, 1\n";
+  // next block
+  s += "        addi s2, s2, 8\n";
+  s += "        li   t0, 64\n";
+  s += "        bne  s2, t0, blkx\n";
+  s += "        addi s1, s1, 8\n";
+  s += "        li   t0, 64\n";
+  s += "        bne  s1, t0, blky\n";
+  s += "        li   t0, 7\n";
+  s += "        mul  t1, s7, t0\n";   // checksum += out_bytes * 7
+  s += "        add  s0, s0, t1\n";
+  s += "        move v0, s0\n";
+  s += "        halt\n\n";
+  s += unrolled_dct_fn("dct_row", 4, 4);
+  s += unrolled_dct_fn("dct_col", 32, 32);
+  s += "        .data\n";
+  s += "img:    .space 4096\n";
+  s += "        .space 112\n";  // stagger the block buffers off the image
+  s += "blkin:  .space 256\n";
+  s += "blktmp: .space 256\n";
+  s += "blkout: .space 256\n";
+  s += "blkq:   .space 256\n";
+  s += "jout:   .space 8192\n";
+  s += "qtab:";
+  for (int i = 0; i < 64; ++i) {
+    s += (i % 8 == 0) ? "\n        .word " : ", ";
+    s += std::to_string(jpeg_qtab(i));
+  }
+  s += "\nzigzag:";
+  const auto& zz = zigzag_order();
+  for (int i = 0; i < 64; ++i) {
+    s += (i % 8 == 0) ? "\n        .word " : ", ";
+    s += std::to_string(zz[i]);
+  }
+  s += "\n";
+  return s;
+}
+
+}  // namespace
+
+Workload make_jpeg() {
+  Workload w;
+  w.name = "jpeg";
+  w.suite = "mediabench";
+  w.description = "unrolled 8x8 integer DCT + quantization over a 64x64 image";
+  w.source = jpeg_source();
+  w.expected_checksum = jpeg_reference();
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// pjpeg: table-driven DCT with three progressive quantization scans and
+// zigzag traversal (smaller code than jpeg, heavier table traffic).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint32_t pjpeg_reference() {
+  std::vector<std::uint8_t> img;
+  lcg_fill_bytes(img, 19, 64 * 64);
+  const auto& c = dct_basis();
+  const auto& zz = zigzag_order();
+  std::uint32_t checksum = 0;
+  std::uint32_t bitbuf = 0, bitcount = 0, packed_bytes = 0;
+
+  for (int by = 0; by < 64; by += 8) {
+    for (int bx = 0; bx < 64; bx += 8) {
+      std::int32_t in[64], tmp[64], out[64];
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) in[y * 8 + x] = img[(by + y) * 64 + bx + x];
+      }
+      for (int r = 0; r < 8; ++r) {
+        for (int u = 0; u < 8; ++u) {
+          std::int32_t acc = 0;
+          for (int x = 0; x < 8; ++x) acc += in[r * 8 + x] * c[u][x];
+          tmp[r * 8 + u] = acc >> 6;
+        }
+      }
+      for (int col = 0; col < 8; ++col) {
+        for (int u = 0; u < 8; ++u) {
+          std::int32_t acc = 0;
+          for (int x = 0; x < 8; ++x) acc += tmp[x * 8 + col] * c[u][x];
+          out[u * 8 + col] = acc >> 6;
+        }
+      }
+      // Three progressive scans: successively finer quantization along the
+      // zigzag, counting zero runs and bit-packing each coefficient's
+      // magnitude into the output stream the way a progressive encoder
+      // would.
+      for (int scan = 0; scan < 3; ++scan) {
+        const int shift = 6 - 2 * scan;  // 6, 4, 2
+        std::uint32_t zero_run = 0;
+        for (int i = 0; i < 64; ++i) {
+          const std::int32_t q = out[zz[i]] >> shift;  // arithmetic shift
+          if (q == 0) {
+            ++zero_run;
+          } else {
+            checksum += static_cast<std::uint32_t>(q) + zero_run * 3u;
+            zero_run = 0;
+            // Bit-pack |q| with its own bit length (JPEG category coding).
+            std::uint32_t mag = static_cast<std::uint32_t>(q < 0 ? -q : q);
+            std::uint32_t cat = 0;
+            for (std::uint32_t m = mag; m != 0; m >>= 1) ++cat;
+            bitbuf |= mag << bitcount;
+            bitcount += cat;
+            while (bitcount >= 8) {
+              const std::uint32_t byte = bitbuf & 0xFFu;
+              checksum += byte;
+              ++packed_bytes;
+              bitbuf >>= 8;
+              bitcount -= 8;
+            }
+          }
+        }
+        checksum += zero_run;
+      }
+    }
+  }
+  // Flush the straggler bits and fold the stream length.
+  if (bitcount > 0) {
+    checksum += bitbuf & 0xFFu;
+    ++packed_bytes;
+  }
+  return checksum + packed_bytes * 11u;
+}
+
+std::string pjpeg_source() {
+  const auto& c = dct_basis();
+  const auto& zz = zigzag_order();
+  std::string s;
+  s += "# pjpeg: table-driven DCT with three progressive zigzag scans.\n";
+  s += "        .text\n";
+  s += "main:\n";
+  s += gen_bytes_asm("geni", "img", 64 * 64, 19);
+  s += "        li   s0, 0\n";
+  s += "        li   s6, 0\n";  // bit accumulator
+  s += "        li   s7, 0\n";  // bits in accumulator
+  s += "        la   gp, pout\n";  // packed-output cursor
+  s += "        li   fp, 0\n";  // packed bytes emitted
+  s += "        li   s1, 0\n";  // by
+  s += "pbly:   li   s2, 0\n";  // bx
+  s += "pblx:\n";
+  // load block
+  s += "        la   t5, img\n";
+  s += "        sll  t6, s1, 6\n";
+  s += "        add  t5, t5, t6\n";
+  s += "        add  t5, t5, s2\n";
+  s += "        la   t6, blkin\n";
+  s += "        li   t7, 8\n";
+  s += "ldrow:  li   t8, 8\n";
+  s += "        move t9, t5\n";
+  s += "ldpix:  lbu  t0, 0(t9)\n";
+  s += "        sw   t0, 0(t6)\n";
+  s += "        addi t9, t9, 1\n";
+  s += "        addi t6, t6, 4\n";
+  s += "        subi t8, t8, 1\n";
+  s += "        bnez t8, ldpix\n";
+  s += "        addi t5, t5, 64\n";
+  s += "        subi t7, t7, 1\n";
+  s += "        bnez t7, ldrow\n";
+  // table-driven row transform: for r, for u: acc = sum in[r*8+x]*basis[u*8+x]
+  s += "        la   s3, blkin\n";
+  s += "        la   s4, blktmp\n";
+  s += "        li   s5, 8\n";          // rows remaining
+  s += "prow:   la   t7, basis\n";
+  s += "        li   t8, 8\n";          // u remaining
+  s += "pu:     li   t4, 0\n";
+  s += "        move t5, s3\n";
+  s += "        li   t6, 8\n";
+  s += "px:     lw   t0, 0(t5)\n";
+  s += "        lw   t1, 0(t7)\n";
+  s += "        mul  t0, t0, t1\n";
+  s += "        add  t4, t4, t0\n";
+  s += "        addi t5, t5, 4\n";
+  s += "        addi t7, t7, 4\n";
+  s += "        subi t6, t6, 1\n";
+  s += "        bnez t6, px\n";
+  s += "        sra  t4, t4, 6\n";
+  s += "        sw   t4, 0(s4)\n";
+  s += "        addi s4, s4, 4\n";
+  s += "        subi t8, t8, 1\n";
+  s += "        bnez t8, pu\n";
+  s += "        addi s3, s3, 32\n";
+  s += "        subi s5, s5, 1\n";
+  s += "        bnez s5, prow\n";
+  // table-driven column transform: for col, for u: acc over x of
+  // tmp[x*8+col]*basis[u*8+x]; out[u*8+col]
+  s += "        li   s5, 0\n";          // col
+  s += "pcol:   la   t7, basis\n";
+  s += "        li   t8, 0\n";          // u
+  s += "pcu:    li   t4, 0\n";
+  s += "        la   t5, blktmp\n";
+  s += "        sll  t6, s5, 2\n";
+  s += "        add  t5, t5, t6\n";     // &tmp[col]
+  s += "        li   t6, 8\n";
+  s += "pcx:    lw   t0, 0(t5)\n";
+  s += "        lw   t1, 0(t7)\n";
+  s += "        mul  t0, t0, t1\n";
+  s += "        add  t4, t4, t0\n";
+  s += "        addi t5, t5, 32\n";
+  s += "        addi t7, t7, 4\n";
+  s += "        subi t6, t6, 1\n";
+  s += "        bnez t6, pcx\n";
+  s += "        sra  t4, t4, 6\n";
+  s += "        sll  t0, t8, 5\n";      // u*32
+  s += "        la   t1, blkout\n";
+  s += "        add  t0, t0, t1\n";
+  s += "        sll  t1, s5, 2\n";
+  s += "        add  t0, t0, t1\n";
+  s += "        sw   t4, 0(t0)\n";
+  s += "        addi t8, t8, 1\n";
+  s += "        li   t0, 8\n";
+  s += "        bne  t8, t0, pcu\n";
+  s += "        addi s5, s5, 1\n";
+  s += "        li   t0, 8\n";
+  s += "        bne  s5, t0, pcol\n";
+  // three progressive zigzag scans: shift = 6, 4, 2
+  s += "        li   s3, 6\n";          // shift
+  s += "scan:   la   t7, zigzag\n";
+  s += "        li   t8, 0\n";          // i
+  s += "        li   t9, 0\n";          // zero_run
+  s += "zz:     lw   t0, 0(t7)\n";      // zz[i] (word index)
+  s += "        sll  t0, t0, 2\n";
+  s += "        la   t1, blkout\n";
+  s += "        add  t0, t0, t1\n";
+  s += "        lw   t0, 0(t0)\n";
+  s += "        srav t0, t0, s3\n";
+  s += "        bnez t0, nz\n";
+  s += "        addi t9, t9, 1\n";
+  s += "        b    zznext\n";
+  s += "nz:     li   t1, 3\n";
+  s += "        mul  t1, t9, t1\n";
+  s += "        add  t1, t0, t1\n";
+  s += "        add  s0, s0, t1\n";
+  s += "        li   t9, 0\n";
+  // bit-pack |q| with its own bit length (JPEG category coding)
+  s += "        move t2, t0\n";
+  s += "        bge  t2, zero, pmag\n";
+  s += "        neg  t2, t2\n";
+  s += "pmag:   li   t3, 0\n";          // category
+  s += "        move t4, t2\n";
+  s += "pcat:   beqz t4, pcd\n";
+  s += "        addi t3, t3, 1\n";
+  s += "        srl  t4, t4, 1\n";
+  s += "        b    pcat\n";
+  s += "pcd:    sllv t4, t2, s7\n";     // append magnitude bits
+  s += "        or   s6, s6, t4\n";
+  s += "        add  s7, s7, t3\n";
+  s += "pflush: li   t4, 8\n";
+  s += "        blt  s7, t4, pfd\n";
+  s += "        andi t4, s6, 0xFF\n";
+  s += "        sb   t4, 0(gp)\n";
+  s += "        add  s0, s0, t4\n";
+  s += "        addi gp, gp, 1\n";
+  s += "        addi fp, fp, 1\n";
+  s += "        srl  s6, s6, 8\n";
+  s += "        subi s7, s7, 8\n";
+  s += "        b    pflush\n";
+  s += "pfd:\n";
+  s += "zznext: addi t7, t7, 4\n";
+  s += "        addi t8, t8, 1\n";
+  s += "        li   t0, 64\n";
+  s += "        bne  t8, t0, zz\n";
+  s += "        add  s0, s0, t9\n";
+  s += "        subi s3, s3, 2\n";
+  s += "        bnez s3, scan\n";
+  // next block
+  s += "        addi s2, s2, 8\n";
+  s += "        li   t0, 64\n";
+  s += "        bne  s2, t0, pblx\n";
+  s += "        addi s1, s1, 8\n";
+  s += "        li   t0, 64\n";
+  s += "        bne  s1, t0, pbly\n";
+  s += "        beqz s7, pnof\n";      // flush straggler bits
+  s += "        andi t0, s6, 0xFF\n";
+  s += "        add  s0, s0, t0\n";
+  s += "        addi fp, fp, 1\n";
+  s += "pnof:   li   t0, 11\n";
+  s += "        mul  t1, fp, t0\n";
+  s += "        add  s0, s0, t1\n";
+  s += "        move v0, s0\n";
+  s += "        halt\n\n";
+  s += "        .data\n";
+  s += "img:    .space 4096\n";
+  s += "pout:   .space 16384\n";
+  s += "        .space 176\n";  // stagger the block buffers off the image
+  s += "blkin:  .space 256\n";
+  s += "blktmp: .space 256\n";
+  s += "blkout: .space 256\n";
+  s += "basis:";
+  for (int u = 0; u < 8; ++u) {
+    for (int x = 0; x < 8; ++x) {
+      s += (x == 0) ? "\n        .word " : ", ";
+      s += std::to_string(c[u][x]);
+    }
+  }
+  s += "\nzigzag:";
+  for (int i = 0; i < 64; ++i) {
+    s += (i % 8 == 0) ? "\n        .word " : ", ";
+    s += std::to_string(zz[i]);
+  }
+  s += "\n";
+  return s;
+}
+
+}  // namespace
+
+Workload make_pjpeg() {
+  Workload w;
+  w.name = "pjpeg";
+  w.suite = "powerstone";
+  w.description = "table-driven DCT with three progressive zigzag scans";
+  w.source = pjpeg_source();
+  w.expected_checksum = pjpeg_reference();
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// epic: three-level Haar wavelet pyramid over a 128x128 word image (64 KB),
+// rows then columns per level; the column passes stride 512 B, exercising
+// line-size and conflict behavior.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kEpicDim = 128;
+
+std::uint32_t epic_reference() {
+  std::vector<std::int32_t> img(kEpicDim * kEpicDim);
+  std::uint32_t x = 33;
+  for (auto& v : img) {
+    x = lcg_next(x);
+    v = static_cast<std::int32_t>((x >> 16) & 0xFFu);
+  }
+  std::vector<std::int32_t> buf(kEpicDim);
+
+  auto haar = [&](std::int32_t* base, int stride_words, int n) {
+    const int half = n / 2;
+    for (int i = 0; i < half; ++i) {
+      const std::int32_t a = base[(2 * i) * stride_words];
+      const std::int32_t b = base[(2 * i + 1) * stride_words];
+      buf[i] = (a + b) >> 1;  // arithmetic shift, matches sra
+      buf[half + i] = a - b;
+    }
+    for (int i = 0; i < n; ++i) base[i * stride_words] = buf[i];
+  };
+
+  for (int level = 0; level < 3; ++level) {
+    const int n = kEpicDim >> level;
+    for (int y = 0; y < n; ++y) haar(&img[y * kEpicDim], 1, n);
+    for (int xx = 0; xx < n; ++xx) haar(&img[xx], kEpicDim, n);
+  }
+  std::uint32_t checksum = 0;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    checksum ^= static_cast<std::uint32_t>(img[i]) + static_cast<std::uint32_t>(i);
+  }
+
+  // Quantize-and-run-length stage (what EPIC does after its pyramid):
+  // coefficients are quantized by an arithmetic shift and zero runs are
+  // collapsed into (run, value) byte pairs.
+  std::uint32_t run = 0, bytes = 0;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    const std::int32_t q = img[i] >> 3;
+    if (q == 0) {
+      if (++run == 255) {
+        checksum += run;
+        ++bytes;
+        run = 0;
+      }
+      continue;
+    }
+    checksum += run + (static_cast<std::uint32_t>(q) & 0xFFu);
+    bytes += 2;
+    run = 0;
+  }
+  checksum += run;
+  return checksum + bytes * 5u;
+}
+
+constexpr char kEpicSource[] = R"(
+# epic: 3-level Haar wavelet pyramid over a 128x128 word image.
+        .text
+main:   la   t0, img
+        li   t1, 16384
+        li   t2, 33
+        li   t3, 1103515245
+gen:    mul  t2, t2, t3
+        addi t2, t2, 12345
+        srl  t4, t2, 16
+        andi t4, t4, 0xFF
+        sw   t4, 0(t0)
+        addi t0, t0, 4
+        subi t1, t1, 1
+        bnez t1, gen
+        li   s1, 0            # level
+lvl:    li   t0, 128
+        srlv s2, t0, s1       # n = 128 >> level
+        li   s3, 0            # y
+rowy:   la   a0, img
+        sll  t0, s3, 9
+        add  a0, a0, t0
+        li   a2, 4
+        move a3, s2
+        jal  haar
+        addi s3, s3, 1
+        bne  s3, s2, rowy
+        li   s3, 0            # x
+colx:   la   a0, img
+        sll  t0, s3, 2
+        add  a0, a0, t0
+        li   a2, 512
+        move a3, s2
+        jal  haar
+        addi s3, s3, 1
+        bne  s3, s2, colx
+        addi s1, s1, 1
+        li   t0, 3
+        bne  s1, t0, lvl
+        li   s0, 0
+        la   t5, img
+        li   t6, 0
+        li   t7, 16384
+cks:    lw   t0, 0(t5)
+        add  t0, t0, t6
+        xor  s0, s0, t0
+        addi t5, t5, 4
+        addi t6, t6, 1
+        bne  t6, t7, cks
+        # ---- quantize + run-length encode the pyramid into outb ----
+        la   t5, img
+        la   t8, outb
+        li   t6, 16384        # coefficients remaining
+        li   t9, 0            # current zero run
+        li   t7, 0            # bytes emitted
+erle:   lw   t0, 0(t5)
+        sra  t0, t0, 3
+        bnez t0, ernz
+        addi t9, t9, 1
+        li   t1, 255
+        bne  t9, t1, ernext
+        sb   t9, 0(t8)        # flush a saturated run
+        addi t8, t8, 1
+        addi t7, t7, 1
+        add  s0, s0, t9
+        li   t9, 0
+        b    ernext
+ernz:   sb   t9, 0(t8)        # run length, then coefficient low byte
+        sb   t0, 1(t8)
+        add  s0, s0, t9
+        andi t1, t0, 0xFF
+        add  s0, s0, t1
+        addi t8, t8, 2
+        addi t7, t7, 2
+        li   t9, 0
+ernext: addi t5, t5, 4
+        subi t6, t6, 1
+        bnez t6, erle
+        add  s0, s0, t9       # trailing zero run
+        li   t0, 5
+        mul  t1, t7, t0
+        add  s0, s0, t1
+        move v0, s0
+        halt
+
+# haar(a0 = base, a2 = stride bytes, a3 = n): one lifting pass in place.
+haar:   la   t9, hbuf
+        srl  t6, a3, 1
+        sll  t8, t6, 2
+        add  t8, t8, t9
+        move t5, a0
+        move t7, t6
+hlp:    lw   t0, 0(t5)
+        add  t1, t5, a2
+        lw   t1, 0(t1)
+        add  t2, t0, t1
+        sra  t2, t2, 1
+        sw   t2, 0(t9)
+        sub  t2, t0, t1
+        sw   t2, 0(t8)
+        addi t9, t9, 4
+        addi t8, t8, 4
+        add  t5, t5, a2
+        add  t5, t5, a2
+        subi t7, t7, 1
+        bnez t7, hlp
+        la   t9, hbuf
+        move t5, a0
+        move t7, a3
+hcp:    lw   t0, 0(t9)
+        sw   t0, 0(t5)
+        addi t9, t9, 4
+        add  t5, t5, a2
+        subi t7, t7, 1
+        bnez t7, hcp
+        ret
+
+        .data
+img:    .space 65536
+hbuf:   .space 512
+outb:   .space 32768
+)";
+
+}  // namespace
+
+Workload make_epic() {
+  Workload w;
+  w.name = "epic";
+  w.suite = "mediabench";
+  w.description = "3-level Haar wavelet pyramid over a 128x128 word image";
+  w.source = kEpicSource;
+  w.expected_checksum = epic_reference();
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// g721: two-channel predictive codec with an adaptive predictor switch and
+// a threshold-ladder quantizer; each channel runs a cloned copy of the
+// codec (alternating clone execution stresses the instruction cache the
+// way the paper's g721 run does).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::array<int, 7> kG721Thresholds = {16, 48, 112, 240, 496, 1008, 2032};
+constexpr std::array<int, 8> kG721Recon = {8, 32, 80, 176, 368, 752, 1520, 3056};
+constexpr unsigned kG721Channels = 16;
+constexpr unsigned kG721Samples = 6400;  // total across all channels
+
+struct G721Channel {
+  std::int32_t s1p = 0;
+  std::int32_t s2p = 0;
+  std::int32_t lasterr = 0;
+};
+
+std::uint32_t g721_step(G721Channel& ch, std::int32_t sample,
+                        std::uint32_t checksum) {
+  std::int32_t pred;
+  std::int32_t abserr = ch.lasterr < 0 ? -ch.lasterr : ch.lasterr;
+  if (abserr < 256) {
+    pred = (3 * ch.s1p - ch.s2p) >> 1;
+  } else {
+    pred = (ch.s1p + ch.s2p) >> 1;
+  }
+  std::int32_t d = sample - pred;
+  std::int32_t sign = 0;
+  if (d < 0) {
+    sign = 8;
+    d = -d;
+  }
+  std::int32_t code = 0;
+  while (code < 7 && d >= kG721Thresholds[code]) ++code;
+  std::int32_t rec = kG721Recon[code];
+  if (sign != 0) rec = -rec;
+  std::int32_t srec = pred + rec;
+  if (srec > 8191) srec = 8191;
+  else if (srec < -8192) srec = -8192;
+  ch.lasterr = sample - srec;
+  ch.s2p = ch.s1p;
+  ch.s1p = srec;
+  return checksum + static_cast<std::uint32_t>(code) +
+         static_cast<std::uint32_t>(sign) +
+         (static_cast<std::uint32_t>(srec) & 0xFFu);
+}
+
+std::uint32_t g721_reference() {
+  std::uint32_t x = 901;
+  G721Channel ch[kG721Channels];
+  std::uint32_t checksum = 0;
+  for (unsigned n = 0; n < kG721Samples; ++n) {
+    x = lcg_next(x);
+    const auto sample = static_cast<std::int32_t>(
+                            static_cast<std::int16_t>(x >> 8)) >> 3;
+    checksum = g721_step(ch[n % kG721Channels], sample, checksum);
+  }
+  return checksum;
+}
+
+// One codec clone. Register contract: s1 = LCG, s7 = LCG multiplier,
+// s0 = checksum; channel state lives in memory at <prefix>st (3 words:
+// s1p, s2p, lasterr). Clobbers t0..t7.
+std::string g721_clone(const std::string& p) {
+  std::string s;
+  auto L = [&](const std::string& line) { s += line + "\n"; };
+  L(p + ":");
+  L("        mul  s1, s1, s7");
+  L("        addi s1, s1, 12345");
+  L("        srl  t0, s1, 8");
+  L("        sll  t0, t0, 16");
+  L("        sra  t0, t0, 16");
+  L("        sra  t0, t0, 3");            // sample
+  L("        la   t7, " + p + "st");
+  L("        lw   t1, 0(t7)");            // s1p
+  L("        lw   t2, 4(t7)");            // s2p
+  L("        lw   t3, 8(t7)");            // lasterr
+  L("        bge  t3, zero, " + p + "_a");
+  L("        neg  t3, t3");
+  L(p + "_a:");
+  L("        li   t4, 256");
+  L("        bge  t3, t4, " + p + "_smooth");
+  L("        li   t4, 3");                // pred = (3*s1p - s2p) >> 1
+  L("        mul  t4, t1, t4");
+  L("        sub  t4, t4, t2");
+  L("        sra  t4, t4, 1");
+  L("        b    " + p + "_pp");
+  L(p + "_smooth:");
+  L("        add  t4, t1, t2");           // pred = (s1p + s2p) >> 1
+  L("        sra  t4, t4, 1");
+  L(p + "_pp:");
+  L("        sub  t5, t0, t4");           // d
+  L("        li   t6, 0");                // sign
+  L("        bge  t5, zero, " + p + "_q");
+  L("        li   t6, 8");
+  L("        neg  t5, t5");
+  L(p + "_q:");
+  // threshold ladder: code = first level with d < thr
+  L("        li   t3, 0");                // code
+  L("        la   t8, g7thr");
+  L(p + "_ql:");
+  L("        li   t9, 7");
+  L("        bge  t3, t9, " + p + "_qd");
+  L("        lw   t9, 0(t8)");
+  L("        blt  t5, t9, " + p + "_qd");
+  L("        addi t3, t3, 1");
+  L("        addi t8, t8, 4");
+  L("        b    " + p + "_ql");
+  L(p + "_qd:");
+  L("        la   t8, g7rec");
+  L("        sll  t9, t3, 2");
+  L("        add  t8, t8, t9");
+  L("        lw   t8, 0(t8)");            // rec
+  L("        beqz t6, " + p + "_r");
+  L("        neg  t8, t8");
+  L(p + "_r:");
+  L("        add  t8, t4, t8");           // srec
+  L("        li   t9, 8191");
+  L("        ble  t8, t9, " + p + "_c1");
+  L("        move t8, t9");
+  L(p + "_c1:");
+  L("        li   t9, -8192");
+  L("        bge  t8, t9, " + p + "_c2");
+  L("        move t8, t9");               // clamp to the lower bound
+  L(p + "_c2:");
+  L("        la   t7, " + p + "st");
+  L("        lw   t9, 0(t7)");            // old s1p
+  L("        sw   t9, 4(t7)");            // s2p = s1p
+  L("        sw   t8, 0(t7)");            // s1p = srec
+  L("        sub  t9, t0, t8");           // lasterr = sample - srec
+  L("        sw   t9, 8(t7)");
+  L("        add  s0, s0, t3");           // checksum += code
+  L("        add  s0, s0, t6");           // += sign
+  L("        andi t8, t8, 0xFF");
+  L("        add  s0, s0, t8");           // += srec & 0xff
+  L("        ret");
+  return s;
+}
+
+std::string g721_source() {
+  std::string s;
+  s += "# g721: " + std::to_string(kG721Channels) +
+       " cloned predictive-codec channels, one sample each per iteration.\n";
+  s += "        .text\n";
+  s += "main:   li   s0, 0\n";
+  s += "        li   s1, 901\n";
+  s += "        li   s7, 1103515245\n";
+  s += "        li   s2, " + std::to_string(kG721Samples / kG721Channels) + "\n";
+  s += "gloop:\n";
+  for (unsigned c = 0; c < kG721Channels; ++c) {
+    s += "        jal  ch" + std::to_string(c) + "\n";
+  }
+  s += "        subi s2, s2, 1\n";
+  s += "        bnez s2, gloop\n";
+  s += "        move v0, s0\n";
+  s += "        halt\n\n";
+  for (unsigned c = 0; c < kG721Channels; ++c) {
+    s += g721_clone("ch" + std::to_string(c)) + "\n";
+  }
+  s += "        .data\n";
+  s += "g7thr:";
+  for (std::size_t i = 0; i < kG721Thresholds.size(); ++i) {
+    s += (i == 0) ? "\n        .word " : ", ";
+    s += std::to_string(kG721Thresholds[i]);
+  }
+  s += "\ng7rec:";
+  for (std::size_t i = 0; i < kG721Recon.size(); ++i) {
+    s += (i == 0) ? "\n        .word " : ", ";
+    s += std::to_string(kG721Recon[i]);
+  }
+  s += "\n";
+  for (unsigned c = 0; c < kG721Channels; ++c) {
+    s += "ch" + std::to_string(c) + "st: .word 0, 0, 0\n";
+  }
+  return s;
+}
+
+}  // namespace
+
+Workload make_g721() {
+  Workload w;
+  w.name = "g721";
+  w.suite = "mediabench";
+  w.description = "16 cloned predictive-codec channels with adaptive predictor switch";
+  w.source = g721_source();
+  w.expected_checksum = g721_reference();
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// pegwit: 256-bit modular exponentiation (arithmetic mod 2^256 — the
+// carry-propagating schoolbook multiplies dominate, which is what matters
+// for the cache behavior of public-key code).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using Big = std::array<std::uint32_t, 8>;
+
+Big big_from_lcg(std::uint32_t& x) {
+  Big b{};
+  for (auto& w : b) {
+    x = lcg_next(x);
+    w = x;
+  }
+  return b;
+}
+
+Big big_mul_low(const Big& a, const Big& b) {
+  std::array<std::uint32_t, 16> r{};
+  for (int i = 0; i < 8; ++i) {
+    std::uint32_t carry = 0;
+    for (int j = 0; j < 8; ++j) {
+      const std::uint64_t p =
+          static_cast<std::uint64_t>(a[i]) * static_cast<std::uint64_t>(b[j]);
+      const auto lo = static_cast<std::uint32_t>(p);
+      auto hi = static_cast<std::uint32_t>(p >> 32);
+      std::uint32_t s = r[i + j] + carry;
+      if (s < carry) ++hi;
+      const std::uint32_t s2 = s + lo;
+      if (s2 < lo) ++hi;
+      r[i + j] = s2;
+      carry = hi;
+    }
+    r[i + 8] = carry;
+  }
+  Big out{};
+  for (int i = 0; i < 8; ++i) out[i] = r[i];
+  return out;
+}
+
+std::uint32_t pegwit_reference() {
+  std::uint32_t x = 23;
+  const Big g = big_from_lcg(x);
+  const Big e = big_from_lcg(x);
+  Big res{};
+  res[0] = 1;
+  for (int word = 7; word >= 0; --word) {
+    for (int bit = 31; bit >= 0; --bit) {
+      res = big_mul_low(res, res);
+      if ((e[word] >> bit) & 1u) res = big_mul_low(res, g);
+    }
+  }
+  std::uint32_t checksum = 0;
+  for (int i = 0; i < 8; ++i) checksum ^= res[i] + static_cast<std::uint32_t>(i);
+  return checksum;
+}
+
+constexpr char kPegwitSource[] = R"(
+# pegwit: 256-bit modular exponentiation (mod 2^256), square-and-multiply.
+        .text
+main:   # generate g (8 words) and e (8 words) from LCG seed 23
+        la   t0, gbuf
+        li   t1, 16
+        li   t2, 23
+        li   t3, 1103515245
+gen:    mul  t2, t2, t3
+        addi t2, t2, 12345
+        sw   t2, 0(t0)
+        addi t0, t0, 4
+        subi t1, t1, 1
+        bnez t1, gen
+        # res = 1
+        la   t0, res
+        li   t1, 1
+        sw   t1, 0(t0)
+        li   t1, 7
+clrres: sw   zero, 4(t0)
+        addi t0, t0, 4
+        subi t1, t1, 1
+        bnez t1, clrres
+        li   s1, 7            # word index
+wloop:  li   s2, 31           # bit index
+bloop:  # res = res * res (low 8 words)
+        la   a0, res
+        la   a1, res
+        jal  bigmul
+        jal  cplow
+        # if bit set: res = res * g
+        la   t0, ebuf
+        sll  t1, s1, 2
+        add  t0, t0, t1
+        lw   t0, 0(t0)
+        srlv t0, t0, s2
+        andi t0, t0, 1
+        beqz t0, bnext
+        la   a0, res
+        la   a1, gbuf
+        jal  bigmul
+        jal  cplow
+bnext:  subi s2, s2, 1
+        bge  s2, zero, bloop
+        subi s1, s1, 1
+        bge  s1, zero, wloop
+        # checksum
+        li   s0, 0
+        la   t5, res
+        li   t6, 0
+        li   t7, 8
+cks:    lw   t0, 0(t5)
+        add  t0, t0, t6
+        xor  s0, s0, t0
+        addi t5, t5, 4
+        addi t6, t6, 1
+        bne  t6, t7, cks
+        move v0, s0
+        halt
+
+# bigmul: prod[0..15] = a0[0..7] * a1[0..7] (schoolbook with carries)
+bigmul: la   t5, prod
+        li   t6, 16
+bmclr:  sw   zero, 0(t5)
+        addi t5, t5, 4
+        subi t6, t6, 1
+        bnez t6, bmclr
+        li   t7, 0            # i
+bmoi:   sll  t0, t7, 2
+        add  t0, t0, a0
+        lw   t8, 0(t0)        # a[i]
+        li   t9, 0            # carry
+        li   t6, 0            # j
+bmoj:   sll  t0, t6, 2
+        add  t0, t0, a1
+        lw   t1, 0(t0)        # b[j]
+        mul  t2, t8, t1       # lo
+        mulhu t3, t8, t1      # hi
+        add  t0, t7, t6
+        sll  t0, t0, 2
+        la   t4, prod
+        add  t0, t0, t4
+        lw   t4, 0(t0)        # prod[i+j]
+        add  t5, t4, t9       # s = prod + carry
+        sltu t4, t5, t9
+        add  t3, t3, t4
+        add  t4, t5, t2       # s2 = s + lo
+        sltu t5, t4, t2
+        add  t3, t3, t5
+        sw   t4, 0(t0)
+        move t9, t3
+        addi t6, t6, 1
+        li   t0, 8
+        bne  t6, t0, bmoj
+        addi t0, t7, 8
+        sll  t0, t0, 2
+        la   t4, prod
+        add  t0, t0, t4
+        sw   t9, 0(t0)
+        addi t7, t7, 1
+        li   t0, 8
+        bne  t7, t0, bmoi
+        ret
+
+# cplow: res[0..7] = prod[0..7]
+cplow:  la   t5, prod
+        la   t6, res
+        li   t7, 8
+cpl:    lw   t0, 0(t5)
+        sw   t0, 0(t6)
+        addi t5, t5, 4
+        addi t6, t6, 4
+        subi t7, t7, 1
+        bnez t7, cpl
+        ret
+
+        .data
+gbuf:   .space 32
+ebuf:   .space 32
+res:    .space 32
+prod:   .space 64
+)";
+
+}  // namespace
+
+Workload make_pegwit() {
+  Workload w;
+  w.name = "pegwit";
+  w.suite = "mediabench";
+  w.description = "256-bit square-and-multiply exponentiation (mod 2^256)";
+  w.source = kPegwitSource;
+  w.expected_checksum = pegwit_reference();
+  w.max_instructions = 160'000'000;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// mpeg2: exhaustive block motion estimation — 9 blocks of 16x16 pixels,
+// +/-4 search window, SAD matching between two 96x96 frames.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kMpegDim = 96;
+
+std::uint32_t mpeg2_reference() {
+  std::vector<std::uint8_t> ref_frame, cur_frame;
+  lcg_fill_bytes(ref_frame, 13, kMpegDim * kMpegDim);
+  lcg_fill_bytes(cur_frame, 14, kMpegDim * kMpegDim);
+
+  std::uint32_t checksum = 0;
+  for (int bi = 0; bi < 9; ++bi) {
+    const int bx = 16 + (bi % 3) * 24;
+    const int by = 16 + (bi / 3) * 24;
+    std::uint32_t best_sad = 0x7FFFFFFFu;
+    std::uint32_t best_code = 0;
+    for (int dy = -4; dy <= 4; ++dy) {
+      for (int dx = -4; dx <= 4; ++dx) {
+        std::uint32_t sad = 0;
+        for (int y = 0; y < 16; ++y) {
+          for (int x = 0; x < 16; ++x) {
+            const int c = cur_frame[(by + y) * kMpegDim + bx + x];
+            const int r = ref_frame[(by + y + dy) * kMpegDim + bx + x + dx];
+            sad += static_cast<std::uint32_t>(c > r ? c - r : r - c);
+          }
+        }
+        if (sad < best_sad) {
+          best_sad = sad;
+          best_code = static_cast<std::uint32_t>((dy + 4) * 9 + dx + 4);
+        }
+      }
+    }
+    checksum += best_sad * 31u + best_code;
+
+    // Half-pel refinement around the integer-pel winner (the second stage
+    // of a real MPEG-2 motion estimator): evaluate the eight half-sample
+    // positions with bilinear interpolation.
+    const int bdy = static_cast<int>(best_code) / 9 - 4;
+    const int bdx = static_cast<int>(best_code) % 9 - 4;
+    std::uint32_t best_half_sad = best_sad;
+    std::uint32_t best_half_code = 4;  // center (hy+1)*3 + hx+1 = 4
+    for (int hy = -1; hy <= 1; ++hy) {
+      for (int hx = -1; hx <= 1; ++hx) {
+        if (hx == 0 && hy == 0) continue;
+        std::uint32_t sad = 0;
+        for (int y = 0; y < 16; ++y) {
+          for (int x = 0; x < 16; ++x) {
+            const int X = bx + x + bdx;
+            const int Y = (by + y + bdy) * kMpegDim;
+            int p;
+            if (hy == 0) {
+              p = (ref_frame[Y + X] + ref_frame[Y + X + hx] + 1) >> 1;
+            } else if (hx == 0) {
+              p = (ref_frame[Y + X] + ref_frame[Y + hy * kMpegDim + X] + 1) >> 1;
+            } else {
+              p = (ref_frame[Y + X] + ref_frame[Y + X + hx] +
+                   ref_frame[Y + hy * kMpegDim + X] +
+                   ref_frame[Y + hy * kMpegDim + X + hx] + 2) >> 2;
+            }
+            const int c = cur_frame[(by + y) * kMpegDim + bx + x];
+            sad += static_cast<std::uint32_t>(c > p ? c - p : p - c);
+          }
+        }
+        if (sad < best_half_sad) {
+          best_half_sad = sad;
+          best_half_code = static_cast<std::uint32_t>((hy + 1) * 3 + hx + 1);
+        }
+      }
+    }
+    checksum += best_half_sad * 13u + best_half_code;
+  }
+  return checksum;
+}
+
+constexpr char kMpeg2Source[] = R"(
+# mpeg2: SAD motion estimation, 9 blocks, +/-4 search, 96x96 frames.
+        .text
+main:   la   t0, refb
+        li   t1, 9216
+        li   t2, 13
+        li   t3, 1103515245
+genr:   mul  t2, t2, t3
+        addi t2, t2, 12345
+        srl  t4, t2, 16
+        sb   t4, 0(t0)
+        addi t0, t0, 1
+        subi t1, t1, 1
+        bnez t1, genr
+        la   t0, curb
+        li   t1, 9216
+        li   t2, 14
+genc:   mul  t2, t2, t3
+        addi t2, t2, 12345
+        srl  t4, t2, 16
+        sb   t4, 0(t0)
+        addi t0, t0, 1
+        subi t1, t1, 1
+        bnez t1, genc
+        li   s0, 0            # checksum
+        li   s1, 0            # block index
+blk:    li   t0, 3
+        remu t1, s1, t0
+        divu t2, s1, t0
+        li   t0, 24
+        mul  t1, t1, t0
+        addi t1, t1, 16
+        mul  t2, t2, t0
+        addi t2, t2, 16
+        move s2, t1           # bx
+        move s3, t2           # by
+        li   s4, 0x7FFFFFFF   # best SAD
+        li   s5, 0            # best code
+        li   s6, -4           # dy
+dyl:    li   s7, -4           # dx
+dxl:    la   t0, curb
+        li   t1, 96
+        mul  t2, s3, t1
+        add  t0, t0, t2
+        add  t8, t0, s2       # cur block ptr
+        la   t0, refb
+        add  t2, s3, s6
+        mul  t2, t2, t1
+        add  t0, t0, t2
+        add  t9, t0, s2
+        add  t9, t9, s7       # ref candidate ptr
+        li   t7, 16           # rows
+        li   t6, 0            # sad
+sadr:   li   t5, 16
+sadp:   lbu  t0, 0(t8)
+        lbu  t1, 0(t9)
+        sub  t2, t0, t1
+        bge  t2, zero, absk
+        neg  t2, t2
+absk:   add  t6, t6, t2
+        addi t8, t8, 1
+        addi t9, t9, 1
+        subi t5, t5, 1
+        bnez t5, sadp
+        addi t8, t8, 80
+        addi t9, t9, 80
+        subi t7, t7, 1
+        bnez t7, sadr
+        bgeu t6, s4, nosv
+        move s4, t6
+        addi t0, s6, 4
+        li   t1, 9
+        mul  t0, t0, t1
+        add  t0, t0, s7
+        addi t0, t0, 4
+        move s5, t0
+nosv:   addi s7, s7, 1
+        li   t0, 5
+        bne  s7, t0, dxl
+        addi s6, s6, 1
+        li   t0, 5
+        bne  s6, t0, dyl
+        li   t0, 31
+        mul  t1, s4, t0
+        add  s0, s0, t1
+        add  s0, s0, s5
+        # ---- half-pel refinement around the integer-pel winner ----
+        # recover (bdx, bdy) from the best code in s5
+        li   t0, 9
+        divu t1, s5, t0       # (dy+4)
+        remu t2, s5, t0       # (dx+4)
+        subi t1, t1, 4        # bdy
+        subi t2, t2, 4        # bdx
+        # s6 <- &cur[by][bx], s7 <- &ref[by+bdy][bx+bdx]
+        la   t0, curb
+        li   t3, 96
+        mul  t4, s3, t3
+        add  t0, t0, t4
+        add  s6, t0, s2
+        la   t0, refb
+        add  t4, s3, t1
+        mul  t4, t4, t3
+        add  t0, t0, t4
+        add  s7, t0, s2
+        add  s7, s7, t2
+        # gp = half-position index 0..8 (skipping 4 = center)
+        # fp = best half SAD (seeded with the integer result in s4)
+        move fp, s4
+        li   s5, 4            # best half code = center
+        li   gp, 0
+hloop:  li   t0, 4
+        beq  gp, t0, hnext    # skip the center position
+        li   t0, 3
+        divu t1, gp, t0       # hy+1
+        remu t2, gp, t0       # hx+1
+        subi t1, t1, 1        # hy
+        subi t2, t2, 1        # hx
+        # per-pixel offsets: t3 = hy*96 + 0, t4 = hx
+        li   t0, 96
+        mul  t3, t1, t0
+        move t4, t2
+        # SAD over the 16x16 block with bilinear interpolation
+        move t8, s6           # cur ptr
+        move t9, s7           # ref ptr
+        li   t7, 16           # rows
+        li   t6, 0            # sad
+hsadr:  li   t5, 16
+hsadp:  lbu  t0, 0(t9)        # a = ref[Y][X]
+        beqz t3, hrow         # hy == 0 ?
+        beqz t4, hcol         # hx == 0 ?
+        # diagonal: (a + b + c + d + 2) >> 2
+        add  t1, t9, t4
+        lbu  t1, 0(t1)        # b = ref[Y][X+hx]
+        add  t0, t0, t1
+        add  t1, t9, t3
+        lbu  t2, 0(t1)        # c = ref[Y+hy][X]
+        add  t0, t0, t2
+        add  t1, t1, t4
+        lbu  t1, 0(t1)        # d = ref[Y+hy][X+hx]
+        add  t0, t0, t1
+        addi t0, t0, 2
+        srl  t0, t0, 2
+        b    hpix
+hrow:   # hy==0, hx!=0: (a + b + 1) >> 1
+        add  t1, t9, t4
+        lbu  t1, 0(t1)
+        add  t0, t0, t1
+        addi t0, t0, 1
+        srl  t0, t0, 1
+        b    hpix
+hcol:   # hx==0, hy!=0: (a + c + 1) >> 1
+        add  t1, t9, t3
+        lbu  t1, 0(t1)
+        add  t0, t0, t1
+        addi t0, t0, 1
+        srl  t0, t0, 1
+hpix:   lbu  t1, 0(t8)        # cur pixel
+        sub  t1, t1, t0
+        bge  t1, zero, habs
+        neg  t1, t1
+habs:   add  t6, t6, t1
+        addi t8, t8, 1
+        addi t9, t9, 1
+        subi t5, t5, 1
+        bnez t5, hsadp
+        addi t8, t8, 80
+        addi t9, t9, 80
+        subi t7, t7, 1
+        bnez t7, hsadr
+        bgeu t6, fp, hnext
+        move fp, t6
+        move s5, gp
+hnext:  addi gp, gp, 1
+        li   t0, 9
+        bne  gp, t0, hloop
+        li   t0, 13
+        mul  t1, fp, t0
+        add  s0, s0, t1
+        add  s0, s0, s5
+        addi s1, s1, 1
+        li   t0, 9
+        bne  s1, t0, blk
+        move v0, s0
+        halt
+
+        .data
+refb:   .space 9216
+curb:   .space 9216
+)";
+
+}  // namespace
+
+Workload make_mpeg2() {
+  Workload w;
+  w.name = "mpeg2";
+  w.suite = "mediabench";
+  w.description = "SAD motion estimation over two 96x96 frames";
+  w.source = kMpeg2Source;
+  w.expected_checksum = mpeg2_reference();
+  return w;
+}
+
+}  // namespace stcache

@@ -1,0 +1,604 @@
+// Powerstone-like bit-manipulation kernels: crc, bcnt, bilv, binary, blit,
+// brev. Each workload's assembly self-generates its input with the shared
+// LCG and leaves a checksum in v0; the C++ reference implementations below
+// compute the expected value independently.
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace stcache {
+
+namespace {
+
+// Fill `words` successive LCG values starting from `seed`, as the kernels'
+// generator loops do; returns the final LCG state.
+std::uint32_t lcg_fill(std::vector<std::uint32_t>& out, std::uint32_t seed,
+                       std::size_t words) {
+  out.resize(words);
+  std::uint32_t x = seed;
+  for (std::size_t i = 0; i < words; ++i) {
+    x = lcg_next(x);
+    out[i] = x;
+  }
+  return x;
+}
+
+std::vector<std::uint8_t> words_to_bytes(const std::vector<std::uint32_t>& w) {
+  std::vector<std::uint8_t> b;
+  b.reserve(w.size() * 4);
+  for (std::uint32_t v : w) {
+    b.push_back(static_cast<std::uint8_t>(v));
+    b.push_back(static_cast<std::uint8_t>(v >> 8));
+    b.push_back(static_cast<std::uint8_t>(v >> 16));
+    b.push_back(static_cast<std::uint8_t>(v >> 24));
+  }
+  return b;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// crc: table-driven CRC-32 over an 8 KB message, 8 passes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint32_t crc_reference() {
+  std::vector<std::uint32_t> msg_words;
+  lcg_fill(msg_words, 12345, 2048);
+  const std::vector<std::uint8_t> msg = words_to_bytes(msg_words);
+
+  std::uint32_t tbl[256];
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (c >> 1) ^ 0xEDB88320u : c >> 1;
+    }
+    tbl[i] = c;
+  }
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (int pass = 0; pass < 8; ++pass) {
+    for (std::uint8_t b : msg) {
+      c = tbl[(c ^ b) & 0xffu] ^ (c >> 8);
+    }
+  }
+  return ~c;
+}
+
+constexpr char kCrcSource[] = R"(
+# crc: CRC-32 of an 8 KB LCG-generated message, 8 passes.
+        .text
+main:   la   s4, tbl
+        # generate message (2048 words, seed 12345)
+        la   t0, msg
+        li   t1, 2048
+        li   t2, 12345
+        li   t3, 1103515245
+gen:    mul  t2, t2, t3
+        addi t2, t2, 12345
+        sw   t2, 0(t0)
+        addi t0, t0, 4
+        subi t1, t1, 1
+        bnez t1, gen
+        # build the CRC-32 table
+        la   t0, tbl
+        li   t1, 0
+        li   t5, 0xEDB88320
+        li   t6, 256
+tblgen: move t2, t1
+        li   t3, 8
+tblbit: andi t4, t2, 1
+        srl  t2, t2, 1
+        beqz t4, tskip
+        xor  t2, t2, t5
+tskip:  subi t3, t3, 1
+        bnez t3, tblbit
+        sw   t2, 0(t0)
+        addi t0, t0, 4
+        addi t1, t1, 1
+        bne  t1, t6, tblgen
+        # 8 passes of CRC over the message
+        li   s0, 0xFFFFFFFF
+        li   s3, 8
+pass:   la   s1, msg
+        li   s2, 8192
+byte:   lbu  t0, 0(s1)
+        xor  t1, s0, t0
+        andi t1, t1, 0xff
+        sll  t1, t1, 2
+        add  t1, t1, s4
+        lw   t1, 0(t1)
+        srl  t0, s0, 8
+        xor  s0, t1, t0
+        addi s1, s1, 1
+        subi s2, s2, 1
+        bnez s2, byte
+        subi s3, s3, 1
+        bnez s3, pass
+        not  v0, s0
+        halt
+
+        .data
+tbl:    .space 1024
+msg:    .space 8192
+)";
+
+}  // namespace
+
+Workload make_crc() {
+  Workload w;
+  w.name = "crc";
+  w.suite = "powerstone";
+  w.description = "table-driven CRC-32 over an 8 KB message (8 passes)";
+  w.source = kCrcSource;
+  w.expected_checksum = crc_reference();
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// bcnt: SWAR population count over 16 KB, 6 passes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint32_t bcnt_reference() {
+  std::vector<std::uint32_t> buf;
+  lcg_fill(buf, 99, 4096);
+  std::uint32_t total = 0;
+  for (int pass = 0; pass < 6; ++pass) {
+    for (std::uint32_t x : buf) {
+      x = x - ((x >> 1) & 0x55555555u);
+      x = (x & 0x33333333u) + ((x >> 2) & 0x33333333u);
+      x = (x + (x >> 4)) & 0x0F0F0F0Fu;
+      x = (x * 0x01010101u) >> 24;
+      total += x;
+    }
+  }
+  return total;
+}
+
+constexpr char kBcntSource[] = R"(
+# bcnt: SWAR popcount over a 16 KB buffer, 6 passes.
+        .text
+main:   la   t0, buf
+        li   t1, 4096
+        li   t2, 99
+        li   t3, 1103515245
+gen:    mul  t2, t2, t3
+        addi t2, t2, 12345
+        sw   t2, 0(t0)
+        addi t0, t0, 4
+        subi t1, t1, 1
+        bnez t1, gen
+        li   s1, 0x55555555
+        li   s2, 0x33333333
+        li   s3, 0x0F0F0F0F
+        li   s4, 0x01010101
+        li   s0, 0
+        li   s6, 6
+pass:   la   t0, buf
+        li   t1, 4096
+loop:   lw   t2, 0(t0)
+        srl  t3, t2, 1
+        and  t3, t3, s1
+        sub  t2, t2, t3
+        srl  t3, t2, 2
+        and  t3, t3, s2
+        and  t2, t2, s2
+        add  t2, t2, t3
+        srl  t3, t2, 4
+        add  t2, t2, t3
+        and  t2, t2, s3
+        mul  t2, t2, s4
+        srl  t2, t2, 24
+        add  s0, s0, t2
+        addi t0, t0, 4
+        subi t1, t1, 1
+        bnez t1, loop
+        subi s6, s6, 1
+        bnez s6, pass
+        move v0, s0
+        halt
+
+        .data
+buf:    .space 16384
+)";
+
+}  // namespace
+
+Workload make_bcnt() {
+  Workload w;
+  w.name = "bcnt";
+  w.suite = "powerstone";
+  w.description = "SWAR population count over 16 KB (6 passes)";
+  w.source = kBcntSource;
+  w.expected_checksum = bcnt_reference();
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// bilv: bit interleave (Morton encode) of 2048 words, 2 passes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint32_t bilv_reference() {
+  std::vector<std::uint32_t> src;
+  lcg_fill(src, 7, 2048);
+  std::uint32_t checksum = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint32_t v : src) {
+      std::uint32_t a = v & 0xffffu;
+      std::uint32_t b = v >> 16;
+      std::uint32_t r = 0;
+      for (int i = 0; i < 16; ++i) {
+        r |= ((a >> i) & 1u) << (2 * i);
+        r |= ((b >> i) & 1u) << (2 * i + 1);
+      }
+      checksum ^= r;
+    }
+  }
+  return checksum;
+}
+
+constexpr char kBilvSource[] = R"(
+# bilv: Morton bit-interleave of 2048 words, 2 passes.
+        .text
+main:   la   t0, src
+        li   t1, 2048
+        li   t2, 7
+        li   t3, 1103515245
+gen:    mul  t2, t2, t3
+        addi t2, t2, 12345
+        sw   t2, 0(t0)
+        addi t0, t0, 4
+        subi t1, t1, 1
+        bnez t1, gen
+        li   s0, 0
+        li   s5, 2
+pass:   la   s1, src
+        la   s2, dst
+        li   s3, 2048
+word:   lw   t0, 0(s1)
+        andi t1, t0, 0xFFFF
+        srl  t2, t0, 16
+        li   t3, 0
+        li   t4, 0
+        li   t7, 16
+bit:    andi t5, t1, 1
+        srl  t1, t1, 1
+        sll  t6, t4, 1
+        sllv t5, t5, t6
+        or   t3, t3, t5
+        andi t5, t2, 1
+        srl  t2, t2, 1
+        addi t6, t6, 1
+        sllv t5, t5, t6
+        or   t3, t3, t5
+        addi t4, t4, 1
+        bne  t4, t7, bit
+        sw   t3, 0(s2)
+        xor  s0, s0, t3
+        addi s1, s1, 4
+        addi s2, s2, 4
+        subi s3, s3, 1
+        bnez s3, word
+        subi s5, s5, 1
+        bnez s5, pass
+        move v0, s0
+        halt
+
+        .data
+src:    .space 8192
+        .space 112            # stagger dst so the planes do not alias
+dst:    .space 8192
+)";
+
+}  // namespace
+
+Workload make_bilv() {
+  Workload w;
+  w.name = "bilv";
+  w.suite = "powerstone";
+  w.description = "Morton bit-interleave of 2048 words (2 passes)";
+  w.source = kBilvSource;
+  w.expected_checksum = bilv_reference();
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// binary: 8000 binary searches over a sorted 4096-entry table.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint32_t binary_reference() {
+  std::vector<std::uint32_t> arr(4096);
+  std::uint32_t x = 31;
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    x = lcg_next(x);
+    arr[i] = 13 * i + (x & 7u);
+  }
+  std::uint32_t checksum = 0;
+  for (int n = 0; n < 8000; ++n) {
+    x = lcg_next(x);
+    const std::uint32_t key = (x >> 8) % 53248u;
+    std::uint32_t lo = 0, hi = 4096;
+    while (lo < hi) {
+      const std::uint32_t mid = (lo + hi) >> 1;
+      if (arr[mid] == key) {
+        checksum += mid;
+        break;
+      }
+      if (arr[mid] < key) lo = mid + 1;
+      else hi = mid;
+    }
+    checksum += 1;
+  }
+  return checksum;
+}
+
+constexpr char kBinarySource[] = R"(
+# binary: 8000 binary searches over a sorted 16 KB table.
+        .text
+main:   la   t0, arr
+        li   t1, 0
+        li   t6, 4096
+        li   t2, 31
+        li   t3, 1103515245
+        li   t7, 13
+geni:   mul  t2, t2, t3
+        addi t2, t2, 12345
+        andi t4, t2, 7
+        mul  t5, t1, t7
+        add  t5, t5, t4
+        sw   t5, 0(t0)
+        addi t0, t0, 4
+        addi t1, t1, 1
+        bne  t1, t6, geni
+        li   s0, 0
+        li   s1, 8000
+        li   s2, 53248
+        la   s3, arr
+srch:   mul  t2, t2, t3
+        addi t2, t2, 12345
+        srl  t4, t2, 8
+        remu t4, t4, s2
+        li   t0, 0
+        li   t1, 4096
+bs:     bgeu t0, t1, notf
+        add  t5, t0, t1
+        srl  t5, t5, 1
+        sll  t6, t5, 2
+        add  t6, t6, s3
+        lw   t6, 0(t6)
+        beq  t6, t4, found
+        bltu t6, t4, gor
+        move t1, t5
+        b    bs
+gor:    addi t0, t5, 1
+        b    bs
+found:  add  s0, s0, t5
+notf:   addi s0, s0, 1
+        subi s1, s1, 1
+        bnez s1, srch
+        move v0, s0
+        halt
+
+        .data
+arr:    .space 16384
+)";
+
+}  // namespace
+
+Workload make_binary() {
+  Workload w;
+  w.name = "binary";
+  w.suite = "powerstone";
+  w.description = "8000 binary searches over a sorted 16 KB table";
+  w.source = kBinarySource;
+  w.expected_checksum = binary_reference();
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// blit: bitmap OR-blit, 8192 words per plane, 3 passes + checksum sweep.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint32_t blit_reference() {
+  std::vector<std::uint32_t> src1, src2;
+  lcg_fill(src1, 1, 8192);
+  lcg_fill(src2, 2, 8192);
+  std::vector<std::uint32_t> dst(8192);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src1[i] | src2[i];
+  }
+  std::uint32_t checksum = 0;
+  for (std::uint32_t v : dst) checksum ^= v;
+  return checksum;
+}
+
+constexpr char kBlitSource[] = R"(
+# blit: OR-combine two 32 KB bitmap planes into a third, 3 passes.
+        .text
+main:   la   t0, src1
+        li   t1, 8192
+        li   t2, 1
+        li   t3, 1103515245
+gen1:   mul  t2, t2, t3
+        addi t2, t2, 12345
+        sw   t2, 0(t0)
+        addi t0, t0, 4
+        subi t1, t1, 1
+        bnez t1, gen1
+        la   t0, src2
+        li   t1, 8192
+        li   t2, 2
+gen2:   mul  t2, t2, t3
+        addi t2, t2, 12345
+        sw   t2, 0(t0)
+        addi t0, t0, 4
+        subi t1, t1, 1
+        bnez t1, gen2
+        li   s5, 3
+pass:   la   s1, src1
+        la   s2, src2
+        la   s3, dst
+        li   s4, 8192
+loop:   lw   t0, 0(s1)
+        lw   t1, 0(s2)
+        or   t2, t0, t1
+        sw   t2, 0(s3)
+        addi s1, s1, 4
+        addi s2, s2, 4
+        addi s3, s3, 4
+        subi s4, s4, 1
+        bnez s4, loop
+        subi s5, s5, 1
+        bnez s5, pass
+        li   s0, 0
+        la   s3, dst
+        li   s4, 8192
+sum:    lw   t0, 0(s3)
+        xor  s0, s0, t0
+        addi s3, s3, 4
+        subi s4, s4, 1
+        bnez s4, sum
+        move v0, s0
+        halt
+
+        .data
+src1:   .space 32768
+        .space 96             # stagger the planes across cache sets
+src2:   .space 32768
+        .space 160
+dst:    .space 32768
+)";
+
+}  // namespace
+
+Workload make_blit() {
+  Workload w;
+  w.name = "blit";
+  w.suite = "powerstone";
+  w.description = "OR-blit of two 32 KB bitmap planes (3 passes)";
+  w.source = kBlitSource;
+  w.expected_checksum = blit_reference();
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// brev: bit-reverse 2048 words into mirrored positions, 6 passes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint32_t brev_word(std::uint32_t x) {
+  x = ((x >> 1) & 0x55555555u) | ((x & 0x55555555u) << 1);
+  x = ((x >> 2) & 0x33333333u) | ((x & 0x33333333u) << 2);
+  x = ((x >> 4) & 0x0F0F0F0Fu) | ((x & 0x0F0F0F0Fu) << 4);
+  x = ((x >> 8) & 0x00FF00FFu) | ((x & 0x00FF00FFu) << 8);
+  return (x >> 16) | (x << 16);
+}
+
+std::uint32_t brev_reference() {
+  std::vector<std::uint32_t> buf;
+  lcg_fill(buf, 5, 2048);
+  std::vector<std::uint32_t> out(2048);
+  std::uint32_t checksum = 0;
+  for (int pass = 0; pass < 6; ++pass) {
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      const std::uint32_t r = brev_word(buf[i]);
+      out[2047 - i] = r;
+      checksum ^= r + static_cast<std::uint32_t>(i);
+    }
+  }
+  return checksum;
+}
+
+constexpr char kBrevSource[] = R"(
+# brev: bit-reverse each word of an 8 KB buffer into the mirrored slot.
+        .text
+main:   la   t0, buf
+        li   t1, 2048
+        li   t2, 5
+        li   t3, 1103515245
+gen:    mul  t2, t2, t3
+        addi t2, t2, 12345
+        sw   t2, 0(t0)
+        addi t0, t0, 4
+        subi t1, t1, 1
+        bnez t1, gen
+        li   s1, 0x55555555
+        li   s2, 0x33333333
+        li   s3, 0x0F0F0F0F
+        li   s4, 0x00FF00FF
+        li   s0, 0
+        li   s7, 6
+pass:   la   s5, buf
+        la   s6, out+8188     # &out[2047]
+        li   t7, 0            # i
+        li   t8, 2048
+word:   lw   t0, 0(s5)
+        # swap odd/even bits
+        srl  t1, t0, 1
+        and  t1, t1, s1
+        and  t2, t0, s1
+        sll  t2, t2, 1
+        or   t0, t1, t2
+        # swap bit pairs
+        srl  t1, t0, 2
+        and  t1, t1, s2
+        and  t2, t0, s2
+        sll  t2, t2, 2
+        or   t0, t1, t2
+        # swap nibbles
+        srl  t1, t0, 4
+        and  t1, t1, s3
+        and  t2, t0, s3
+        sll  t2, t2, 4
+        or   t0, t1, t2
+        # swap bytes
+        srl  t1, t0, 8
+        and  t1, t1, s4
+        and  t2, t0, s4
+        sll  t2, t2, 8
+        or   t0, t1, t2
+        # swap halves
+        srl  t1, t0, 16
+        sll  t2, t0, 16
+        or   t0, t1, t2
+        sw   t0, 0(s6)
+        add  t0, t0, t7
+        xor  s0, s0, t0
+        addi s5, s5, 4
+        subi s6, s6, 4
+        addi t7, t7, 1
+        bne  t7, t8, word
+        subi s7, s7, 1
+        bnez s7, pass
+        move v0, s0
+        halt
+
+        .data
+buf:    .space 8192
+        .space 80             # stagger out so mirrored writes do not alias
+out:    .space 8192
+)";
+
+}  // namespace
+
+Workload make_brev() {
+  Workload w;
+  w.name = "brev";
+  w.suite = "powerstone";
+  w.description = "bit-reversal of an 8 KB buffer into mirrored positions (6 passes)";
+  w.source = kBrevSource;
+  w.expected_checksum = brev_reference();
+  return w;
+}
+
+}  // namespace stcache

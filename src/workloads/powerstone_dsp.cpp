@@ -1,0 +1,699 @@
+// Powerstone-like DSP/control kernels: fir, adpcm, padpcm, auto.
+//
+// padpcm and auto generate parts of their assembly programmatically (cloned
+// codec blocks, a bank of dispatched control functions) to reproduce the
+// larger instruction working sets those benchmarks show in the paper's
+// Table 1; the C++ references replicate the generated code exactly.
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace stcache {
+
+namespace {
+
+std::uint32_t lcg_fill_words(std::vector<std::uint32_t>& out, std::uint32_t seed,
+                             std::size_t words) {
+  out.resize(words);
+  std::uint32_t x = seed;
+  for (std::size_t i = 0; i < words; ++i) {
+    x = lcg_next(x);
+    out[i] = x;
+  }
+  return x;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// fir: 64-tap FIR filter over 4096 samples.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint32_t fir_reference() {
+  std::vector<std::uint32_t> coef, x;
+  lcg_fill_words(coef, 11, 64);
+  lcg_fill_words(x, 21, 4096);
+  std::uint32_t checksum = 0;
+  for (std::uint32_t n = 63; n < 4096; ++n) {
+    std::uint32_t acc = 0;
+    for (std::uint32_t k = 0; k < 64; ++k) {
+      acc += x[n - k] * coef[k];
+    }
+    checksum ^= acc;
+  }
+  return checksum;
+}
+
+constexpr char kFirSource[] = R"(
+# fir: 64-tap FIR over 4096 samples (word arithmetic, wrap-around).
+        .text
+main:   la   t0, coef
+        li   t1, 64
+        li   t2, 11
+        li   t3, 1103515245
+genc:   mul  t2, t2, t3
+        addi t2, t2, 12345
+        sw   t2, 0(t0)
+        addi t0, t0, 4
+        subi t1, t1, 1
+        bnez t1, genc
+        la   t0, x
+        li   t1, 4096
+        li   t2, 21
+genx:   mul  t2, t2, t3
+        addi t2, t2, 12345
+        sw   t2, 0(t0)
+        addi t0, t0, 4
+        subi t1, t1, 1
+        bnez t1, genx
+        li   s0, 0
+        la   s1, x+252        # &x[63]
+        la   s3, y
+        li   s2, 4033
+        la   s4, coef
+firn:   li   t4, 0
+        move t5, s1
+        move t6, s4
+        li   t7, 64
+tap:    lw   t0, 0(t5)
+        lw   t1, 0(t6)
+        mul  t0, t0, t1
+        add  t4, t4, t0
+        subi t5, t5, 4
+        addi t6, t6, 4
+        subi t7, t7, 1
+        bnez t7, tap
+        sw   t4, 0(s3)
+        xor  s0, s0, t4
+        addi s1, s1, 4
+        addi s3, s3, 4
+        subi s2, s2, 1
+        bnez s2, firn
+        move v0, s0
+        halt
+
+        .data
+coef:   .space 256
+        .space 48             # stagger the streams across cache sets
+x:      .space 16384
+        .space 144
+y:      .space 16384
+)";
+
+}  // namespace
+
+Workload make_fir() {
+  Workload w;
+  w.name = "fir";
+  w.suite = "powerstone";
+  w.description = "64-tap FIR filter over 4096 samples";
+  w.source = kFirSource;
+  w.expected_checksum = fir_reference();
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// adpcm: IMA ADPCM encoder over 8192 samples.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::array<int, 16> kIndexTable = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                             -1, -1, -1, -1, 2, 4, 6, 8};
+
+constexpr std::array<int, 89> kStepTable = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+// Full encode + decode round trip, mirroring the adpcm kernel: the encoder
+// writes its nibble codes to an output buffer and a decoder pass
+// reconstructs the signal from them, folding the reconstruction into the
+// checksum (a real codec's self-test).
+std::uint32_t adpcm_roundtrip_reference(std::uint32_t seed, std::uint32_t count) {
+  std::uint32_t x = seed;
+  std::int32_t valpred = 0;
+  std::int32_t index = 0;
+  std::uint32_t checksum = 0;
+  std::vector<std::uint8_t> codes(count);
+  for (std::uint32_t n = 0; n < count; ++n) {
+    x = lcg_next(x);
+    const auto sample =
+        static_cast<std::int32_t>(static_cast<std::int16_t>(x >> 8));
+    std::int32_t step = kStepTable[index];
+    std::int32_t diff = sample - valpred;
+    std::int32_t sign = 0;
+    if (diff < 0) {
+      sign = 8;
+      diff = -diff;
+    }
+    std::int32_t delta = 0;
+    std::int32_t vpdiff = step >> 3;
+    if (diff >= step) {
+      delta = 4;
+      diff -= step;
+      vpdiff += step;
+    }
+    step >>= 1;
+    if (diff >= step) {
+      delta |= 2;
+      diff -= step;
+      vpdiff += step;
+    }
+    step >>= 1;
+    if (diff >= step) {
+      delta |= 1;
+      vpdiff += step;
+    }
+    if (sign != 0) valpred -= vpdiff;
+    else valpred += vpdiff;
+    if (valpred > 32767) valpred = 32767;
+    else if (valpred < -32768) valpred = -32768;
+    delta |= sign;
+    codes[n] = static_cast<std::uint8_t>(delta);
+    index += kIndexTable[delta];
+    if (index < 0) index = 0;
+    else if (index > 88) index = 88;
+    checksum += static_cast<std::uint32_t>(delta) + (n & 0xffu);
+  }
+  checksum += static_cast<std::uint32_t>(valpred) * 3u +
+              static_cast<std::uint32_t>(index);
+
+  // Decode pass.
+  valpred = 0;
+  index = 0;
+  for (std::uint32_t n = 0; n < count; ++n) {
+    const std::uint32_t delta = codes[n];
+    std::int32_t step = kStepTable[index];
+    std::int32_t vpdiff = step >> 3;
+    if (delta & 4) vpdiff += step;
+    if (delta & 2) vpdiff += step >> 1;
+    if (delta & 1) vpdiff += step >> 2;
+    if (delta & 8) valpred -= vpdiff;
+    else valpred += vpdiff;
+    if (valpred > 32767) valpred = 32767;
+    else if (valpred < -32768) valpred = -32768;
+    index += kIndexTable[delta];
+    if (index < 0) index = 0;
+    else if (index > 88) index = 88;
+    checksum += static_cast<std::uint32_t>(valpred) & 0xFFFFu;
+  }
+  return checksum;
+}
+
+std::string step_table_words() {
+  std::string s;
+  for (std::size_t i = 0; i < kStepTable.size(); ++i) {
+    s += (i % 8 == 0) ? "\n        .word " : ", ";
+    s += std::to_string(kStepTable[i]);
+  }
+  return s;
+}
+
+std::string index_table_words() {
+  std::string s = "\n        .word ";
+  for (std::size_t i = 0; i < kIndexTable.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(kIndexTable[i]);
+  }
+  return s;
+}
+
+// The encoder loop body, parameterized by a label prefix so padpcm can
+// clone it. Register contract:
+//   in:  s1 = LCG state, s2 = sample count, s3 = output cursor,
+//        s4 = &steptab, s5 = &indextab
+//   io:  s0 = checksum, t8 = valpred, t9 = index
+//   uses t0..t7; `n & 0xff` counter in s6 (caller clears s6 per block? no —
+//   s6 is the absolute sample counter maintained here).
+std::string encoder_sample(const std::string& p) {
+  std::string a;
+  auto L = [&](const std::string& s) { a += s + "\n"; };
+  L("        mul  s1, s1, s7");         // s7 = 1103515245 (caller loads)
+  L("        addi s1, s1, 12345");
+  L("        srl  t0, s1, 8");
+  L("        sll  t0, t0, 16");
+  L("        sra  t0, t0, 16");          // sample (sign-extended 16-bit)
+  // step = steptab[index]
+  L("        sll  t1, t9, 2");
+  L("        add  t1, t1, s4");
+  L("        lw   t1, 0(t1)");           // step
+  L("        sub  t2, t0, t8");          // diff = sample - valpred
+  L("        li   t3, 0");               // sign
+  L("        bge  t2, zero, " + p + "pos");
+  L("        li   t3, 8");
+  L("        neg  t2, t2");
+  L(p + "pos:");
+  L("        li   t4, 0");               // delta
+  L("        sra  t5, t1, 3");           // vpdiff = step >> 3
+  L("        blt  t2, t1, " + p + "s1");
+  L("        li   t4, 4");
+  L("        sub  t2, t2, t1");
+  L("        add  t5, t5, t1");
+  L(p + "s1:");
+  L("        sra  t1, t1, 1");
+  L("        blt  t2, t1, " + p + "s2");
+  L("        ori  t4, t4, 2");
+  L("        sub  t2, t2, t1");
+  L("        add  t5, t5, t1");
+  L(p + "s2:");
+  L("        sra  t1, t1, 1");
+  L("        blt  t2, t1, " + p + "s3");
+  L("        ori  t4, t4, 1");
+  L("        add  t5, t5, t1");
+  L(p + "s3:");
+  L("        beqz t3, " + p + "addv");
+  L("        sub  t8, t8, t5");
+  L("        b    " + p + "clamp");
+  L(p + "addv:");
+  L("        add  t8, t8, t5");
+  L(p + "clamp:");
+  L("        li   t6, 32767");
+  L("        ble  t8, t6, " + p + "c1");
+  L("        move t8, t6");
+  L(p + "c1:");
+  L("        li   t6, -32768");
+  L("        bge  t8, t6, " + p + "c2");
+  L("        move t8, t6");
+  L(p + "c2:");
+  L("        or   t4, t4, t3");          // delta |= sign
+  L("        sb   t4, 0(s3)");            // emit the code to the output stream
+  L("        addi s3, s3, 1");
+  // index += indextab[delta], clamp 0..88
+  L("        sll  t6, t4, 2");
+  L("        add  t6, t6, s5");
+  L("        lw   t6, 0(t6)");
+  L("        add  t9, t9, t6");
+  L("        bge  t9, zero, " + p + "i1");
+  L("        li   t9, 0");
+  L(p + "i1:");
+  L("        li   t6, 88");
+  L("        ble  t9, t6, " + p + "i2");
+  L("        move t9, t6");
+  L(p + "i2:");
+  L("        andi t6, s6, 0xff");
+  L("        add  t4, t4, t6");
+  L("        add  s0, s0, t4");          // checksum += delta + (n & 0xff)
+  L("        addi s6, s6, 1");
+  return a;
+}
+
+// Loop wrapper: encode s2 samples.
+std::string encoder_body(const std::string& p) {
+  std::string a;
+  a += p + "loop:\n";
+  a += encoder_sample(p);
+  a += "        subi s2, s2, 1\n";
+  a += "        bnez s2, " + p + "loop\n";
+  return a;
+}
+
+std::string adpcm_source() {
+  std::string s;
+  s += "# adpcm: IMA ADPCM encoder over 8192 LCG samples.\n";
+  s += "        .text\n";
+  s += "main:   la   s4, steptab\n";
+  s += "        la   s5, indextab\n";
+  s += "        la   s3, outbuf\n";
+  s += "        li   s7, 1103515245\n";
+  s += "        li   s0, 0\n";
+  s += "        li   s1, 77\n";        // LCG seed
+  s += "        li   s2, 8192\n";      // samples
+  s += "        li   s6, 0\n";         // absolute sample counter
+  s += "        li   t8, 0\n";         // valpred
+  s += "        li   t9, 0\n";         // index
+  s += encoder_body("e");
+  s += "        li   t0, 3\n";
+  s += "        mul  t1, t8, t0\n";
+  s += "        add  s0, s0, t1\n";
+  s += "        add  s0, s0, t9\n";
+  // ---- decode pass: reconstruct the signal from the emitted codes ----
+  s += "        la   s3, outbuf\n";
+  s += "        li   s2, 8192\n";
+  s += "        li   t8, 0\n";        // valpred
+  s += "        li   t9, 0\n";        // index
+  s += "dloop:  lbu  t4, 0(s3)\n";    // delta
+  s += "        sll  t1, t9, 2\n";
+  s += "        add  t1, t1, s4\n";
+  s += "        lw   t1, 0(t1)\n";    // step
+  s += "        sra  t5, t1, 3\n";    // vpdiff = step >> 3
+  s += "        andi t0, t4, 4\n";
+  s += "        beqz t0, d1\n";
+  s += "        add  t5, t5, t1\n";
+  s += "d1:     andi t0, t4, 2\n";
+  s += "        beqz t0, d2\n";
+  s += "        sra  t0, t1, 1\n";
+  s += "        add  t5, t5, t0\n";
+  s += "d2:     andi t0, t4, 1\n";
+  s += "        beqz t0, d3\n";
+  s += "        sra  t0, t1, 2\n";
+  s += "        add  t5, t5, t0\n";
+  s += "d3:     andi t0, t4, 8\n";
+  s += "        beqz t0, dadd\n";
+  s += "        sub  t8, t8, t5\n";
+  s += "        b    dclamp\n";
+  s += "dadd:   add  t8, t8, t5\n";
+  s += "dclamp: li   t0, 32767\n";
+  s += "        ble  t8, t0, dc1\n";
+  s += "        move t8, t0\n";
+  s += "dc1:    li   t0, -32768\n";
+  s += "        bge  t8, t0, dc2\n";
+  s += "        move t8, t0\n";
+  s += "dc2:    sll  t0, t4, 2\n";
+  s += "        add  t0, t0, s5\n";
+  s += "        lw   t0, 0(t0)\n";
+  s += "        add  t9, t9, t0\n";
+  s += "        bge  t9, zero, di1\n";
+  s += "        li   t9, 0\n";
+  s += "di1:    li   t0, 88\n";
+  s += "        ble  t9, t0, di2\n";
+  s += "        move t9, t0\n";
+  s += "di2:    li   t0, 0xFFFF\n";
+  s += "        and  t0, t8, t0\n";
+  s += "        add  s0, s0, t0\n";   // checksum += valpred & 0xFFFF
+  s += "        addi s3, s3, 1\n";
+  s += "        subi s2, s2, 1\n";
+  s += "        bnez s2, dloop\n";
+  s += "        move v0, s0\n";
+  s += "        halt\n";
+  s += "\n        .data\n";
+  s += "steptab:" + step_table_words() + "\n";
+  s += "indextab:" + index_table_words() + "\n";
+  s += "outbuf: .space 8192\n";
+  return s;
+}
+
+}  // namespace
+
+Workload make_adpcm() {
+  Workload w;
+  w.name = "adpcm";
+  w.suite = "mediabench";
+  w.description = "IMA ADPCM encode + decode round trip over 8192 samples";
+  w.source = adpcm_source();
+  w.expected_checksum = adpcm_roundtrip_reference(77, 8192);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// padpcm: 16 cloned ADPCM encoder blocks, dispatched round-robin over 2
+// passes. The clones give the kernel a multi-kilobyte instruction working
+// set (the paper's padpcm selects an 8 KB instruction cache).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr unsigned kPadpcmClones = 16;
+constexpr unsigned kPadpcmIters = 512;   // iterations per pass (1 sample/clone)
+constexpr unsigned kPadpcmPasses = 2;
+
+std::uint32_t padpcm_reference() {
+  // Mirrors the generated assembly: one running LCG/checksum/counter; each
+  // clone keeps its own predictor state in memory and encodes ONE sample
+  // per iteration, so the sixteen clone bodies stay live in the
+  // instruction cache simultaneously.
+  std::uint32_t x = 505;
+  std::uint32_t checksum = 0;
+  std::uint32_t abs_n = 0;
+  std::int32_t valpred[kPadpcmClones] = {};
+  std::int32_t index[kPadpcmClones] = {};
+  for (unsigned pass = 0; pass < kPadpcmPasses; ++pass) {
+    for (unsigned iter = 0; iter < kPadpcmIters; ++iter) {
+      for (unsigned clone = 0; clone < kPadpcmClones; ++clone) {
+        x = lcg_next(x);
+        const auto sample =
+            static_cast<std::int32_t>(static_cast<std::int16_t>(x >> 8));
+        std::int32_t step = kStepTable[index[clone]];
+        std::int32_t diff = sample - valpred[clone];
+        std::int32_t sign = 0;
+        if (diff < 0) {
+          sign = 8;
+          diff = -diff;
+        }
+        std::int32_t delta = 0;
+        std::int32_t vpdiff = step >> 3;
+        if (diff >= step) {
+          delta = 4;
+          diff -= step;
+          vpdiff += step;
+        }
+        step >>= 1;
+        if (diff >= step) {
+          delta |= 2;
+          diff -= step;
+          vpdiff += step;
+        }
+        step >>= 1;
+        if (diff >= step) {
+          delta |= 1;
+          vpdiff += step;
+        }
+        if (sign != 0) valpred[clone] -= vpdiff;
+        else valpred[clone] += vpdiff;
+        if (valpred[clone] > 32767) valpred[clone] = 32767;
+        else if (valpred[clone] < -32768) valpred[clone] = -32768;
+        delta |= sign;
+        index[clone] += kIndexTable[delta];
+        if (index[clone] < 0) index[clone] = 0;
+        else if (index[clone] > 88) index[clone] = 88;
+        checksum += static_cast<std::uint32_t>(delta) + (abs_n & 0xffu);
+        ++abs_n;
+      }
+    }
+  }
+  for (unsigned clone = 0; clone < kPadpcmClones; ++clone) {
+    checksum += static_cast<std::uint32_t>(valpred[clone]) * 3u +
+                static_cast<std::uint32_t>(index[clone]) + clone;
+  }
+  return checksum;
+}
+
+std::string padpcm_source() {
+  std::string s;
+  s += "# padpcm: " + std::to_string(kPadpcmClones) +
+       " cloned ADPCM encoders, one sample per clone per iteration.\n";
+  s += "        .text\n";
+  s += "main:   la   s4, steptab\n";
+  s += "        la   s5, indextab\n";
+  s += "        la   s3, outbuf\n";
+  s += "        li   s7, 1103515245\n";
+  s += "        li   s0, 0\n";
+  s += "        li   s1, 505\n";
+  s += "        li   s6, 0\n";
+  s += "        la   t0, padst\n";   // clear the per-clone state records
+  s += "        li   t1, " + std::to_string(2 * kPadpcmClones) + "\n";
+  s += "clrst:  sw   zero, 0(t0)\n";
+  s += "        addi t0, t0, 4\n";
+  s += "        subi t1, t1, 1\n";
+  s += "        bnez t1, clrst\n";
+  s += "        li   gp, " + std::to_string(kPadpcmPasses) + "\n";
+  s += "pass:   li   fp, " + std::to_string(kPadpcmIters) + "\n";
+  s += "iter:\n";
+  for (unsigned clone = 0; clone < kPadpcmClones; ++clone) {
+    s += "        jal  enc" + std::to_string(clone) + "\n";
+  }
+  s += "        subi fp, fp, 1\n";
+  s += "        bnez fp, iter\n";
+  s += "        subi gp, gp, 1\n";
+  s += "        bnez gp, pass\n";
+  // fold the clone states into the checksum
+  s += "        la   t7, padst\n";
+  s += "        li   t6, 0\n";
+  s += "fold:   lw   t8, 0(t7)\n";
+  s += "        li   t0, 3\n";
+  s += "        mul  t1, t8, t0\n";
+  s += "        add  s0, s0, t1\n";
+  s += "        lw   t9, 4(t7)\n";
+  s += "        add  s0, s0, t9\n";
+  s += "        add  s0, s0, t6\n";
+  s += "        addi t7, t7, 8\n";
+  s += "        addi t6, t6, 1\n";
+  s += "        li   t0, " + std::to_string(kPadpcmClones) + "\n";
+  s += "        bne  t6, t0, fold\n";
+  s += "        move v0, s0\n";
+  s += "        halt\n\n";
+
+  for (unsigned clone = 0; clone < kPadpcmClones; ++clone) {
+    const std::string p = "e" + std::to_string(clone) + "_";
+    const std::string st = "padst+" + std::to_string(clone * 8);
+    s += "enc" + std::to_string(clone) + ":\n";
+    s += "        la   t7, " + st + "\n";
+    s += "        lw   t8, 0(t7)\n";   // valpred
+    s += "        lw   t9, 4(t7)\n";   // index
+    s += encoder_sample(p);
+    s += "        sw   t8, 0(t7)\n";
+    s += "        sw   t9, 4(t7)\n";
+    s += "        ret\n\n";
+  }
+
+  s += "        .data\n";
+  s += "steptab:" + step_table_words() + "\n";
+  s += "indextab:" + index_table_words() + "\n";
+  s += "padst:  .space " + std::to_string(kPadpcmClones * 8) + "\n";
+  s += "outbuf: .space " + std::to_string(kPadpcmClones * kPadpcmIters *
+                                          kPadpcmPasses) + "\n";
+  return s;
+}
+
+}  // namespace
+
+Workload make_padpcm() {
+  Workload w;
+  w.name = "padpcm";
+  w.suite = "powerstone";
+  w.description = "16 interleaved ADPCM encoder clones (large live instruction set)";
+  w.source = padpcm_source();
+  w.expected_checksum = padpcm_reference();
+  w.max_instructions = 120'000'000;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// auto: engine-control dispatch over a bank of 32 generated handler
+// functions driven through a function-pointer table (large, conflict-prone
+// instruction working set; small data working set).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr unsigned kAutoFuncs = 32;
+constexpr unsigned kAutoIters = 16000;
+constexpr unsigned kAutoStateWords = 64;
+
+// Per-function constants (deterministic in the function id).
+std::uint32_t auto_mul_const(unsigned f) { return 0x10001u + f * 0x202u; }
+std::uint32_t auto_add_const(unsigned f) { return 17u + f * 29u; }
+unsigned auto_slot(unsigned f, unsigned j) { return (f * 5 + j * 3) & (kAutoStateWords - 1); }
+
+std::uint32_t auto_reference() {
+  std::vector<std::uint32_t> state;
+  std::uint32_t x = 17;
+  lcg_fill_words(state, 17, kAutoStateWords);
+  x = state.back();
+
+  for (unsigned it = 0; it < kAutoIters; ++it) {
+    x = lcg_next(x);
+    const unsigned f = (x >> 10) & (kAutoFuncs - 1);
+    const std::uint32_t mc = auto_mul_const(f);
+    const std::uint32_t ac = auto_add_const(f);
+    for (unsigned j = 0; j < 8; ++j) {
+      const unsigned slot = auto_slot(f, j);
+      std::uint32_t v = state[slot];
+      v = v * mc + ac;
+      if (j % 2 == 0) v ^= (v >> 7);
+      else v += (v << 3);
+      state[slot] = v;
+      // Handlers bail out early on odd sensor values: roughly half the
+      // calls execute only the first update, which makes long fetch lines
+      // wasteful for this kernel (sparse execution).
+      if (j == 0 && (v & 1u) != 0) break;
+    }
+  }
+  std::uint32_t checksum = 0;
+  for (std::uint32_t v : state) checksum ^= v;
+  return checksum;
+}
+
+std::string auto_source() {
+  std::string s;
+  s += "# auto: dispatch over " + std::to_string(kAutoFuncs) +
+       " generated control handlers via a function-pointer table.\n";
+  s += "        .text\n";
+  s += "main:   la   t0, state\n";
+  s += "        li   t1, " + std::to_string(kAutoStateWords) + "\n";
+  s += "        li   t2, 17\n";
+  s += "        li   t3, 1103515245\n";
+  s += "gen:    mul  t2, t2, t3\n";
+  s += "        addi t2, t2, 12345\n";
+  s += "        sw   t2, 0(t0)\n";
+  s += "        addi t0, t0, 4\n";
+  s += "        subi t1, t1, 1\n";
+  s += "        bnez t1, gen\n";
+  s += "        move s3, t2\n";  // LCG state continues from the fill
+  s += "        li   s1, " + std::to_string(kAutoIters) + "\n";
+  s += "        la   s2, ftab\n";
+  s += "        li   s7, 1103515245\n";
+  s += "disp:   mul  s3, s3, s7\n";
+  s += "        addi s3, s3, 12345\n";
+  s += "        srl  t0, s3, 10\n";
+  s += "        andi t0, t0, " + std::to_string(kAutoFuncs - 1) + "\n";
+  s += "        sll  t0, t0, 2\n";
+  s += "        add  t0, t0, s2\n";
+  s += "        lw   t0, 0(t0)\n";
+  s += "        jalr t0\n";
+  s += "        subi s1, s1, 1\n";
+  s += "        bnez s1, disp\n";
+  s += "        li   s0, 0\n";
+  s += "        la   t0, state\n";
+  s += "        li   t1, " + std::to_string(kAutoStateWords) + "\n";
+  s += "sum:    lw   t2, 0(t0)\n";
+  s += "        xor  s0, s0, t2\n";
+  s += "        addi t0, t0, 4\n";
+  s += "        subi t1, t1, 1\n";
+  s += "        bnez t1, sum\n";
+  s += "        move v0, s0\n";
+  s += "        halt\n\n";
+
+  for (unsigned f = 0; f < kAutoFuncs; ++f) {
+    s += "f" + std::to_string(f) + ":\n";
+    s += "        la   t1, state\n";
+    s += "        li   t2, " + std::to_string(auto_mul_const(f)) + "\n";
+    s += "        li   t3, " + std::to_string(auto_add_const(f)) + "\n";
+    for (unsigned j = 0; j < 8; ++j) {
+      const unsigned off = auto_slot(f, j) * 4;
+      s += "        lw   t4, " + std::to_string(off) + "(t1)\n";
+      s += "        mul  t4, t4, t2\n";
+      s += "        add  t4, t4, t3\n";
+      if (j % 2 == 0) {
+        s += "        srl  t5, t4, 7\n";
+        s += "        xor  t4, t4, t5\n";
+      } else {
+        s += "        sll  t5, t4, 3\n";
+        s += "        add  t4, t4, t5\n";
+      }
+      s += "        sw   t4, " + std::to_string(off) + "(t1)\n";
+      if (j == 0) {
+        // early exit on odd sensor value (sparse execution path)
+        s += "        andi t5, t4, 1\n";
+        s += "        beqz t5, f" + std::to_string(f) + "c\n";
+        s += "        ret\n";
+        s += "f" + std::to_string(f) + "c:\n";
+      }
+    }
+    s += "        ret\n\n";
+  }
+
+  s += "        .data\n";
+  s += "ftab:";
+  for (unsigned f = 0; f < kAutoFuncs; ++f) {
+    s += (f % 8 == 0) ? "\n        .word " : ", ";
+    s += "f" + std::to_string(f);
+  }
+  s += "\nstate:  .space " + std::to_string(kAutoStateWords * 4) + "\n";
+  return s;
+}
+
+}  // namespace
+
+Workload make_auto() {
+  Workload w;
+  w.name = "auto";
+  w.suite = "powerstone";
+  w.description = "function-pointer dispatch over 32 generated control handlers";
+  w.source = auto_source();
+  w.expected_checksum = auto_reference();
+  return w;
+}
+
+}  // namespace stcache

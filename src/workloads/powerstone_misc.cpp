@@ -1,0 +1,375 @@
+// Powerstone-like kernels with mixed control/data behavior: g3fax (run-
+// length fill), ucbqsort (iterative quicksort), tv (Sobel edge detect).
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace stcache {
+
+// ---------------------------------------------------------------------------
+// g3fax: alternating-color run-length expansion into a 48 KB scanline
+// buffer, 2 passes, plus a strided checksum sweep.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kFaxBytes = 49152;
+
+std::uint32_t g3fax_reference() {
+  std::vector<std::uint8_t> out(kFaxBytes);
+  std::uint32_t x = 771;
+  for (int pass = 0; pass < 2; ++pass) {
+    std::uint32_t remaining = kFaxBytes;
+    std::uint32_t color = 0;
+    std::size_t pos = 0;
+    while (remaining > 0) {
+      x = lcg_next(x);
+      std::uint32_t len = ((x >> 5) & 63u) + 1;
+      if (len > remaining) len = remaining;
+      remaining -= len;
+      const std::uint8_t value = color ? 0xFF : 0x00;
+      for (std::uint32_t i = 0; i < len; ++i) out[pos++] = value;
+      color ^= 1;
+    }
+  }
+  std::uint32_t checksum = 0;
+  for (std::uint32_t i = 0; i < kFaxBytes; i += 97) checksum += out[i];
+
+  // Re-encode stage (what a fax codec's round trip does): scan the
+  // expanded bitmap back into runs, folding the run count and every 64th
+  // run's length into the checksum.
+  std::uint32_t runs = 0;
+  std::uint32_t run_len = 1;
+  for (std::uint32_t i = 1; i < kFaxBytes; ++i) {
+    if (out[i] == out[i - 1]) {
+      ++run_len;
+      continue;
+    }
+    if (runs % 64 == 0) checksum += run_len;
+    ++runs;
+    run_len = 1;
+  }
+  ++runs;
+  return checksum + runs * 3u;
+}
+
+constexpr char kG3faxSource[] = R"(
+# g3fax: run-length expansion of alternating black/white runs, 2 passes.
+        .text
+main:   li   t2, 771
+        li   s7, 1103515245
+        li   s6, 2
+pass:   la   s1, outbuf
+        li   s2, 49152
+        li   s3, 0
+runs:   mul  t2, t2, s7
+        addi t2, t2, 12345
+        srl  t0, t2, 5
+        andi t0, t0, 63
+        addi t0, t0, 1
+        bleu t0, s2, lenok
+        move t0, s2
+lenok:  sub  s2, s2, t0
+        li   t1, 0
+        beqz s3, fill
+        li   t1, 0xFF
+fill:   sb   t1, 0(s1)
+        addi s1, s1, 1
+        subi t0, t0, 1
+        bnez t0, fill
+        xori s3, s3, 1
+        bnez s2, runs
+        subi s6, s6, 1
+        bnez s6, pass
+        li   s0, 0
+        la   s1, outbuf
+        li   t3, 0
+        li   t4, 49152
+cks:    add  t5, s1, t3
+        lbu  t6, 0(t5)
+        add  s0, s0, t6
+        addi t3, t3, 97
+        bltu t3, t4, cks
+        # ---- re-encode: scan the bitmap back into runs ----
+        la   s1, outbuf
+        lbu  t0, 0(s1)        # previous byte
+        addi s1, s1, 1
+        li   t1, 49151        # bytes remaining (kFaxBytes - 1)
+        li   t2, 0            # runs
+        li   t3, 1            # current run length
+renc:   lbu  t4, 0(s1)
+        beq  t4, t0, rsame
+        andi t5, t2, 63       # every 64th run folds its length in
+        bnez t5, rskip
+        add  s0, s0, t3
+rskip:  addi t2, t2, 1
+        li   t3, 1
+        move t0, t4
+        b    rnext
+rsame:  addi t3, t3, 1
+rnext:  addi s1, s1, 1
+        subi t1, t1, 1
+        bnez t1, renc
+        addi t2, t2, 1
+        li   t0, 3
+        mul  t1, t2, t0
+        add  s0, s0, t1
+        move v0, s0
+        halt
+
+        .data
+outbuf: .space 49152
+)";
+
+}  // namespace
+
+Workload make_g3fax() {
+  Workload w;
+  w.name = "g3fax";
+  w.suite = "powerstone";
+  w.description = "run-length expand + re-encode round trip over a 48 KB scanline buffer";
+  w.source = kG3faxSource;
+  w.expected_checksum = g3fax_reference();
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// ucbqsort: iterative quicksort (Lomuto partition, explicit segment stack)
+// of 4096 words.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint32_t ucbqsort_reference() {
+  std::vector<std::uint32_t> arr(4096);
+  std::uint32_t x = 41;
+  for (auto& v : arr) {
+    x = lcg_next(x);
+    v = x;
+  }
+  std::sort(arr.begin(), arr.end());
+  std::uint32_t checksum = 0;
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    checksum ^= arr[i] + static_cast<std::uint32_t>(i);
+  }
+  return checksum;
+}
+
+constexpr char kUcbqsortSource[] = R"(
+# ucbqsort: iterative quicksort of 4096 words with an explicit stack.
+        .text
+main:   la   t0, arr
+        li   t1, 4096
+        li   t2, 41
+        li   t3, 1103515245
+gen:    mul  t2, t2, t3
+        addi t2, t2, 12345
+        sw   t2, 0(t0)
+        addi t0, t0, 4
+        subi t1, t1, 1
+        bnez t1, gen
+        la   s4, arr
+        la   s6, stack
+        li   t0, 0
+        li   t1, 4095
+        sw   t0, 0(s6)
+        sw   t1, 4(s6)
+        li   s5, 8
+qloop:  beqz s5, qdone
+        subi s5, s5, 8
+        add  t9, s6, s5
+        lw   t7, 0(t9)
+        lw   t8, 4(t9)
+        bge  t7, t8, qloop
+        # Lomuto partition with arr[hi] as pivot
+        sll  t0, t8, 2
+        add  t0, t0, s4
+        lw   t6, 0(t0)
+        move t1, t7
+        move t2, t7
+ploop:  bge  t2, t8, pdone
+        sll  t3, t2, 2
+        add  t3, t3, s4
+        lw   t4, 0(t3)
+        bgeu t4, t6, pnext
+        sll  t5, t1, 2
+        add  t5, t5, s4
+        lw   t0, 0(t5)
+        sw   t4, 0(t5)
+        sw   t0, 0(t3)
+        addi t1, t1, 1
+pnext:  addi t2, t2, 1
+        b    ploop
+pdone:  sll  t3, t8, 2
+        add  t3, t3, s4
+        lw   t4, 0(t3)
+        sll  t5, t1, 2
+        add  t5, t5, s4
+        lw   t0, 0(t5)
+        sw   t4, 0(t5)
+        sw   t0, 0(t3)
+        subi t4, t1, 1
+        add  t9, s6, s5
+        sw   t7, 0(t9)
+        sw   t4, 4(t9)
+        addi s5, s5, 8
+        addi t4, t1, 1
+        add  t9, s6, s5
+        sw   t4, 0(t9)
+        sw   t8, 4(t9)
+        addi s5, s5, 8
+        b    qloop
+qdone:  li   s0, 0
+        la   s1, arr
+        li   t3, 0
+        li   t4, 4096
+cks:    lw   t5, 0(s1)
+        add  t5, t5, t3
+        xor  s0, s0, t5
+        addi s1, s1, 4
+        addi t3, t3, 1
+        bne  t3, t4, cks
+        move v0, s0
+        halt
+
+        .data
+arr:    .space 16384
+        .space 176            # stagger the segment stack off the array
+stack:  .space 32768
+)";
+
+}  // namespace
+
+Workload make_ucbqsort() {
+  Workload w;
+  w.name = "ucbqsort";
+  w.suite = "powerstone";
+  w.description = "iterative quicksort of 4096 words";
+  w.source = kUcbqsortSource;
+  w.expected_checksum = ucbqsort_reference();
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// tv: Sobel edge detection over a 128x128 greyscale image.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kTvDim = 128;
+
+std::uint32_t tv_reference() {
+  std::vector<std::uint8_t> img(kTvDim * kTvDim);
+  std::uint32_t x = 3;
+  for (auto& p : img) {
+    x = lcg_next(x);
+    p = static_cast<std::uint8_t>(x >> 16);
+  }
+  auto at = [&](int y, int xx) { return static_cast<int>(img[y * kTvDim + xx]); };
+  std::uint32_t checksum = 0;
+  for (int y = 1; y < kTvDim - 1; ++y) {
+    for (int xx = 1; xx < kTvDim - 1; ++xx) {
+      const int gx = (at(y - 1, xx + 1) + 2 * at(y, xx + 1) + at(y + 1, xx + 1)) -
+                     (at(y - 1, xx - 1) + 2 * at(y, xx - 1) + at(y + 1, xx - 1));
+      const int gy = (at(y + 1, xx - 1) + 2 * at(y + 1, xx) + at(y + 1, xx + 1)) -
+                     (at(y - 1, xx - 1) + 2 * at(y - 1, xx) + at(y - 1, xx + 1));
+      int sum = std::abs(gx) + std::abs(gy);
+      if (sum > 255) sum = 255;
+      checksum += static_cast<std::uint32_t>(sum);
+    }
+  }
+  return checksum;
+}
+
+constexpr char kTvSource[] = R"(
+# tv: Sobel edge detect over a 128x128 image.
+        .text
+main:   la   t0, img
+        li   t1, 16384
+        li   t2, 3
+        li   t3, 1103515245
+gen:    mul  t2, t2, t3
+        addi t2, t2, 12345
+        srl  t4, t2, 16
+        sb   t4, 0(t0)
+        addi t0, t0, 1
+        subi t1, t1, 1
+        bnez t1, gen
+        li   s0, 0            # checksum
+        li   s1, 1            # y
+        li   s2, 127          # y limit
+        la   s3, img
+        la   s4, out
+yloop:  li   s5, 1            # x
+        sll  t0, s1, 7
+        add  t6, s3, t0       # &img[y][0]
+        add  t7, s4, t0       # &out[y][0]
+xloop:  add  t9, t6, s5       # center
+        # gx = (tr + 2*mr + br) - (tl + 2*ml + bl)
+        lbu  t0, -127(t9)
+        lbu  t1, 1(t9)
+        lbu  t2, 129(t9)
+        sll  t1, t1, 1
+        add  t0, t0, t1
+        add  t0, t0, t2       # right column
+        lbu  t1, -129(t9)
+        lbu  t2, -1(t9)
+        lbu  t3, 127(t9)
+        sll  t2, t2, 1
+        add  t1, t1, t2
+        add  t1, t1, t3       # left column
+        sub  t8, t0, t1       # gx
+        bge  t8, zero, gxok
+        neg  t8, t8
+gxok:   # gy = (bl + 2*bm + br) - (tl + 2*tm + tr)
+        lbu  t0, 127(t9)
+        lbu  t1, 128(t9)
+        lbu  t2, 129(t9)
+        sll  t1, t1, 1
+        add  t0, t0, t1
+        add  t0, t0, t2       # bottom row
+        lbu  t1, -129(t9)
+        lbu  t2, -128(t9)
+        lbu  t3, -127(t9)
+        sll  t2, t2, 1
+        add  t1, t1, t2
+        add  t1, t1, t3       # top row
+        sub  t0, t0, t1       # gy
+        bge  t0, zero, gyok
+        neg  t0, t0
+gyok:   add  t8, t8, t0
+        li   t1, 255
+        ble  t8, t1, clampd
+        move t8, t1
+clampd: add  t0, t7, s5
+        sb   t8, 0(t0)
+        add  s0, s0, t8
+        addi s5, s5, 1
+        bne  s5, s2, xloop
+        addi s1, s1, 1
+        bne  s1, s2, yloop
+        move v0, s0
+        halt
+
+        .data
+img:    .space 16384
+        .space 208            # stagger out so stencil writes do not alias
+out:    .space 16384
+)";
+
+}  // namespace
+
+Workload make_tv() {
+  Workload w;
+  w.name = "tv";
+  w.suite = "powerstone";
+  w.description = "Sobel edge detection over a 128x128 image";
+  w.source = kTvSource;
+  w.expected_checksum = tv_reference();
+  return w;
+}
+
+}  // namespace stcache

@@ -1,0 +1,101 @@
+#include "workloads/workload.hpp"
+
+#include "isa/assembler.hpp"
+#include "sim/memory_system.hpp"
+#include "util/error.hpp"
+
+namespace stcache {
+
+// Factory functions, one translation unit per suite group.
+Workload make_crc();
+Workload make_bcnt();
+Workload make_bilv();
+Workload make_binary();
+Workload make_blit();
+Workload make_brev();
+Workload make_fir();
+Workload make_g3fax();
+Workload make_ucbqsort();
+Workload make_adpcm();
+Workload make_padpcm();
+Workload make_auto();
+Workload make_tv();
+Workload make_jpeg();
+Workload make_pjpeg();
+Workload make_epic();
+Workload make_g721();
+Workload make_pegwit();
+Workload make_mpeg2();
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> kAll = [] {
+    std::vector<Workload> w;
+    // Powerstone (paper Table 1 order).
+    w.push_back(make_padpcm());
+    w.push_back(make_crc());
+    w.push_back(make_auto());
+    w.push_back(make_bcnt());
+    w.push_back(make_bilv());
+    w.push_back(make_binary());
+    w.push_back(make_blit());
+    w.push_back(make_brev());
+    w.push_back(make_g3fax());
+    w.push_back(make_fir());
+    w.push_back(make_jpeg());
+    w.push_back(make_pjpeg());
+    w.push_back(make_ucbqsort());
+    w.push_back(make_tv());
+    // MediaBench.
+    w.push_back(make_adpcm());
+    w.push_back(make_epic());
+    w.push_back(make_g721());
+    w.push_back(make_pegwit());
+    w.push_back(make_mpeg2());
+    return w;
+  }();
+  return kAll;
+}
+
+const Workload& find_workload(const std::string& name) {
+  for (const Workload& w : all_workloads()) {
+    if (w.name == name) return w;
+  }
+  fail("find_workload: unknown workload '" + name + "'");
+}
+
+namespace {
+
+RunResult execute(const Workload& w, MemorySystem& mem) {
+  const Program program = assemble(w.source, w.name);
+  Cpu cpu(program, mem, w.mem_bytes);
+  RunResult r = cpu.run(w.max_instructions);
+  if (!r.halted) {
+    fail("workload '" + w.name + "' exceeded its instruction budget (" +
+         std::to_string(w.max_instructions) + ")");
+  }
+  const std::uint32_t v0 = cpu.reg(kV0);
+  if (v0 != w.expected_checksum) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "checksum mismatch: got 0x%08x, expected 0x%08x", v0,
+                  w.expected_checksum);
+    fail("workload '" + w.name + "': " + buf);
+  }
+  return r;
+}
+
+}  // namespace
+
+RunResult run_functional(const Workload& w) {
+  PerfectMemory mem;
+  return execute(w, mem);
+}
+
+Trace capture_trace(const Workload& w) {
+  TracingMemory mem;
+  mem.reserve(static_cast<std::size_t>(w.max_instructions / 4));
+  execute(w, mem);
+  return mem.take();
+}
+
+}  // namespace stcache

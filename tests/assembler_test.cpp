@@ -1,0 +1,335 @@
+// Tests of the two-pass assembler: directives, labels, expressions,
+// pseudo-instructions, error handling, and segment layout.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/isa.hpp"
+#include "util/error.hpp"
+
+namespace stcache {
+namespace {
+
+// Fetch the encoded word at `addr` from a program.
+std::uint32_t word_at(const Program& p, std::uint32_t addr) {
+  for (const Segment& s : p.segments) {
+    if (addr >= s.base && addr + 4 <= s.base + s.bytes.size()) {
+      const std::size_t off = addr - s.base;
+      return static_cast<std::uint32_t>(s.bytes[off]) |
+             (static_cast<std::uint32_t>(s.bytes[off + 1]) << 8) |
+             (static_cast<std::uint32_t>(s.bytes[off + 2]) << 16) |
+             (static_cast<std::uint32_t>(s.bytes[off + 3]) << 24);
+    }
+  }
+  fail("word_at: address not covered");
+}
+
+TEST(Assembler, MinimalProgram) {
+  const Program p = assemble("main: halt\n");
+  EXPECT_EQ(p.entry, 0u);
+  EXPECT_EQ(decode(word_at(p, 0)).op, Op::kHalt);
+}
+
+TEST(Assembler, EntryDefaultsToMainLabel) {
+  const Program p = assemble(R"(
+        nop
+main:   halt
+)");
+  EXPECT_EQ(p.entry, 4u);
+}
+
+TEST(Assembler, ThreeOperandInstruction) {
+  const Program p = assemble("add t0, t1, t2\nhalt\n");
+  const Instr in = decode(word_at(p, 0));
+  EXPECT_EQ(in.op, Op::kAdd);
+  EXPECT_EQ(in.rd, kT0);
+  EXPECT_EQ(in.rs, kT1);
+  EXPECT_EQ(in.rt, kT2);
+}
+
+TEST(Assembler, MemoryOperandWithOffset) {
+  const Program p = assemble("lw t0, -8(sp)\nhalt\n");
+  const Instr in = decode(word_at(p, 0));
+  EXPECT_EQ(in.op, Op::kLw);
+  EXPECT_EQ(in.rt, kT0);
+  EXPECT_EQ(in.rs, kSp);
+  EXPECT_EQ(in.imm, -8);
+}
+
+TEST(Assembler, MemoryOperandWithoutOffset) {
+  const Program p = assemble("sw t1, (t2)\nhalt\n");
+  const Instr in = decode(word_at(p, 0));
+  EXPECT_EQ(in.imm, 0);
+  EXPECT_EQ(in.rs, kT2);
+}
+
+TEST(Assembler, BranchTargetsResolveForwardAndBackward) {
+  const Program p = assemble(R"(
+start:  beq t0, t1, done
+        b   start
+done:   halt
+)");
+  const Instr fwd = decode(word_at(p, 0));
+  EXPECT_EQ(fwd.imm, 1);  // skip one instruction
+  const Instr back = decode(word_at(p, 4));
+  EXPECT_EQ(back.op, Op::kBeq);  // 'b' expands to beq zero, zero
+  EXPECT_EQ(back.imm, -2);
+}
+
+TEST(Assembler, LiExpandsToLuiOri) {
+  const Program p = assemble("li t0, 0x12345678\nhalt\n");
+  const Instr hi = decode(word_at(p, 0));
+  const Instr lo = decode(word_at(p, 4));
+  EXPECT_EQ(hi.op, Op::kLui);
+  EXPECT_EQ(hi.imm, 0x1234);
+  EXPECT_EQ(lo.op, Op::kOri);
+  EXPECT_EQ(lo.imm, 0x5678);
+}
+
+TEST(Assembler, LaResolvesDataLabels) {
+  const Program p = assemble(R"(
+main:   la  t0, buf
+        halt
+        .data
+buf:    .space 16
+)");
+  EXPECT_EQ(p.symbol("buf"), kDefaultDataBase);
+  const Instr hi = decode(word_at(p, 0));
+  const Instr lo = decode(word_at(p, 4));
+  EXPECT_EQ(static_cast<std::uint32_t>(hi.imm), kDefaultDataBase >> 16);
+  EXPECT_EQ(static_cast<std::uint32_t>(lo.imm), kDefaultDataBase & 0xffffu);
+}
+
+TEST(Assembler, ExpressionsWithOffsetsAndHiLo) {
+  const Program p = assemble(R"(
+main:   la  t0, buf+16
+        lui t1, %hi(buf+4)
+        ori t1, t1, %lo(buf+4)
+        halt
+        .data
+buf:    .space 64
+)");
+  const Instr lo = decode(word_at(p, 4));
+  EXPECT_EQ(static_cast<std::uint32_t>(lo.imm), (kDefaultDataBase + 16) & 0xffffu);
+  const Instr lo2 = decode(word_at(p, 12));
+  EXPECT_EQ(static_cast<std::uint32_t>(lo2.imm), (kDefaultDataBase + 4) & 0xffffu);
+}
+
+TEST(Assembler, EquConstants) {
+  const Program p = assemble(R"(
+        .equ N, 42
+        .equ TWICE, N+N
+main:   addi t0, zero, TWICE
+        halt
+)");
+  EXPECT_EQ(decode(word_at(p, 0)).imm, 84);
+}
+
+TEST(Assembler, DataDirectives) {
+  const Program p = assemble(R"(
+main:   halt
+        .data
+w:      .word 1, 0x10, -1
+h:      .half 2, 3
+b:      .byte 4, 255
+)");
+  EXPECT_EQ(word_at(p, p.symbol("w")), 1u);
+  EXPECT_EQ(word_at(p, p.symbol("w") + 4), 0x10u);
+  EXPECT_EQ(word_at(p, p.symbol("w") + 8), 0xFFFFFFFFu);
+  EXPECT_EQ(p.symbol("h"), p.symbol("w") + 12);
+  EXPECT_EQ(p.symbol("b"), p.symbol("h") + 4);
+}
+
+TEST(Assembler, WordDirectiveAcceptsLabels) {
+  const Program p = assemble(R"(
+main:   halt
+f1:     halt
+        .data
+tab:    .word f1, main
+)");
+  EXPECT_EQ(word_at(p, p.symbol("tab")), p.symbol("f1"));
+  EXPECT_EQ(word_at(p, p.symbol("tab") + 4), 0u);
+}
+
+TEST(Assembler, AlignDirective) {
+  const Program p = assemble(R"(
+main:   halt
+        .data
+b:      .byte 1
+        .align 8
+w:      .word 5
+)");
+  EXPECT_EQ(p.symbol("w") % 8, 0u);
+}
+
+TEST(Assembler, OrgStartsNewSegment) {
+  const Program p = assemble(R"(
+main:   halt
+        .data
+        .org 0x20000
+far:    .word 7
+)");
+  EXPECT_EQ(p.symbol("far"), 0x20000u);
+  EXPECT_EQ(word_at(p, 0x20000), 7u);
+}
+
+TEST(Assembler, SpaceWithFill) {
+  const Program p = assemble(R"(
+main:   halt
+        .data
+buf:    .space 4, 0xAB
+)");
+  EXPECT_EQ(word_at(p, p.symbol("buf")), 0xABABABABu);
+}
+
+TEST(Assembler, AsciiDirectives) {
+  const Program p = assemble(R"(
+main:   halt
+        .data
+s1:     .ascii "Hi"
+s2:     .asciiz "ok, bye"
+end:    .byte 1
+)");
+  EXPECT_EQ(p.symbol("s2"), p.symbol("s1") + 2);
+  // "ok, bye" contains a comma inside the quotes: 7 chars + NUL.
+  EXPECT_EQ(p.symbol("end"), p.symbol("s2") + 8);
+  const std::uint32_t first = word_at(p, p.symbol("s1"));
+  EXPECT_EQ(first & 0xFF, static_cast<std::uint32_t>('H'));
+  EXPECT_EQ((first >> 8) & 0xFF, static_cast<std::uint32_t>('i'));
+}
+
+TEST(Assembler, AsciiEscapes) {
+  const Program p = assemble(R"(
+main:   halt
+        .data
+s:      .asciiz "a\n\0\"b"
+)");
+  const std::uint32_t w = word_at(p, p.symbol("s"));
+  EXPECT_EQ(w & 0xFF, static_cast<std::uint32_t>('a'));
+  EXPECT_EQ((w >> 8) & 0xFF, static_cast<std::uint32_t>('\n'));
+  EXPECT_EQ((w >> 16) & 0xFF, 0u);
+  EXPECT_EQ((w >> 24) & 0xFF, static_cast<std::uint32_t>('"'));
+}
+
+TEST(Assembler, CommentCharactersInsideStrings) {
+  const Program p = assemble(R"(
+main:   halt
+        .data
+s:      .asciiz "a#b;c"   # a real comment
+end:    .byte 1, 2, 3
+)");
+  EXPECT_EQ(p.symbol("end"), p.symbol("s") + 6);  // 5 chars + NUL survived
+  const std::uint32_t w = word_at(p, p.symbol("s"));
+  EXPECT_EQ((w >> 8) & 0xFF, static_cast<std::uint32_t>('#'));
+  EXPECT_EQ((w >> 24) & 0xFF, static_cast<std::uint32_t>(';'));
+}
+
+TEST(AssemblerErrors, MalformedStringLiteral) {
+  EXPECT_THROW(assemble("main: halt\n.data\ns: .ascii unquoted\n"), Error);
+}
+
+TEST(Assembler, PseudoInstructions) {
+  const Program p = assemble(R"(
+main:   move t0, t1
+        nop
+        not  t2, t3
+        neg  t4, t5
+        subi t6, t7, 5
+        ret
+)");
+  EXPECT_EQ(decode(word_at(p, 0)).op, Op::kAdd);
+  EXPECT_EQ(decode(word_at(p, 4)).op, Op::kSll);
+  EXPECT_EQ(decode(word_at(p, 8)).op, Op::kNor);
+  EXPECT_EQ(decode(word_at(p, 12)).op, Op::kSub);
+  const Instr subi = decode(word_at(p, 16));
+  EXPECT_EQ(subi.op, Op::kAddi);
+  EXPECT_EQ(subi.imm, -5);
+  const Instr ret = decode(word_at(p, 20));
+  EXPECT_EQ(ret.op, Op::kJr);
+  EXPECT_EQ(ret.rs, kRa);
+}
+
+TEST(Assembler, SwappedComparisonPseudos) {
+  const Program p = assemble(R"(
+main:   bgt t0, t1, l
+        ble t0, t1, l
+        bgtu t0, t1, l
+        bleu t0, t1, l
+l:      halt
+)");
+  const Instr bgt = decode(word_at(p, 0));
+  EXPECT_EQ(bgt.op, Op::kBlt);
+  EXPECT_EQ(bgt.rs, kT1);  // operands swapped
+  EXPECT_EQ(bgt.rt, kT0);
+  EXPECT_EQ(decode(word_at(p, 4)).op, Op::kBge);
+  EXPECT_EQ(decode(word_at(p, 8)).op, Op::kBltu);
+  EXPECT_EQ(decode(word_at(p, 12)).op, Op::kBgeu);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program p = assemble(R"(
+# full-line comment
+main:   halt   # trailing comment
+        ; alt comment style
+)");
+  EXPECT_EQ(decode(word_at(p, 0)).op, Op::kHalt);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  EXPECT_THROW(assemble("a: halt\na: halt\n"), Error);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol) {
+  EXPECT_THROW(assemble("main: j nowhere\n"), Error);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  EXPECT_THROW(assemble("main: bogus t0, t1\n"), Error);
+}
+
+TEST(AssemblerErrors, ImmediateOutOfRange) {
+  EXPECT_THROW(assemble("main: addi t0, t0, 100000\n"), Error);
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  EXPECT_THROW(assemble("main: add t0, t1\n"), Error);
+}
+
+TEST(AssemblerErrors, BadRegister) {
+  EXPECT_THROW(assemble("main: add q0, t1, t2\n"), Error);
+}
+
+TEST(AssemblerErrors, MessageContainsLineNumber) {
+  try {
+    assemble("nop\nnop\nbogus\n", "unit.s");
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unit.s:3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AssemblerErrors, OverlappingSegments) {
+  EXPECT_THROW(assemble(R"(
+        .org 0x0
+main:   halt
+        .org 0x0
+again:  halt
+)"), Error);
+}
+
+TEST(Program, SymbolLookupThrowsOnMissing) {
+  const Program p = assemble("main: halt\n");
+  EXPECT_THROW(p.symbol("missing"), Error);
+}
+
+TEST(Program, EndAddressCoversAllSegments) {
+  const Program p = assemble(R"(
+main:   halt
+        .data
+buf:    .space 100
+)");
+  EXPECT_EQ(p.end_address(), kDefaultDataBase + 100);
+}
+
+}  // namespace
+}  // namespace stcache

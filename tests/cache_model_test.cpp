@@ -1,0 +1,164 @@
+// Tests of the generic set-associative cache model (cache/cache_model.hpp).
+#include <gtest/gtest.h>
+
+#include "cache/cache_model.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace stcache {
+namespace {
+
+CacheGeometry geom(std::uint32_t size, std::uint32_t assoc, std::uint32_t line) {
+  return CacheGeometry{size, assoc, line};
+}
+
+TEST(CacheGeometry, Validity) {
+  EXPECT_TRUE(geom(1024, 1, 16).valid());
+  EXPECT_TRUE(geom(1 << 20, 8, 64).valid());
+  EXPECT_FALSE(geom(0, 1, 16).valid());
+  EXPECT_FALSE(geom(1000, 1, 16).valid());   // not a power of two
+  EXPECT_FALSE(geom(1024, 3, 16).valid());   // assoc not a power of two
+  EXPECT_FALSE(geom(1024, 1, 2).valid());    // line too small
+  EXPECT_FALSE(geom(64, 8, 16).valid());     // fewer lines than ways
+}
+
+TEST(CacheModel, RejectsInvalidGeometry) {
+  EXPECT_THROW(CacheModel(geom(1000, 1, 16)), Error);
+}
+
+TEST(CacheModel, ColdMissThenHit) {
+  CacheModel c(geom(1024, 1, 16));
+  EXPECT_FALSE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x10C, false).hit);  // same line
+  EXPECT_EQ(c.stats().accesses, 3u);
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(CacheModel, DirectMappedConflict) {
+  CacheModel c(geom(1024, 1, 16));  // 64 sets
+  c.access(0x0, false);
+  c.access(0x0 + 1024, false);  // same set, evicts
+  EXPECT_FALSE(c.access(0x0, false).hit);
+}
+
+TEST(CacheModel, TwoWayHoldsBothConflictingLines) {
+  CacheModel c(geom(1024, 2, 16));
+  c.access(0x0, false);
+  c.access(0x0 + 512, false);  // same set in the 32-set cache
+  EXPECT_TRUE(c.access(0x0, false).hit);
+  EXPECT_TRUE(c.access(0x0 + 512, false).hit);
+}
+
+TEST(CacheModel, LruEvictsOldest) {
+  CacheModel c(geom(1024, 2, 16));  // 32 sets
+  const std::uint32_t set_stride = 32 * 16;
+  c.access(0 * set_stride, false);      // A
+  c.access(1 * set_stride, false);      // B (same set)
+  c.access(0 * set_stride, false);      // touch A -> B is LRU
+  c.access(2 * set_stride, false);      // C evicts B
+  EXPECT_TRUE(c.access(0 * set_stride, false).hit);
+  EXPECT_FALSE(c.access(1 * set_stride, false).hit);
+}
+
+TEST(CacheModel, WritebackOnlyForDirtyVictims) {
+  CacheModel c(geom(256, 1, 16));  // 16 sets
+  c.access(0x0, true);             // dirty
+  c.access(0x0 + 256, false);      // evicts dirty -> writeback
+  EXPECT_EQ(c.stats().writeback_bytes, 16u);
+  c.access(0x0 + 512, false);      // evicts clean -> no writeback
+  EXPECT_EQ(c.stats().writeback_bytes, 16u);
+}
+
+TEST(CacheModel, WriteHitSetsDirty) {
+  CacheModel c(geom(256, 1, 16));
+  c.access(0x0, false);            // clean fill
+  c.access(0x4, true);             // write hit dirties the line
+  c.access(0x0 + 256, false);      // eviction must write back
+  EXPECT_EQ(c.stats().writeback_bytes, 16u);
+}
+
+TEST(CacheModel, FillBytesCounted) {
+  CacheModel c(geom(1024, 1, 64));
+  c.access(0x0, false);
+  c.access(0x1000, false);
+  EXPECT_EQ(c.stats().fill_bytes, 128u);
+}
+
+TEST(CacheModel, CycleAccounting) {
+  TimingParams t;
+  CacheModel c(geom(1024, 1, 16), t);
+  auto miss = c.access(0x0, false);
+  auto hit = c.access(0x0, false);
+  EXPECT_EQ(hit.cycles, t.hit_cycles);
+  EXPECT_EQ(miss.cycles, t.hit_cycles + t.miss_stall_cycles(16));
+  EXPECT_EQ(c.stats().cycles, miss.cycles + hit.cycles);
+  EXPECT_EQ(c.stats().stall_cycles, t.miss_stall_cycles(16));
+}
+
+TEST(CacheModel, ProbeDoesNotMutate) {
+  CacheModel c(geom(1024, 1, 16));
+  EXPECT_FALSE(c.probe(0x40));
+  const CacheStats before = c.stats();
+  EXPECT_FALSE(c.probe(0x40));
+  EXPECT_EQ(before.accesses, c.stats().accesses);
+  c.access(0x40, false);
+  EXPECT_TRUE(c.probe(0x40));
+}
+
+TEST(CacheModel, FlushWritesBackDirtyAndInvalidates) {
+  CacheModel c(geom(256, 1, 16));
+  c.access(0x0, true);
+  c.access(0x10, false);
+  EXPECT_EQ(c.flush(), 1u);  // one dirty line
+  EXPECT_FALSE(c.probe(0x0));
+  EXPECT_FALSE(c.probe(0x10));
+  EXPECT_EQ(c.stats().reconfig_writeback_bytes, 16u);
+}
+
+TEST(CacheModel, MissRateFallsWithSize) {
+  // A working set of 8 KB: a 16 KB cache should outperform 1 KB.
+  Rng rng(3);
+  std::vector<std::uint32_t> addrs;
+  for (int i = 0; i < 20000; ++i) {
+    addrs.push_back(static_cast<std::uint32_t>(rng.next_below(8192)) & ~3u);
+  }
+  auto miss_rate = [&](std::uint32_t size) {
+    CacheModel c(geom(size, 1, 16));
+    for (std::uint32_t a : addrs) c.access(a, false);
+    return c.stats().miss_rate();
+  };
+  EXPECT_GT(miss_rate(1024), miss_rate(16384));
+  EXPECT_LT(miss_rate(16384), 0.05);
+}
+
+TEST(CacheModel, StatsDeltaSubtraction) {
+  CacheModel c(geom(1024, 1, 16));
+  c.access(0x0, false);
+  const CacheStats snap = c.stats();
+  c.access(0x0, false);
+  c.access(0x1000, true);
+  const CacheStats d = c.stats() - snap;
+  EXPECT_EQ(d.accesses, 2u);
+  EXPECT_EQ(d.hits, 1u);
+  EXPECT_EQ(d.misses, 1u);
+  EXPECT_EQ(d.write_accesses, 1u);
+}
+
+TEST(CacheStats, NegativeDeltaThrows) {
+  CacheStats a, b;
+  b.accesses = 5;
+  EXPECT_THROW(a - b, Error);
+}
+
+TEST(CacheStats, PredictionAccuracy) {
+  CacheStats s;
+  EXPECT_EQ(s.prediction_accuracy(), 0.0);
+  s.pred_accesses = 10;
+  s.pred_first_hits = 9;
+  EXPECT_DOUBLE_EQ(s.prediction_accuracy(), 0.9);
+}
+
+}  // namespace
+}  // namespace stcache

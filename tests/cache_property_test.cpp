@@ -1,0 +1,151 @@
+// Randomized property tests of the configurable cache: conservation laws
+// and cross-model consistency that must hold for any access sequence and
+// any reconfiguration schedule.
+#include <gtest/gtest.h>
+
+#include "cache/cache_model.hpp"
+#include "cache/configurable_cache.hpp"
+#include "util/rng.hpp"
+
+namespace stcache {
+namespace {
+
+struct Scenario {
+  std::uint64_t seed;
+  std::uint32_t span;       // address range
+  double write_fraction;
+  const char* start_config;
+};
+
+class CachePropertyTest : public ::testing::TestWithParam<Scenario> {};
+
+// Conservation: every valid line got there through a fill, and every fill
+// either still sits in the cache or left through eviction/invalidation:
+//   fills == valid_lines + evictions + invalidations
+// We can't count clean evictions directly, but the weaker (and exact)
+// inequality chain below must hold at every checkpoint.
+TEST_P(CachePropertyTest, FillAndOccupancyAccounting) {
+  const Scenario sc = GetParam();
+  ConfigurableCache c(CacheConfig::parse(sc.start_config));
+  Rng rng(sc.seed);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 2000; ++i) {
+      const auto a = static_cast<std::uint32_t>(rng.next_below(sc.span)) & ~3u;
+      c.access(a, rng.next_bool(sc.write_fraction));
+    }
+    const CacheStats& s = c.stats();
+    // Lines currently valid cannot exceed lines ever filled.
+    EXPECT_LE(c.valid_lines(), s.fill_bytes / 16) << "round " << round;
+    // Capacity bound.
+    EXPECT_LE(c.valid_lines(), c.config().banks_powered() * kRowsPerBank);
+    // Write-backs only come from filled-and-dirtied lines.
+    EXPECT_LE(s.writeback_bytes / 16 + s.reconfig_writeback_bytes / 16,
+              s.fill_bytes / 16);
+    // Hit/miss accounting.
+    EXPECT_EQ(s.hits + s.misses + s.wt_store_misses + s.victim_hits,
+              s.accesses);
+    EXPECT_EQ(s.read_accesses + s.write_accesses, s.accesses);
+    EXPECT_GE(s.cycles, s.accesses);
+    EXPECT_EQ(s.cycles - s.stall_cycles, s.accesses);  // 1 base cycle each
+  }
+}
+
+TEST_P(CachePropertyTest, AccountingSurvivesRandomReconfiguration) {
+  const Scenario sc = GetParam();
+  ConfigurableCache c(CacheConfig::parse(sc.start_config));
+  Rng rng(sc.seed ^ 0xA5A5);
+  const auto& configs = all_configs();
+  for (int round = 0; round < 30; ++round) {
+    for (int i = 0; i < 1000; ++i) {
+      const auto a = static_cast<std::uint32_t>(rng.next_below(sc.span)) & ~3u;
+      c.access(a, rng.next_bool(sc.write_fraction));
+    }
+    c.reconfigure(configs[rng.next_below(configs.size())]);
+    const CacheStats& s = c.stats();
+    EXPECT_LE(c.valid_lines(), s.fill_bytes / 16);
+    EXPECT_LE(c.valid_lines(), c.config().banks_powered() * kRowsPerBank);
+    EXPECT_EQ(c.dirty_unreachable_lines(), 0u);
+    EXPECT_LE(s.writeback_bytes / 16 + s.reconfig_writeback_bytes / 16,
+              s.fill_bytes / 16);
+  }
+}
+
+// Hit-rate dominance: for the same access stream, a strictly larger
+// configuration (more size AND >= associativity at 16 B lines) never has
+// more misses. (This is a property of the nested mapping + LRU here; it is
+// what makes the size walk meaningful.)
+TEST_P(CachePropertyTest, BiggerCacheNeverMissesMore) {
+  const Scenario sc = GetParam();
+  auto misses = [&](const char* name) {
+    ConfigurableCache c(CacheConfig::parse(name));
+    Rng rng(sc.seed ^ 0x77);
+    for (int i = 0; i < 30000; ++i) {
+      const auto a = static_cast<std::uint32_t>(rng.next_below(sc.span)) & ~3u;
+      c.access(a, rng.next_bool(sc.write_fraction));
+    }
+    return c.stats().misses;
+  };
+  const std::uint64_t m2 = misses("2K_1W_16B");
+  const std::uint64_t m8 = misses("8K_4W_16B");
+  EXPECT_LE(m8, m2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, CachePropertyTest,
+    ::testing::Values(Scenario{1, 4 * 1024, 0.3, "2K_1W_16B"},
+                      Scenario{2, 16 * 1024, 0.5, "4K_2W_32B"},
+                      Scenario{3, 64 * 1024, 0.2, "8K_4W_64B"},
+                      Scenario{4, 128 * 1024, 0.7, "8K_1W_16B"},
+                      Scenario{5, 2 * 1024, 0.9, "4K_1W_64B"},
+                      Scenario{6, 32 * 1024, 0.0, "8K_2W_32B_P"}));
+
+// Warm-cache idempotence: repeating the identical access twice in a row,
+// the second is always a hit (no pathological self-eviction).
+TEST(CacheProperty, ImmediateRepeatAlwaysHits) {
+  for (const CacheConfig& cfg : all_configs()) {
+    ConfigurableCache c(cfg);
+    Rng rng(99);
+    for (int i = 0; i < 3000; ++i) {
+      const auto a = static_cast<std::uint32_t>(rng.next_below(256 * 1024)) & ~3u;
+      c.access(a, false);
+      EXPECT_TRUE(c.access(a, rng.next_bool(0.5)).hit) << cfg.name();
+    }
+  }
+}
+
+// Trace determinism across identical cache instances.
+TEST(CacheProperty, IdenticalInstancesStayInLockstep) {
+  ConfigurableCache a(CacheConfig::parse("8K_2W_32B_P"));
+  ConfigurableCache b(CacheConfig::parse("8K_2W_32B_P"));
+  Rng rng(123);
+  for (int i = 0; i < 20000; ++i) {
+    const auto addr = static_cast<std::uint32_t>(rng.next_below(32 * 1024)) & ~3u;
+    const bool w = rng.next_bool(0.4);
+    const auto ra = a.access(addr, w);
+    const auto rb = b.access(addr, w);
+    EXPECT_EQ(ra.hit, rb.hit);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.predicted_first_hit, rb.predicted_first_hit);
+  }
+  EXPECT_EQ(a.stats().pred_first_hits, b.stats().pred_first_hits);
+}
+
+// The generic model and the configurable cache agree not just on hit/miss
+// (covered elsewhere) but on the full byte-traffic accounting at 16 B lines.
+TEST(CacheProperty, TrafficAccountingMatchesGenericModel) {
+  ConfigurableCache c(CacheConfig::parse("4K_2W_16B"));
+  CacheModel m(CacheGeometry{4096, 2, 16});
+  Rng rng(7);
+  for (int i = 0; i < 40000; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(24 * 1024)) & ~3u;
+    const bool w = rng.next_bool(0.35);
+    c.access(a, w);
+    m.access(a, w);
+  }
+  EXPECT_EQ(c.stats().fill_bytes, m.stats().fill_bytes);
+  EXPECT_EQ(c.stats().writeback_bytes, m.stats().writeback_bytes);
+  EXPECT_EQ(c.stats().stall_cycles, m.stats().stall_cycles);
+}
+
+}  // namespace
+}  // namespace stcache

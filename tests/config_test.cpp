@@ -1,0 +1,117 @@
+// Tests of the 27-point configuration space (cache/config.hpp).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/config.hpp"
+#include "util/error.hpp"
+
+namespace stcache {
+namespace {
+
+TEST(Config, ExactlyTwentySevenLegalConfigs) {
+  EXPECT_EQ(all_configs().size(), 27u);  // the paper's count
+}
+
+TEST(Config, EighteenBaseConfigs) {
+  EXPECT_EQ(base_configs().size(), 18u);
+  for (const CacheConfig& c : base_configs()) {
+    EXPECT_FALSE(c.way_prediction);
+  }
+}
+
+TEST(Config, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const CacheConfig& c : all_configs()) names.insert(c.name());
+  EXPECT_EQ(names.size(), all_configs().size());
+}
+
+TEST(Config, ParseRoundTrip) {
+  for (const CacheConfig& c : all_configs()) {
+    EXPECT_EQ(CacheConfig::parse(c.name()), c) << c.name();
+  }
+}
+
+TEST(Config, ParseRejectsGarbage) {
+  EXPECT_THROW(CacheConfig::parse(""), Error);
+  EXPECT_THROW(CacheConfig::parse("8K"), Error);
+  EXPECT_THROW(CacheConfig::parse("8K_4W"), Error);
+  EXPECT_THROW(CacheConfig::parse("8K_4W_32B_X"), Error);
+  EXPECT_THROW(CacheConfig::parse("3K_1W_16B"), Error);
+}
+
+TEST(Config, ParseRejectsIllegalCombinations) {
+  EXPECT_THROW(CacheConfig::parse("2K_2W_16B"), Error);   // 2 KB is 1-way only
+  EXPECT_THROW(CacheConfig::parse("4K_4W_16B"), Error);   // 4 KB is at most 2-way
+  EXPECT_THROW(CacheConfig::parse("2K_1W_16B_P"), Error); // pred needs assoc > 1
+}
+
+TEST(Config, SizeAssocLegality) {
+  auto legal = [](CacheSizeKB s, Assoc a) {
+    return CacheConfig{s, a, LineBytes::b16, false}.valid();
+  };
+  EXPECT_TRUE(legal(CacheSizeKB::k8, Assoc::w4));
+  EXPECT_TRUE(legal(CacheSizeKB::k8, Assoc::w2));
+  EXPECT_TRUE(legal(CacheSizeKB::k8, Assoc::w1));
+  EXPECT_TRUE(legal(CacheSizeKB::k4, Assoc::w2));
+  EXPECT_TRUE(legal(CacheSizeKB::k4, Assoc::w1));
+  EXPECT_TRUE(legal(CacheSizeKB::k2, Assoc::w1));
+  EXPECT_FALSE(legal(CacheSizeKB::k2, Assoc::w2));
+  EXPECT_FALSE(legal(CacheSizeKB::k2, Assoc::w4));
+  EXPECT_FALSE(legal(CacheSizeKB::k4, Assoc::w4));
+}
+
+TEST(Config, DerivedGeometry8K4W) {
+  CacheConfig c{CacheSizeKB::k8, Assoc::w4, LineBytes::b32, false};
+  EXPECT_EQ(c.size_bytes(), 8192u);
+  EXPECT_EQ(c.ways(), 4u);
+  EXPECT_EQ(c.banks_powered(), 4u);
+  EXPECT_EQ(c.banks_per_way(), 1u);
+  EXPECT_EQ(c.num_sets(), 128u);
+  EXPECT_EQ(c.index_bits(), 7u);
+  EXPECT_EQ(c.sublines_per_line(), 2u);
+}
+
+TEST(Config, DerivedGeometry8K1W) {
+  CacheConfig c{CacheSizeKB::k8, Assoc::w1, LineBytes::b64, false};
+  EXPECT_EQ(c.banks_per_way(), 4u);  // way concatenation fuses all banks
+  EXPECT_EQ(c.num_sets(), 512u);
+  EXPECT_EQ(c.index_bits(), 9u);
+  EXPECT_EQ(c.sublines_per_line(), 4u);
+}
+
+TEST(Config, DerivedGeometry2K1W) {
+  CacheConfig c{CacheSizeKB::k2, Assoc::w1, LineBytes::b16, false};
+  EXPECT_EQ(c.banks_powered(), 1u);
+  EXPECT_EQ(c.num_sets(), 128u);
+  EXPECT_EQ(c.sublines_per_line(), 1u);
+}
+
+TEST(Config, NameFormat) {
+  EXPECT_EQ(base_cache().name(), "8K_4W_32B");
+  CacheConfig p{CacheSizeKB::k8, Assoc::w4, LineBytes::b16, true};
+  EXPECT_EQ(p.name(), "8K_4W_16B_P");
+}
+
+TEST(Config, BaseCacheIsThePaperReference) {
+  const CacheConfig b = base_cache();
+  EXPECT_EQ(b.size_kb, CacheSizeKB::k8);
+  EXPECT_EQ(b.assoc, Assoc::w4);
+  EXPECT_EQ(b.line, LineBytes::b32);
+  EXPECT_FALSE(b.way_prediction);
+}
+
+// Way-prediction variants exist exactly for the 9 set-associative bases.
+TEST(Config, PredictionVariantCount) {
+  unsigned pred = 0;
+  for (const CacheConfig& c : all_configs()) {
+    if (c.way_prediction) {
+      ++pred;
+      EXPECT_NE(c.assoc, Assoc::w1);
+    }
+  }
+  EXPECT_EQ(pred, 9u);
+}
+
+}  // namespace
+}  // namespace stcache

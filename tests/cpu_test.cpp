@@ -1,0 +1,301 @@
+// Tests of the instruction-set simulator: arithmetic semantics, control
+// flow, memory access, traps, and cycle accounting.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "sim/cpu.hpp"
+#include "sim/memory_system.hpp"
+#include "util/error.hpp"
+
+namespace stcache {
+namespace {
+
+// Assemble, run to halt, and return the CPU for state inspection.
+struct RunOutcome {
+  RunResult result;
+  std::uint32_t v0;
+  std::uint32_t v1;
+};
+
+RunOutcome run(const std::string& asm_src, std::uint64_t budget = 1'000'000) {
+  const Program p = assemble(asm_src);
+  PerfectMemory mem;
+  Cpu cpu(p, mem, 1u << 17);  // data section starts at 64 KB
+  RunResult r = cpu.run(budget);
+  return {r, cpu.reg(kV0), cpu.reg(kV1)};
+}
+
+TEST(Cpu, ArithmeticBasics) {
+  auto out = run(R"(
+main:   li   t0, 7
+        li   t1, 5
+        add  v0, t0, t1
+        sub  v1, t0, t1
+        halt
+)");
+  EXPECT_TRUE(out.result.halted);
+  EXPECT_EQ(out.v0, 12u);
+  EXPECT_EQ(out.v1, 2u);
+}
+
+TEST(Cpu, SignedDivisionTruncatesTowardZero) {
+  auto out = run(R"(
+main:   li   t0, -7
+        li   t1, 2
+        div  v0, t0, t1
+        rem  v1, t0, t1
+        halt
+)");
+  EXPECT_EQ(static_cast<std::int32_t>(out.v0), -3);
+  EXPECT_EQ(static_cast<std::int32_t>(out.v1), -1);
+}
+
+TEST(Cpu, DivisionByZeroYieldsZero) {
+  auto out = run(R"(
+main:   li   t0, 99
+        div  v0, t0, zero
+        remu v1, t0, zero
+        halt
+)");
+  EXPECT_EQ(out.v0, 0u);
+  EXPECT_EQ(out.v1, 0u);
+}
+
+TEST(Cpu, UnsignedVsSignedComparison) {
+  auto out = run(R"(
+main:   li   t0, -1
+        li   t1, 1
+        slt  v0, t0, t1       # signed: -1 < 1
+        sltu v1, t0, t1       # unsigned: 0xFFFFFFFF > 1
+        halt
+)");
+  EXPECT_EQ(out.v0, 1u);
+  EXPECT_EQ(out.v1, 0u);
+}
+
+TEST(Cpu, ShiftSemantics) {
+  auto out = run(R"(
+main:   li   t0, -16
+        sra  v0, t0, 2        # arithmetic: -4
+        srl  v1, t0, 28       # logical: 0xF
+        halt
+)");
+  EXPECT_EQ(static_cast<std::int32_t>(out.v0), -4);
+  EXPECT_EQ(out.v1, 0xFu);
+}
+
+TEST(Cpu, VariableShiftsMaskTo5Bits) {
+  auto out = run(R"(
+main:   li   t0, 1
+        li   t1, 33           # shifts by 33 & 31 == 1
+        sllv v0, t0, t1
+        halt
+)");
+  EXPECT_EQ(out.v0, 2u);
+}
+
+TEST(Cpu, MulAndMulhu) {
+  auto out = run(R"(
+main:   li   t0, 0x10000
+        li   t1, 0x10000
+        mul  v0, t0, t1       # low 32 bits: 0
+        mulhu v1, t0, t1      # high 32 bits: 1
+        halt
+)");
+  EXPECT_EQ(out.v0, 0u);
+  EXPECT_EQ(out.v1, 1u);
+}
+
+TEST(Cpu, ZeroRegisterIgnoresWrites) {
+  auto out = run(R"(
+main:   li   t0, 5
+        add  zero, t0, t0
+        move v0, zero
+        halt
+)");
+  EXPECT_EQ(out.v0, 0u);
+}
+
+TEST(Cpu, LoadStoreWidthsAndSignExtension) {
+  auto out = run(R"(
+main:   la   t0, buf
+        li   t1, 0x8081
+        sh   t1, 0(t0)
+        lh   v0, 0(t0)        # sign-extends 0x8081
+        lhu  v1, 0(t0)        # zero-extends
+        halt
+        .data
+buf:    .space 16
+)");
+  EXPECT_EQ(out.v0, 0xFFFF8081u);
+  EXPECT_EQ(out.v1, 0x8081u);
+}
+
+TEST(Cpu, ByteAccessLittleEndian) {
+  auto out = run(R"(
+main:   la   t0, buf
+        li   t1, 0x11223344
+        sw   t1, 0(t0)
+        lbu  v0, 0(t0)        # lowest byte
+        lb   v1, 3(t0)        # highest byte, sign extended (0x11 positive)
+        halt
+        .data
+buf:    .space 16
+)");
+  EXPECT_EQ(out.v0, 0x44u);
+  EXPECT_EQ(out.v1, 0x11u);
+}
+
+TEST(Cpu, CallAndReturn) {
+  auto out = run(R"(
+main:   li   a0, 20
+        jal  double
+        move v0, a0
+        halt
+double: add  a0, a0, a0
+        ret
+)");
+  EXPECT_EQ(out.v0, 40u);
+}
+
+TEST(Cpu, IndirectCallThroughTable) {
+  auto out = run(R"(
+main:   la   t0, tab
+        lw   t1, 4(t0)
+        jalr t1
+        halt
+f0:     li   v0, 10
+        ret
+f1:     li   v0, 20
+        ret
+        .data
+tab:    .word f0, f1
+)");
+  EXPECT_EQ(out.v0, 20u);
+}
+
+TEST(Cpu, BranchTakenAndNotTaken) {
+  auto out = run(R"(
+main:   li   t0, 3
+        li   v0, 0
+loop:   add  v0, v0, t0
+        subi t0, t0, 1
+        bnez t0, loop
+        halt
+)");
+  EXPECT_EQ(out.v0, 6u);  // 3 + 2 + 1
+}
+
+TEST(Cpu, FibonacciEndToEnd) {
+  auto out = run(R"(
+# iterative fib(20)
+main:   li   t0, 20
+        li   t1, 0
+        li   t2, 1
+fib:    add  t3, t1, t2
+        move t1, t2
+        move t2, t3
+        subi t0, t0, 1
+        bnez t0, fib
+        move v0, t1
+        halt
+)");
+  EXPECT_EQ(out.v0, 6765u);
+}
+
+TEST(Cpu, InstructionBudgetStopsRunaway) {
+  const Program p = assemble("main: b main\n");
+  PerfectMemory mem;
+  Cpu cpu(p, mem, 1u << 16);
+  RunResult r = cpu.run(1000);
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.instructions, 1000u);
+}
+
+TEST(CpuTraps, UnalignedLoad) {
+  EXPECT_THROW(run(R"(
+main:   li   t0, 0x10001
+        lw   v0, 0(t0)
+        halt
+)"), Error);
+}
+
+TEST(CpuTraps, UnalignedFetchViaJr) {
+  EXPECT_THROW(run(R"(
+main:   li   t0, 2
+        jr   t0
+)"), Error);
+}
+
+TEST(CpuTraps, StoreIntoText) {
+  EXPECT_THROW(run(R"(
+main:   li   t0, 0
+        sw   t0, 0(t0)
+        halt
+)"), Error);
+}
+
+TEST(CpuTraps, FetchOutsideText) {
+  EXPECT_THROW(run(R"(
+main:   li   t0, 0x20000
+        jr   t0
+)"), Error);
+}
+
+TEST(CpuTraps, LoadOutOfRange) {
+  EXPECT_THROW(run(R"(
+main:   li   t0, 0x7FFFFFF0
+        lw   v0, 0(t0)
+        halt
+)"), Error);
+}
+
+TEST(Cpu, RegisterAccessorsValidate) {
+  const Program p = assemble("main: halt\n");
+  PerfectMemory mem;
+  Cpu cpu(p, mem, 1u << 16);
+  EXPECT_THROW(cpu.reg(32), Error);
+  cpu.set_reg(kZero, 99);
+  EXPECT_EQ(cpu.reg(kZero), 0u);
+}
+
+TEST(Cpu, StackPointerStartsAtTopOfMemory) {
+  const Program p = assemble("main: halt\n");
+  PerfectMemory mem;
+  Cpu cpu(p, mem, 1u << 16);
+  EXPECT_EQ(cpu.reg(kSp), (1u << 16) - 16);
+}
+
+TEST(Cpu, CycleAccountingChargesMemorySystem) {
+  // A memory system charging 3 cycles per ifetch and 7 per data access.
+  class FixedCost final : public MemorySystem {
+   public:
+    std::uint32_t ifetch(std::uint32_t) override { return 3; }
+    std::uint32_t dread(std::uint32_t, std::uint32_t) override { return 7; }
+    std::uint32_t dwrite(std::uint32_t, std::uint32_t) override { return 7; }
+  };
+  const Program p = assemble(R"(
+main:   la   t0, buf
+        lw   t1, 0(t0)
+        sw   t1, 4(t0)
+        halt
+        .data
+buf:    .space 16
+)");
+  FixedCost mem;
+  Cpu cpu(p, mem, 1u << 17);
+  RunResult r = cpu.run();
+  // 5 instructions fetched (la expands to 2), 1 load + 1 store.
+  EXPECT_EQ(r.instructions, 5u);
+  EXPECT_EQ(r.cycles, 5u * 3 + 2u * 7);
+}
+
+TEST(Cpu, ProgramTooBigRejected) {
+  Program p = assemble("main: halt\n");
+  p.segments.push_back(Segment{1u << 20, std::vector<std::uint8_t>(16)});
+  PerfectMemory mem;
+  EXPECT_THROW(Cpu(p, mem, 1u << 16), Error);
+}
+
+}  // namespace
+}  // namespace stcache

@@ -1,0 +1,184 @@
+// Tests of the energy model: mini-CACTI relationships, Equation 1
+// decomposition, Equation 2, and the invariants DESIGN.md calls out
+// (hit energy independent of line size, monotone in size and ways,
+// miss energy monotone in line size).
+#include <gtest/gtest.h>
+
+#include "cache/config.hpp"
+#include "energy/energy_model.hpp"
+
+namespace stcache {
+namespace {
+
+CacheConfig cfg(const std::string& name) { return CacheConfig::parse(name); }
+
+class EnergyModelTest : public ::testing::Test {
+ protected:
+  EnergyModel model_;
+};
+
+TEST_F(EnergyModelTest, HitEnergyIndependentOfLineSize) {
+  // The physical line is fixed at 16 B, so per-access energy must not
+  // depend on the configured (logical) line size — the paper states this
+  // explicitly for its tuner register file.
+  for (const char* base : {"8K_4W", "8K_1W", "4K_2W", "2K_1W"}) {
+    const double e16 = model_.hit_energy(cfg(std::string(base) + "_16B"));
+    const double e32 = model_.hit_energy(cfg(std::string(base) + "_32B"));
+    const double e64 = model_.hit_energy(cfg(std::string(base) + "_64B"));
+    EXPECT_DOUBLE_EQ(e16, e32) << base;
+    EXPECT_DOUBLE_EQ(e32, e64) << base;
+  }
+}
+
+TEST_F(EnergyModelTest, HitEnergyMonotoneInWays) {
+  EXPECT_LT(model_.hit_energy(cfg("8K_1W_16B")), model_.hit_energy(cfg("8K_2W_16B")));
+  EXPECT_LT(model_.hit_energy(cfg("8K_2W_16B")), model_.hit_energy(cfg("8K_4W_16B")));
+  EXPECT_LT(model_.hit_energy(cfg("4K_1W_16B")), model_.hit_energy(cfg("4K_2W_16B")));
+}
+
+TEST_F(EnergyModelTest, HitEnergyMonotoneInSizeAtFixedAssoc) {
+  EXPECT_LT(model_.hit_energy(cfg("2K_1W_16B")), model_.hit_energy(cfg("4K_1W_16B")));
+  EXPECT_LT(model_.hit_energy(cfg("4K_1W_16B")), model_.hit_energy(cfg("8K_1W_16B")));
+}
+
+TEST_F(EnergyModelTest, PredictedProbeCheaperThanFullSet) {
+  for (const char* name : {"8K_4W_16B_P", "8K_2W_16B_P", "4K_2W_16B_P"}) {
+    const CacheConfig c = cfg(name);
+    EXPECT_LT(model_.predicted_probe_energy(c), model_.hit_energy(c)) << name;
+  }
+}
+
+TEST_F(EnergyModelTest, PredictedProbeEqualsOneWayCost) {
+  // A predicted probe activates a single way: it should cost about what the
+  // direct-mapped configuration of the same size costs.
+  const double pred = model_.predicted_probe_energy(cfg("8K_4W_16B_P"));
+  const double dm = model_.hit_energy(cfg("8K_1W_16B"));
+  EXPECT_NEAR(pred, dm, 0.15 * dm);
+}
+
+TEST_F(EnergyModelTest, OffchipReadMonotoneInBytes) {
+  EXPECT_LT(model_.offchip_read_energy(16), model_.offchip_read_energy(32));
+  EXPECT_LT(model_.offchip_read_energy(32), model_.offchip_read_energy(64));
+}
+
+TEST_F(EnergyModelTest, OffchipDominatesHitEnergy) {
+  // The whole premise of the tradeoff: going off chip costs about two
+  // orders of magnitude more than a cache hit.
+  const double hit = model_.hit_energy(cfg("8K_4W_32B"));
+  const double miss = model_.offchip_read_energy(32);
+  EXPECT_GT(miss / hit, 5.0);
+  EXPECT_LT(miss / hit, 500.0);
+}
+
+TEST_F(EnergyModelTest, Equation1Decomposition) {
+  const CacheConfig c = cfg("4K_1W_32B");
+  CacheStats s;
+  s.accesses = 1000;
+  s.hits = 990;
+  s.misses = 10;
+  s.fill_bytes = 10 * 32;
+  s.writeback_bytes = 2 * 16;
+  s.cycles = 2000;
+  s.stall_cycles = 10 * TimingParams{}.miss_stall_cycles(32);
+  const EnergyBreakdown e = model_.evaluate(c, s);
+
+  EXPECT_DOUBLE_EQ(e.cache_access, 1000 * model_.hit_energy(c));
+  EXPECT_DOUBLE_EQ(e.cache_fill, 20 * model_.fill_energy_per_line(c));
+  EXPECT_DOUBLE_EQ(e.cache_static,
+                   2000 * model_.params().e_static_per_bank_cycle() * 2);
+  EXPECT_DOUBLE_EQ(e.offchip, 10 * model_.offchip_read_energy(32) +
+                                  2 * model_.offchip_writeback_energy_per_line());
+  EXPECT_DOUBLE_EQ(e.cpu_stall,
+                   s.stall_cycles * model_.params().e_stall_per_cycle());
+  EXPECT_DOUBLE_EQ(e.total(), e.cache_access + e.cache_fill + e.cache_static +
+                                  e.offchip + e.cpu_stall);
+  EXPECT_DOUBLE_EQ(e.onchip_cache() + e.offchip_memory(), e.total());
+}
+
+TEST_F(EnergyModelTest, PredictionEnergyAccounting) {
+  const CacheConfig c = cfg("8K_4W_16B_P");
+  CacheStats s;
+  s.accesses = 100;
+  s.pred_accesses = 100;
+  s.pred_first_hits = 90;
+  s.hits = 100;
+  const EnergyBreakdown e = model_.evaluate(c, s);
+  const double expected =
+      100 * model_.predicted_probe_energy(c) + 10 * model_.hit_energy(c);
+  EXPECT_DOUBLE_EQ(e.cache_access, expected);
+}
+
+TEST_F(EnergyModelTest, PerfectPredictionBeatsFullProbes) {
+  const CacheConfig p = cfg("8K_4W_16B_P");
+  const CacheConfig np = cfg("8K_4W_16B");
+  CacheStats s;
+  s.accesses = 1000;
+  s.hits = 1000;
+  s.pred_accesses = 1000;
+  s.pred_first_hits = 1000;
+  EXPECT_LT(model_.evaluate(p, s).cache_access,
+            model_.evaluate(np, s).cache_access);
+}
+
+TEST_F(EnergyModelTest, TunerEnergyEquation2) {
+  // E_tuner = P_tuner * (64 cycles / f) * NumSearch.
+  const EnergyParams& p = model_.params();
+  const double one = model_.tuner_energy(1);
+  EXPECT_DOUBLE_EQ(one, p.tuner_power * 64.0 / p.clock_hz);
+  EXPECT_DOUBLE_EQ(model_.tuner_energy(6), 6 * one);
+  // Order of magnitude: a handful of searches costs nanojoules (paper:
+  // ~11.9 nJ on average).
+  EXPECT_GT(model_.tuner_energy(6), 1e-10);
+  EXPECT_LT(model_.tuner_energy(6), 1e-6);
+}
+
+TEST_F(EnergyModelTest, GenericModelMonotoneInSize) {
+  MiniCacti cacti(model_.params());
+  double prev = 0.0;
+  for (std::uint32_t size = 1024; size <= (1u << 20); size *= 2) {
+    const double e = cacti.generic_access_energy(CacheGeometry{size, 1, 32});
+    EXPECT_GT(e, prev) << size;
+    prev = e;
+  }
+}
+
+TEST_F(EnergyModelTest, GenericMatchesPlatformOrderAtSmallSizes) {
+  // The generic model and the platform model need not agree exactly, but
+  // they must agree on the ordering of comparable organizations.
+  MiniCacti cacti(model_.params());
+  const double g2k = cacti.generic_access_energy(CacheGeometry{2048, 1, 16});
+  const double g8k4w = cacti.generic_access_energy(CacheGeometry{8192, 4, 16});
+  EXPECT_LT(g2k, g8k4w);
+}
+
+TEST_F(EnergyModelTest, EvaluateGenericOffchipTerm) {
+  CacheGeometry g{4096, 1, 32};
+  CacheStats s;
+  s.accesses = 500;
+  s.misses = 50;
+  s.fill_bytes = 50 * 32;
+  const EnergyBreakdown e = model_.evaluate_generic(g, s);
+  EXPECT_DOUBLE_EQ(e.offchip, 50 * model_.offchip_read_energy(32));
+}
+
+TEST(MiniCacti, ArrayEnergyScalesWithRowsAndBits) {
+  MiniCacti cacti{EnergyParams{}};
+  EXPECT_LT(cacti.array_read_energy(128, 100), cacti.array_read_energy(256, 100));
+  EXPECT_LT(cacti.array_read_energy(128, 100), cacti.array_read_energy(128, 200));
+  EXPECT_THROW(cacti.array_read_energy(0, 8), Error);
+}
+
+TEST(MiniCacti, DecodeEnergyGrowsWithRows) {
+  MiniCacti cacti{EnergyParams{}};
+  EXPECT_LT(cacti.decode_energy(128), cacti.decode_energy(512));
+}
+
+TEST(EnergyBreakdown, Accumulation) {
+  EnergyBreakdown a{1, 2, 3, 4, 5}, b{10, 20, 30, 40, 50};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.cache_access, 11);
+  EXPECT_DOUBLE_EQ(a.total(), 11 + 22 + 33 + 44 + 55);
+}
+
+}  // namespace
+}  // namespace stcache

@@ -1,0 +1,185 @@
+// Unit tests for util/: fixed-point datapath arithmetic, RNG determinism,
+// statistics accumulators, and the table printer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/fixed_point.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace stcache {
+namespace {
+
+TEST(UFixed, FromRawInRange) {
+  U16 v = U16::from_raw(1234);
+  EXPECT_EQ(v.raw(), 1234u);
+  EXPECT_FALSE(v.saturated());
+}
+
+TEST(UFixed, FromRawSaturates) {
+  U16 v = U16::from_raw(70000);
+  EXPECT_EQ(v.raw(), 0xffffu);
+  EXPECT_TRUE(v.saturated());
+}
+
+TEST(UFixed, MaxRaw) {
+  EXPECT_EQ(U16::max_raw(), 0xffffu);
+  EXPECT_EQ(U32::max_raw(), 0xffffffffu);
+}
+
+TEST(UFixed, AddNoSaturation) {
+  U32 a = U32::from_raw(1000), b = U32::from_raw(2000);
+  U32 c = a + b;
+  EXPECT_EQ(c.raw(), 3000u);
+  EXPECT_FALSE(c.saturated());
+}
+
+TEST(UFixed, AddSaturates) {
+  U16 a = U16::from_raw(60000), b = U16::from_raw(60000);
+  U16 c = a + b;
+  EXPECT_EQ(c.raw(), 0xffffu);
+  EXPECT_TRUE(c.saturated());
+}
+
+TEST(UFixed, SaturationIsSticky) {
+  U16 a = U16::from_raw(70000);  // saturated
+  U16 c = a + U16::from_raw(0);
+  EXPECT_TRUE(c.saturated());
+}
+
+TEST(UFixed, Comparisons) {
+  EXPECT_TRUE(U32::from_raw(1) < U32::from_raw(2));
+  EXPECT_FALSE(U32::from_raw(2) < U32::from_raw(2));
+  EXPECT_TRUE(U32::from_raw(5) == U32::from_raw(5));
+}
+
+TEST(Mul16x32, ExactProduct) {
+  U32 p = mul_16x32(U16::from_raw(1000), U32::from_raw(3000));
+  EXPECT_EQ(p.raw(), 3'000'000u);
+  EXPECT_FALSE(p.saturated());
+}
+
+TEST(Mul16x32, OverflowSaturates) {
+  // 65535 * 2^26 > 2^32.
+  U32 p = mul_16x32(U16::from_raw(65535), U32::from_raw(1u << 26));
+  EXPECT_TRUE(p.saturated());
+  EXPECT_EQ(p.raw(), U32::max_raw());
+}
+
+TEST(Mul16x32, PropagatesInputSaturation) {
+  U32 p = mul_16x32(U16::from_raw(70000), U32::from_raw(1));
+  EXPECT_TRUE(p.saturated());
+}
+
+TEST(Quantize, RoundTrip) {
+  const double lsb = 0.5e-12;
+  U16 q = quantize16(123.4e-12, lsb);
+  EXPECT_NEAR(dequantize(q.raw(), lsb), 123.4e-12, lsb);
+}
+
+TEST(Quantize, RoundsToNearest) {
+  EXPECT_EQ(quantize16(2.4, 1.0).raw(), 2u);
+  EXPECT_EQ(quantize16(2.6, 1.0).raw(), 3u);
+}
+
+TEST(Quantize, RejectsOutOfRange) {
+  EXPECT_THROW(quantize16(1e6, 1.0), Error);
+  EXPECT_THROW(quantize16(-1.0, 1.0), Error);
+  EXPECT_THROW(quantize16(1.0, 0.0), Error);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoolProbabilityRoughlyRight) {
+  Rng r(11);
+  int count = 0;
+  for (int i = 0; i < 10000; ++i) count += r.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(count / 10000.0, 0.25, 0.03);
+}
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), Error);
+  EXPECT_THROW(s.min(), Error);
+}
+
+TEST(GeoMean, Basics) {
+  GeoMean g;
+  g.add(2.0);
+  g.add(8.0);
+  EXPECT_NEAR(g.value(), 4.0, 1e-12);
+}
+
+TEST(GeoMean, RejectsNonPositive) {
+  GeoMean g;
+  EXPECT_THROW(g.add(0.0), Error);
+  EXPECT_THROW(g.add(-1.0), Error);
+}
+
+TEST(Table, AlignsAndPrints) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TableFormat, Percent) {
+  EXPECT_EQ(fmt_percent(0.4567), "45.7%");
+  EXPECT_EQ(fmt_percent(0.4567, 0), "46%");
+}
+
+TEST(TableFormat, SiEnergy) {
+  EXPECT_EQ(fmt_si_energy(1.2e-3), "1.200 mJ");
+  EXPECT_EQ(fmt_si_energy(3.5e-9), "3.500 nJ");
+  EXPECT_EQ(fmt_si_energy(2.34), "2.340 J");
+}
+
+}  // namespace
+}  // namespace stcache

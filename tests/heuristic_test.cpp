@@ -1,0 +1,185 @@
+// Tests of the Figure 6 search heuristic and its order variants, using
+// synthetic energy landscapes with known optima.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "core/heuristic.hpp"
+
+namespace stcache {
+namespace {
+
+// Evaluator backed by an arbitrary energy function; counts evaluations and
+// memoizes like the real tuner's registers do.
+class FnEvaluator final : public Evaluator {
+ public:
+  explicit FnEvaluator(std::function<double(const CacheConfig&)> fn)
+      : fn_(std::move(fn)) {}
+
+  double energy(const CacheConfig& cfg) override {
+    auto [it, inserted] = memo_.try_emplace(cfg.name(), 0.0);
+    if (inserted) it->second = fn_(cfg);
+    return it->second;
+  }
+  unsigned evaluations() const override {
+    return static_cast<unsigned>(memo_.size());
+  }
+
+ private:
+  std::function<double(const CacheConfig&)> fn_;
+  std::map<std::string, double> memo_;
+};
+
+double kb(const CacheConfig& c) { return static_cast<double>(c.size_kb); }
+double ways(const CacheConfig& c) { return static_cast<double>(c.assoc); }
+double line(const CacheConfig& c) { return static_cast<double>(c.line); }
+
+TEST(Heuristic, FindsOptimumOnSeparableConvexLandscape) {
+  // Energy separable in the parameters with interior optima: size 4 KB,
+  // line 32 B, 2-way, prediction on.
+  FnEvaluator eval([](const CacheConfig& c) {
+    double e = 0;
+    e += (kb(c) - 4) * (kb(c) - 4);
+    e += (line(c) / 16.0 - 2) * (line(c) / 16.0 - 2);
+    e += (ways(c) - 2) * (ways(c) - 2);
+    e += c.way_prediction ? -0.5 : 0.0;
+    return 100 + e;
+  });
+  const SearchResult r = tune(eval);
+  EXPECT_EQ(r.best.name(), "4K_2W_32B_P");
+  const SearchResult ex = tune_exhaustive(eval);
+  EXPECT_EQ(ex.best.name(), "4K_2W_32B_P");
+}
+
+TEST(Heuristic, PrefersSmallestOnMonotoneIncreasingLandscape) {
+  FnEvaluator eval([](const CacheConfig& c) {
+    return kb(c) * 100 + ways(c) * 10 + line(c) + (c.way_prediction ? 1 : 0);
+  });
+  const SearchResult r = tune(eval);
+  EXPECT_EQ(r.best.name(), "2K_1W_16B");
+  // Walks stop at the first regression: the initial config, one size
+  // candidate, one line candidate. At 2 KB there is no legal associativity
+  // step and no prediction, so nothing else is evaluated.
+  EXPECT_EQ(r.configs_examined, 3u);
+}
+
+TEST(Heuristic, ClimbsToLargestOnMonotoneDecreasingLandscape) {
+  FnEvaluator eval([](const CacheConfig& c) {
+    return 1000 - kb(c) * 10 - ways(c) - line(c) / 16.0 -
+           (c.way_prediction ? 0.5 : 0.0);
+  });
+  const SearchResult r = tune(eval);
+  EXPECT_EQ(r.best.name(), "8K_4W_64B_P");
+  // Full walks: 1 + 2 (sizes) + 2 (lines) + 2 (assoc) + 1 (pred).
+  EXPECT_EQ(r.configs_examined, 8u);
+}
+
+TEST(Heuristic, ExaminesAtMostSumOfParameterValues) {
+  // m*n bound from Section 3.4: at most 3+3+3+1 new configs + the start.
+  for (int variant = 0; variant < 8; ++variant) {
+    FnEvaluator eval([variant](const CacheConfig& c) {
+      return std::sin(kb(c) * (variant + 1)) + std::cos(line(c) * 0.1) +
+             ways(c) * ((variant & 1) ? 1 : -1);
+    });
+    const SearchResult r = tune(eval);
+    EXPECT_LE(r.configs_examined, 10u);
+    EXPECT_GE(r.configs_examined, 2u);
+    EXPECT_EQ(r.configs_examined, r.visited.size());
+  }
+}
+
+TEST(Heuristic, VisitedConfigsAreAllLegal) {
+  FnEvaluator eval([](const CacheConfig& c) { return -kb(c) - ways(c); });
+  const SearchResult r = tune(eval);
+  for (const CacheConfig& c : r.visited) EXPECT_TRUE(c.valid()) << c.name();
+}
+
+TEST(Heuristic, PredictionOnlyTriedWhenSetAssociative) {
+  // Landscape that keeps the cache direct-mapped: prediction must never be
+  // evaluated (it is illegal for 1-way).
+  FnEvaluator eval([](const CacheConfig& c) {
+    return kb(c) + ways(c) * 100 + line(c);
+  });
+  const SearchResult r = tune(eval);
+  EXPECT_EQ(r.best.assoc, Assoc::w1);
+  for (const CacheConfig& c : r.visited) EXPECT_FALSE(c.way_prediction);
+}
+
+TEST(Heuristic, GreedyCanMissNonSeparableOptimum) {
+  // The paper's mpeg2/pjpeg case: growing size only pays off combined with
+  // higher associativity; the size-first greedy walk cannot see that.
+  FnEvaluator eval([](const CacheConfig& c) {
+    if (c.size_kb == CacheSizeKB::k8 && c.assoc == Assoc::w2) return 50.0;
+    return 100.0 + kb(c);
+  });
+  const SearchResult heur = tune(eval);
+  const SearchResult ex = tune_exhaustive(eval);
+  EXPECT_EQ(ex.best.size_kb, CacheSizeKB::k8);
+  EXPECT_EQ(ex.best.assoc, Assoc::w2);
+  EXPECT_NE(heur.best, ex.best);
+  EXPECT_GT(heur.best_energy, ex.best_energy);
+}
+
+TEST(Exhaustive, EvaluatesAllTwentySeven) {
+  FnEvaluator eval([](const CacheConfig& c) { return kb(c); });
+  const SearchResult r = tune_exhaustive(eval);
+  EXPECT_EQ(r.configs_examined, 27u);
+}
+
+TEST(Exhaustive, TiesBreakDeterministically) {
+  FnEvaluator eval([](const CacheConfig&) { return 1.0; });
+  const SearchResult a = tune_exhaustive(eval);
+  FnEvaluator eval2([](const CacheConfig&) { return 1.0; });
+  const SearchResult b = tune_exhaustive(eval2);
+  EXPECT_EQ(a.best, b.best);
+}
+
+TEST(ParamOrders, TwentyFourPermutations) {
+  const auto orders = all_param_orders();
+  EXPECT_EQ(orders.size(), 24u);
+  std::set<std::array<Param, 4>> unique(orders.begin(), orders.end());
+  EXPECT_EQ(unique.size(), 24u);
+}
+
+TEST(ParamOrders, AlternativeOrderCanUnderperformPaperOrder) {
+  // Landscape where size matters most (the paper's Figures 3/4 analysis):
+  // tuning line size first anchors the walk at a small cache.
+  FnEvaluator eval1([](const CacheConfig& c) {
+    double size_term = (kb(c) - 8) * (kb(c) - 8) * 10;
+    double line_term = (line(c) / 16.0 - 1) * 2;  // prefers 16 B slightly
+    return 100 + size_term + line_term + ways(c);
+  });
+  const SearchResult paper_order = tune(eval1);
+  EXPECT_EQ(paper_order.best.size_kb, CacheSizeKB::k8);
+}
+
+TEST(ParamOrders, RejectsNonPermutation) {
+  FnEvaluator eval([](const CacheConfig&) { return 0.0; });
+  std::array<Param, 4> bad = {Param::kSize, Param::kSize, Param::kLine,
+                              Param::kAssoc};
+  EXPECT_THROW(tune(eval, bad), Error);
+}
+
+TEST(ParamOrders, AllOrdersProduceLegalResults) {
+  for (const auto& order : all_param_orders()) {
+    FnEvaluator eval([](const CacheConfig& c) {
+      return -kb(c) * 3 - ways(c) - line(c) / 32.0;
+    });
+    const SearchResult r = tune(eval, order);
+    EXPECT_TRUE(r.best.valid());
+    EXPECT_LE(r.configs_examined, 10u);
+  }
+}
+
+TEST(ParamToString, AllNames) {
+  EXPECT_EQ(to_string(Param::kSize), "size");
+  EXPECT_EQ(to_string(Param::kLine), "line");
+  EXPECT_EQ(to_string(Param::kAssoc), "assoc");
+  EXPECT_EQ(to_string(Param::kPred), "pred");
+}
+
+}  // namespace
+}  // namespace stcache

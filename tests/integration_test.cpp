@@ -1,0 +1,107 @@
+// End-to-end reproduction pipeline on a subset of kernels: trace capture ->
+// exhaustive + heuristic search -> Table 1 quantities. Checks the paper's
+// qualitative claims hold in this implementation:
+//  * the heuristic examines far fewer configurations than the exhaustive 27,
+//  * it lands on or near the optimum,
+//  * the tuned caches save substantial energy vs. the 8 KB 4-way base,
+//  * tuner overhead (Equation 2) is negligible vs. workload energy.
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/heuristic.hpp"
+#include "workloads/workload.hpp"
+
+namespace stcache {
+namespace {
+
+struct PipelineResult {
+  SearchResult heuristic;
+  SearchResult exhaustive;
+  double base_energy;
+};
+
+PipelineResult run_pipeline(std::span<const TraceRecord> stream,
+                            const EnergyModel& model) {
+  TraceEvaluator eval(stream, model);
+  PipelineResult r{tune(eval), tune_exhaustive(eval), eval.energy(base_cache())};
+  return r;
+}
+
+class PipelineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PipelineTest, HeuristicNearOptimalWithFewEvaluations) {
+  EnergyModel model;
+  const Trace trace = capture_trace(find_workload(GetParam()));
+  const SplitTrace split = split_trace(trace);
+
+  for (const auto* stream : {&split.ifetch, &split.data}) {
+    const PipelineResult r = run_pipeline(*stream, model);
+
+    // Search-size claim: well under the 27 exhaustive configurations.
+    EXPECT_LE(r.heuristic.configs_examined, 9u);
+    EXPECT_EQ(r.exhaustive.configs_examined, 27u);
+
+    // Optimality claim: exact or near the optimum. The paper's two misses
+    // are 5% and 2% worse; our jpeg and adpcm data streams are harsher
+    // greedy traps (size/line only pay off jointly with associativity), so
+    // the bound is looser there. EXPERIMENTS.md reports per-kernel gaps.
+    EXPECT_LE(r.exhaustive.best_energy, r.heuristic.best_energy);
+    const bool trap = GetParam() == "jpeg" || GetParam() == "adpcm";
+    const double bound = trap ? 1.35 : 1.20;
+    EXPECT_LT(r.heuristic.best_energy, bound * r.exhaustive.best_energy);
+
+    // Savings claim: tuning beats the one-size-fits-all base cache.
+    EXPECT_LT(r.heuristic.best_energy, r.base_energy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, PipelineTest,
+                         ::testing::Values("crc", "bcnt", "binary", "jpeg",
+                                           "adpcm", "pegwit"));
+
+TEST(Pipeline, AverageSavingsInPaperRange) {
+  // Across a sample of kernels the average energy savings must be deep
+  // double digits (the paper reports 45%-55% on average).
+  EnergyModel model;
+  double total_savings = 0.0;
+  int n = 0;
+  for (const char* name : {"crc", "bcnt", "fir", "tv", "adpcm"}) {
+    const Trace trace = capture_trace(find_workload(name));
+    const SplitTrace split = split_trace(trace);
+    for (const auto* stream : {&split.ifetch, &split.data}) {
+      const PipelineResult r = run_pipeline(*stream, model);
+      total_savings += 1.0 - r.heuristic.best_energy / r.base_energy;
+      ++n;
+    }
+  }
+  const double avg = total_savings / n;
+  EXPECT_GT(avg, 0.30);
+  EXPECT_LT(avg, 0.80);
+}
+
+TEST(Pipeline, TunerEnergyNegligibleVersusWorkloadEnergy) {
+  EnergyModel model;
+  const Trace trace = capture_trace(find_workload("crc"));
+  const SplitTrace split = split_trace(trace);
+  TraceEvaluator eval(split.ifetch, model);
+  const SearchResult r = tune(eval);
+  const double tuner = model.tuner_energy(r.configs_examined);
+  // Our kernels run ~1M instructions (the paper's full benchmarks run
+  // billions, giving its 1e-9 ratio); negligibility still holds by orders
+  // of magnitude.
+  EXPECT_LT(tuner, 1e-3 * r.best_energy);
+}
+
+TEST(Pipeline, HeuristicDeterministic) {
+  EnergyModel model;
+  const Trace trace = capture_trace(find_workload("bilv"));
+  const SplitTrace split = split_trace(trace);
+  const PipelineResult a = run_pipeline(split.data, model);
+  const PipelineResult b = run_pipeline(split.data, model);
+  EXPECT_EQ(a.heuristic.best, b.heuristic.best);
+  EXPECT_EQ(a.heuristic.configs_examined, b.heuristic.configs_examined);
+  EXPECT_DOUBLE_EQ(a.heuristic.best_energy, b.heuristic.best_energy);
+}
+
+}  // namespace
+}  // namespace stcache

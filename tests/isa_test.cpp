@@ -1,0 +1,267 @@
+// Tests of the ISA layer: encode/decode round trips, field validation,
+// classification helpers, register naming, disassembly.
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+#include "util/error.hpp"
+
+namespace stcache {
+namespace {
+
+const Op kAllOps[] = {
+    Op::kAdd,  Op::kSub,  Op::kAnd,  Op::kOr,    Op::kXor,  Op::kNor,
+    Op::kSlt,  Op::kSltu, Op::kSll,  Op::kSrl,   Op::kSra,  Op::kSllv,
+    Op::kSrlv, Op::kSrav, Op::kMul,  Op::kMulhu, Op::kDiv,  Op::kDivu,
+    Op::kRem,  Op::kRemu, Op::kJr,   Op::kJalr,  Op::kHalt, Op::kAddi,
+    Op::kSlti, Op::kSltiu, Op::kAndi, Op::kOri,  Op::kXori, Op::kLui,
+    Op::kBeq,  Op::kBne,  Op::kBlt,  Op::kBge,   Op::kBltu, Op::kBgeu,
+    Op::kLb,   Op::kLbu,  Op::kLh,   Op::kLhu,   Op::kLw,   Op::kSb,
+    Op::kSh,   Op::kSw,   Op::kJ,    Op::kJal};
+
+Instr sample_instr(Op op) {
+  Instr in;
+  in.op = op;
+  if (op == Op::kJ || op == Op::kJal) {
+    in.target = 0x1234 * 4;
+  } else if (op == Op::kSll || op == Op::kSrl || op == Op::kSra) {
+    in.rd = 5;
+    in.rt = 6;
+    in.shamt = 7;
+  } else if (is_branch(op) || is_load(op) || is_store(op)) {
+    in.rs = 3;
+    in.rt = 4;
+    in.imm = -20;
+  } else if (op == Op::kAndi || op == Op::kOri || op == Op::kXori ||
+             op == Op::kLui) {
+    in.rs = 3;
+    in.rt = 4;
+    in.imm = 0xBEEF;  // zero-extended immediates
+  } else if (op == Op::kAddi || op == Op::kSlti || op == Op::kSltiu) {
+    in.rs = 3;
+    in.rt = 4;
+    in.imm = -1234;
+  } else {
+    in.rd = 1;
+    in.rs = 2;
+    in.rt = 3;
+  }
+  return in;
+}
+
+class RoundTripTest : public ::testing::TestWithParam<Op> {};
+
+TEST_P(RoundTripTest, EncodeDecodeIdentity) {
+  const Instr in = sample_instr(GetParam());
+  const Instr out = decode(encode(in));
+  EXPECT_EQ(out.op, in.op);
+  if (in.op == Op::kJ || in.op == Op::kJal) {
+    EXPECT_EQ(out.target, in.target);
+  } else if (in.op == Op::kSll || in.op == Op::kSrl || in.op == Op::kSra) {
+    EXPECT_EQ(out.rd, in.rd);
+    EXPECT_EQ(out.rt, in.rt);
+    EXPECT_EQ(out.shamt, in.shamt);
+  } else if (is_branch(in.op) || is_load(in.op) || is_store(in.op) ||
+             in.op == Op::kAddi || in.op == Op::kAndi || in.op == Op::kOri ||
+             in.op == Op::kXori || in.op == Op::kLui || in.op == Op::kSlti ||
+             in.op == Op::kSltiu) {
+    EXPECT_EQ(out.rs, in.rs);
+    EXPECT_EQ(out.rt, in.rt);
+    EXPECT_EQ(out.imm, in.imm);
+  } else {
+    EXPECT_EQ(out.rd, in.rd);
+    EXPECT_EQ(out.rs, in.rs);
+    EXPECT_EQ(out.rt, in.rt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, RoundTripTest, ::testing::ValuesIn(kAllOps));
+
+TEST(Encode, RejectsOutOfRangeImmediate) {
+  Instr in;
+  in.op = Op::kAddi;
+  in.imm = 70000;
+  EXPECT_THROW(encode(in), Error);
+  in.imm = -40000;
+  EXPECT_THROW(encode(in), Error);
+}
+
+TEST(Encode, RejectsMisalignedJump) {
+  Instr in;
+  in.op = Op::kJ;
+  in.target = 0x102;
+  EXPECT_THROW(encode(in), Error);
+}
+
+TEST(Encode, RejectsHugeJumpTarget) {
+  Instr in;
+  in.op = Op::kJ;
+  in.target = 1u << 30;
+  EXPECT_THROW(encode(in), Error);
+}
+
+TEST(Decode, RejectsUnknownWord) {
+  // Opcode 0x3F is unassigned.
+  EXPECT_THROW(decode(0xFC000000u), Error);
+  // R-type with unknown funct.
+  EXPECT_THROW(decode(0x0000003Eu), Error);
+}
+
+TEST(Decode, SignExtension) {
+  Instr in;
+  in.op = Op::kAddi;
+  in.rs = 1;
+  in.rt = 2;
+  in.imm = -1;
+  EXPECT_EQ(decode(encode(in)).imm, -1);
+}
+
+TEST(Decode, LogicalImmediatesZeroExtend) {
+  Instr in;
+  in.op = Op::kOri;
+  in.rs = 1;
+  in.rt = 2;
+  in.imm = 0xFFFF;
+  EXPECT_EQ(decode(encode(in)).imm, 0xFFFF);
+}
+
+TEST(Classify, LoadsStoresBranchesJumps) {
+  EXPECT_TRUE(is_load(Op::kLw));
+  EXPECT_TRUE(is_load(Op::kLbu));
+  EXPECT_FALSE(is_load(Op::kSw));
+  EXPECT_TRUE(is_store(Op::kSb));
+  EXPECT_FALSE(is_store(Op::kLb));
+  EXPECT_TRUE(is_branch(Op::kBgeu));
+  EXPECT_FALSE(is_branch(Op::kJ));
+  EXPECT_TRUE(is_jump(Op::kJalr));
+  EXPECT_TRUE(is_jump(Op::kJ));
+  EXPECT_FALSE(is_jump(Op::kBeq));
+}
+
+TEST(Classify, AccessBytes) {
+  EXPECT_EQ(access_bytes(Op::kLb), 1u);
+  EXPECT_EQ(access_bytes(Op::kLhu), 2u);
+  EXPECT_EQ(access_bytes(Op::kSw), 4u);
+  EXPECT_THROW(access_bytes(Op::kAdd), Error);
+}
+
+TEST(Registers, NamesRoundTrip) {
+  for (std::uint8_t r = 0; r < kNumRegs; ++r) {
+    const auto parsed = parse_reg(reg_name(r));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, r);
+  }
+}
+
+TEST(Registers, AlternateSpellings) {
+  EXPECT_EQ(parse_reg("$t0"), kT0);
+  EXPECT_EQ(parse_reg("r8"), kT0);
+  EXPECT_EQ(parse_reg("8"), kT0);
+  EXPECT_EQ(parse_reg("$31"), kRa);
+  EXPECT_FALSE(parse_reg("t99").has_value());
+  EXPECT_FALSE(parse_reg("bogus").has_value());
+}
+
+TEST(Mnemonics, RoundTrip) {
+  for (Op op : kAllOps) {
+    const auto parsed = parse_mnemonic(mnemonic(op));
+    ASSERT_TRUE(parsed.has_value()) << mnemonic(op);
+    EXPECT_EQ(*parsed, op);
+  }
+  EXPECT_FALSE(parse_mnemonic("frobnicate").has_value());
+}
+
+TEST(Disassemble, RepresentativeForms) {
+  Instr add{Op::kAdd, kT0, kT1, kT2, 0, 0, 0};
+  EXPECT_EQ(disassemble(encode(add), 0), "add t0, t1, t2");
+
+  Instr lw;
+  lw.op = Op::kLw;
+  lw.rt = kT0;
+  lw.rs = kSp;
+  lw.imm = 8;
+  EXPECT_EQ(disassemble(encode(lw), 0), "lw t0, 8(sp)");
+
+  Instr sll;
+  sll.op = Op::kSll;
+  sll.rd = kT0;
+  sll.rt = kT1;
+  sll.shamt = 4;
+  EXPECT_EQ(disassemble(encode(sll), 0), "sll t0, t1, 4");
+
+  Instr halt;
+  halt.op = Op::kHalt;
+  EXPECT_EQ(disassemble(encode(halt), 0), "halt");
+
+  Instr beq;
+  beq.op = Op::kBeq;
+  beq.rs = kT0;
+  beq.rt = kZero;
+  beq.imm = 3;  // pc + 4 + 12
+  EXPECT_EQ(disassemble(encode(beq), 0x100), "beq t0, zero, 0x110");
+}
+
+// --- fuzz-style properties ---------------------------------------------
+
+TEST(DecodeFuzz, DecodeEitherThrowsOrRoundTripsCanonically) {
+  // For arbitrary 32-bit words: decode() either rejects the word or yields
+  // an instruction whose re-encoding decodes to the identical instruction
+  // (encode(decode(w)) is a canonical fixed point — don't-care bits are
+  // normalized away, never misinterpreted).
+  std::uint64_t state = 0x12345678;
+  int decoded = 0;
+  for (int i = 0; i < 200'000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto word = static_cast<std::uint32_t>(state >> 24);
+    Instr in;
+    try {
+      in = decode(word);
+    } catch (const Error&) {
+      continue;
+    }
+    ++decoded;
+    const std::uint32_t canonical = encode(in);
+    EXPECT_EQ(decode(canonical), in) << std::hex << word;
+    EXPECT_EQ(encode(decode(canonical)), canonical) << std::hex << word;
+  }
+  EXPECT_GT(decoded, 1000);  // the opcode space is reasonably dense
+}
+
+TEST(EncodeFuzz, AllRegisterCombinationsRoundTrip) {
+  for (std::uint8_t rd = 0; rd < kNumRegs; rd += 5) {
+    for (std::uint8_t rs = 0; rs < kNumRegs; rs += 7) {
+      for (std::uint8_t rt = 0; rt < kNumRegs; rt += 3) {
+        Instr in;
+        in.op = Op::kAdd;
+        in.rd = rd;
+        in.rs = rs;
+        in.rt = rt;
+        const Instr out = decode(encode(in));
+        EXPECT_EQ(out.rd, rd);
+        EXPECT_EQ(out.rs, rs);
+        EXPECT_EQ(out.rt, rt);
+      }
+    }
+  }
+}
+
+TEST(EncodeFuzz, ImmediateBoundaryValues) {
+  for (std::int32_t imm : {-32768, -32767, -1, 0, 1, 32766, 32767}) {
+    Instr in;
+    in.op = Op::kAddi;
+    in.rs = 1;
+    in.rt = 2;
+    in.imm = imm;
+    EXPECT_EQ(decode(encode(in)).imm, imm) << imm;
+  }
+  for (std::int32_t imm : {0, 1, 0xFFFE, 0xFFFF}) {
+    Instr in;
+    in.op = Op::kOri;
+    in.rs = 1;
+    in.rt = 2;
+    in.imm = imm;
+    EXPECT_EQ(decode(encode(in)).imm, imm) << imm;
+  }
+}
+
+}  // namespace
+}  // namespace stcache

@@ -1,0 +1,118 @@
+// Tests of the Section 3.4 multi-level extension: two-level simulation
+// invariants and the heuristic's 12-vs-64 search-count claim.
+#include <gtest/gtest.h>
+
+#include "core/multilevel.hpp"
+#include "trace/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace stcache {
+namespace {
+
+Trace mixed_trace(std::uint64_t seed, std::uint64_t n = 200'000) {
+  Rng rng(seed);
+  Trace t;
+  std::uint32_t pc = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Instruction stream with occasional jumps plus data traffic over a
+    // working set larger than L1 but smaller than L2.
+    t.push_back({pc, AccessKind::kIFetch});
+    pc = rng.next_bool(0.1) ? static_cast<std::uint32_t>(rng.next_below(64 * 1024)) & ~3u
+                            : pc + 4;
+    if (rng.next_bool(0.3)) {
+      const auto a = 0x100000 + (static_cast<std::uint32_t>(rng.next_below(96 * 1024)) & ~3u);
+      t.push_back({a, rng.next_bool(0.3) ? AccessKind::kWrite : AccessKind::kRead});
+    }
+  }
+  return t;
+}
+
+TEST(TwoLevelConfig, GeometryAndNames) {
+  TwoLevelConfig c{16, 32, 128};
+  EXPECT_EQ(c.l1i().size_bytes, 16u * 1024);
+  EXPECT_EQ(c.l1i().line_bytes, 16u);
+  EXPECT_EQ(c.l2().size_bytes, 256u * 1024);
+  EXPECT_EQ(c.l2().assoc, 8u);
+  EXPECT_EQ(c.name(), "L1I16_L1D32_L2x128");
+}
+
+TEST(TwoLevelSim, L2SeesExactlyL1Misses) {
+  const Trace t = mixed_trace(1);
+  const TwoLevelStats s = simulate_two_level(TwoLevelConfig{16, 16, 64}, t);
+  EXPECT_EQ(s.l2.accesses, s.l1i.misses + s.l1d.misses);
+}
+
+TEST(TwoLevelSim, InclusiveAccessCounts) {
+  const Trace t = mixed_trace(2);
+  const TwoLevelStats s = simulate_two_level(TwoLevelConfig{8, 8, 64}, t);
+  const TraceSummary sum = summarize(t);
+  EXPECT_EQ(s.l1i.accesses, sum.ifetches);
+  EXPECT_EQ(s.l1d.accesses, sum.reads + sum.writes);
+}
+
+TEST(TwoLevelSim, L2FiltersMostMisses) {
+  // Working set fits L2: its local hit rate must be high once warm.
+  const Trace t = mixed_trace(3, 400'000);
+  const TwoLevelStats s = simulate_two_level(TwoLevelConfig{8, 8, 64}, t);
+  ASSERT_GT(s.l2.accesses, 0u);
+  EXPECT_LT(s.l2.miss_rate(), 0.3);
+}
+
+TEST(TwoLevelSim, CycleAccountingConsistent) {
+  const Trace t = mixed_trace(4, 50'000);
+  const TwoLevelStats s = simulate_two_level(TwoLevelConfig{8, 8, 64}, t);
+  // Every access costs at least the L1 hit cycle; stalls are on top.
+  const std::uint64_t accesses = s.l1i.accesses + s.l1d.accesses;
+  EXPECT_GE(s.total_cycles, accesses);
+  EXPECT_EQ(s.total_cycles, accesses + s.stall_cycles);
+}
+
+TEST(TwoLevelSim, LongerL1LinesReduceL1Misses) {
+  const Trace t = mixed_trace(5, 300'000);
+  const TwoLevelStats s8 = simulate_two_level(TwoLevelConfig{8, 8, 64}, t);
+  const TwoLevelStats s64 = simulate_two_level(TwoLevelConfig{64, 64, 64}, t);
+  // Sequential ifetch benefits strongly from longer lines.
+  EXPECT_LT(s64.l1i.misses, s8.l1i.misses);
+}
+
+TEST(TwoLevelEnergy, PositiveAndSizeSensitive) {
+  const Trace t = mixed_trace(6, 100'000);
+  EnergyModel model;
+  const TwoLevelConfig a{8, 8, 64};
+  const TwoLevelConfig b{64, 64, 512};
+  const double ea = two_level_energy(a, simulate_two_level(a, t), model);
+  const double eb = two_level_energy(b, simulate_two_level(b, t), model);
+  EXPECT_GT(ea, 0.0);
+  EXPECT_GT(eb, 0.0);
+  EXPECT_NE(ea, eb);
+}
+
+TEST(TwoLevelTune, HeuristicExaminesAtMostTwelve) {
+  const Trace t = mixed_trace(7, 150'000);
+  EnergyModel model;
+  const TwoLevelSearchResult r = tune_two_level(t, model);
+  // Paper: the heuristic searches the sum (4+4+4) instead of the product
+  // (64) of the parameter values.
+  EXPECT_LE(r.configs_examined, 12u);
+  EXPECT_GE(r.configs_examined, 3u);
+}
+
+TEST(TwoLevelTune, ExhaustiveCoversSixtyFour) {
+  const Trace t = mixed_trace(8, 60'000);
+  EnergyModel model;
+  const TwoLevelSearchResult r = tune_two_level_exhaustive(t, model);
+  EXPECT_EQ(r.configs_examined, 64u);
+}
+
+TEST(TwoLevelTune, HeuristicNearOptimal) {
+  const Trace t = mixed_trace(9, 200'000);
+  EnergyModel model;
+  const TwoLevelSearchResult heur = tune_two_level(t, model);
+  const TwoLevelSearchResult ex = tune_two_level_exhaustive(t, model);
+  EXPECT_LE(ex.best_energy, heur.best_energy);
+  // Within 25% of optimal, usually equal (the paper claims near-optimal).
+  EXPECT_LT(heur.best_energy, 1.25 * ex.best_energy);
+}
+
+}  // namespace
+}  // namespace stcache

@@ -1,0 +1,87 @@
+// Exhaustive reconfiguration matrix: every ordered pair of the 27
+// configurations (729 transitions), each checked on a warm cache for the
+// invariants the self-tuning architecture's correctness rests on:
+//
+//   1. no dirty line is ever unreachable after the switch (coherence),
+//   2. write-backs occur only when the transition can strand dirty state
+//      (shrinking, or growing the size; never for pure associativity or
+//      line-size moves),
+//   3. surviving probes are consistent (a probed hit stays a hit until the
+//      next access),
+//   4. the cache keeps operating correctly afterwards (accounting laws).
+#include <gtest/gtest.h>
+
+#include "cache/configurable_cache.hpp"
+#include "util/rng.hpp"
+
+namespace stcache {
+namespace {
+
+using Transition = std::tuple<std::string, std::string>;
+
+class ReconfigMatrixTest : public ::testing::TestWithParam<Transition> {};
+
+TEST_P(ReconfigMatrixTest, InvariantsHold) {
+  const auto& [from_name, to_name] = GetParam();
+  const CacheConfig from = CacheConfig::parse(from_name);
+  const CacheConfig to = CacheConfig::parse(to_name);
+
+  ConfigurableCache c(from);
+  Rng rng(from.name().size() * 1315423911ull + to.name().size());
+  for (int i = 0; i < 3000; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(48 * 1024)) & ~3u;
+    c.access(a, rng.next_bool(0.4));
+  }
+
+  const std::uint64_t writebacks = c.reconfigure(to);
+
+  // (1) coherence.
+  EXPECT_EQ(c.dirty_unreachable_lines(), 0u);
+
+  // (2) free-transition classes: pure associativity or line-size moves at
+  // unchanged (or unchanged-size) geometry cost nothing.
+  const bool same_size = from.size_kb == to.size_kb;
+  const bool assoc_grew =
+      static_cast<unsigned>(to.assoc) >= static_cast<unsigned>(from.assoc);
+  if (same_size && assoc_grew) {
+    EXPECT_EQ(writebacks, 0u)
+        << from.name() << " -> " << to.name()
+        << ": growing associativity / changing line size must be free";
+  }
+
+  // (3) probe stability.
+  std::vector<std::uint32_t> probed;
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(48 * 1024)) & ~15u;
+    if (c.probe(a)) probed.push_back(a);
+  }
+  for (std::uint32_t a : probed) EXPECT_TRUE(c.probe(a));
+
+  // (4) continued operation.
+  for (int i = 0; i < 3000; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(48 * 1024)) & ~3u;
+    c.access(a, rng.next_bool(0.4));
+  }
+  const CacheStats& s = c.stats();
+  EXPECT_EQ(s.hits + s.misses, s.accesses);
+  EXPECT_LE(c.valid_lines(), to.banks_powered() * kRowsPerBank);
+  EXPECT_EQ(c.dirty_unreachable_lines(), 0u);
+  EXPECT_EQ(c.config(), to);
+}
+
+std::vector<std::string> config_names() {
+  std::vector<std::string> names;
+  for (const CacheConfig& c : all_configs()) names.push_back(c.name());
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All729, ReconfigMatrixTest,
+    ::testing::Combine(::testing::ValuesIn(config_names()),
+                       ::testing::ValuesIn(config_names())),
+    [](const ::testing::TestParamInfo<Transition>& info) {
+      return std::get<0>(info.param) + "__to__" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace stcache

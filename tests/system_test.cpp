@@ -1,0 +1,151 @@
+// Integration tests of the full simulated system (Figure 1): CPU + split
+// configurable caches + tuner port, including live self-tuning while the
+// application keeps running correctly.
+#include <gtest/gtest.h>
+
+#include "core/ports.hpp"
+#include "core/tuner_fsmd.hpp"
+#include "isa/assembler.hpp"
+#include "sim/cpu.hpp"
+#include "sim/system.hpp"
+#include "workloads/workload.hpp"
+
+namespace stcache {
+namespace {
+
+TEST(SplitCacheSystem, RoutesStreamsToTheRightCache) {
+  SplitCacheSystem sys(base_cache(), base_cache());
+  sys.ifetch(0x0);
+  sys.ifetch(0x4);
+  sys.dread(0x1000, 4);
+  sys.dwrite(0x1004, 4);
+  EXPECT_EQ(sys.icache().stats().accesses, 2u);
+  EXPECT_EQ(sys.dcache().stats().accesses, 2u);
+  EXPECT_EQ(sys.dcache().stats().write_accesses, 1u);
+}
+
+TEST(SplitCacheSystem, TotalCyclesAccumulateBothCaches) {
+  SplitCacheSystem sys(base_cache(), base_cache());
+  std::uint64_t expect = 0;
+  expect += sys.ifetch(0x0);
+  expect += sys.dread(0x1000, 4);
+  EXPECT_EQ(sys.total_cycles(), expect);
+}
+
+TEST(System, WorkloadRunsCorrectlyUnderRealCaches) {
+  // The caches are timing-only, but this checks the full plumbing: the
+  // kernel must halt with the right checksum and take more cycles than
+  // under perfect memory.
+  const Workload& w = find_workload("bcnt");
+  const Program p = assemble(w.source, w.name);
+
+  SplitCacheSystem sys(CacheConfig::parse("2K_1W_16B"),
+                       CacheConfig::parse("2K_1W_16B"));
+  Cpu cpu(p, sys, w.mem_bytes);
+  const RunResult r = cpu.run(w.max_instructions);
+  ASSERT_TRUE(r.halted);
+  EXPECT_EQ(cpu.reg(kV0), w.expected_checksum);
+
+  PerfectMemory perfect;
+  Cpu fast(p, perfect, w.mem_bytes);
+  const RunResult rp = fast.run(w.max_instructions);
+  EXPECT_EQ(r.instructions, rp.instructions);
+  EXPECT_GT(r.cycles, rp.cycles);
+}
+
+TEST(System, BiggerCacheFewerCycles) {
+  const Workload& w = find_workload("tv");
+  const Program p = assemble(w.source, w.name);
+  auto cycles_with = [&](const char* cfg) {
+    SplitCacheSystem sys(CacheConfig::parse(cfg), CacheConfig::parse(cfg));
+    Cpu cpu(p, sys, w.mem_bytes);
+    return cpu.run(w.max_instructions).cycles;
+  };
+  EXPECT_LT(cycles_with("8K_4W_32B"), cycles_with("2K_1W_16B"));
+}
+
+TEST(LiveTunerPort, MeasuresIntervalsAndReconfiguresWithoutFlush) {
+  SplitCacheSystem sys(CacheConfig::parse("2K_1W_16B"),
+                       CacheConfig::parse("2K_1W_16B"));
+  std::uint32_t cursor = 0;
+  LiveTunerPort port(sys.icache(), [&] {
+    // Synthetic instruction interval: loop over 4 KB of code.
+    for (int i = 0; i < 4096; ++i) {
+      sys.ifetch(cursor);
+      cursor = (cursor + 4) % 4096;
+    }
+  });
+  const TunerCounters first = port.measure(CacheConfig::parse("2K_1W_16B"));
+  EXPECT_EQ(first.accesses, 4096u);
+  const TunerCounters second = port.measure(CacheConfig::parse("4K_1W_16B"));
+  EXPECT_EQ(second.accesses, 4096u);
+  // Growing an instruction cache never writes anything back.
+  EXPECT_EQ(port.reconfig_writebacks(), 0u);
+  // The 4 KB loop fits the 4 KB cache: mostly hits, and some contents
+  // survived the flushless switch.
+  EXPECT_LT(static_cast<double>(second.misses) / second.accesses, 0.5);
+}
+
+TEST(LiveSelfTuning, FullFsmdSessionOnARunningSystem) {
+  // The headline scenario: the hardware tuner tunes the I-cache of a live
+  // system, transparently, while the processor keeps executing a real
+  // kernel — and ends on a sensible configuration.
+  const Workload& w = find_workload("crc");
+  const Program p = assemble(w.source, w.name);
+  SplitCacheSystem sys(CacheConfig::parse("2K_1W_16B"),
+                       CacheConfig::parse("8K_4W_32B"));
+  Cpu cpu(p, sys, w.mem_bytes);
+
+  bool halted = false;
+  std::uint64_t executed = 0;
+  LiveTunerPort port(sys.icache(), [&] {
+    const RunResult r = cpu.run(40'000);
+    executed += r.instructions;
+    halted = halted || r.halted;
+  });
+
+  EnergyModel model;
+  TunerFsmd tuner(model, sys.icache().timing(), TunerFsmd::shift_for(100'000));
+  const TunerFsmd::Result result = tuner.run(port);
+
+  EXPECT_FALSE(halted) << "tuning intervals consumed the whole program";
+  EXPECT_GE(result.configs_examined, 2u);
+  EXPECT_LE(result.configs_examined, 10u);
+  EXPECT_TRUE(result.best.valid());
+  EXPECT_EQ(port.reconfig_writebacks(), 0u);  // I-stream: never dirty
+
+  // Apply the winner and let the program finish — still correct.
+  sys.icache().reconfigure(result.best);
+  while (!halted) {
+    const RunResult r = cpu.run(1'000'000);
+    halted = r.halted;
+  }
+  EXPECT_EQ(cpu.reg(kV0), w.expected_checksum);
+}
+
+TEST(System, WriteThroughDataCacheRunsWorkloadsCorrectly) {
+  // Full-system option plumbing: a write-through D-cache with a victim
+  // buffer still produces a correct run, forwards store traffic, and never
+  // dirties a line.
+  const Workload& w = find_workload("brev");
+  const Program p = assemble(w.source, w.name);
+  SplitCacheSystem::Options options;
+  options.dcache_write_policy = WritePolicy::kWriteThrough;
+  options.dcache_victim_entries = 8;
+  SplitCacheSystem sys(CacheConfig::parse("4K_1W_16B"),
+                       CacheConfig::parse("2K_1W_16B"), TimingParams{},
+                       options);
+  Cpu cpu(p, sys, w.mem_bytes);
+  const RunResult r = cpu.run(w.max_instructions);
+  ASSERT_TRUE(r.halted);
+  EXPECT_EQ(cpu.reg(kV0), w.expected_checksum);
+  EXPECT_GT(sys.dcache().stats().write_through_bytes, 0u);
+  EXPECT_EQ(sys.dcache().stats().writeback_bytes, 0u);
+  // Shrinking/growing the write-through D-cache is free, victim buffer and
+  // all.
+  EXPECT_EQ(sys.dcache().reconfigure(CacheConfig::parse("8K_4W_64B")), 0u);
+  EXPECT_EQ(sys.dcache().reconfigure(CacheConfig::parse("2K_1W_16B")), 0u);
+}
+
+}  // namespace
+}  // namespace stcache

@@ -1,0 +1,105 @@
+// Tests of the binary trace file format (trace/trace_io.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "trace/trace_io.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace stcache {
+namespace {
+
+Trace random_trace(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  Trace t;
+  t.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceRecord r;
+    r.addr = rng.next_u32();
+    r.kind = static_cast<AccessKind>(rng.next_below(3));
+    t.push_back(r);
+  }
+  return t;
+}
+
+TEST(TraceIo, RoundTripEmpty) {
+  std::stringstream ss;
+  write_trace(ss, {});
+  EXPECT_EQ(read_trace(ss), Trace{});
+}
+
+TEST(TraceIo, RoundTripSmall) {
+  const Trace t = {{0x1234, AccessKind::kIFetch},
+                   {0xDEADBEEF, AccessKind::kWrite},
+                   {0x0, AccessKind::kRead}};
+  std::stringstream ss;
+  write_trace(ss, t);
+  EXPECT_EQ(read_trace(ss), t);
+}
+
+TEST(TraceIo, RoundTripLargeRandom) {
+  const Trace t = random_trace(42, 100'000);
+  std::stringstream ss;
+  write_trace(ss, t);
+  EXPECT_EQ(read_trace(ss), t);
+}
+
+TEST(TraceIo, FormatIsCompact) {
+  const Trace t = random_trace(1, 1000);
+  std::stringstream ss;
+  write_trace(ss, t);
+  EXPECT_EQ(ss.str().size(), 16u + 5u * 1000u);  // header + 5 B/record
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOPE0000000000000000";
+  EXPECT_THROW(read_trace(ss), Error);
+}
+
+TEST(TraceIo, RejectsWrongVersion) {
+  std::stringstream ss;
+  write_trace(ss, {{1, AccessKind::kRead}});
+  std::string bytes = ss.str();
+  bytes[4] = 99;  // corrupt version field
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_trace(corrupted), Error);
+}
+
+TEST(TraceIo, RejectsTruncatedFile) {
+  const Trace t = random_trace(2, 100);
+  std::stringstream ss;
+  write_trace(ss, t);
+  std::string bytes = ss.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 3));
+  EXPECT_THROW(read_trace(truncated), Error);
+}
+
+TEST(TraceIo, RejectsInvalidKind) {
+  std::stringstream ss;
+  write_trace(ss, {{1, AccessKind::kRead}});
+  std::string bytes = ss.str();
+  bytes[16] = 7;  // invalid AccessKind in the first record
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_trace(corrupted), Error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "stc_trace_io_test.stct")
+          .string();
+  const Trace t = random_trace(3, 5000);
+  save_trace(path, t);
+  EXPECT_EQ(load_trace(path), t);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/dir/trace.stct"), Error);
+}
+
+}  // namespace
+}  // namespace stcache

@@ -1,0 +1,204 @@
+// Tests of the hardware tuner FSMD model: fixed-point energy vs. the
+// double-precision reference, cycle accounting (64 cycles per
+// configuration evaluation, as the paper's gate-level simulation reports),
+// Equation 2 energy, and saturation behavior.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/evaluator.hpp"
+#include "core/ports.hpp"
+#include "core/tuner_fsmd.hpp"
+#include "trace/synthetic.hpp"
+#include "workloads/workload.hpp"
+
+namespace stcache {
+namespace {
+
+class TunerFsmdTest : public ::testing::Test {
+ protected:
+  EnergyModel model_;
+  TimingParams timing_;
+};
+
+TEST_F(TunerFsmdTest, CyclesPerEvaluationIs64) {
+  // The documented budget must reproduce the paper's number exactly.
+  EXPECT_EQ(TunerFsmd::kCyclesPerEvaluation, 64u);
+}
+
+TEST_F(TunerFsmdTest, ShiftForCountsBits) {
+  EXPECT_EQ(TunerFsmd::shift_for(0xFFFF), 0u);
+  EXPECT_EQ(TunerFsmd::shift_for(0x10000), 1u);
+  EXPECT_EQ(TunerFsmd::shift_for(1'000'000), 4u);
+  EXPECT_EQ(TunerFsmd::shift_for(1ull << 40), 25u);
+}
+
+TEST_F(TunerFsmdTest, QuantizedEnergyTracksDoubleReference) {
+  TunerFsmd tuner(model_, timing_, /*counter_shift=*/6);
+  // Representative counters: a mid-size interval.
+  TunerCounters c;
+  c.accesses = 1'000'000;
+  c.hits = 980'000;
+  c.misses = 20'000;
+  c.cycles = 2'500'000;
+  for (const char* name : {"2K_1W_16B", "4K_1W_32B", "8K_4W_64B", "8K_2W_16B"}) {
+    const CacheConfig cfg = CacheConfig::parse(name);
+    const U32 q = tuner.quantized_energy(cfg, c);
+    ASSERT_FALSE(q.saturated()) << name;
+    const double fsmd_joules =
+        dequantize(q.raw(), tuner.energy_lsb()) * (1 << 6);
+    // Double-precision Equation 1 with the same three-term structure.
+    CacheStats s;
+    s.accesses = c.accesses;
+    s.hits = c.hits;
+    s.misses = c.misses;
+    s.cycles = c.cycles;
+    s.fill_bytes = c.misses * cfg.line_bytes();
+    s.stall_cycles = c.misses * timing_.miss_stall_cycles(cfg.line_bytes());
+    const double ref = model_.evaluate(cfg, s).total();
+    EXPECT_NEAR(fsmd_joules, ref, 0.05 * ref) << name;
+  }
+}
+
+TEST_F(TunerFsmdTest, SaturatesOnHugeCounters) {
+  TunerFsmd tuner(model_, timing_, /*counter_shift=*/0);
+  TunerCounters c;
+  c.accesses = 1ull << 32;  // far beyond 16 bits at shift 0
+  c.hits = c.accesses;
+  c.misses = 1ull << 30;
+  c.cycles = 1ull << 33;
+  const U32 q = tuner.quantized_energy(CacheConfig::parse("8K_4W_32B"), c);
+  EXPECT_TRUE(q.saturated());
+}
+
+TEST_F(TunerFsmdTest, PredictionEvaluationUsesPredictedProbeConstants) {
+  TunerFsmd tuner(model_, timing_, 4);
+  TunerCounters c;
+  c.accesses = 100'000;
+  c.hits = 99'000;
+  c.misses = 1'000;
+  c.cycles = 150'000;
+  c.pred_first_hits = 90'000;
+  const U32 with_pred =
+      tuner.quantized_energy(CacheConfig::parse("8K_4W_16B_P"), c);
+  const U32 without =
+      tuner.quantized_energy(CacheConfig::parse("8K_4W_16B"), c);
+  // 90% first-hit rate on a 4-way cache: prediction must look cheaper.
+  EXPECT_LT(with_pred.raw(), without.raw());
+}
+
+TEST_F(TunerFsmdTest, PredictionOnDirectMappedRejected) {
+  TunerFsmd tuner(model_, timing_, 4);
+  CacheConfig bad{CacheSizeKB::k2, Assoc::w1, LineBytes::b16, true};
+  TunerCounters c;
+  EXPECT_THROW(tuner.quantized_energy(bad, c), Error);
+}
+
+// A scripted port with a fixed energy landscape lets us check the FSMD's
+// walk order and cycle accounting precisely.
+class ScriptedPort final : public TunerPort {
+ public:
+  // Miss counts per configuration name; unlisted configs get `fallback`.
+  ScriptedPort(std::map<std::string, std::uint64_t> misses,
+               std::uint64_t fallback)
+      : misses_(std::move(misses)), fallback_(fallback) {}
+
+  TunerCounters measure(const CacheConfig& cfg) override {
+    visited.push_back(cfg.name());
+    TunerCounters c;
+    c.accesses = 1'000'000;
+    auto it = misses_.find(cfg.name());
+    c.misses = it != misses_.end() ? it->second : fallback_;
+    c.hits = c.accesses - c.misses;
+    c.cycles = c.accesses + 30 * c.misses;
+    return c;
+  }
+
+  std::vector<std::string> visited;
+
+ private:
+  std::map<std::string, std::uint64_t> misses_;
+  std::uint64_t fallback_;
+};
+
+TEST_F(TunerFsmdTest, WalksPaperOrderAndStopsOnRegression) {
+  // 4 KB is the sweet spot; 32 B lines help; associativity does not.
+  ScriptedPort port(
+      {
+          {"2K_1W_16B", 50'000},
+          {"4K_1W_16B", 10'000},
+          {"8K_1W_16B", 9'500},   // tiny gain, not worth the bigger cache
+          {"4K_1W_32B", 6'000},
+          {"4K_1W_64B", 7'000},
+          {"4K_2W_32B", 5'900},   // small miss gain, but more probe energy
+      },
+      20'000);
+  TunerFsmd tuner(model_, timing_, TunerFsmd::shift_for(2'000'000));
+  const TunerFsmd::Result r = tuner.run(port);
+  // Walk: 2K, 4K, 8K (8K worse) | 32B, 64B (64B worse) | 2W (worse).
+  EXPECT_EQ(port.visited.size(), r.configs_examined);
+  EXPECT_EQ(port.visited.front(), "2K_1W_16B");
+  EXPECT_EQ(r.best.name(), "4K_1W_32B");
+  EXPECT_EQ(r.tuner_cycles, r.configs_examined * 64ull);
+  EXPECT_DOUBLE_EQ(r.tuner_energy,
+                   r.tuner_cycles * model_.params().tuner_power /
+                       model_.params().clock_hz);
+}
+
+TEST_F(TunerFsmdTest, AgreesWithBehaviouralHeuristicOnWorkloads) {
+  // End-to-end: the fixed-point FSMD must reach a configuration whose
+  // (double-precision) energy matches the behavioural heuristic's choice.
+  // Quantization may legitimately flip exact near-ties — e.g. the line-size
+  // walk on a loop that fits the cache, where the paper's own Figure 3
+  // shows line size barely moves instruction energy — so we assert energy
+  // equivalence within 2% rather than name equality.
+  for (const char* name : {"crc", "bcnt", "jpeg", "auto"}) {
+    const Trace trace = capture_trace(find_workload(name));
+    const SplitTrace split = split_trace(trace);
+
+    TraceEvaluator eval(split.ifetch, model_, timing_);
+    const SearchResult behavioural = tune(eval);
+
+    TraceTunerPort port(split.ifetch, timing_);
+    TunerFsmd tuner(model_, timing_,
+                    TunerFsmd::shift_for(split.ifetch.size() * 4));
+    const TunerFsmd::Result fsmd = tuner.run(port);
+
+    EXPECT_FALSE(fsmd.saturated) << name;
+    EXPECT_EQ(fsmd.best.size_kb, behavioural.best.size_kb) << name;
+    EXPECT_EQ(fsmd.best.assoc, behavioural.best.assoc) << name;
+    const double fsmd_choice_energy = eval.energy(fsmd.best);
+    EXPECT_LE(fsmd_choice_energy, 1.02 * behavioural.best_energy) << name;
+    // Walk lengths may differ by the flipped near-ties only.
+    EXPECT_NEAR(static_cast<double>(fsmd.configs_examined),
+                static_cast<double>(behavioural.configs_examined), 2.0)
+        << name;
+  }
+}
+
+TEST_F(TunerFsmdTest, TunerEnergyIsNanojouleScale) {
+  ScriptedPort port({}, 10'000);
+  TunerFsmd tuner(model_, timing_, TunerFsmd::shift_for(2'000'000));
+  const TunerFsmd::Result r = tuner.run(port);
+  // Paper: ~11.9 nJ for an average search of ~5-6 configurations.
+  EXPECT_GT(r.tuner_energy, 0.5e-9);
+  EXPECT_LT(r.tuner_energy, 50e-9);
+}
+
+TEST(CountersFromStats, MapsFields) {
+  CacheStats s;
+  s.accesses = 10;
+  s.hits = 8;
+  s.misses = 2;
+  s.cycles = 40;
+  s.pred_first_hits = 7;
+  const TunerCounters c = counters_from_stats(s);
+  EXPECT_EQ(c.accesses, 10u);
+  EXPECT_EQ(c.hits, 8u);
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(c.cycles, 40u);
+  EXPECT_EQ(c.pred_first_hits, 7u);
+}
+
+}  // namespace
+}  // namespace stcache

@@ -1,0 +1,101 @@
+// Tests of the write-through / no-write-allocate mode of the configurable
+// cache, and its interaction with flushless reconfiguration (a
+// write-through cache is never dirty, so every reconfiguration is free).
+#include <gtest/gtest.h>
+
+#include "cache/configurable_cache.hpp"
+#include "energy/energy_model.hpp"
+#include "util/rng.hpp"
+
+namespace stcache {
+namespace {
+
+CacheConfig cfg(const std::string& name) { return CacheConfig::parse(name); }
+
+TEST(WriteThrough, StoreHitForwardsBytesAndStaysClean) {
+  ConfigurableCache c(cfg("2K_1W_16B"), {}, WritePolicy::kWriteThrough);
+  c.access(0x100, false);           // fill (read miss)
+  c.access(0x104, true);            // store hit
+  EXPECT_EQ(c.stats().write_through_bytes, 4u);
+  // Evicting the line must not write anything back: it was never dirty.
+  c.access(0x100 + 2048, false);
+  EXPECT_EQ(c.stats().writeback_bytes, 0u);
+}
+
+TEST(WriteThrough, StoreMissBypassesTheCache) {
+  TimingParams t;
+  ConfigurableCache c(cfg("2K_1W_16B"), t, WritePolicy::kWriteThrough);
+  const auto r = c.access(0x200, true, 2);  // sh-style store miss
+  EXPECT_FALSE(r.hit);
+  EXPECT_EQ(r.cycles, t.hit_cycles);  // write buffer: no stall
+  EXPECT_EQ(c.stats().wt_store_misses, 1u);
+  EXPECT_EQ(c.stats().misses, 0u);    // no allocation happened
+  EXPECT_EQ(c.stats().fill_bytes, 0u);
+  EXPECT_FALSE(c.probe(0x200));
+  EXPECT_EQ(c.stats().write_through_bytes, 2u);
+}
+
+TEST(WriteThrough, ReadsBehaveExactlyLikeWriteBack) {
+  ConfigurableCache wt(cfg("4K_2W_32B"), {}, WritePolicy::kWriteThrough);
+  ConfigurableCache wb(cfg("4K_2W_32B"), {}, WritePolicy::kWriteBack);
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(32768)) & ~3u;
+    EXPECT_EQ(wt.access(a, false).hit, wb.access(a, false).hit);
+  }
+}
+
+TEST(WriteThrough, EveryReconfigurationIsFree) {
+  ConfigurableCache c(cfg("8K_1W_16B"), {}, WritePolicy::kWriteThrough);
+  Rng rng(12);
+  for (int i = 0; i < 30000; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(32768)) & ~3u;
+    c.access(a, rng.next_bool(0.5));
+  }
+  // Even the expensive directions cost nothing: nothing is ever dirty.
+  EXPECT_EQ(c.reconfigure(cfg("2K_1W_16B")), 0u);   // shrink
+  EXPECT_EQ(c.reconfigure(cfg("8K_4W_16B")), 0u);   // regrow + assoc
+  EXPECT_EQ(c.flush(), 0u);
+  EXPECT_EQ(c.stats().reconfig_writeback_bytes, 0u);
+}
+
+TEST(WriteThrough, EnergyChargesForwardedStores) {
+  EnergyModel model;
+  CacheStats s;
+  s.accesses = 1000;
+  s.hits = 1000;
+  s.write_through_bytes = 4000;
+  const EnergyBreakdown e = model.evaluate(cfg("4K_1W_32B"), s);
+  EXPECT_DOUBLE_EQ(e.offchip,
+                   (4000.0 / 16.0) * model.offchip_writeback_energy_per_line());
+}
+
+TEST(WriteThrough, WriteHeavyStreamCostsMoreOffchipThanWriteBack) {
+  // With good temporal locality, write-back coalesces many stores into one
+  // eviction; write-through pays per store. The energy model must reflect
+  // that (the reason the paper's platform defaults to write-back).
+  EnergyModel model;
+  auto run = [&](WritePolicy policy) {
+    ConfigurableCache c(cfg("4K_1W_32B"), {}, policy);
+    Rng rng(13);
+    for (int i = 0; i < 50000; ++i) {
+      const auto a = static_cast<std::uint32_t>(rng.next_below(2048)) & ~3u;
+      c.access(a, rng.next_bool(0.6));
+    }
+    return model.evaluate(c.config(), c.stats()).offchip;
+  };
+  EXPECT_GT(run(WritePolicy::kWriteThrough), 3.0 * run(WritePolicy::kWriteBack));
+}
+
+TEST(WriteThrough, StatsDeltaCoversNewCounters) {
+  ConfigurableCache c(cfg("2K_1W_16B"), {}, WritePolicy::kWriteThrough);
+  c.access(0x0, true);
+  const CacheStats snap = c.stats();
+  c.access(0x4, true);
+  const CacheStats d = c.stats() - snap;
+  EXPECT_EQ(d.write_through_bytes, 4u);
+  EXPECT_EQ(d.wt_store_misses, 1u);
+}
+
+}  // namespace
+}  // namespace stcache

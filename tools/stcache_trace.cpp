@@ -1,0 +1,80 @@
+// stcache_trace — capture and inspect STCT trace files.
+//
+//   stcache_trace list
+//       List the bundled benchmark kernels.
+//   stcache_trace capture <workload> <out.stct>
+//       Run a kernel on the ISS and save its combined address trace.
+//   stcache_trace info <file.stct>
+//       Print summary statistics of a trace file.
+#include <iostream>
+
+#include "trace/trace_io.hpp"
+#include "util/table.hpp"
+#include "workloads/workload.hpp"
+
+namespace stcache {
+namespace {
+
+int cmd_list() {
+  Table table({"name", "suite", "description"});
+  for (const Workload& w : all_workloads()) {
+    table.add_row({w.name, w.suite, w.description});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_capture(const std::string& name, const std::string& path) {
+  const Workload& w = find_workload(name);
+  std::cout << "Running " << w.name << " on the ISS..." << std::endl;
+  const Trace trace = capture_trace(w);
+  save_trace(path, trace);
+  std::cout << "Wrote " << trace.size() << " records to " << path << "\n";
+  return 0;
+}
+
+int cmd_info(const std::string& path) {
+  const Trace trace = load_trace(path);
+  const TraceSummary all = summarize(trace);
+  const SplitTrace split = split_trace(trace);
+  const TraceSummary ifetch = summarize(split.ifetch);
+  const TraceSummary data = summarize(split.data);
+
+  Table table({"stream", "accesses", "reads", "writes",
+               "footprint (16B blocks)"});
+  auto row = [&](const char* label, const TraceSummary& s) {
+    table.add_row({label, std::to_string(s.accesses), std::to_string(s.reads),
+                   std::to_string(s.writes), std::to_string(s.unique_blocks)});
+  };
+  row("combined", all);
+  row("instruction", ifetch);
+  row("data", data);
+  table.print(std::cout);
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  stcache_trace list\n"
+            << "  stcache_trace capture <workload> <out.stct>\n"
+            << "  stcache_trace info <file.stct>\n";
+  return 2;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main(int argc, char** argv) {
+  using namespace stcache;
+  try {
+    if (argc >= 2 && std::string(argv[1]) == "list") return cmd_list();
+    if (argc == 4 && std::string(argv[1]) == "capture") {
+      return cmd_capture(argv[2], argv[3]);
+    }
+    if (argc == 3 && std::string(argv[1]) == "info") return cmd_info(argv[2]);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,86 @@
+// stcache_tune — run the paper's tuning heuristic on a saved trace.
+//
+//   stcache_tune <file.stct> [I|D] [--exhaustive]
+//
+// Splits the trace, tunes the selected stream's cache (instruction by
+// default) with the Figure 6 heuristic, and prints the decision. With
+// --exhaustive the 27-point optimum and the heuristic's gap are printed
+// as well.
+#include <cstring>
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "core/heuristic.hpp"
+#include "trace/trace_io.hpp"
+#include "util/table.hpp"
+
+namespace stcache {
+namespace {
+
+int run(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: stcache_tune <file.stct> [I|D] [--exhaustive]\n";
+    return 2;
+  }
+  const std::string path = argv[1];
+  bool instruction = true;
+  bool exhaustive = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "D") == 0) instruction = false;
+    else if (std::strcmp(argv[i], "I") == 0) instruction = true;
+    else if (std::strcmp(argv[i], "--exhaustive") == 0) exhaustive = true;
+    else {
+      std::cerr << "unknown argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+
+  const Trace trace = load_trace(path);
+  const SplitTrace split = split_trace(trace);
+  const Trace& stream = instruction ? split.ifetch : split.data;
+  if (stream.empty()) {
+    std::cerr << "error: the selected stream is empty\n";
+    return 1;
+  }
+  std::cout << "Tuning the " << (instruction ? "instruction" : "data")
+            << " cache on " << stream.size() << " accesses...\n\n";
+
+  const EnergyModel model;
+  TraceEvaluator eval(stream, model);
+  const SearchResult heur = tune(eval);
+  const double base = eval.energy(base_cache());
+
+  Table table({"search", "configuration", "configs examined", "energy",
+               "savings vs 8K_4W_32B"});
+  table.add_row({"heuristic", heur.best.name(),
+                 std::to_string(heur.configs_examined),
+                 fmt_si_energy(heur.best_energy),
+                 fmt_percent(1.0 - heur.best_energy / base, 1)});
+  if (exhaustive) {
+    const SearchResult ex = tune_exhaustive(eval);
+    table.add_row({"exhaustive", ex.best.name(),
+                   std::to_string(ex.configs_examined),
+                   fmt_si_energy(ex.best_energy),
+                   fmt_percent(1.0 - ex.best_energy / base, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nVisited: ";
+  for (std::size_t i = 0; i < heur.visited.size(); ++i) {
+    std::cout << (i ? " -> " : "") << heur.visited[i].name();
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main(int argc, char** argv) {
+  try {
+    return stcache::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
