@@ -1,6 +1,11 @@
 // Figure 3: average instruction-cache miss rate (top) and normalized
 // instruction-fetch energy (bottom) across the 18 size/line/associativity
 // configurations, averaged over all benchmarks.
+//
+// Usage: bench_fig3_icache_space [--jobs N] [--metrics-out file.json]
 #include "common.hpp"
 
-int main() { return stcache::bench::run_config_space_figure(true); }
+int main(int argc, char** argv) {
+  return stcache::bench::run_config_space_figure(
+      true, stcache::bench::parse_bench_args(argc, argv));
+}

@@ -1,6 +1,11 @@
 // Figure 4: average data-cache miss rate (top) and normalized data-fetch
 // energy (bottom) across the 18 size/line/associativity configurations,
 // averaged over all benchmarks.
+//
+// Usage: bench_fig4_dcache_space [--jobs N] [--metrics-out file.json]
 #include "common.hpp"
 
-int main() { return stcache::bench::run_config_space_figure(false); }
+int main(int argc, char** argv) {
+  return stcache::bench::run_config_space_figure(
+      false, stcache::bench::parse_bench_args(argc, argv));
+}

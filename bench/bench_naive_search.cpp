@@ -99,7 +99,8 @@ SearchPhaseCost heuristic_search(std::span<const TraceRecord> stream,
   return out;
 }
 
-int run() {
+int run(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   bench::print_header(
       "The naive exhaustive-with-flush search vs. the heuristic: search "
       "length, forced flush write-backs, and search-phase energy",
@@ -109,17 +110,38 @@ int run() {
   Table table({"Ben.", "naive cfgs", "heur cfgs", "naive flush WBs",
                "heur reconf WBs", "naive energy", "heur energy"});
 
+  // Both searches on one benchmark are inherently sequential (each slice
+  // runs on the state the previous one left behind), so the sweep shards
+  // one job per workload; results are keyed by index and reduced in
+  // Table 1 order below.
+  const std::vector<std::string> names = bench::workload_names();
+  const auto& traces = bench::all_split_traces();  // capture before timing
+  struct JobResult {
+    SearchPhaseCost naive;
+    SearchPhaseCost heur;
+  };
+  SweepRunner runner(opts.sweep);
+  const std::vector<JobResult> results = runner.map<JobResult>(
+      names.size(), [&](std::size_t j) {
+        const Trace& stream = traces.at(names[j]).data;
+        JobResult r;
+        r.naive = naive_search(stream, model);
+        r.heur = heuristic_search(stream, model);
+        const std::size_t slice = stream.size() / all_configs().size();
+        runner.add_accesses(slice * (r.naive.configs + r.heur.configs));
+        return r;
+      });
+
   GeoMean energy_ratio;
   double flushes = 0;
   unsigned n = 0;
-  for (const std::string& name : bench::workload_names()) {
-    const SplitTrace& split = bench::all_split_traces().at(name);
-    const SearchPhaseCost naive = naive_search(split.data, model);
-    const SearchPhaseCost heur = heuristic_search(split.data, model);
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    const SearchPhaseCost& naive = results[j].naive;
+    const SearchPhaseCost& heur = results[j].heur;
     energy_ratio.add(naive.energy / heur.energy);
     flushes += static_cast<double>(naive.flush_writebacks);
     ++n;
-    table.add_row({name, std::to_string(naive.configs),
+    table.add_row({names[j], std::to_string(naive.configs),
                    std::to_string(heur.configs),
                    std::to_string(naive.flush_writebacks),
                    std::to_string(heur.flush_writebacks),
@@ -133,10 +155,11 @@ int run() {
             << "the naive search: " << fmt_double(flushes / n, 0)
             << " per benchmark (the heuristic's flush-free walk writes\n"
             << "back only the handful of stranded lines shown above).\n";
+  bench::finish_sweep(runner, opts);
   return 0;
 }
 
 }  // namespace
 }  // namespace stcache
 
-int main() { return stcache::run(); }
+int main(int argc, char** argv) { return stcache::run(argc, argv); }

@@ -1,10 +1,13 @@
 // Shared helpers for the experiment harnesses in bench/.
 //
 // Each bench binary regenerates one table or figure of the paper. The
-// helpers here capture workload traces once per process and provide the
-// common "evaluate a configuration on a stream" plumbing.
+// helpers here capture workload traces once per process, parse the sweep
+// CLI flags every full-space bench accepts (--jobs N, --metrics-out PATH),
+// and provide the parallel (workload x configuration) sweep plumbing on top
+// of core/sweep.hpp.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
@@ -12,7 +15,9 @@
 
 #include "core/evaluator.hpp"
 #include "core/heuristic.hpp"
+#include "core/sweep.hpp"
 #include "energy/energy_model.hpp"
+#include "trace/replay.hpp"
 #include "trace/trace.hpp"
 #include "util/table.hpp"
 #include "workloads/workload.hpp"
@@ -21,6 +26,15 @@ namespace stcache::bench {
 
 // Captured and split traces for every workload, computed lazily and cached
 // for the lifetime of the process.
+//
+// Thread safety: the function-local static is initialized under the C++11
+// magic-static guard, so concurrent first calls block until one thread has
+// captured everything. The capture path itself (all_workloads() ->
+// assemble() -> Cpu::run with a TracingMemory) touches only locals plus
+// const magic statics (the workload/config registries), so the guarded
+// initializer is reentrancy-safe. Sweep benches still call this BEFORE
+// starting the SweepRunner so that trace capture stays out of the timed
+// region and workers never contend on the guard.
 inline const std::map<std::string, SplitTrace>& all_split_traces() {
   static const std::map<std::string, SplitTrace> kTraces = [] {
     std::map<std::string, SplitTrace> m;
@@ -30,6 +44,20 @@ inline const std::map<std::string, SplitTrace>& all_split_traces() {
     return m;
   }();
   return kTraces;
+}
+
+// The split traces in deterministic (name-sorted) order, for index-keyed
+// sweep jobs. Capturing happens here, before any timing starts.
+struct NamedSplitTrace {
+  const std::string* name;
+  const SplitTrace* split;
+};
+inline std::vector<NamedSplitTrace> ordered_split_traces() {
+  std::vector<NamedSplitTrace> out;
+  for (const auto& [name, split] : all_split_traces()) {
+    out.push_back({&name, &split});
+  }
+  return out;
 }
 
 // Workload names in the paper's Table 1 order.
@@ -46,6 +74,45 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
             << "================================================================\n";
 }
 
+// --- sweep CLI --------------------------------------------------------------
+
+struct BenchOptions {
+  SweepOptions sweep;       // --jobs N (0 = hardware_concurrency)
+  std::string metrics_out;  // --metrics-out PATH (JSON)
+};
+
+// Parse the common sweep flags; exits with usage on anything unknown.
+inline BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      opts.sweep.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      opts.metrics_out = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--jobs N] [--metrics-out file.json]\n";
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+// Print the sweep summary to stderr (stdout carries the table and must be
+// byte-identical across --jobs values) and export JSON if requested. An
+// unwritable metrics path is a clean exit(1), not an uncaught throw — the
+// table has already been printed by this point.
+inline void finish_sweep(const SweepRunner& runner, const BenchOptions& opts) {
+  runner.print_metrics(std::cerr);
+  try {
+    runner.write_metrics_json(opts.metrics_out);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(1);
+  }
+}
+
 }  // namespace stcache::bench
 
 namespace stcache::bench {
@@ -55,7 +122,12 @@ namespace stcache::bench {
 // reporting average miss rate and average normalized energy (normalized
 // per-benchmark to the 8 KB 4-way 32 B base, as the figures normalize
 // fetch energy).
-inline int run_config_space_figure(bool instruction_stream) {
+//
+// The (workload x configuration) grid is evaluated by a SweepRunner, one
+// job per cell; the averages are then reduced serially in workload-major
+// order, so the table is byte-identical for any --jobs value.
+inline int run_config_space_figure(bool instruction_stream,
+                                   const BenchOptions& opts) {
   const char* which = instruction_stream ? "instruction" : "data";
   print_header(std::string("Average ") + which +
                    " miss rate and normalized energy over the 18 "
@@ -63,7 +135,31 @@ inline int run_config_space_figure(bool instruction_stream) {
                instruction_stream ? "Figure 3" : "Figure 4");
 
   const EnergyModel model;
-  const auto& traces = all_split_traces();
+  const std::vector<NamedSplitTrace> traces = ordered_split_traces();
+  const std::vector<CacheConfig>& cfgs = base_configs();
+
+  // Index of the normalization base (8K_4W_32B) inside the swept grid, so
+  // its measurement is shared rather than repeated.
+  std::size_t base_idx = cfgs.size();
+  for (std::size_t c = 0; c < cfgs.size(); ++c) {
+    if (cfgs[c] == base_cache()) base_idx = c;
+  }
+
+  struct Cell {
+    double miss_rate = 0.0;
+    double energy = 0.0;
+  };
+  SweepRunner runner(opts.sweep);
+  const std::vector<Cell> cells = runner.map<Cell>(
+      traces.size() * cfgs.size(), [&](std::size_t j) {
+        const NamedSplitTrace& t = traces[j / cfgs.size()];
+        const CacheConfig& cfg = cfgs[j % cfgs.size()];
+        const Trace& stream =
+            instruction_stream ? t.split->ifetch : t.split->data;
+        const CacheStats stats = measure_config(cfg, stream);
+        runner.add_accesses(stream.size());
+        return Cell{stats.miss_rate(), model.evaluate(cfg, stats).total()};
+      });
 
   Table table({"config", "avg miss rate", "avg normalized energy"});
   struct Row {
@@ -72,18 +168,16 @@ inline int run_config_space_figure(bool instruction_stream) {
     double energy_sum = 0.0;
   };
   std::vector<Row> rows;
-  for (const CacheConfig& cfg : base_configs()) rows.push_back({cfg, 0, 0});
+  for (const CacheConfig& cfg : cfgs) rows.push_back({cfg, 0, 0});
 
-  unsigned n = 0;
-  for (const auto& [name, split] : traces) {
-    const Trace& stream = instruction_stream ? split.ifetch : split.data;
-    TraceEvaluator eval(stream, model);
-    const double base = eval.energy(base_cache());
-    for (Row& row : rows) {
-      row.miss_sum += eval.stats(row.cfg).miss_rate();
-      row.energy_sum += eval.energy(row.cfg) / base;
+  const unsigned n = static_cast<unsigned>(traces.size());
+  for (std::size_t w = 0; w < traces.size(); ++w) {
+    const double base = cells[w * cfgs.size() + base_idx].energy;
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+      const Cell& cell = cells[w * cfgs.size() + c];
+      rows[c].miss_sum += cell.miss_rate;
+      rows[c].energy_sum += cell.energy / base;
     }
-    ++n;
   }
 
   for (const Row& row : rows) {
@@ -132,6 +226,7 @@ inline int run_config_space_figure(bool instruction_stream) {
                             3)
               << "\n";
   }
+  finish_sweep(runner, opts);
   return 0;
 }
 

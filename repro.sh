@@ -2,11 +2,46 @@
 # Reproduce everything: build, run the full test suite, and regenerate every
 # table/figure harness. Outputs land in test_output.txt and bench_output.txt
 # at the repository root (the files EXPERIMENTS.md numbers come from).
+#
+#   ./repro.sh           full pipeline (build, all tests, TSan sweep tests,
+#                        every bench binary)
+#   ./repro.sh --quick   build + the parallel-sweep tests (native and TSan) +
+#                        a --jobs determinism check on bench_fig3; minutes,
+#                        not the full regeneration
+#
+# See docs/experiments.md for what each bench binary reproduces.
 set -e
 cd "$(dirname "$0")"
 
-cmake -B build -G Ninja
-cmake --build build
+QUICK=0
+[ "$1" = "--quick" ] && QUICK=1
+
+# No -G: respect whatever generator an existing build/ was configured with
+# (fresh checkouts get the platform default; Ninja works fine if you prefer
+# it — configure once by hand).
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+
+# The sweep engine's tests also run under ThreadSanitizer: data races in the
+# thread pool or in shared sweep state would pass the functional tests by
+# luck, so the two concurrency test binaries are rebuilt with
+# -DSTCACHE_SANITIZE=thread and executed directly.
+cmake -B build-tsan -S . -DSTCACHE_SANITIZE=thread > /dev/null
+cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_test
+./build-tsan/tests/thread_pool_test
+./build-tsan/tests/sweep_runner_test
+
+if [ "$QUICK" = "1" ]; then
+    ctest --test-dir build -R 'ThreadPool|SweepRunner' --output-on-failure
+
+    # Determinism gate: the parallel sweep must reproduce the serial table
+    # byte for byte (metrics go to stderr, so stdout is comparable).
+    ./build/bench/bench_fig3_icache_space --jobs 1 > /tmp/stcache_fig3_j1.txt
+    ./build/bench/bench_fig3_icache_space --jobs "$(nproc)" > /tmp/stcache_fig3_jn.txt
+    cmp /tmp/stcache_fig3_j1.txt /tmp/stcache_fig3_jn.txt
+    echo "Quick pass done: sweep tests (native + TSan) and --jobs determinism ok."
+    exit 0
+fi
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 

@@ -47,6 +47,10 @@ struct CacheStats {
   // the E_uP_stall term of Equation 1 charges.
   std::uint64_t stall_cycles = 0;
 
+  // Exact counter equality; the sweep tests use it to assert the parallel
+  // path reproduces the serial reference bit-for-bit.
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
+
   double miss_rate() const {
     return accesses == 0 ? 0.0
                          : static_cast<double>(misses) / static_cast<double>(accesses);

@@ -15,6 +15,14 @@ const TraceEvaluator::Entry& TraceEvaluator::measure(const CacheConfig& cfg) {
   return it->second;
 }
 
+void TraceEvaluator::prime(const CacheConfig& cfg, const CacheStats& stats) {
+  if (cache_.contains(cfg.name())) return;
+  Entry e;
+  e.stats = stats;
+  e.energy = model_->evaluate(cfg, e.stats).total();
+  cache_.emplace(cfg.name(), e);
+}
+
 double TraceEvaluator::energy(const CacheConfig& cfg) { return measure(cfg).energy; }
 
 const CacheStats& TraceEvaluator::stats(const CacheConfig& cfg) {

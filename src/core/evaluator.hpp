@@ -46,6 +46,13 @@ class TraceEvaluator final : public Evaluator {
   // Full breakdown and stats of a configuration (measured on demand).
   const CacheStats& stats(const CacheConfig& cfg);
 
+  // Pre-populate the memo with an externally measured replay result (the
+  // parallel sweep path measures configurations on worker threads, then
+  // primes a serial evaluator so searches over it are pure lookups).
+  // Energy is derived exactly as measure() derives it; a configuration
+  // already in the memo is left untouched.
+  void prime(const CacheConfig& cfg, const CacheStats& stats);
+
  private:
   struct Entry {
     CacheStats stats;

@@ -1,0 +1,71 @@
+#include "core/sweep.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(const SweepOptions& opts) {
+  workers_ = opts.jobs != 0 ? opts.jobs : std::thread::hardware_concurrency();
+  if (workers_ == 0) workers_ = 1;
+}
+
+void SweepRunner::finish_round(std::size_t n,
+                               std::chrono::steady_clock::time_point start) {
+  jobs_run_ += n;
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+}
+
+SweepMetrics SweepRunner::metrics() const {
+  SweepMetrics m;
+  m.workers = workers_;
+  m.jobs_run = jobs_run_;
+  m.wall_seconds = wall_seconds_;
+  m.simulated_accesses = accesses_.load(std::memory_order_relaxed);
+  return m;
+}
+
+std::string SweepMetrics::to_json() const {
+  std::string s = "{";
+  s += "\"workers\": " + std::to_string(workers);
+  s += ", \"jobs_run\": " + std::to_string(jobs_run);
+  s += ", \"wall_seconds\": " + fmt(wall_seconds);
+  s += ", \"simulated_accesses\": " + std::to_string(simulated_accesses);
+  s += ", \"accesses_per_second\": " + fmt(accesses_per_second());
+  s += "}";
+  return s;
+}
+
+void SweepRunner::print_metrics(std::ostream& os) const {
+  const SweepMetrics m = metrics();
+  os << "[sweep] jobs=" << m.jobs_run << " workers=" << m.workers
+     << " wall=" << fmt(m.wall_seconds) << " s"
+     << " simulated_accesses=" << m.simulated_accesses << " ("
+     << fmt(m.accesses_per_second()) << " accesses/s)\n";
+}
+
+void SweepRunner::write_metrics_json(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) fail("sweep: cannot write metrics file '" + path + "'");
+  out << metrics().to_json() << "\n";
+  if (!out) fail("sweep: error writing metrics file '" + path + "'");
+}
+
+}  // namespace stcache

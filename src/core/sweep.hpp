@@ -1,0 +1,121 @@
+// Parallel design-space sweep engine.
+//
+// Every full-space experiment in bench/ has the same shape: a grid of
+// (workload stream x cache configuration) evaluations, each independent of
+// all the others, followed by an order-sensitive reduction (tables, running
+// averages, geometric means). SweepRunner shards the independent part
+// across a ThreadPool and hands the results back *keyed by job index*, so
+// the reduction runs serially in a fixed order and the output is
+// byte-identical whatever the worker count or completion order — `--jobs 8`
+// must reproduce `--jobs 1` exactly, including the floating-point
+// accumulation order.
+//
+// The runner also keeps per-sweep metrics (jobs run, wall time, simulated
+// accesses fed to cache models) that benches print at sweep end and can
+// export as JSON via --metrics-out. Metrics go to stderr / a file, never
+// stdout: stdout carries the reproduced table and must stay diffable.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace stcache {
+
+struct SweepOptions {
+  // Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned jobs = 0;
+};
+
+struct SweepMetrics {
+  unsigned workers = 0;
+  std::uint64_t jobs_run = 0;
+  double wall_seconds = 0.0;
+  // Trace records replayed through cache models, as reported by the jobs
+  // themselves via SweepRunner::add_accesses.
+  std::uint64_t simulated_accesses = 0;
+
+  double accesses_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(simulated_accesses) / wall_seconds
+               : 0.0;
+  }
+  std::string to_json() const;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(const SweepOptions& opts = {});
+
+  unsigned workers() const { return workers_; }
+
+  // Evaluate fn(0), ..., fn(n-1) across the workers and return the results
+  // in job-index order. Jobs must not depend on each other; fn runs on an
+  // arbitrary worker thread. If any job throws, the first exception (in
+  // job-index order) is rethrown here after the pool drains. Multiple map()
+  // calls accumulate into the same metrics.
+  template <typename R>
+  std::vector<R> map(std::size_t n, const std::function<R(std::size_t)>& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::optional<R>> slots(n);
+    if (workers_ <= 1 || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) slots[i].emplace(fn(i));
+    } else {
+      std::vector<std::future<void>> pending;
+      pending.reserve(n);
+      {
+        ThreadPool pool(
+            static_cast<unsigned>(std::min<std::size_t>(workers_, n)));
+        for (std::size_t i = 0; i < n; ++i) {
+          pending.push_back(pool.submit([&slots, &fn, i] {
+            slots[i].emplace(fn(i));
+          }));
+        }
+        // Joining before get() means every slot is filled (or poisoned)
+        // before the first rethrow, so no job is abandoned mid-flight.
+      }
+      for (std::future<void>& f : pending) f.get();
+    }
+    finish_round(n, start);
+
+    std::vector<R> out;
+    out.reserve(n);
+    for (std::optional<R>& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  // Jobs call this to account the trace records they replayed.
+  void add_accesses(std::uint64_t n) {
+    accesses_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  SweepMetrics metrics() const;
+
+  // One-line human summary, e.g. for stderr at sweep end.
+  void print_metrics(std::ostream& os) const;
+
+  // Write metrics as a JSON object to `path` (overwrites). Throws
+  // stcache::Error if the file cannot be written. No-op when path is empty.
+  void write_metrics_json(const std::string& path) const;
+
+ private:
+  void finish_round(std::size_t n,
+                    std::chrono::steady_clock::time_point start);
+
+  unsigned workers_ = 1;
+  std::uint64_t jobs_run_ = 0;
+  double wall_seconds_ = 0.0;
+  std::atomic<std::uint64_t> accesses_{0};
+};
+
+}  // namespace stcache

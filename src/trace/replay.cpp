@@ -32,4 +32,20 @@ CacheStats measure_geometry(const CacheGeometry& g,
   return replay(cache, stream);
 }
 
+std::vector<CacheStats> measure_config_bank(
+    std::span<const CacheConfig> configs, std::span<const TraceRecord> stream,
+    const TimingParams& timing) {
+  std::vector<ConfigurableCache> bank;
+  bank.reserve(configs.size());
+  for (const CacheConfig& cfg : configs) bank.emplace_back(cfg, timing);
+  for (const TraceRecord& r : stream) {
+    const bool write = r.kind == AccessKind::kWrite;
+    for (ConfigurableCache& cache : bank) cache.access(r.addr, write);
+  }
+  std::vector<CacheStats> stats;
+  stats.reserve(bank.size());
+  for (const ConfigurableCache& cache : bank) stats.push_back(cache.stats());
+  return stats;
+}
+
 }  // namespace stcache

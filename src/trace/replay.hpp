@@ -3,6 +3,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "cache/cache_model.hpp"
 #include "cache/config.hpp"
@@ -27,5 +28,14 @@ CacheStats measure_config(const CacheConfig& cfg,
 CacheStats measure_geometry(const CacheGeometry& g,
                             std::span<const TraceRecord> stream,
                             const TimingParams& timing = {});
+
+// Single-pass bank evaluation: construct one cold cache per configuration
+// and stream every trace record through all of them in one pass, so the
+// trace is decoded (iterated) once instead of once per configuration. The
+// caches are independent, so stats[i] is bit-identical to
+// measure_config(configs[i], stream, timing); the sweep tests assert this.
+std::vector<CacheStats> measure_config_bank(
+    std::span<const CacheConfig> configs, std::span<const TraceRecord> stream,
+    const TimingParams& timing = {});
 
 }  // namespace stcache

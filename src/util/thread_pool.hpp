@@ -1,0 +1,93 @@
+// A small fixed-size thread pool for the parallel sweep engine.
+//
+// Design goals, in order: deterministic shutdown (the destructor runs every
+// task that was ever queued, then joins — no dropped work), exception
+// propagation (a throwing task surfaces through its std::future, never
+// std::terminate), and zero cleverness (one mutex, one condition variable,
+// a deque). Sweeps shard hundreds of multi-millisecond jobs, so queue
+// contention is irrelevant next to job cost.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace stcache {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (at least one, even if asked for zero).
+  explicit ThreadPool(unsigned threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains the queue: every submitted task runs to completion before the
+  // workers exit. Tasks queued after the destructor starts are rejected by
+  // submit() below.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueue `fn` and return a future for its result. If the task throws,
+  // the exception is stored in the future and rethrown by get().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::submit after shutdown");
+      }
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and fully drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();  // exceptions land in the task's promise, not here
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace stcache

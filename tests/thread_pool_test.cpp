@@ -1,0 +1,86 @@
+// ThreadPool: task completion, result/exception propagation through the
+// returned futures, and destructor semantics (every queued task runs).
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <latch>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace stcache {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  std::vector<std::future<void>> done;
+  for (int i = 0; i < 100; ++i) {
+    done.push_back(pool.submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : done) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, PropagatesReturnValues) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> results;
+  for (int i = 0; i < 20; ++i) {
+    results.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, AtLeastTwoWorkersRunConcurrently) {
+  // Two tasks that each wait for the other to start can only finish if the
+  // pool really runs them on distinct threads.
+  ThreadPool pool(2);
+  std::latch both_started(2);
+  auto rendezvous = [&both_started] {
+    both_started.arrive_and_wait();
+    return std::this_thread::get_id();
+  };
+  auto a = pool.submit(rendezvous);
+  auto b = pool.submit(rendezvous);
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST(ThreadPoolTest, ExceptionReachesTheFutureNotTheWorker) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  auto good = pool.submit([] { return 7; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task is still alive and serving.
+  EXPECT_EQ(good.get(), 7);
+  EXPECT_EQ(pool.submit([] { return 8; }).get(), 8);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  // Queue far more slow tasks than workers, then destroy the pool without
+  // waiting on any future: the destructor must run them all.
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        count.fetch_add(1);
+      });
+    }
+  }  // ~ThreadPool drains the queue before joining
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, ZeroRequestedThreadsStillWorks) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 42; }).get(), 42);
+}
+
+}  // namespace
+}  // namespace stcache

@@ -1,16 +1,23 @@
 // stcache_tune — run the paper's tuning heuristic on a saved trace.
 //
-//   stcache_tune <file.stct> [I|D] [--exhaustive]
+//   stcache_tune <file.stct> [I|D] [--exhaustive] [--jobs N]
+//                [--metrics-out file.json]
 //
 // Splits the trace, tunes the selected stream's cache (instruction by
 // default) with the Figure 6 heuristic, and prints the decision. With
-// --exhaustive the 27-point optimum and the heuristic's gap are printed
-// as well.
+// --exhaustive the 27-point optimum and the heuristic's gap are printed as
+// well; the exhaustive sweep is evaluated by the parallel SweepRunner
+// (--jobs N worker threads, default hardware_concurrency) and primes a
+// serial evaluator, so the printed table is identical for every N. Sweep
+// metrics go to stderr, and to a JSON file with --metrics-out.
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
 #include "core/evaluator.hpp"
 #include "core/heuristic.hpp"
+#include "core/sweep.hpp"
+#include "trace/replay.hpp"
 #include "trace/trace_io.hpp"
 #include "util/table.hpp"
 
@@ -19,16 +26,23 @@ namespace {
 
 int run(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: stcache_tune <file.stct> [I|D] [--exhaustive]\n";
+    std::cerr << "usage: stcache_tune <file.stct> [I|D] [--exhaustive] "
+                 "[--jobs N] [--metrics-out file.json]\n";
     return 2;
   }
   const std::string path = argv[1];
   bool instruction = true;
   bool exhaustive = false;
+  SweepOptions sweep;
+  std::string metrics_out;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "D") == 0) instruction = false;
     else if (std::strcmp(argv[i], "I") == 0) instruction = true;
     else if (std::strcmp(argv[i], "--exhaustive") == 0) exhaustive = true;
+    else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      sweep.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc)
+      metrics_out = argv[++i];
     else {
       std::cerr << "unknown argument: " << argv[i] << "\n";
       return 2;
@@ -57,11 +71,27 @@ int run(int argc, char** argv) {
                  fmt_si_energy(heur.best_energy),
                  fmt_percent(1.0 - heur.best_energy / base, 1)});
   if (exhaustive) {
-    const SearchResult ex = tune_exhaustive(eval);
+    // Evaluate the full 27-point space with one sweep job per
+    // configuration, then prime a fresh evaluator so tune_exhaustive()
+    // (and its registry-order tie-breaking) runs as pure lookups.
+    SweepRunner runner(sweep);
+    const auto& configs = all_configs();
+    const std::vector<CacheStats> measured = runner.map<CacheStats>(
+        configs.size(), [&](std::size_t j) {
+          runner.add_accesses(stream.size());
+          return measure_config(configs[j], stream);
+        });
+    TraceEvaluator primed(stream, model);
+    for (std::size_t j = 0; j < configs.size(); ++j) {
+      primed.prime(configs[j], measured[j]);
+    }
+    const SearchResult ex = tune_exhaustive(primed);
     table.add_row({"exhaustive", ex.best.name(),
                    std::to_string(ex.configs_examined),
                    fmt_si_energy(ex.best_energy),
                    fmt_percent(1.0 - ex.best_energy / base, 1)});
+    runner.print_metrics(std::cerr);
+    runner.write_metrics_json(metrics_out);
   }
   table.print(std::cout);
 
