@@ -151,7 +151,8 @@ inline int run_config_space_figure(bool instruction_stream,
   };
   SweepRunner runner(opts.sweep);
   const std::vector<Cell> cells = runner.map<Cell>(
-      traces.size() * cfgs.size(), [&](std::size_t j) {
+      traces.size() * cfgs.size(),
+      [&](std::size_t j) {
         const NamedSplitTrace& t = traces[j / cfgs.size()];
         const CacheConfig& cfg = cfgs[j % cfgs.size()];
         const Trace& stream =
@@ -159,6 +160,10 @@ inline int run_config_space_figure(bool instruction_stream,
         const CacheStats stats = measure_config(cfg, stream);
         runner.add_accesses(stream.size());
         return Cell{stats.miss_rate(), model.evaluate(cfg, stats).total()};
+      },
+      [&](std::size_t j) {
+        return *traces[j / cfgs.size()].name + " x " +
+               cfgs[j % cfgs.size()].name();
       });
 
   Table table({"config", "avg miss rate", "avg normalized energy"});

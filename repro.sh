@@ -4,10 +4,11 @@
 # at the repository root (the files EXPERIMENTS.md numbers come from).
 #
 #   ./repro.sh           full pipeline (build, all tests, TSan sweep tests,
-#                        every bench binary)
+#                        ASan/UBSan fault+trace tests, every bench binary)
 #   ./repro.sh --quick   build + the parallel-sweep tests (native and TSan) +
-#                        a --jobs determinism check on bench_fig3; minutes,
-#                        not the full regeneration
+#                        the fault-injection and trace-format tests (native
+#                        and ASan/UBSan) + a --jobs determinism check on
+#                        bench_fig3; minutes, not the full regeneration
 #
 # See docs/experiments.md for what each bench binary reproduces.
 set -e
@@ -31,8 +32,17 @@ cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_te
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/sweep_runner_test
 
+# The fault-injection and trace-format tests run under Address/UB sanitizers
+# too: they exercise bit-level corruption, CRC footers, and retry paths where
+# an off-by-one would read out of bounds without necessarily failing a
+# functional assertion.
+cmake -B build-asan -S . -DSTCACHE_SANITIZE=address,undefined > /dev/null
+cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test
+./build-asan/tests/fault_test
+./build-asan/tests/trace_io_test
+
 if [ "$QUICK" = "1" ]; then
-    ctest --test-dir build -R 'ThreadPool|SweepRunner' --output-on-failure
+    ctest --test-dir build -R 'ThreadPool|SweepRunner|Fault|TraceIo' --output-on-failure
 
     # Determinism gate: the parallel sweep must reproduce the serial table
     # byte for byte (metrics go to stderr, so stdout is comparable).

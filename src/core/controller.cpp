@@ -1,6 +1,6 @@
 #include "core/controller.hpp"
 
-#include "core/ports.hpp"
+#include <algorithm>
 
 namespace stcache {
 
@@ -27,6 +27,13 @@ bool TuningController::trigger_fired(double interval_miss_rate) {
     case TuningTrigger::kPeriodic:
       return intervals_since_tune_ >= params_.period_intervals;
     case TuningTrigger::kPhaseChange: {
+      // Oscillation watchdog: during a storm lockout the phase detector is
+      // powered down entirely — strikes do not accumulate, so after the
+      // lockout expires a genuine phase change must re-earn the debounce.
+      if (interval_count_ < lockout_until_) {
+        phase_strikes_ = 0;
+        return false;
+      }
       const double reference = sessions_.back().reference_miss_rate;
       const double delta = interval_miss_rate > reference
                                ? interval_miss_rate - reference
@@ -42,15 +49,36 @@ bool TuningController::trigger_fired(double interval_miss_rate) {
   fail("TuningController: bad trigger");
 }
 
-void TuningController::run_tuning_session(const IntervalFns& fns) {
+void TuningController::run_tuning_session(const IntervalFns& fns,
+                                          bool phase_triggered) {
   const std::function<void()>& search = fns.search ? fns.search : fns.quiet;
-  LiveTunerPort port(*cache_, search);
-  TunerFsmd tuner(*model_, cache_->timing(), counter_shift_);
-  const TunerFsmd::Result result = tuner.run(port);
+  LiveTunerPort raw_port(*cache_, search);
+  std::optional<TappedTunerPort> tapped_port;
+  TunerPort* port = &raw_port;
+  if (tap_ != nullptr) {
+    tapped_port.emplace(raw_port, *tap_);
+    port = &*tapped_port;
+  }
+  TunerFsmd tuner(*model_, cache_->timing(), counter_shift_, params_.guards);
+  const TunerFsmd::Result result = tuner.run(*port);
+
+  // Trust assessment: a session that had to give up on a candidate
+  // (guards exhausted) or whose energy arithmetic saturated may have
+  // compared garbage; its choice is not applied over a known-good one.
+  const bool distrusted = result.guard_exhausted || result.saturated;
+  CacheConfig chosen = result.best;
+  bool fell_back = false;
+  if (distrusted && params_.hardening.fallback_to_last_good &&
+      last_known_good_.has_value()) {
+    chosen = *last_known_good_;
+    fell_back = true;
+  }
+
   // The search leaves the cache in the last-probed configuration; switch to
   // the winner (ascending walks mean this can only grow parameters or
   // toggle prediction, so it stays flush-free in practice).
-  cache_->reconfigure(result.best);
+  cache_->reconfigure(chosen);
+  if (!distrusted) last_known_good_ = chosen;
 
   // One settling interval under the chosen configuration establishes the
   // phase detector's reference miss rate.
@@ -60,16 +88,52 @@ void TuningController::run_tuning_session(const IntervalFns& fns) {
 
   TuningSession session;
   session.started_at_interval = interval_count_;
-  session.chosen = result.best;
+  session.chosen = chosen;
   session.configs_examined = result.configs_examined;
   session.tuner_energy = result.tuner_energy;
   session.reference_miss_rate = delta.miss_rate();
+  session.rejected_intervals = result.rejected_intervals;
+  session.remeasurements = result.remeasurements;
+  session.saturated = result.saturated;
+  session.fell_back = fell_back;
+  if (tap_ != nullptr) {
+    const std::uint64_t now = tap_->faults_injected();
+    session.faults_injected = now - tap_faults_seen_;
+    tap_faults_seen_ = now;
+  }
   sessions_.push_back(session);
 
   intervals_since_tune_ = 0;
   phase_strikes_ = 0;
   tuned_once_ = true;
-  interval_count_ += result.configs_examined + 1;  // measurement intervals
+  // Measurement intervals: one per examined configuration, one per guard
+  // retry, plus the settling interval.
+  interval_count_ += result.configs_examined + result.remeasurements + 1;
+
+  // Oscillation watchdog: phase-triggered sessions arriving in a tight
+  // burst mean the detector is flapping — a phase boundary oscillating
+  // around the threshold, or corrupted interval statistics. Lock the
+  // trigger (the configuration stays put) with exponential backoff.
+  if (phase_triggered) {
+    const HardeningParams& h = params_.hardening;
+    // A quiet window after the last lockout expired forgives the backoff.
+    if (backoff_ > 0 &&
+        interval_count_ > lockout_until_ + h.storm_window_intervals) {
+      backoff_ = 0;
+    }
+    phase_session_starts_.push_back(session.started_at_interval);
+    const std::size_t n = phase_session_starts_.size();
+    if (h.storm_sessions > 0 && n >= h.storm_sessions &&
+        phase_session_starts_[n - 1] -
+                phase_session_starts_[n - h.storm_sessions] <=
+            h.storm_window_intervals) {
+      backoff_ = backoff_ == 0
+                     ? h.backoff_initial_intervals
+                     : std::min(backoff_ * 2, h.backoff_max_intervals);
+      lockout_until_ = interval_count_ + backoff_;
+      ++storms_;
+    }
+  }
 }
 
 bool TuningController::step(const std::function<void()>& run_interval) {
@@ -78,7 +142,7 @@ bool TuningController::step(const std::function<void()>& run_interval) {
 
 bool TuningController::step(const IntervalFns& fns) {
   if (!tuned_once_) {
-    run_tuning_session(fns);
+    run_tuning_session(fns, /*phase_triggered=*/false);
     return true;
   }
 
@@ -91,7 +155,8 @@ bool TuningController::step(const IntervalFns& fns) {
   ++intervals_since_tune_;
 
   if (trigger_fired(delta.miss_rate())) {
-    run_tuning_session(fns);
+    run_tuning_session(
+        fns, /*phase_triggered=*/params_.trigger == TuningTrigger::kPhaseChange);
     return true;
   }
   return false;

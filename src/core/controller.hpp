@@ -19,18 +19,43 @@
 // The controller drives the same TunerFsmd hardware model used everywhere
 // else; between tuning sessions the tuner is "shut down" (costs nothing),
 // exactly as Section 4 describes.
+// Hardening (docs/robustness.md): the controller never trusts a single
+// tuning session blindly. A session whose guards were exhausted or whose
+// fixed-point arithmetic saturated is *distrusted* — its choice is
+// discarded in favour of the last configuration chosen by a clean session —
+// and a phase-change trigger that fires in rapid succession (a retune storm,
+// the signature of faulty or flapping measurements) is locked out with
+// exponential backoff.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "cache/configurable_cache.hpp"
+#include "core/ports.hpp"
 #include "core/tuner_fsmd.hpp"
 
 namespace stcache {
 
 enum class TuningTrigger : std::uint8_t { kOneShot, kPeriodic, kPhaseChange };
+
+struct HardeningParams {
+  // Distrusted sessions (guards exhausted / arithmetic saturated) keep the
+  // last-known-good configuration instead of applying their choice.
+  bool fallback_to_last_good = true;
+  // Oscillation watchdog (kPhaseChange only): this many phase-triggered
+  // sessions starting within `storm_window_intervals` of each other is a
+  // retune storm. The trigger is then locked out for the current backoff,
+  // which starts at `backoff_initial_intervals`, doubles per storm up to
+  // `backoff_max_intervals`, and resets once the trigger stays quiet for a
+  // full window after a lockout expires.
+  std::uint32_t storm_sessions = 3;
+  std::uint64_t storm_window_intervals = 24;
+  std::uint64_t backoff_initial_intervals = 16;
+  std::uint64_t backoff_max_intervals = 4096;
+};
 
 struct ControllerParams {
   TuningTrigger trigger = TuningTrigger::kOneShot;
@@ -41,6 +66,9 @@ struct ControllerParams {
   double miss_rate_delta = 0.05;
   // ...for this many consecutive intervals (debounce).
   std::uint32_t phase_debounce = 2;
+  // Counter plausibility guards handed to each session's TunerFsmd.
+  TunerGuards guards;
+  HardeningParams hardening;
 };
 
 // Interval callbacks: the controller distinguishes quiet monitoring
@@ -59,6 +87,12 @@ struct TuningSession {
   unsigned configs_examined = 0;
   double tuner_energy = 0.0;
   double reference_miss_rate = 0.0;  // miss rate of the chosen config
+  // Fault/retry accounting (docs/robustness.md).
+  unsigned rejected_intervals = 0;   // measurements the guards refused
+  unsigned remeasurements = 0;       // retry intervals the guards issued
+  std::uint64_t faults_injected = 0; // from the attached MeasurementTap
+  bool saturated = false;            // fixed-point overflow during the search
+  bool fell_back = false;            // distrusted; kept last-known-good
 };
 
 class TuningController {
@@ -80,9 +114,22 @@ class TuningController {
   std::uint64_t intervals() const { return interval_count_; }
   double total_tuner_energy() const;
 
+  // Attach a tap (e.g. a FaultInjector) on the counter path between the
+  // live cache and the tuner; nullptr detaches. The controller reads the
+  // tap's fault count delta into each session's accounting.
+  void attach_tap(MeasurementTap* tap) { tap_ = tap; }
+
+  // Last configuration chosen by a session the guards fully trusted.
+  const std::optional<CacheConfig>& last_known_good() const {
+    return last_known_good_;
+  }
+  // Oscillation-watchdog observability (tests and benches).
+  std::uint64_t watchdog_storms() const { return storms_; }
+  bool trigger_locked_out() const { return interval_count_ < lockout_until_; }
+
  private:
   bool trigger_fired(double interval_miss_rate);
-  void run_tuning_session(const IntervalFns& fns);
+  void run_tuning_session(const IntervalFns& fns, bool phase_triggered);
 
   ConfigurableCache* cache_;
   const EnergyModel* model_;
@@ -94,6 +141,15 @@ class TuningController {
   std::uint64_t intervals_since_tune_ = 0;
   std::uint32_t phase_strikes_ = 0;
   bool tuned_once_ = false;
+
+  // Hardening state.
+  MeasurementTap* tap_ = nullptr;
+  std::uint64_t tap_faults_seen_ = 0;
+  std::optional<CacheConfig> last_known_good_;
+  std::vector<std::uint64_t> phase_session_starts_;
+  std::uint64_t lockout_until_ = 0;
+  std::uint64_t backoff_ = 0;
+  std::uint64_t storms_ = 0;
 };
 
 }  // namespace stcache

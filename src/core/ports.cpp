@@ -25,4 +25,18 @@ TunerCounters LiveTunerPort::measure(const CacheConfig& cfg) {
   return counters_from_stats(cache_->stats() - before);
 }
 
+BankTunerPort::BankTunerPort(std::span<const CacheConfig> configs,
+                             std::span<const CacheStats> stats)
+    : configs_(configs), stats_(stats) {
+  STC_ASSERT(configs_.size() == stats_.size(),
+             "BankTunerPort: configs/stats size mismatch");
+}
+
+TunerCounters BankTunerPort::measure(const CacheConfig& cfg) {
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    if (configs_[i] == cfg) return counters_from_stats(stats_[i]);
+  }
+  fail("BankTunerPort: configuration " + cfg.name() + " not in the bank");
+}
+
 }  // namespace stcache

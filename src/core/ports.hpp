@@ -57,4 +57,58 @@ class LiveTunerPort final : public TunerPort {
 // latches.
 TunerCounters counters_from_stats(const CacheStats& s);
 
+// --- the measurement trust boundary -----------------------------------------
+//
+// Everything between the platform's raw event counters and the tuner's
+// registers — the counter bus, the interval latch, the interrupt that ends a
+// measurement — is a trust boundary: on a live chip those values can arrive
+// corrupted (single-event upsets, mis-latched intervals, stuck counters).
+// A MeasurementTap models that boundary explicitly: it sees every counter
+// set on its way into the tuner and may pass it through or perturb it. The
+// fault-injection harness (src/fault/) is the only perturbing
+// implementation; production code attaches no tap.
+class MeasurementTap {
+ public:
+  virtual ~MeasurementTap() = default;
+  // Called once per measurement with the pristine counters; returns what
+  // the tuner actually latches.
+  virtual TunerCounters tap(const CacheConfig& cfg,
+                            const TunerCounters& clean) = 0;
+  // Total faults this tap has injected so far (0 for a passthrough tap);
+  // the controller uses deltas of this for per-session accounting.
+  virtual std::uint64_t faults_injected() const { return 0; }
+};
+
+// Interpose a MeasurementTap between any port and the tuner.
+class TappedTunerPort final : public TunerPort {
+ public:
+  TappedTunerPort(TunerPort& inner, MeasurementTap& tap)
+      : inner_(&inner), tap_(&tap) {}
+
+  TunerCounters measure(const CacheConfig& cfg) override {
+    return tap_->tap(cfg, inner_->measure(cfg));
+  }
+
+ private:
+  TunerPort* inner_;
+  MeasurementTap* tap_;
+};
+
+// Serve measurements from a precomputed per-configuration bank. The
+// resilience bench replays thousands of tuning sessions against the same
+// stream; measuring each configuration once (measure_config_bank) and
+// serving sessions from the bank makes every session a table lookup.
+// Throws stcache::Error if a configuration outside the bank is requested.
+class BankTunerPort final : public TunerPort {
+ public:
+  BankTunerPort(std::span<const CacheConfig> configs,
+                std::span<const CacheStats> stats);
+
+  TunerCounters measure(const CacheConfig& cfg) override;
+
+ private:
+  std::span<const CacheConfig> configs_;
+  std::span<const CacheStats> stats_;
+};
+
 }  // namespace stcache

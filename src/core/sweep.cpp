@@ -24,6 +24,14 @@ SweepRunner::SweepRunner(const SweepOptions& opts) {
   if (workers_ == 0) workers_ = 1;
 }
 
+void SweepRunner::rethrow_with_context(std::size_t i, std::size_t n,
+                                       const std::string& label,
+                                       const std::string& what) {
+  std::string msg = "sweep job " + std::to_string(i) + "/" + std::to_string(n);
+  if (!label.empty()) msg += " [" + label + "]";
+  fail(msg + ": " + what);
+}
+
 void SweepRunner::finish_round(std::size_t n,
                                std::chrono::steady_clock::time_point start) {
   jobs_run_ += n;

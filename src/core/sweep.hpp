@@ -62,14 +62,27 @@ class SweepRunner {
   // Evaluate fn(0), ..., fn(n-1) across the workers and return the results
   // in job-index order. Jobs must not depend on each other; fn runs on an
   // arbitrary worker thread. If any job throws, the first exception (in
-  // job-index order) is rethrown here after the pool drains. Multiple map()
-  // calls accumulate into the same metrics.
+  // job-index order) is rethrown here after the pool drains — wrapped in a
+  // stcache::Error carrying the job's context (index, total, and the
+  // caller's `label` for the job, e.g. "crc x 4K_2W_32B"), because "what
+  // failed" matters more than "that something failed" in a thousand-cell
+  // sweep. Multiple map() calls accumulate into the same metrics.
+  using JobLabelFn = std::function<std::string(std::size_t)>;
+
   template <typename R>
-  std::vector<R> map(std::size_t n, const std::function<R(std::size_t)>& fn) {
+  std::vector<R> map(std::size_t n, const std::function<R(std::size_t)>& fn,
+                     const JobLabelFn& label = {}) {
     const auto start = std::chrono::steady_clock::now();
+    auto run_job = [&](std::size_t i) -> R {
+      try {
+        return fn(i);
+      } catch (const std::exception& e) {
+        rethrow_with_context(i, n, label ? label(i) : std::string(), e.what());
+      }
+    };
     std::vector<std::optional<R>> slots(n);
     if (workers_ <= 1 || n <= 1) {
-      for (std::size_t i = 0; i < n; ++i) slots[i].emplace(fn(i));
+      for (std::size_t i = 0; i < n; ++i) slots[i].emplace(run_job(i));
     } else {
       std::vector<std::future<void>> pending;
       pending.reserve(n);
@@ -77,8 +90,8 @@ class SweepRunner {
         ThreadPool pool(
             static_cast<unsigned>(std::min<std::size_t>(workers_, n)));
         for (std::size_t i = 0; i < n; ++i) {
-          pending.push_back(pool.submit([&slots, &fn, i] {
-            slots[i].emplace(fn(i));
+          pending.push_back(pool.submit([&slots, &run_job, i] {
+            slots[i].emplace(run_job(i));
           }));
         }
         // Joining before get() means every slot is filled (or poisoned)
@@ -111,6 +124,10 @@ class SweepRunner {
  private:
   void finish_round(std::size_t n,
                     std::chrono::steady_clock::time_point start);
+  // Throws stcache::Error("sweep job i/n [label]: what").
+  [[noreturn]] static void rethrow_with_context(std::size_t i, std::size_t n,
+                                                const std::string& label,
+                                                const std::string& what);
 
   unsigned workers_ = 1;
   std::uint64_t jobs_run_ = 0;

@@ -14,8 +14,11 @@ unsigned TunerFsmd::shift_for(std::uint64_t max_expected_count) {
 }
 
 TunerFsmd::TunerFsmd(const EnergyModel& model, TimingParams timing,
-                     unsigned counter_shift)
-    : model_(&model), timing_(timing), counter_shift_(counter_shift) {
+                     unsigned counter_shift, TunerGuards guards)
+    : model_(&model),
+      timing_(timing),
+      counter_shift_(counter_shift),
+      guards_(guards) {
   // --- derive the physical constants the RTL would have baked in ----------
   std::array<double, 6> hit{};
   for (std::size_t i = 0; i < kSizeAssocs.size(); ++i) {
@@ -128,15 +131,63 @@ U32 TunerFsmd::quantized_energy(const CacheConfig& cfg,
   return e;
 }
 
+bool TunerFsmd::plausible(const TunerCounters& c, std::string* reason) const {
+  auto bad = [&](const char* why) {
+    if (reason) *reason = why;
+    return false;
+  };
+  // Invariants no genuine measurement interval can violate.
+  if (c.accesses == 0) return bad("empty interval (no accesses)");
+  if (c.hits > c.accesses || c.misses > c.accesses ||
+      c.hits + c.misses > c.accesses) {
+    return bad("hit/miss counters exceed the access counter");
+  }
+  if (c.pred_first_hits > c.hits) {
+    return bad("predicted-way hits exceed total hits");
+  }
+  // Interval-length plausibility band: an access costs at least one cycle
+  // (a hit) and at most the worst-case miss service.
+  if (c.cycles < c.accesses) return bad("interval shorter than its accesses");
+  if (c.cycles / c.accesses > guards_.max_cycles_per_access) {
+    return bad("interval implausibly long for its accesses");
+  }
+  // Saturation detection: counter_shift_ was chosen so the largest expected
+  // interval fits the 16-bit registers; a counter that would overflow them
+  // anyway is corruption, not a measurement.
+  if ((c.accesses >> counter_shift_) > U16::max_raw() ||
+      (c.misses >> counter_shift_) > U16::max_raw() ||
+      ((c.cycles >> kStaticShift) >> counter_shift_) > U16::max_raw()) {
+    return bad("counter would saturate the 16-bit datapath registers");
+  }
+  return true;
+}
+
 TunerFsmd::Result TunerFsmd::run(TunerPort& port) {
   Result r;
 
   auto evaluate = [&](const CacheConfig& cfg) {
-    const TunerCounters c = port.measure(cfg);
-    const U32 e = quantized_energy(cfg, c);
+    TunerCounters c = port.measure(cfg);
+    // Guarded counter latch: re-measure an implausible interval with
+    // bounded retries before giving up on the candidate.
+    bool ok = !guards_.enabled || plausible(c);
+    for (unsigned retry = 0; !ok && retry < guards_.max_retries; ++retry) {
+      ++r.rejected_intervals;
+      ++r.remeasurements;
+      r.tuner_cycles += kCounterLoadCycles + kGuardCheckCycles;
+      c = port.measure(cfg);
+      ok = plausible(c);
+    }
     ++r.configs_examined;
     r.tuner_cycles += kCyclesPerEvaluation;
     if (cfg.way_prediction) r.tuner_cycles += kMulCycles;  // fourth multiply
+    if (!ok) {
+      // Retries exhausted: never base a decision on poisoned counters.
+      // Worst-possible energy keeps the walk's current choice instead.
+      ++r.rejected_intervals;
+      r.guard_exhausted = true;
+      return U32::saturated_max();
+    }
+    const U32 e = quantized_energy(cfg, c);
     r.saturated = r.saturated || e.saturated();
     return e;
   };

@@ -39,6 +39,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "cache/config.hpp"
 #include "core/heuristic.hpp"
@@ -64,6 +65,34 @@ class TunerPort {
   virtual TunerCounters measure(const CacheConfig& cfg) = 0;
 };
 
+// Counter plausibility guards: the hardened tuner refuses to base a
+// decision on an interval whose counters violate invariants no genuine
+// measurement can (accesses present, hits + misses <= accesses, predicted
+// hits <= hits, at least one and at most `max_cycles_per_access` cycles per
+// access, and no counter large enough to saturate the prescaled 16-bit
+// datapath registers). A rejected interval is re-measured up to
+// `max_retries` times; if every retry is implausible too, the candidate is
+// scored as worst-possible energy so it can never be selected, and the
+// session is flagged (Result::guard_exhausted) for the controller's
+// fallback policy.
+//
+// On a pristine port the guards never fire and change nothing: the checks
+// reuse the datapath comparator during the otherwise-idle counter-load
+// cycles, so the accept path still costs exactly kCyclesPerEvaluation.
+// Each re-measure costs a counter reload plus the check
+// (kCounterLoadCycles + kGuardCheckCycles).
+struct TunerGuards {
+  bool enabled = true;
+  unsigned max_retries = 2;
+  std::uint64_t max_cycles_per_access = 64;  // worst legal stall per access
+
+  static TunerGuards off() {
+    TunerGuards g;
+    g.enabled = false;
+    return g;
+  }
+};
+
 class TunerFsmd {
  public:
   struct Result {
@@ -72,13 +101,17 @@ class TunerFsmd {
     std::uint64_t tuner_cycles = 0;  // total clock cycles spent calculating
     double tuner_energy = 0.0;       // Equation 2, from cycles and P_tuner
     bool saturated = false;          // any fixed-point overflow observed
+    // Guard accounting (all zero on a pristine port).
+    unsigned rejected_intervals = 0;  // measurements the guards refused
+    unsigned remeasurements = 0;      // retry intervals issued
+    bool guard_exhausted = false;     // some candidate never measured cleanly
   };
 
   // `counter_shift`: counters are prescaled by 2^counter_shift before
   // entering the 16-bit registers. Choose so the largest expected interval
   // counter fits; measure() results that still overflow saturate (sticky).
   TunerFsmd(const EnergyModel& model, TimingParams timing,
-            unsigned counter_shift);
+            unsigned counter_shift, TunerGuards guards = {});
 
   // Convenience: pick the smallest shift that makes `max_expected_count`
   // fit in 16 bits.
@@ -91,6 +124,13 @@ class TunerFsmd {
   // Fixed-point energy of one measurement, in energy-LSB*2^shift units.
   // Exposed for the quantization-error tests.
   U32 quantized_energy(const CacheConfig& cfg, const TunerCounters& c) const;
+
+  // Would the guards accept this interval? Pure; exposed for tests and for
+  // the fault-injection harness. `reason`, when non-null, receives a short
+  // diagnostic on rejection.
+  bool plausible(const TunerCounters& c, std::string* reason = nullptr) const;
+
+  const TunerGuards& guards() const { return guards_; }
 
   // Physical value of one energy LSB (joules).
   double energy_lsb() const { return energy_lsb_; }
@@ -106,6 +146,9 @@ class TunerFsmd {
   static constexpr unsigned kCyclesPerEvaluation =
       kInterfaceCycles + kCounterLoadCycles + 3 * kMulCycles + 3 * kAddCycles +
       kCompareCycles + kUpdateCycles + kPsmCycles;  // == 64
+  // A guard-triggered re-measure reloads the three counter registers and
+  // re-runs the plausibility comparisons through the shared comparator.
+  static constexpr unsigned kGuardCheckCycles = 6;
   // Static-energy constants are stored per 2^kStaticShift cycles to keep
   // 16-bit resolution on a per-cycle quantity.
   static constexpr unsigned kStaticShift = 10;
@@ -130,6 +173,7 @@ class TunerFsmd {
   const EnergyModel* model_;
   TimingParams timing_;
   unsigned counter_shift_;
+  TunerGuards guards_;
   double energy_lsb_ = 0.0;
 
   // Constant registers (quantized at construction).

@@ -1,0 +1,135 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+namespace {
+
+// splitmix64 finalizer, used to mix a shard id into a seed without
+// correlating nearby ids.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Counters are 64-bit registers in the model, but the physically plausible
+// magnitude is bounded by the prescaled 16-bit datapath with generous
+// headroom; upsets are injected in the low 48 bits.
+constexpr unsigned kCounterBits = 48;
+
+std::uint64_t scale_count(std::uint64_t v, double factor) {
+  return static_cast<std::uint64_t>(std::llround(static_cast<double>(v) * factor));
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::campaign(double rate, std::uint64_t seed) {
+  STC_ASSERT(rate >= 0.0 && rate <= 1.0, "FaultPlan: campaign rate out of range");
+  FaultPlan p;
+  p.seed = seed;
+  p.drop = rate / 4.0;
+  p.bitflip = rate / 4.0;
+  p.saturate = rate / 4.0;
+  p.noise = rate / 4.0;
+  return p;
+}
+
+FaultPlan FaultPlan::reseeded(std::uint64_t stream_id) const {
+  FaultPlan p = *this;
+  p.seed = mix64(seed ^ mix64(stream_id));
+  return p;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {
+  STC_ASSERT(plan.interval_rate() <= 1.0,
+             "FaultInjector: interval fault rates sum above 1");
+}
+
+TunerCounters FaultInjector::tap(const CacheConfig& cfg,
+                                 const TunerCounters& clean) {
+  (void)cfg;  // faults here model the counter path, not the configuration
+  return perturb(clean);
+}
+
+TunerCounters FaultInjector::perturb(const TunerCounters& clean) {
+  // One uniform draw selects at most one fault class per interval, so class
+  // rates are exclusive and sum to interval_rate().
+  const double u = rng_.next_double();
+  double edge = plan_.drop;
+  TunerCounters out = clean;
+
+  // The duplicate class needs the previous *clean* interval whatever class
+  // fires now, so record it before perturbing.
+  const TunerCounters prev = prev_;
+  const bool had_prev = has_prev_;
+  prev_ = clean;
+  has_prev_ = true;
+
+  if (u < edge) {
+    ++counts_.drops;
+    return TunerCounters{};  // the interval never arrived
+  }
+  edge += plan_.bitflip;
+  if (u < edge) {
+    ++counts_.bitflips;
+    std::uint64_t* regs[5] = {&out.accesses, &out.hits, &out.misses,
+                              &out.cycles, &out.pred_first_hits};
+    std::uint64_t* reg = regs[rng_.next_below(5)];
+    *reg ^= 1ULL << rng_.next_below(kCounterBits);
+    return out;
+  }
+  edge += plan_.saturate;
+  if (u < edge) {
+    ++counts_.saturations;
+    std::uint64_t* regs[4] = {&out.accesses, &out.hits, &out.misses,
+                              &out.cycles};
+    *regs[rng_.next_below(4)] = (1ULL << kCounterBits) - 1;
+    return out;
+  }
+  edge += plan_.duplicate;
+  if (u < edge) {
+    if (had_prev) {
+      ++counts_.duplicates;
+      return prev;
+    }
+    ++counts_.drops;  // nothing latched yet: degrades to a lost interval
+    return TunerCounters{};
+  }
+  edge += plan_.noise;
+  if (u < edge) {
+    ++counts_.noisy;
+    // Coherent error: every counter mis-scaled by the same factor, as a
+    // mis-timed interval boundary would. Clamping preserves the counter
+    // invariants (hits + misses <= accesses, cycles >= accesses), so this
+    // class passes the plausibility guards by design — it is the
+    // graceful-degradation case, not the loud-failure one.
+    const double factor =
+        1.0 + (2.0 * rng_.next_double() - 1.0) * plan_.noise_magnitude;
+    out.accesses = std::max<std::uint64_t>(1, scale_count(clean.accesses, factor));
+    out.hits = std::min(scale_count(clean.hits, factor), out.accesses);
+    out.misses = std::min(scale_count(clean.misses, factor), out.accesses - out.hits);
+    out.cycles = std::max(scale_count(clean.cycles, factor), out.accesses);
+    out.pred_first_hits = std::min(scale_count(clean.pred_first_hits, factor), out.hits);
+    return out;
+  }
+  return out;  // pristine interval
+}
+
+void FaultInjector::perturb_trace(Trace& trace) {
+  if (plan_.record_bitflip <= 0.0) return;
+  for (TraceRecord& r : trace) {
+    if (rng_.next_bool(plan_.record_bitflip)) {
+      ++counts_.record_flips;
+      r.addr ^= 1u << rng_.next_below(32);
+    }
+  }
+}
+
+}  // namespace stcache

@@ -1,0 +1,113 @@
+// Deterministic fault injection for the self-tuning stack.
+//
+// The paper's tuner runs on-chip against live hit/miss/cycle counters; a
+// production deployment has to survive those counters arriving corrupted
+// (single-event upsets, mis-latched measurement intervals, stuck bits) and
+// trace files arriving damaged. This module makes every such fault
+// reproducible: a FaultPlan is a seeded description of a fault campaign,
+// and a FaultInjector executes it at the two trust boundaries the model
+// exposes —
+//
+//   * the counter path: FaultInjector is a MeasurementTap (core/ports.hpp)
+//     that perturbs TunerCounters between the platform and the tuner;
+//   * the trace path: perturb_trace() flips address bits in captured
+//     records, modelling storage/transport corruption that the STCT v2
+//     CRC (trace/trace_io.hpp) exists to catch.
+//
+// Determinism contract: the injector draws every decision from one
+// splitmix64 stream seeded by the plan, so the same plan produces the same
+// fault sequence on every run, on every platform, and independent of how a
+// sweep shards its jobs. Parallel shards decorrelate with
+// FaultPlan::reseeded(stream_id), which mixes a per-shard id into the seed
+// — never by sharing one injector across jobs.
+//
+// See docs/robustness.md for the full fault model and the guard semantics
+// on the hardened side.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ports.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace stcache {
+
+// A seeded fault campaign. Interval-class probabilities are drawn once per
+// measured interval and are mutually exclusive: a single uniform draw is
+// compared against the cumulative rates, so at most one fault class fires
+// per interval and the total corrupted-interval rate is interval_rate().
+struct FaultPlan {
+  std::uint64_t seed = 0x5EEDFA11;
+
+  // --- counter path (probability per measurement interval) ---
+  double drop = 0.0;       // interval lost: all counters read back as zero
+  double bitflip = 0.0;    // single-event upset: one random bit of one counter
+  double saturate = 0.0;   // stuck counter: one counter forced to all-ones
+  double duplicate = 0.0;  // stale latch: the previous interval re-latched
+  double noise = 0.0;      // coherent multiplicative error on all counters
+  double noise_magnitude = 0.02;  // max fractional error of the noise class
+
+  // --- trace path (probability per record) ---
+  double record_bitflip = 0.0;  // flip one address bit of a record
+
+  double interval_rate() const {
+    return drop + bitflip + saturate + duplicate + noise;
+  }
+
+  // The default campaign: `rate` of all measurement intervals corrupted,
+  // split evenly over the classes the plausibility guards are built to
+  // catch (drop, bitflip, saturate) plus coherent noise, the
+  // graceful-degradation class. Stale-latch duplication is deliberately
+  // NOT part of the default campaign: a duplicated coherent interval is
+  // indistinguishable from a true measurement at the counter level (see
+  // docs/robustness.md §limitations); it is injected explicitly where a
+  // test wants it.
+  static FaultPlan campaign(double rate, std::uint64_t seed);
+
+  // The same campaign, decorrelated for shard `stream_id`: deterministic
+  // function of (seed, stream_id) so parallel sweep jobs each own an
+  // independent but reproducible fault stream.
+  FaultPlan reseeded(std::uint64_t stream_id) const;
+};
+
+// Per-class injection counts (what actually fired, not what was planned).
+struct FaultCounts {
+  std::uint64_t drops = 0;
+  std::uint64_t bitflips = 0;
+  std::uint64_t saturations = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t noisy = 0;
+  std::uint64_t record_flips = 0;
+
+  std::uint64_t total() const {
+    return drops + bitflips + saturations + duplicates + noisy + record_flips;
+  }
+};
+
+class FaultInjector final : public MeasurementTap {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  // MeasurementTap: perturb one interval's counters per the plan.
+  TunerCounters tap(const CacheConfig& cfg, const TunerCounters& clean) override;
+  std::uint64_t faults_injected() const override { return counts_.total(); }
+
+  // Trace-path corruption: flip one random address bit per record with
+  // probability plan.record_bitflip.
+  void perturb_trace(Trace& trace);
+
+  const FaultCounts& counts() const { return counts_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  TunerCounters perturb(const TunerCounters& clean);
+
+  FaultPlan plan_;
+  Rng rng_;
+  TunerCounters prev_{};  // last clean interval, for the duplicate class
+  bool has_prev_ = false;
+  FaultCounts counts_;
+};
+
+}  // namespace stcache

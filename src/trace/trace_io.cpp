@@ -6,6 +6,7 @@
 #include <ostream>
 #include <vector>
 
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 
 namespace stcache {
@@ -48,7 +49,9 @@ void write_trace(std::ostream& os, const Trace& trace) {
   put_u32(os, kTraceFormatVersion);
   put_u64(os, trace.size());
   // Buffered record emission to keep this fast for multi-million-record
-  // traces.
+  // traces; the footer CRC accumulates over the same buffers, so the
+  // payload is still walked only once.
+  Crc32 crc;
   std::vector<char> buffer;
   buffer.reserve(1 << 16);
   for (const TraceRecord& r : trace) {
@@ -58,11 +61,14 @@ void write_trace(std::ostream& os, const Trace& trace) {
     buffer.push_back(static_cast<char>(r.addr >> 16));
     buffer.push_back(static_cast<char>(r.addr >> 24));
     if (buffer.size() + kRecordBytes > buffer.capacity()) {
+      crc.update(buffer.data(), buffer.size());
       os.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
       buffer.clear();
     }
   }
+  crc.update(buffer.data(), buffer.size());
   os.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  put_u32(os, crc.value());
   if (!os) fail("trace write: stream failure");
 }
 
@@ -73,7 +79,7 @@ Trace read_trace(std::istream& is) {
     fail("trace read: bad magic (not an STCT trace)");
   }
   const std::uint32_t version = get_u32(is);
-  if (version != kTraceFormatVersion) {
+  if (version < kTraceMinFormatVersion || version > kTraceFormatVersion) {
     fail("trace read: unsupported format version " + std::to_string(version));
   }
   const std::uint64_t count = get_u64(is);
@@ -82,6 +88,7 @@ Trace read_trace(std::istream& is) {
 
   Trace trace;
   trace.reserve(count);
+  Crc32 crc;
   std::vector<unsigned char> buffer(kRecordBytes * 4096);
   std::uint64_t remaining = count;
   while (remaining > 0) {
@@ -90,6 +97,7 @@ Trace read_trace(std::istream& is) {
     is.read(reinterpret_cast<char*>(buffer.data()),
             static_cast<std::streamsize>(batch * kRecordBytes));
     if (!is) fail("trace read: truncated record section");
+    crc.update(buffer.data(), static_cast<std::size_t>(batch * kRecordBytes));
     for (std::uint64_t i = 0; i < batch; ++i) {
       const unsigned char* p = &buffer[i * kRecordBytes];
       if (p[0] > static_cast<unsigned char>(AccessKind::kWrite)) {
@@ -104,6 +112,17 @@ Trace read_trace(std::istream& is) {
       trace.push_back(r);
     }
     remaining -= batch;
+  }
+  // v2 footer: CRC-32 over the raw record payload. A mismatch means the
+  // records were corrupted in storage or transit — every downstream number
+  // would be quietly wrong, so reject the whole trace.
+  if (version >= 2) {
+    const std::uint32_t stored = get_u32(is);
+    if (stored != crc.value()) {
+      fail("trace read: CRC mismatch (stored " + std::to_string(stored) +
+           ", computed " + std::to_string(crc.value()) +
+           ") — the record payload is corrupted");
+    }
   }
   return trace;
 }

@@ -2,14 +2,17 @@
 //
 // Layout (little-endian):
 //   offset 0   char[4]   magic "STCT"
-//   offset 4   u32       format version (currently 1)
+//   offset 4   u32       format version (currently 2)
 //   offset 8   u64       record count
 //   offset 16  records   5 bytes each: u8 kind (AccessKind), u32 address
+//   footer     u32       CRC-32 (IEEE) of the record payload (v2 only)
 //
 // The format is deliberately dense (5 B/record): a 2 M-access kernel trace
 // is ~10 MB. Readers validate the magic, version, and record count against
-// the file size and reject malformed kinds, so a truncated or corrupted
+// the file size, reject malformed kinds, and (v2) verify the footer CRC
+// over the raw record bytes, so a truncated, corrupted, or bit-flipped
 // file fails loudly instead of producing silently wrong experiments.
+// Version-1 files (no footer) are still accepted unchanged.
 #pragma once
 
 #include <iosfwd>
@@ -20,7 +23,9 @@
 namespace stcache {
 
 inline constexpr char kTraceMagic[4] = {'S', 'T', 'C', 'T'};
-inline constexpr std::uint32_t kTraceFormatVersion = 1;
+inline constexpr std::uint32_t kTraceFormatVersion = 2;
+// Oldest version read_trace still accepts (v1 lacks the CRC footer).
+inline constexpr std::uint32_t kTraceMinFormatVersion = 1;
 
 // Stream-level primitives.
 void write_trace(std::ostream& os, const Trace& trace);

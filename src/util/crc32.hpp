@@ -1,0 +1,57 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the same checksum
+// zlib and PNG use, so trace files can be cross-checked with standard tools
+// (`python3 -c "import zlib, sys; print(zlib.crc32(...))"`).
+//
+// Header-only with a constexpr-generated table: no init-order concerns, and
+// the incremental Crc32 accumulator lets writers checksum multi-million
+// record traces buffer by buffer without a second pass over the data.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace stcache {
+
+namespace detail {
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = [] {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}();
+
+}  // namespace detail
+
+// Incremental CRC-32 accumulator: feed bytes in any chunking, read value().
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < len; ++i) {
+      c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    }
+    state_ = c;
+  }
+
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+// One-shot convenience.
+inline std::uint32_t crc32(const void* data, std::size_t len) {
+  Crc32 crc;
+  crc.update(data, len);
+  return crc.value();
+}
+
+}  // namespace stcache

@@ -1,0 +1,102 @@
+#!/bin/sh
+# Exit-code contract of the CLI tools, exercised end to end:
+#   0 = success, 1 = runtime error (one-line "error: ..." on stderr),
+#   2 = usage / bad arguments.
+# Invoked by ctest as:
+#   cli_exit_codes_test.sh <stcache_tune> <stcache_trace> <stcache_asm>
+set -u
+
+TUNE=$1
+TRACE=$2
+ASM=$3
+
+TMPDIR=$(mktemp -d)
+trap 'rm -rf "$TMPDIR"' EXIT
+
+failures=0
+
+# expect <code> <description> <cmd...>
+# Runs cmd, checks the exit code, and (for nonzero codes) checks that
+# exactly one diagnostic line was printed to stderr.
+expect() {
+    want=$1
+    desc=$2
+    shift 2
+    err="$TMPDIR/err"
+    "$@" >/dev/null 2>"$err"
+    got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $desc: expected exit $want, got $got" >&2
+        sed 's/^/  stderr: /' "$err" >&2
+        failures=$((failures + 1))
+        return
+    fi
+    if [ "$want" -eq 1 ]; then
+        errlines=$(grep -c '^error: ' "$err")
+        if [ "$errlines" -ne 1 ]; then
+            echo "FAIL: $desc: expected one 'error: ...' line, got $errlines" >&2
+            sed 's/^/  stderr: /' "$err" >&2
+            failures=$((failures + 1))
+            return
+        fi
+    fi
+    echo "ok: $desc"
+}
+
+# --- fixtures ---------------------------------------------------------------
+
+GOOD="$TMPDIR/good.stct"
+expect 0 "trace capture succeeds" "$TRACE" capture crc "$GOOD"
+
+# Corrupt an address byte in the first record: the kind byte stays valid,
+# so only the v2 CRC footer can reject this file. Two candidate bytes are
+# tried so the overwrite is guaranteed to change the file.
+CORRUPT="$TMPDIR/corrupt.stct"
+cp "$GOOD" "$CORRUPT"
+printf '\027' | dd of="$CORRUPT" bs=1 seek=18 count=1 conv=notrunc 2>/dev/null
+if cmp -s "$GOOD" "$CORRUPT"; then
+    printf '\031' | dd of="$CORRUPT" bs=1 seek=18 count=1 conv=notrunc 2>/dev/null
+fi
+
+GOOD_ASM="$TMPDIR/good.s"
+"$ASM" --workload crc > "$GOOD_ASM"
+
+BAD_ASM="$TMPDIR/bad.s"
+printf 'this is not an instruction\n' > "$BAD_ASM"
+
+# --- stcache_trace ----------------------------------------------------------
+
+expect 0 "trace list" "$TRACE" list
+expect 0 "trace info on a good file" "$TRACE" info "$GOOD"
+expect 2 "trace with no arguments" "$TRACE"
+expect 2 "trace with unknown command" "$TRACE" frobnicate
+expect 1 "trace info on a missing file" "$TRACE" info "$TMPDIR/nope.stct"
+expect 1 "trace info on a corrupted file" "$TRACE" info "$CORRUPT"
+expect 1 "trace capture of unknown workload" "$TRACE" capture nope "$TMPDIR/x.stct"
+expect 1 "trace capture to unwritable path" "$TRACE" capture crc /nonexistent/dir/x.stct
+
+# --- stcache_tune -----------------------------------------------------------
+
+expect 0 "tune on a good trace" "$TUNE" "$GOOD"
+expect 2 "tune with no arguments" "$TUNE"
+expect 2 "tune with unknown flag" "$TUNE" "$GOOD" --frobnicate
+expect 1 "tune on a missing file" "$TUNE" "$TMPDIR/nope.stct"
+expect 1 "tune on a corrupted file" "$TUNE" "$CORRUPT"
+expect 1 "tune with unwritable metrics path" \
+    "$TUNE" "$GOOD" --exhaustive --jobs 1 --metrics-out /nonexistent/dir/m.json
+
+# --- stcache_asm ------------------------------------------------------------
+
+expect 0 "asm prints a bundled workload" "$ASM" --workload crc
+expect 0 "asm assembles a good file" "$ASM" "$GOOD_ASM"
+expect 2 "asm with no arguments" "$ASM"
+expect 1 "asm on a missing file" "$ASM" "$TMPDIR/nope.s"
+expect 1 "asm on a bad source file" "$ASM" "$BAD_ASM"
+expect 1 "asm --workload with unknown name" "$ASM" --workload nope
+expect 2 "asm --run with a non-numeric budget" "$ASM" "$GOOD_ASM" --run twelve
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures check(s) failed" >&2
+    exit 1
+fi
+echo "all CLI exit-code checks passed"

@@ -167,5 +167,150 @@ TEST_F(ControllerTest, DataCacheTuningStaysCoherentWithDirtyLines) {
   EXPECT_EQ(cache.dirty_unreachable_lines(), 0u);
 }
 
+// --- hardening: fallback, accounting, oscillation watchdog ------------------
+
+// A trust-boundary tap the test can arm: while armed, every interval's
+// counters arrive with an impossible hits > accesses, so the guards reject
+// all retries and the session ends distrusted.
+class ArmedTap final : public MeasurementTap {
+ public:
+  bool armed = false;
+
+  TunerCounters tap(const CacheConfig&, const TunerCounters& clean) override {
+    if (!armed) return clean;
+    ++faults_;
+    TunerCounters c = clean;
+    c.hits = c.accesses + 1;
+    return c;
+  }
+  std::uint64_t faults_injected() const override { return faults_; }
+
+ private:
+  std::uint64_t faults_ = 0;
+};
+
+TEST_F(ControllerTest, DistrustedSessionFallsBackToLastKnownGood) {
+  ConfigurableCache cache(CacheConfig::parse("2K_1W_16B"));
+  PhasedApp app(cache);
+  ControllerParams params;
+  params.trigger = TuningTrigger::kPeriodic;
+  params.period_intervals = 4;
+  TuningController controller(cache, model_, params, TunerFsmd::shift_for(8192));
+  ArmedTap tap;
+  controller.attach_tap(&tap);
+
+  // Startup session: clean measurements, trusted choice.
+  controller.step([&] { app.run_interval(); });
+  ASSERT_EQ(controller.sessions().size(), 1u);
+  EXPECT_FALSE(controller.sessions()[0].fell_back);
+  EXPECT_EQ(controller.sessions()[0].faults_injected, 0u);
+  ASSERT_TRUE(controller.last_known_good().has_value());
+  const CacheConfig good = *controller.last_known_good();
+  EXPECT_EQ(good, controller.current());
+
+  // Second session: every counter latch corrupted. The session must be
+  // distrusted and the configuration must stay at the known-good choice.
+  tap.armed = true;
+  while (controller.sessions().size() < 2) {
+    controller.step([&] { app.run_interval(); });
+  }
+  const TuningSession& s = controller.sessions()[1];
+  EXPECT_TRUE(s.fell_back);
+  EXPECT_GT(s.rejected_intervals, 0u);
+  EXPECT_GT(s.remeasurements, 0u);
+  EXPECT_GT(s.faults_injected, 0u);
+  EXPECT_EQ(s.chosen, good);
+  EXPECT_EQ(controller.current(), good);
+  // A distrusted session never updates the known-good register.
+  EXPECT_EQ(*controller.last_known_good(), good);
+}
+
+TEST_F(ControllerTest, ZeroFaultSessionsHaveZeroFaultAccounting) {
+  ConfigurableCache cache(CacheConfig::parse("2K_1W_16B"));
+  PhasedApp app(cache);
+  ControllerParams params;
+  params.trigger = TuningTrigger::kPeriodic;
+  params.period_intervals = 5;
+  TuningController controller(cache, model_, params, TunerFsmd::shift_for(8192));
+  for (int i = 0; i < 15; ++i) controller.step([&] { app.run_interval(); });
+  ASSERT_GE(controller.sessions().size(), 2u);
+  for (const TuningSession& s : controller.sessions()) {
+    EXPECT_EQ(s.rejected_intervals, 0u);
+    EXPECT_EQ(s.remeasurements, 0u);
+    EXPECT_EQ(s.faults_injected, 0u);
+    EXPECT_FALSE(s.saturated);
+    EXPECT_FALSE(s.fell_back);
+  }
+  EXPECT_EQ(controller.watchdog_storms(), 0u);
+  ASSERT_TRUE(controller.last_known_good().has_value());
+  EXPECT_EQ(*controller.last_known_good(), controller.current());
+}
+
+TEST_F(ControllerTest, WatchdogLocksOutRetuneStorms) {
+  ConfigurableCache cache(CacheConfig::parse("2K_1W_16B"));
+  PhasedApp app(cache);
+  ControllerParams params;
+  params.trigger = TuningTrigger::kPhaseChange;
+  params.miss_rate_delta = 0.02;
+  params.phase_debounce = 1;  // hair trigger, to provoke the storm
+  params.hardening.storm_sessions = 3;
+  params.hardening.storm_window_intervals = 40;
+  params.hardening.backoff_initial_intervals = 16;
+  TuningController controller(cache, model_, params, TunerFsmd::shift_for(8192));
+
+  // An application whose working set flips every interval: the phase
+  // detector sees a miss-rate step on nearly every comparison and, with
+  // debounce 1, fires session after session.
+  int flip = 0;
+  auto interval = [&] {
+    app.set_footprint(++flip % 2 ? 1024 : 12 * 1024);
+    app.run_interval();
+  };
+
+  int steps = 0;
+  while (controller.watchdog_storms() == 0 && steps < 300) {
+    controller.step(interval);
+    ++steps;
+  }
+  ASSERT_GE(controller.watchdog_storms(), 1u) << "storm never detected";
+  EXPECT_TRUE(controller.trigger_locked_out());
+
+  // During the lockout the trigger is dead: no sessions accumulate even
+  // though the workload keeps flapping.
+  const std::size_t at_lock = controller.sessions().size();
+  while (controller.trigger_locked_out()) {
+    EXPECT_FALSE(controller.step(interval));
+  }
+  EXPECT_EQ(controller.sessions().size(), at_lock);
+
+  // The flapping continues after the lockout expires, so the watchdog must
+  // eventually catch a second storm — with a doubled backoff.
+  steps = 0;
+  while (controller.watchdog_storms() < 2 && steps < 600) {
+    controller.step(interval);
+    ++steps;
+  }
+  EXPECT_GE(controller.watchdog_storms(), 2u);
+}
+
+TEST_F(ControllerTest, WatchdogIgnoresGenuinePhaseChanges) {
+  // The existing phase-change scenario — one real footprint jump — must
+  // sail through the watchdog untouched.
+  ConfigurableCache cache(CacheConfig::parse("2K_1W_16B"));
+  PhasedApp app(cache);
+  ControllerParams params;
+  params.trigger = TuningTrigger::kPhaseChange;
+  params.miss_rate_delta = 0.02;
+  params.phase_debounce = 2;
+  TuningController controller(cache, model_, params, TunerFsmd::shift_for(8192));
+  controller.step([&] { app.run_interval(); });
+  for (int i = 0; i < 10; ++i) controller.step([&] { app.run_interval(); });
+  app.set_footprint(6 * 1024);
+  for (int i = 0; i < 20; ++i) controller.step([&] { app.run_interval(); });
+  EXPECT_EQ(controller.watchdog_storms(), 0u);
+  EXPECT_FALSE(controller.trigger_locked_out());
+  EXPECT_EQ(controller.sessions().size(), 2u);
+}
+
 }  // namespace
 }  // namespace stcache

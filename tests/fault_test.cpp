@@ -1,0 +1,255 @@
+// Tests of the deterministic fault-injection subsystem (fault/fault.hpp):
+// plan semantics, per-class corruption behavior, the determinism contract,
+// and the MeasurementTap trust boundary in core/ports.hpp.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/ports.hpp"
+#include "fault/fault.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace stcache {
+namespace {
+
+TunerCounters typical_counters(std::uint64_t accesses = 1'000'000) {
+  TunerCounters c;
+  c.accesses = accesses;
+  c.misses = accesses / 50;
+  c.hits = accesses - c.misses;
+  c.cycles = accesses + 30 * c.misses;
+  c.pred_first_hits = 0;
+  return c;
+}
+
+bool operator_eq(const TunerCounters& a, const TunerCounters& b) {
+  return a.accesses == b.accesses && a.hits == b.hits &&
+         a.misses == b.misses && a.cycles == b.cycles &&
+         a.pred_first_hits == b.pred_first_hits;
+}
+
+const CacheConfig kCfg = CacheConfig::parse("4K_1W_32B");
+
+TEST(FaultPlan, CampaignSplitsRateOverGuardableClassesPlusNoise) {
+  const FaultPlan p = FaultPlan::campaign(0.01, 123);
+  EXPECT_DOUBLE_EQ(p.drop, 0.0025);
+  EXPECT_DOUBLE_EQ(p.bitflip, 0.0025);
+  EXPECT_DOUBLE_EQ(p.saturate, 0.0025);
+  EXPECT_DOUBLE_EQ(p.noise, 0.0025);
+  // Stale-latch duplication is indistinguishable from a true measurement at
+  // the counter level, so the default campaign excludes it.
+  EXPECT_DOUBLE_EQ(p.duplicate, 0.0);
+  EXPECT_DOUBLE_EQ(p.interval_rate(), 0.01);
+  EXPECT_EQ(p.seed, 123u);
+}
+
+TEST(FaultPlan, ReseededIsDeterministicAndDecorrelated) {
+  const FaultPlan base = FaultPlan::campaign(0.05, 42);
+  EXPECT_EQ(base.reseeded(7).seed, base.reseeded(7).seed);
+  EXPECT_NE(base.reseeded(7).seed, base.reseeded(8).seed);
+  EXPECT_NE(base.reseeded(7).seed, base.seed);
+  // Only the seed changes; the rates carry over.
+  EXPECT_DOUBLE_EQ(base.reseeded(7).interval_rate(), base.interval_rate());
+}
+
+TEST(FaultInjector, ZeroRatePlanIsAPassThrough) {
+  FaultInjector inj(FaultPlan{});
+  const TunerCounters clean = typical_counters();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(operator_eq(inj.tap(kCfg, clean), clean));
+  }
+  EXPECT_EQ(inj.faults_injected(), 0u);
+  EXPECT_EQ(inj.counts().total(), 0u);
+}
+
+TEST(FaultInjector, SameSeedSamePlanSameFaultSequence) {
+  const FaultPlan plan = FaultPlan::campaign(0.5, 0xABCD);
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 2000; ++i) {
+    const TunerCounters clean = typical_counters(1000 + i);
+    EXPECT_TRUE(operator_eq(a.tap(kCfg, clean), b.tap(kCfg, clean))) << i;
+  }
+  EXPECT_EQ(a.counts().total(), b.counts().total());
+  EXPECT_EQ(a.counts().drops, b.counts().drops);
+  EXPECT_EQ(a.counts().bitflips, b.counts().bitflips);
+  EXPECT_EQ(a.counts().saturations, b.counts().saturations);
+  EXPECT_EQ(a.counts().noisy, b.counts().noisy);
+  EXPECT_GT(a.counts().total(), 0u);
+}
+
+TEST(FaultInjector, InjectionRateTracksThePlan) {
+  FaultInjector inj(FaultPlan::campaign(0.25, 99));
+  const TunerCounters clean = typical_counters();
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) inj.tap(kCfg, clean);
+  const double rate = static_cast<double>(inj.faults_injected()) / n;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+  // All four campaign classes fire.
+  EXPECT_GT(inj.counts().drops, 0u);
+  EXPECT_GT(inj.counts().bitflips, 0u);
+  EXPECT_GT(inj.counts().saturations, 0u);
+  EXPECT_GT(inj.counts().noisy, 0u);
+  EXPECT_EQ(inj.counts().duplicates, 0u);
+}
+
+TEST(FaultInjector, DropReturnsAnEmptyInterval) {
+  FaultPlan p;
+  p.drop = 1.0;
+  FaultInjector inj(p);
+  const TunerCounters out = inj.tap(kCfg, typical_counters());
+  EXPECT_EQ(out.accesses, 0u);
+  EXPECT_EQ(out.hits, 0u);
+  EXPECT_EQ(out.misses, 0u);
+  EXPECT_EQ(out.cycles, 0u);
+  EXPECT_EQ(inj.counts().drops, 1u);
+}
+
+TEST(FaultInjector, BitflipChangesExactlyOneBitOfOneCounter) {
+  FaultPlan p;
+  p.bitflip = 1.0;
+  p.seed = 7;
+  FaultInjector inj(p);
+  for (int i = 0; i < 200; ++i) {
+    const TunerCounters clean = typical_counters();
+    const TunerCounters out = inj.tap(kCfg, clean);
+    const std::uint64_t diffs[5] = {
+        out.accesses ^ clean.accesses, out.hits ^ clean.hits,
+        out.misses ^ clean.misses, out.cycles ^ clean.cycles,
+        out.pred_first_hits ^ clean.pred_first_hits};
+    int changed = 0;
+    for (std::uint64_t d : diffs) {
+      if (d != 0) {
+        ++changed;
+        EXPECT_EQ(std::popcount(d), 1) << "more than one bit flipped";
+      }
+    }
+    EXPECT_EQ(changed, 1);
+  }
+  EXPECT_EQ(inj.counts().bitflips, 200u);
+}
+
+TEST(FaultInjector, SaturateForcesOneCounterToAllOnes) {
+  FaultPlan p;
+  p.saturate = 1.0;
+  FaultInjector inj(p);
+  const TunerCounters clean = typical_counters();
+  const TunerCounters out = inj.tap(kCfg, clean);
+  const std::uint64_t stuck = (1ull << 48) - 1;
+  EXPECT_TRUE(out.accesses == stuck || out.hits == stuck ||
+              out.misses == stuck || out.cycles == stuck);
+  EXPECT_EQ(inj.counts().saturations, 1u);
+}
+
+TEST(FaultInjector, DuplicateReplaysThePreviousCleanInterval) {
+  FaultPlan p;
+  p.duplicate = 1.0;
+  FaultInjector inj(p);
+  const TunerCounters first = typical_counters(500'000);
+  const TunerCounters second = typical_counters(700'000);
+  // Nothing latched yet: the first duplicate degrades to a drop.
+  const TunerCounters out1 = inj.tap(kCfg, first);
+  EXPECT_EQ(out1.accesses, 0u);
+  EXPECT_EQ(inj.counts().drops, 1u);
+  // From then on, the previous *clean* interval is re-latched.
+  const TunerCounters out2 = inj.tap(kCfg, second);
+  EXPECT_TRUE(operator_eq(out2, first));
+  EXPECT_EQ(inj.counts().duplicates, 1u);
+}
+
+TEST(FaultInjector, NoisePreservesCounterInvariants) {
+  FaultPlan p;
+  p.noise = 1.0;
+  p.noise_magnitude = 0.5;  // far larger than any default, to stress clamps
+  FaultInjector inj(p);
+  Rng rng(321);
+  for (int i = 0; i < 2000; ++i) {
+    TunerCounters clean = typical_counters(1 + rng.next_below(2'000'000));
+    clean.pred_first_hits = clean.hits / 2;
+    const TunerCounters out = inj.tap(kCfg, clean);
+    EXPECT_GE(out.accesses, 1u);
+    EXPECT_LE(out.hits, out.accesses);
+    EXPECT_LE(out.hits + out.misses, out.accesses);
+    EXPECT_LE(out.pred_first_hits, out.hits);
+    EXPECT_GE(out.cycles, out.accesses);
+  }
+  EXPECT_EQ(inj.counts().noisy, 2000u);
+}
+
+TEST(FaultInjector, TracePerturbationFlipsAddressBitsOnly) {
+  Trace trace;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    trace.push_back({rng.next_u32(),
+                     static_cast<AccessKind>(rng.next_below(3))});
+  }
+  const Trace original = trace;
+
+  FaultPlan p;
+  p.record_bitflip = 0.1;
+  FaultInjector inj(p);
+  inj.perturb_trace(trace);
+
+  std::uint64_t changed = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].kind, original[i].kind);  // kinds are never touched
+    if (trace[i].addr != original[i].addr) {
+      ++changed;
+      EXPECT_EQ(std::popcount(trace[i].addr ^ original[i].addr), 1);
+    }
+  }
+  EXPECT_EQ(changed, inj.counts().record_flips);
+  EXPECT_NEAR(static_cast<double>(changed) / 5000.0, 0.1, 0.02);
+
+  // Determinism: a fresh injector with the same plan corrupts identically.
+  Trace again = original;
+  FaultInjector inj2(p);
+  inj2.perturb_trace(again);
+  EXPECT_EQ(again, trace);
+}
+
+// --- the trust boundary in core/ports.hpp -----------------------------------
+
+class FixedPort final : public TunerPort {
+ public:
+  TunerCounters measure(const CacheConfig&) override {
+    return typical_counters();
+  }
+};
+
+TEST(MeasurementTap, TappedPortRoutesEveryMeasurementThroughTheTap) {
+  FixedPort inner;
+  FaultPlan p;
+  p.drop = 1.0;
+  FaultInjector inj(p);
+  TappedTunerPort tapped(inner, inj);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(tapped.measure(kCfg).accesses, 0u);  // every interval dropped
+  }
+  EXPECT_EQ(inj.faults_injected(), 5u);
+}
+
+TEST(BankTunerPort, ServesPrecomputedStatsAndRejectsUnknownConfigs) {
+  const std::vector<CacheConfig> cfgs = {CacheConfig::parse("2K_1W_16B"),
+                                         CacheConfig::parse("4K_1W_16B")};
+  std::vector<CacheStats> stats(2);
+  stats[0].accesses = 100;
+  stats[0].hits = 90;
+  stats[0].misses = 10;
+  stats[0].cycles = 400;
+  stats[1].accesses = 200;
+  stats[1].hits = 198;
+  stats[1].misses = 2;
+  stats[1].cycles = 260;
+
+  BankTunerPort port(cfgs, stats);
+  EXPECT_EQ(port.measure(cfgs[0]).accesses, 100u);
+  EXPECT_EQ(port.measure(cfgs[1]).hits, 198u);
+  EXPECT_THROW(port.measure(CacheConfig::parse("8K_4W_32B")), Error);
+}
+
+}  // namespace
+}  // namespace stcache

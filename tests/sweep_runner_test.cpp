@@ -14,6 +14,7 @@
 #include "energy/energy_model.hpp"
 #include "trace/replay.hpp"
 #include "trace/trace.hpp"
+#include "util/error.hpp"
 #include "workloads/workload.hpp"
 
 namespace stcache {
@@ -151,6 +152,40 @@ TEST(SweepRunnerTest, JobExceptionPropagatesInIndexOrder) {
                         return static_cast<int>(j);
                       }),
       std::runtime_error);
+}
+
+TEST(SweepRunnerTest, JobExceptionCarriesIndexAndLabelContext) {
+  // A failure deep inside a thousand-cell sweep must say WHICH cell died.
+  SweepRunner runner(SweepOptions{4});
+  try {
+    runner.map<int>(
+        16,
+        [](std::size_t j) -> int {
+          if (j == 3) throw std::runtime_error("disk on fire");
+          return static_cast<int>(j);
+        },
+        [](std::size_t j) { return "crc x cfg" + std::to_string(j); });
+    FAIL() << "map() swallowed the job exception";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sweep job 3/16"), std::string::npos) << what;
+    EXPECT_NE(what.find("[crc x cfg3]"), std::string::npos) << what;
+    EXPECT_NE(what.find("disk on fire"), std::string::npos) << what;
+  }
+}
+
+TEST(SweepRunnerTest, JobExceptionContextWorksWithoutALabel) {
+  SweepRunner runner(SweepOptions{1});  // serial path
+  try {
+    runner.map<int>(4, [](std::size_t j) -> int {
+      if (j == 2) throw std::runtime_error("boom");
+      return 0;
+    });
+    FAIL() << "map() swallowed the job exception";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sweep job 2/4: boom"), std::string::npos) << what;
+  }
 }
 
 TEST(SweepRunnerTest, HardwareConcurrencyDefault) {

@@ -51,7 +51,8 @@ TEST(TraceIo, FormatIsCompact) {
   const Trace t = random_trace(1, 1000);
   std::stringstream ss;
   write_trace(ss, t);
-  EXPECT_EQ(ss.str().size(), 16u + 5u * 1000u);  // header + 5 B/record
+  // header + 5 B/record + u32 CRC footer
+  EXPECT_EQ(ss.str().size(), 16u + 5u * 1000u + 4u);
 }
 
 TEST(TraceIo, RejectsBadMagic) {
@@ -85,6 +86,56 @@ TEST(TraceIo, RejectsInvalidKind) {
   bytes[16] = 7;  // invalid AccessKind in the first record
   std::stringstream corrupted(bytes);
   EXPECT_THROW(read_trace(corrupted), Error);
+}
+
+// Strip the v2 CRC footer and stamp the version field back to 1: the result
+// is byte-for-byte what the v1 writer produced, and must still load.
+TEST(TraceIo, AcceptsVersion1WithoutFooter) {
+  const Trace t = random_trace(7, 500);
+  std::stringstream ss;
+  write_trace(ss, t);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() - 4);  // drop the CRC footer
+  bytes[4] = 1;                    // format version 1
+  std::stringstream v1(bytes);
+  EXPECT_EQ(read_trace(v1), t);
+}
+
+// An address bit-flip leaves every kind byte valid, so only the CRC footer
+// can catch it.
+TEST(TraceIo, DetectsFlippedAddressBit) {
+  const Trace t = random_trace(8, 200);
+  std::stringstream ss;
+  write_trace(ss, t);
+  std::string bytes = ss.str();
+  bytes[16 + 5 * 100 + 2] ^= 0x10;  // record 100, middle address byte
+  std::stringstream corrupted(bytes);
+  try {
+    read_trace(corrupted);
+    FAIL() << "corrupted payload was accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, DetectsCorruptedFooter) {
+  const Trace t = random_trace(9, 50);
+  std::stringstream ss;
+  write_trace(ss, t);
+  std::string bytes = ss.str();
+  bytes.back() ^= 0x01;  // flip a bit in the stored CRC itself
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_trace(corrupted), Error);
+}
+
+TEST(TraceIo, RejectsMissingFooter) {
+  const Trace t = random_trace(10, 50);
+  std::stringstream ss;
+  write_trace(ss, t);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() - 4);  // v2 header but no footer
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(read_trace(truncated), Error);
 }
 
 TEST(TraceIo, FileRoundTrip) {

@@ -185,6 +185,199 @@ TEST_F(TunerFsmdTest, TunerEnergyIsNanojouleScale) {
   EXPECT_LT(r.tuner_energy, 50e-9);
 }
 
+// --- counter plausibility guards -------------------------------------------
+
+TEST_F(TunerFsmdTest, PlausibleAcceptsGenuineCounters) {
+  TunerFsmd tuner(model_, timing_, TunerFsmd::shift_for(2'000'000));
+  TunerCounters c;
+  c.accesses = 1'000'000;
+  c.hits = 980'000;
+  c.misses = 20'000;
+  c.cycles = c.accesses + 30 * c.misses;
+  std::string reason;
+  EXPECT_TRUE(tuner.plausible(c, &reason)) << reason;
+  // Victim-buffer hits and write-through store misses are counted in
+  // neither `hits` nor `misses`, so a genuine interval may have
+  // hits + misses < accesses. The guard must accept that.
+  c.hits = 900'000;
+  EXPECT_TRUE(tuner.plausible(c, &reason)) << reason;
+}
+
+TEST_F(TunerFsmdTest, PlausibleRejectsEachInvariantViolation) {
+  TunerFsmd tuner(model_, timing_, TunerFsmd::shift_for(2'000'000));
+  TunerCounters good;
+  good.accesses = 1'000'000;
+  good.hits = 980'000;
+  good.misses = 20'000;
+  good.cycles = 1'600'000;
+  good.pred_first_hits = 900'000;
+  ASSERT_TRUE(tuner.plausible(good));
+
+  std::string reason;
+  TunerCounters c = good;
+  c.accesses = 0;
+  c.hits = c.misses = c.cycles = c.pred_first_hits = 0;
+  EXPECT_FALSE(tuner.plausible(c, &reason));
+  EXPECT_NE(reason.find("empty interval"), std::string::npos);
+
+  c = good;
+  c.hits = c.accesses + 1;  // more hits than accesses
+  EXPECT_FALSE(tuner.plausible(c, &reason));
+  EXPECT_NE(reason.find("exceed the access counter"), std::string::npos);
+
+  c = good;
+  c.misses = 30'000;  // hits + misses > accesses
+  EXPECT_FALSE(tuner.plausible(c, &reason));
+  EXPECT_NE(reason.find("exceed the access counter"), std::string::npos);
+
+  c = good;
+  c.pred_first_hits = c.hits + 1;
+  EXPECT_FALSE(tuner.plausible(c, &reason));
+  EXPECT_NE(reason.find("predicted-way"), std::string::npos);
+
+  c = good;
+  c.cycles = c.accesses - 1;  // faster than one cycle per access
+  EXPECT_FALSE(tuner.plausible(c, &reason));
+  EXPECT_NE(reason.find("shorter than its accesses"), std::string::npos);
+
+  c = good;
+  c.cycles = c.accesses * 1000;  // slower than any legal miss service
+  EXPECT_FALSE(tuner.plausible(c, &reason));
+  EXPECT_NE(reason.find("implausibly long"), std::string::npos);
+
+  c = TunerCounters{};
+  c.accesses = 1ull << 40;  // stuck-high counter, otherwise self-consistent
+  c.hits = c.accesses;
+  c.cycles = c.accesses;
+  EXPECT_FALSE(tuner.plausible(c, &reason));
+  EXPECT_NE(reason.find("saturate"), std::string::npos);
+}
+
+// A port whose first measurement of every configuration arrives corrupted
+// (hits > accesses) and whose re-measurements are clean — the transient
+// single-event-upset case the bounded-retry guard exists for.
+class FlakyPort final : public TunerPort {
+ public:
+  FlakyPort(ScriptedPort& inner, unsigned bad_measures_per_config)
+      : inner_(&inner), bad_per_config_(bad_measures_per_config) {}
+
+  TunerCounters measure(const CacheConfig& cfg) override {
+    TunerCounters c = inner_->measure(cfg);
+    if (seen_[cfg.name()]++ < bad_per_config_) {
+      c.hits = c.accesses + 1;  // impossible: more hits than accesses
+    }
+    return c;
+  }
+
+ private:
+  ScriptedPort* inner_;
+  unsigned bad_per_config_;
+  std::map<std::string, unsigned> seen_;
+};
+
+TEST_F(TunerFsmdTest, GuardsRemeasureTransientCorruption) {
+  const std::map<std::string, std::uint64_t> landscape = {
+      {"2K_1W_16B", 50'000}, {"4K_1W_16B", 10'000}, {"4K_1W_32B", 6'000}};
+  const unsigned shift = TunerFsmd::shift_for(2'000'000);
+
+  ScriptedPort clean_port(landscape, 20'000);
+  TunerFsmd clean_tuner(model_, timing_, shift);
+  const TunerFsmd::Result clean = clean_tuner.run(clean_port);
+
+  ScriptedPort inner(landscape, 20'000);
+  FlakyPort flaky(inner, /*bad_measures_per_config=*/1);
+  TunerFsmd tuner(model_, timing_, shift);
+  const TunerFsmd::Result r = tuner.run(flaky);
+
+  // One retry per configuration recovers the clean walk exactly.
+  EXPECT_EQ(r.best.name(), clean.best.name());
+  EXPECT_EQ(r.configs_examined, clean.configs_examined);
+  EXPECT_FALSE(r.guard_exhausted);
+  EXPECT_EQ(r.remeasurements, r.configs_examined);
+  EXPECT_EQ(r.rejected_intervals, r.configs_examined);
+  // Each retry costs a counter reload plus the guard comparisons.
+  EXPECT_EQ(r.tuner_cycles,
+            clean.tuner_cycles +
+                r.remeasurements * (TunerFsmd::kCounterLoadCycles +
+                                    TunerFsmd::kGuardCheckCycles));
+}
+
+// A port where one configuration's counters NEVER arrive clean.
+class PoisonedPort final : public TunerPort {
+ public:
+  PoisonedPort(ScriptedPort& inner, std::string poisoned)
+      : inner_(&inner), poisoned_(std::move(poisoned)) {}
+
+  TunerCounters measure(const CacheConfig& cfg) override {
+    TunerCounters c = inner_->measure(cfg);
+    if (cfg.name() == poisoned_) c.cycles = 0;  // impossible: 0 cycles
+    return c;
+  }
+
+ private:
+  ScriptedPort* inner_;
+  std::string poisoned_;
+};
+
+TEST_F(TunerFsmdTest, GuardExhaustionNeverSelectsThePoisonedCandidate) {
+  // 4K_1W_16B would win cleanly, but its counters never arrive intact:
+  // the guarded tuner must give up on it and keep a clean choice.
+  const std::map<std::string, std::uint64_t> landscape = {
+      {"2K_1W_16B", 50'000}, {"4K_1W_16B", 1'000}};
+  ScriptedPort inner(landscape, 60'000);
+  PoisonedPort port(inner, "4K_1W_16B");
+  TunerFsmd tuner(model_, timing_, TunerFsmd::shift_for(2'000'000));
+  const TunerFsmd::Result r = tuner.run(port);
+
+  EXPECT_TRUE(r.guard_exhausted);
+  EXPECT_NE(r.best.name(), "4K_1W_16B");
+  // max_retries re-measures plus the final rejection, once.
+  EXPECT_EQ(r.remeasurements, tuner.guards().max_retries);
+  EXPECT_EQ(r.rejected_intervals, tuner.guards().max_retries + 1);
+}
+
+TEST_F(TunerFsmdTest, GuardsOffAcceptsTheGarbage) {
+  // Same poisoned landscape with guards disabled: zero-cycle counters make
+  // the poisoned candidate's quantized static energy vanish, and the
+  // unguarded tuner happily selects it.
+  const std::map<std::string, std::uint64_t> landscape = {
+      {"2K_1W_16B", 50'000}, {"4K_1W_16B", 1'000}};
+  ScriptedPort inner(landscape, 60'000);
+  PoisonedPort port(inner, "4K_1W_16B");
+  TunerFsmd tuner(model_, timing_, TunerFsmd::shift_for(2'000'000),
+                  TunerGuards::off());
+  const TunerFsmd::Result r = tuner.run(port);
+
+  EXPECT_EQ(r.rejected_intervals, 0u);
+  EXPECT_EQ(r.remeasurements, 0u);
+  EXPECT_FALSE(r.guard_exhausted);
+  EXPECT_EQ(r.best.size_kb, CacheSizeKB::k4);  // took the poisoned bait
+}
+
+TEST_F(TunerFsmdTest, GuardsAreFreeOnAPristinePort) {
+  // Guards on vs. off over clean measurements: bit-identical walk, cycle
+  // count, and energy — the zero-fault path must not change at all.
+  const std::map<std::string, std::uint64_t> landscape = {
+      {"2K_1W_16B", 50'000}, {"4K_1W_16B", 10'000}, {"4K_1W_32B", 6'000}};
+  const unsigned shift = TunerFsmd::shift_for(2'000'000);
+
+  ScriptedPort port_on(landscape, 20'000);
+  TunerFsmd guarded(model_, timing_, shift);
+  const TunerFsmd::Result on = guarded.run(port_on);
+
+  ScriptedPort port_off(landscape, 20'000);
+  TunerFsmd unguarded(model_, timing_, shift, TunerGuards::off());
+  const TunerFsmd::Result off = unguarded.run(port_off);
+
+  EXPECT_EQ(on.best.name(), off.best.name());
+  EXPECT_EQ(on.configs_examined, off.configs_examined);
+  EXPECT_EQ(on.tuner_cycles, off.tuner_cycles);
+  EXPECT_DOUBLE_EQ(on.tuner_energy, off.tuner_energy);
+  EXPECT_EQ(on.rejected_intervals, 0u);
+  EXPECT_EQ(on.remeasurements, 0u);
+  EXPECT_FALSE(on.guard_exhausted);
+}
+
 TEST(CountersFromStats, MapsFields) {
   CacheStats s;
   s.accesses = 10;

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "isa/assembler.hpp"
 #include "isa/isa.hpp"
@@ -91,8 +92,18 @@ int run(int argc, char** argv) {
   print_listing(program);
 
   if (argc >= 3 && std::string(argv[2]) == "--run") {
-    const std::uint64_t budget =
-        argc >= 4 ? std::stoull(argv[3]) : 100'000'000ull;
+    std::uint64_t budget = 100'000'000ull;
+    if (argc >= 4) {
+      try {
+        std::size_t pos = 0;
+        budget = std::stoull(argv[3], &pos);
+        if (argv[3][pos] != '\0') throw std::invalid_argument(argv[3]);
+      } catch (const std::exception&) {
+        std::cerr << "error: bad instruction budget '" << argv[3]
+                  << "' (expected a number)\n";
+        return 2;
+      }
+    }
     return run_program(program, budget);
   }
   return 0;
@@ -106,6 +117,9 @@ int main(int argc, char** argv) {
     return stcache::run(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    std::cerr << "error: unknown exception\n";
     return 1;
   }
 }

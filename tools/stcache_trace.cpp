@@ -76,5 +76,8 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
+  } catch (...) {
+    std::cerr << "error: unknown exception\n";
+    return 1;
   }
 }

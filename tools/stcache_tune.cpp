@@ -77,10 +77,12 @@ int run(int argc, char** argv) {
     SweepRunner runner(sweep);
     const auto& configs = all_configs();
     const std::vector<CacheStats> measured = runner.map<CacheStats>(
-        configs.size(), [&](std::size_t j) {
+        configs.size(),
+        [&](std::size_t j) {
           runner.add_accesses(stream.size());
           return measure_config(configs[j], stream);
-        });
+        },
+        [&](std::size_t j) { return configs[j].name(); });
     TraceEvaluator primed(stream, model);
     for (std::size_t j = 0; j < configs.size(); ++j) {
       primed.prime(configs[j], measured[j]);
@@ -111,6 +113,9 @@ int main(int argc, char** argv) {
     return stcache::run(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    std::cerr << "error: unknown exception\n";
     return 1;
   }
 }
