@@ -1,0 +1,187 @@
+// bench_replay_throughput — differential throughput of the two replay
+// engines on the exhaustive 27-configuration bank sweep.
+//
+// Usage: bench_replay_throughput [--reps N] [--max-records N]
+//                                [--out file.json]
+//
+// For each workload, the 27 legal configurations are grouped into
+// specialization classes by (ways, way prediction) — 1W:9, 2W:6, 2W_P:6,
+// 4W:3, 4W_P:3 — and each class's bank sweep is timed under both engines
+// (best of --reps runs; default 3). The class times sum to the exhaustive
+// sweep, so the table reports both the per-class and the overall
+// records/second and the fast:reference speedup. Results land on stdout as
+// a table and in --out (default BENCH_replay.json) as JSON; the committed
+// BENCH_replay.json at the repo root is a snapshot from the container this
+// repo is developed in.
+//
+// Throughput here counts simulated records: a sweep over C configurations
+// of an N-record stream processes N*C records.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/replay.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "workloads/workload.hpp"
+
+namespace stcache {
+namespace {
+
+struct Options {
+  unsigned reps = 3;
+  std::size_t max_records = 200'000;
+  std::string out = "BENCH_replay.json";
+};
+
+struct ClassTiming {
+  std::string name;     // 1W, 2W, 2W_P, 4W, 4W_P
+  std::size_t configs = 0;
+  double ref_seconds = 0.0;
+  double fast_seconds = 0.0;
+};
+
+std::string class_name(const CacheConfig& cfg) {
+  std::string s = std::to_string(static_cast<unsigned>(cfg.ways())) + "W";
+  if (cfg.way_prediction) s += "_P";
+  return s;
+}
+
+double time_bank(const std::vector<CacheConfig>& configs,
+                 const Trace& stream, ReplayEngine engine, unsigned reps) {
+  double best = 0.0;
+  for (unsigned r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<CacheStats> stats =
+        measure_config_bank(configs, stream, {}, engine);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (stats.size() != configs.size()) fail("bank sweep dropped configs");
+    if (r == 0 || elapsed.count() < best) best = elapsed.count();
+  }
+  return best;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+int run(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+      opts.reps = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--max-records") == 0 && i + 1 < argc)
+      opts.max_records = static_cast<std::size_t>(std::atoll(argv[++i]));
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      opts.out = argv[++i];
+    else {
+      std::cerr << "usage: " << argv[0]
+                << " [--reps N] [--max-records N] [--out file.json]\n";
+      return 2;
+    }
+  }
+  std::cerr << "[replay] engine=reference+fast (differential throughput)\n";
+
+  // Group the 27 configurations by specialization class, preserving
+  // registry order inside each class.
+  std::vector<ClassTiming> classes;
+  std::map<std::string, std::vector<CacheConfig>> by_class;
+  for (const CacheConfig& cfg : all_configs()) {
+    by_class[class_name(cfg)].push_back(cfg);
+  }
+
+  const std::vector<std::string> workload_set = {"crc", "bcnt", "ucbqsort"};
+  Table table({"workload", "class", "configs", "reference rec/s",
+               "fast rec/s", "speedup"});
+  std::string json = "{\n  \"reps\": " + std::to_string(opts.reps) +
+                     ",\n  \"workloads\": [\n";
+
+  double total_ref = 0.0, total_fast = 0.0;
+  std::uint64_t total_records = 0;
+  for (std::size_t wi = 0; wi < workload_set.size(); ++wi) {
+    const std::string& name = workload_set[wi];
+    Trace stream = capture_trace(find_workload(name));
+    if (stream.size() > opts.max_records) stream.resize(opts.max_records);
+
+    double wl_ref = 0.0, wl_fast = 0.0;
+    std::string class_json;
+    for (const auto& [cls, cfgs] : by_class) {
+      const double ref_s = time_bank(cfgs, stream, ReplayEngine::kReference,
+                                     opts.reps);
+      const double fast_s =
+          time_bank(cfgs, stream, ReplayEngine::kFast, opts.reps);
+      wl_ref += ref_s;
+      wl_fast += fast_s;
+      const double recs = static_cast<double>(stream.size()) *
+                          static_cast<double>(cfgs.size());
+      table.add_row({name, cls, std::to_string(cfgs.size()),
+                     fmt(recs / ref_s), fmt(recs / fast_s),
+                     fmt(ref_s / fast_s)});
+      if (!class_json.empty()) class_json += ",\n";
+      class_json += "        {\"class\": \"" + cls +
+                    "\", \"configs\": " + std::to_string(cfgs.size()) +
+                    ", \"reference_records_per_second\": " + fmt(recs / ref_s) +
+                    ", \"fast_records_per_second\": " + fmt(recs / fast_s) +
+                    ", \"speedup\": " + fmt(ref_s / fast_s) + "}";
+    }
+    const double wl_recs = static_cast<double>(stream.size()) * 27.0;
+    table.add_row({name, "all", "27", fmt(wl_recs / wl_ref),
+                   fmt(wl_recs / wl_fast), fmt(wl_ref / wl_fast)});
+    total_ref += wl_ref;
+    total_fast += wl_fast;
+    total_records += stream.size() * 27;
+    json += std::string("    {\"name\": \"") + name +
+            "\", \"records\": " + std::to_string(stream.size()) +
+            ",\n     \"reference_records_per_second\": " +
+            fmt(wl_recs / wl_ref) +
+            ", \"fast_records_per_second\": " + fmt(wl_recs / wl_fast) +
+            ", \"speedup\": " + fmt(wl_ref / wl_fast) +
+            ",\n     \"classes\": [\n" + class_json + "\n     ]}" +
+            (wi + 1 < workload_set.size() ? ",\n" : "\n");
+  }
+
+  const double overall = total_ref / total_fast;
+  table.add_row({"OVERALL", "all", "27",
+                 fmt(static_cast<double>(total_records) / total_ref),
+                 fmt(static_cast<double>(total_records) / total_fast),
+                 fmt(overall)});
+  table.print(std::cout);
+  std::cout << "\nExhaustive 27-config bank sweep, fast vs reference: "
+            << fmt(overall) << "x\n";
+
+  json += "  ],\n  \"overall\": {\"reference_records_per_second\": " +
+          fmt(static_cast<double>(total_records) / total_ref) +
+          ", \"fast_records_per_second\": " +
+          fmt(static_cast<double>(total_records) / total_fast) +
+          ", \"speedup\": " + fmt(overall) + "}\n}\n";
+  if (!opts.out.empty()) {
+    std::ofstream os(opts.out);
+    if (!os) {
+      std::cerr << "error: cannot write '" << opts.out << "'\n";
+      return 1;
+    }
+    os << json;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main(int argc, char** argv) {
+  try {
+    return stcache::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -76,12 +76,26 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
 
 // --- sweep CLI --------------------------------------------------------------
 
+inline ReplayEngine checked_engine(const char* prog, const std::string& name) {
+  try {
+    return parse_replay_engine(name);
+  } catch (const std::exception& e) {
+    std::cerr << prog << ": " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
 struct BenchOptions {
   SweepOptions sweep;       // --jobs N (0 = hardware_concurrency)
   std::string metrics_out;  // --metrics-out PATH (JSON)
+  ReplayEngine engine = ReplayEngine::kFast;  // --engine reference|fast
 };
 
 // Parse the common sweep flags; exits with usage on anything unknown.
+// Installs the chosen replay engine as the process default and reports it
+// on stderr so every figure run is attributable to an engine (stdout stays
+// byte-identical across engines — that is what the equivalence suite
+// proves).
 inline BenchOptions parse_bench_args(int argc, char** argv) {
   BenchOptions opts;
   for (int i = 1; i < argc; ++i) {
@@ -90,12 +104,19 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
       opts.sweep.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (arg == "--metrics-out" && i + 1 < argc) {
       opts.metrics_out = argv[++i];
+    } else if (arg == "--engine" && i + 1 < argc) {
+      opts.engine = checked_engine(argv[0], argv[++i]);
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      opts.engine = checked_engine(argv[0], arg.substr(9));
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--jobs N] [--metrics-out file.json]\n";
+                << " [--jobs N] [--metrics-out file.json]"
+                << " [--engine reference|fast]\n";
       std::exit(2);
     }
   }
+  set_default_replay_engine(opts.engine);
+  std::cerr << "[replay] engine=" << to_string(default_replay_engine()) << "\n";
   return opts;
 }
 

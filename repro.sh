@@ -6,8 +6,9 @@
 #   ./repro.sh           full pipeline (build, all tests, TSan sweep tests,
 #                        ASan/UBSan fault+trace tests, every bench binary)
 #   ./repro.sh --quick   build + the parallel-sweep tests (native and TSan) +
-#                        the fault-injection and trace-format tests (native
-#                        and ASan/UBSan) + a --jobs determinism check on
+#                        the fault-injection, trace-format and
+#                        replay-equivalence tests (native and ASan/UBSan) +
+#                        --jobs and --engine determinism checks on
 #                        bench_fig3; minutes, not the full regeneration
 #
 # See docs/experiments.md for what each bench binary reproduces.
@@ -32,24 +33,32 @@ cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_te
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/sweep_runner_test
 
-# The fault-injection and trace-format tests run under Address/UB sanitizers
-# too: they exercise bit-level corruption, CRC footers, and retry paths where
-# an off-by-one would read out of bounds without necessarily failing a
-# functional assertion.
+# The fault-injection, trace-format and replay-equivalence tests run under
+# Address/UB sanitizers too: they exercise bit-level corruption, CRC
+# footers, retry paths, and the fast engine's SoA indexing / bitmap
+# arithmetic, where an off-by-one would read out of bounds without
+# necessarily failing a functional assertion.
 cmake -B build-asan -S . -DSTCACHE_SANITIZE=address,undefined > /dev/null
-cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test
+cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test replay_equivalence_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/trace_io_test
+./build-asan/tests/replay_equivalence_test
 
 if [ "$QUICK" = "1" ]; then
-    ctest --test-dir build -R 'ThreadPool|SweepRunner|Fault|TraceIo' --output-on-failure
+    ctest --test-dir build -R 'ThreadPool|SweepRunner|Fault|TraceIo|ReplayEquivalence' --output-on-failure
 
     # Determinism gate: the parallel sweep must reproduce the serial table
     # byte for byte (metrics go to stderr, so stdout is comparable).
     ./build/bench/bench_fig3_icache_space --jobs 1 > /tmp/stcache_fig3_j1.txt
     ./build/bench/bench_fig3_icache_space --jobs "$(nproc)" > /tmp/stcache_fig3_jn.txt
     cmp /tmp/stcache_fig3_j1.txt /tmp/stcache_fig3_jn.txt
-    echo "Quick pass done: sweep tests (native + TSan) and --jobs determinism ok."
+    # Engine gate: the fast replay engine must reproduce the reference
+    # figure byte for byte (the equivalence suite proves bit-identical
+    # CacheStats; this proves it end to end through a figure binary).
+    ./build/bench/bench_fig3_icache_space --engine reference > /tmp/stcache_fig3_ref.txt
+    ./build/bench/bench_fig3_icache_space --engine fast > /tmp/stcache_fig3_fast.txt
+    cmp /tmp/stcache_fig3_ref.txt /tmp/stcache_fig3_fast.txt
+    echo "Quick pass done: sweep/equivalence tests (native + sanitizers), --jobs and --engine determinism ok."
     exit 0
 fi
 
@@ -59,7 +68,13 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "\n########## $(basename "$b") ##########\n" >> bench_output.txt
-  "$b" >> bench_output.txt 2>&1
+  "$b" > /tmp/stcache_bench_one.txt 2>&1
+  cat /tmp/stcache_bench_one.txt >> bench_output.txt
+  # Attribute the run to a replay engine (the harnesses report theirs on
+  # stderr as '[replay] engine=...'; absence means the binary predates the
+  # engine selector and used the reference model directly).
+  engine=$(grep '^\[replay\] engine=' /tmp/stcache_bench_one.txt | tail -1 | sed 's/.*engine=//')
+  echo "  $(basename "$b"): engine=${engine:-reference (no selector)}"
 done
 
 echo "Done. See test_output.txt and bench_output.txt."

@@ -38,21 +38,6 @@ bool ConfigurableCache::reachable(const CacheConfig& cfg, std::uint32_t block,
   return false;
 }
 
-std::uint32_t ConfigurableCache::predict_way(std::uint32_t block) const {
-  std::uint32_t best_way = 0;
-  std::uint64_t best_use = 0;
-  bool found_valid = false;
-  for (std::uint32_t w = 0; w < config_.ways(); ++w) {
-    const Line& line = line_at(candidate(config_, block, w));
-    if (line.valid && (!found_valid || line.last_use > best_use)) {
-      best_way = w;
-      best_use = line.last_use;
-      found_valid = true;
-    }
-  }
-  return best_way;
-}
-
 ConfigurableCache::AccessResult ConfigurableCache::access(std::uint32_t addr,
                                                           bool is_write,
                                                           std::uint32_t bytes) {
@@ -62,9 +47,32 @@ ConfigurableCache::AccessResult ConfigurableCache::access(std::uint32_t addr,
   else ++stats_.read_accesses;
 
   const std::uint32_t block = addr >> 4;
-  const bool predicting = config_.way_prediction && config_.ways() > 1;
-  const std::uint32_t predicted_way = predicting ? predict_way(block) : 0;
-  if (predicting) ++stats_.pred_accesses;
+  const std::uint32_t ways = config_.ways();
+
+  // Resolve every candidate way's slot once; the same lines serve way
+  // prediction, the hit probe, and (on the miss paths below) the LRU
+  // victim choice, instead of recomputing candidate() per scan.
+  Line* cand[4] = {};
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    cand[w] = &line_at(candidate(config_, block, w));
+  }
+
+  const bool predicting = config_.way_prediction && ways > 1;
+  std::uint32_t predicted_way = 0;
+  if (predicting) {
+    // MRU way among the candidates (valid lines preferred, earliest way
+    // wins ties).
+    std::uint64_t best_use = 0;
+    bool found_valid = false;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+      if (cand[w]->valid && (!found_valid || cand[w]->last_use > best_use)) {
+        predicted_way = w;
+        best_use = cand[w]->last_use;
+        found_valid = true;
+      }
+    }
+    ++stats_.pred_accesses;
+  }
 
   // Probe all candidate ways; full tag compare. (Under the coherent
   // reconfiguration policy at most one copy of a block is ever reachable;
@@ -72,14 +80,30 @@ ConfigurableCache::AccessResult ConfigurableCache::access(std::uint32_t addr,
   // match wins, mirroring a priority encoder.)
   std::uint32_t hit_way = 0;
   Line* hit_line = nullptr;
-  for (std::uint32_t w = 0; w < config_.ways(); ++w) {
-    Line& line = line_at(candidate(config_, block, w));
-    if (line.valid && line.block == block) {
-      hit_line = &line;
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    if (cand[w]->valid && cand[w]->block == block) {
+      hit_line = cand[w];
       hit_way = w;
       break;
     }
   }
+
+  // Victim way at the accessed block's set: first invalid way, else LRU
+  // (shared by the victim-buffer swap and the miss fill).
+  auto pick_victim_way = [&] {
+    std::uint32_t victim_way = 0;
+    bool chosen = false;
+    std::uint64_t oldest = 0;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+      if (!cand[w]->valid) return w;
+      if (!chosen || cand[w]->last_use < oldest) {
+        victim_way = w;
+        oldest = cand[w]->last_use;
+        chosen = true;
+      }
+    }
+    return victim_way;
+  };
 
   const bool write_through =
       is_write && write_policy_ == WritePolicy::kWriteThrough;
@@ -115,23 +139,7 @@ ConfigurableCache::AccessResult ConfigurableCache::access(std::uint32_t addr,
                // Swap: the rescued line enters the main array at its
                // candidate slot; whatever lived there retires to the
                // buffer. Pick the LRU way like a normal fill.
-               std::uint32_t victim_way = 0;
-               bool chosen = false;
-               std::uint64_t oldest = 0;
-               for (std::uint32_t w = 0; w < config_.ways(); ++w) {
-                 const Line& line = line_at(candidate(config_, block, w));
-                 if (!line.valid) {
-                   victim_way = w;
-                   chosen = true;
-                   break;
-                 }
-                 if (!chosen || line.last_use < oldest) {
-                   victim_way = w;
-                   oldest = line.last_use;
-                   chosen = true;
-                 }
-               }
-               Line& slot = line_at(candidate(config_, block, victim_way));
+               Line& slot = *cand[pick_victim_way()];
                victim_insert(slot);
                rescued.last_use = tick_;
                rescued.dirty = rescued.dirty || is_write;
@@ -149,25 +157,7 @@ ConfigurableCache::AccessResult ConfigurableCache::access(std::uint32_t addr,
     // accessed subline's set (invalid way first, else LRU).
     const std::uint32_t sublines = config_.sublines_per_line();
     const std::uint32_t base_block = block & ~(sublines - 1);
-
-    std::uint32_t victim_way = 0;
-    {
-      bool chosen = false;
-      std::uint64_t oldest = 0;
-      for (std::uint32_t w = 0; w < config_.ways(); ++w) {
-        const Line& line = line_at(candidate(config_, block, w));
-        if (!line.valid) {
-          victim_way = w;
-          chosen = true;
-          break;
-        }
-        if (!chosen || line.last_use < oldest) {
-          victim_way = w;
-          oldest = line.last_use;
-          chosen = true;
-        }
-      }
-    }
+    const std::uint32_t victim_way = pick_victim_way();
 
     for (std::uint32_t s = 0; s < sublines; ++s) {
       const std::uint32_t sub_block = base_block + s;
@@ -195,7 +185,7 @@ ConfigurableCache::AccessResult ConfigurableCache::access(std::uint32_t addr,
     }
 
     // Mark the accessed subline.
-    Line& accessed = line_at(candidate(config_, block, victim_way));
+    Line& accessed = *cand[victim_way];
     STC_ASSERT(accessed.valid && accessed.block == block,
                "fill did not install the accessed block");
     accessed.dirty = is_write && write_policy_ == WritePolicy::kWriteBack;

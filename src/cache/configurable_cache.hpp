@@ -145,10 +145,6 @@ class ConfigurableCache {
   static bool reachable(const CacheConfig& cfg, std::uint32_t block,
                         Location loc);
 
-  // MRU way among the candidates of `block` (valid lines preferred);
-  // returns way index.
-  std::uint32_t predict_way(std::uint32_t block) const;
-
   std::uint64_t handle_power_gating(const CacheConfig& next);
 
   // Probe the victim buffer for `block`; on hit, remove and return its

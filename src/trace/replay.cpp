@@ -1,6 +1,59 @@
 #include "trace/replay.hpp"
 
+#include <atomic>
+
+#include "cache/fast_cache.hpp"
+#include "util/error.hpp"
+
 namespace stcache {
+
+namespace {
+
+std::atomic<ReplayEngine> g_default_engine{ReplayEngine::kFast};
+
+ReplayEngine resolve(ReplayEngine engine) {
+  return engine == ReplayEngine::kDefault
+             ? g_default_engine.load(std::memory_order_relaxed)
+             : engine;
+}
+
+}  // namespace
+
+ReplayEngine default_replay_engine() {
+  return g_default_engine.load(std::memory_order_relaxed);
+}
+
+void set_default_replay_engine(ReplayEngine engine) {
+  g_default_engine.store(
+      engine == ReplayEngine::kDefault ? ReplayEngine::kFast : engine,
+      std::memory_order_relaxed);
+}
+
+const char* to_string(ReplayEngine engine) {
+  switch (engine) {
+    case ReplayEngine::kDefault: return "default";
+    case ReplayEngine::kReference: return "reference";
+    case ReplayEngine::kFast: return "fast";
+  }
+  return "?";
+}
+
+ReplayEngine parse_replay_engine(const std::string& name) {
+  if (name == "reference") return ReplayEngine::kReference;
+  if (name == "fast") return ReplayEngine::kFast;
+  fail("unknown replay engine '" + name + "' (expected reference|fast)");
+}
+
+std::vector<std::uint32_t> pack_stream(std::span<const TraceRecord> stream) {
+  std::vector<std::uint32_t> packed;
+  packed.reserve(stream.size());
+  for (const TraceRecord& r : stream) {
+    packed.push_back((r.addr >> 4) | (r.kind == AccessKind::kWrite
+                                          ? FastCacheSim::kPackedWriteBit
+                                          : 0u));
+  }
+  return packed;
+}
 
 CacheStats replay(ConfigurableCache& cache, std::span<const TraceRecord> stream) {
   const CacheStats before = cache.stats();
@@ -18,11 +71,27 @@ CacheStats replay(CacheModel& cache, std::span<const TraceRecord> stream) {
   return cache.stats() - before;
 }
 
+CacheStats measure_config_ex(const CacheConfig& cfg,
+                             std::span<const TraceRecord> stream,
+                             const ReplayParams& params) {
+  if (resolve(params.engine) == ReplayEngine::kFast) {
+    FastCacheSim sim(cfg, params.timing, params.write_policy,
+                     params.victim_entries);
+    sim.replay(pack_stream(stream));
+    return sim.stats();
+  }
+  ConfigurableCache cache(cfg, params.timing, params.write_policy,
+                          params.victim_entries);
+  return replay(cache, stream);
+}
+
 CacheStats measure_config(const CacheConfig& cfg,
                           std::span<const TraceRecord> stream,
-                          const TimingParams& timing) {
-  ConfigurableCache cache(cfg, timing);
-  return replay(cache, stream);
+                          const TimingParams& timing, ReplayEngine engine) {
+  ReplayParams params;
+  params.timing = timing;
+  params.engine = engine;
+  return measure_config_ex(cfg, stream, params);
 }
 
 CacheStats measure_geometry(const CacheGeometry& g,
@@ -34,7 +103,21 @@ CacheStats measure_geometry(const CacheGeometry& g,
 
 std::vector<CacheStats> measure_config_bank(
     std::span<const CacheConfig> configs, std::span<const TraceRecord> stream,
-    const TimingParams& timing) {
+    const TimingParams& timing, ReplayEngine engine) {
+  std::vector<CacheStats> stats;
+  stats.reserve(configs.size());
+  if (resolve(engine) == ReplayEngine::kFast) {
+    // Decode/pack once, then run config-major: each cache's few-KB SoA
+    // state stays cache-resident while it streams the shared packed
+    // records, instead of thrashing the whole bank's state per record.
+    const std::vector<std::uint32_t> packed = pack_stream(stream);
+    for (const CacheConfig& cfg : configs) {
+      FastCacheSim sim(cfg, timing);
+      sim.replay(packed);
+      stats.push_back(sim.stats());
+    }
+    return stats;
+  }
   std::vector<ConfigurableCache> bank;
   bank.reserve(configs.size());
   for (const CacheConfig& cfg : configs) bank.emplace_back(cfg, timing);
@@ -42,8 +125,6 @@ std::vector<CacheStats> measure_config_bank(
     const bool write = r.kind == AccessKind::kWrite;
     for (ConfigurableCache& cache : bank) cache.access(r.addr, write);
   }
-  std::vector<CacheStats> stats;
-  stats.reserve(bank.size());
   for (const ConfigurableCache& cache : bank) stats.push_back(cache.stats());
   return stats;
 }

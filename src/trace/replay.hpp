@@ -1,8 +1,23 @@
 // Replay drivers: feed a captured address stream through a cache model and
 // collect the CacheStats that Equation 1 consumes.
+//
+// Two engines implement cold-start configuration measurement:
+//
+//   kReference  ConfigurableCache::access() per record — the behavioral
+//               model, also usable warm and across reconfigurations.
+//   kFast       FastCacheSim (cache/fast_cache.hpp) — SoA line store,
+//               precomputed mapping constants, compile-time specialized
+//               access loop. Bit-identical CacheStats, several times the
+//               throughput; the default for all sweeps.
+//
+// The engines are interchangeable by construction and the differential
+// suite (tests/replay_equivalence_test.cpp) enforces it: every figure or
+// table produced with --engine=fast is byte-identical to --engine=reference.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cache/cache_model.hpp"
@@ -12,9 +27,31 @@
 
 namespace stcache {
 
+enum class ReplayEngine : std::uint8_t {
+  kDefault = 0,  // resolve to the process-wide default (fast unless overridden)
+  kReference,
+  kFast,
+};
+
+// Process-wide default engine used when a measure call passes kDefault.
+// Benches set this from --engine=reference|fast before sweeping; reads are
+// atomic so sweep worker threads may resolve it concurrently.
+ReplayEngine default_replay_engine();
+void set_default_replay_engine(ReplayEngine engine);  // kDefault resets to kFast
+
+const char* to_string(ReplayEngine engine);
+// Parses "reference" or "fast"; throws stcache::Error on anything else.
+ReplayEngine parse_replay_engine(const std::string& name);
+
+// Encode a record stream for FastCacheSim::replay (bit 31 = write, bits
+// 30..0 = 16 B block number). Done once per stream and shared by every
+// cache in a bank sweep.
+std::vector<std::uint32_t> pack_stream(std::span<const TraceRecord> stream);
+
 // Replay `stream` through an existing cache (state and stats accumulate;
 // callers that want a cold run construct a fresh cache). Returns the stats
-// delta contributed by this replay.
+// delta contributed by this replay. Warm replay is inherently a reference-
+// model operation: the fast engine only does cold fixed-configuration runs.
 CacheStats replay(ConfigurableCache& cache, std::span<const TraceRecord> stream);
 CacheStats replay(CacheModel& cache, std::span<const TraceRecord> stream);
 
@@ -23,19 +60,35 @@ CacheStats replay(CacheModel& cache, std::span<const TraceRecord> stream);
 // per-configuration measurement primitive.
 CacheStats measure_config(const CacheConfig& cfg,
                           std::span<const TraceRecord> stream,
-                          const TimingParams& timing = {});
+                          const TimingParams& timing = {},
+                          ReplayEngine engine = ReplayEngine::kDefault);
+
+// Full-parameter variant (write policy, victim buffer) used by the
+// ablation experiments and the differential-equivalence suite.
+struct ReplayParams {
+  TimingParams timing{};
+  WritePolicy write_policy = WritePolicy::kWriteBack;
+  std::uint32_t victim_entries = 0;
+  ReplayEngine engine = ReplayEngine::kDefault;
+};
+CacheStats measure_config_ex(const CacheConfig& cfg,
+                             std::span<const TraceRecord> stream,
+                             const ReplayParams& params);
 
 CacheStats measure_geometry(const CacheGeometry& g,
                             std::span<const TraceRecord> stream,
                             const TimingParams& timing = {});
 
-// Single-pass bank evaluation: construct one cold cache per configuration
-// and stream every trace record through all of them in one pass, so the
-// trace is decoded (iterated) once instead of once per configuration. The
-// caches are independent, so stats[i] is bit-identical to
+// Bank evaluation: evaluate every configuration cold against one stream,
+// decoding the trace once. stats[i] is bit-identical to
 // measure_config(configs[i], stream, timing); the sweep tests assert this.
+// The fast engine packs the stream once and runs config-major (each
+// cache's SoA state stays resident while it streams the shared packed
+// records); the reference engine interleaves all caches over a single
+// record pass, as before.
 std::vector<CacheStats> measure_config_bank(
     std::span<const CacheConfig> configs, std::span<const TraceRecord> stream,
-    const TimingParams& timing = {});
+    const TimingParams& timing = {},
+    ReplayEngine engine = ReplayEngine::kDefault);
 
 }  // namespace stcache

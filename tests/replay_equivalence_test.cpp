@@ -1,0 +1,148 @@
+// Differential equivalence suite for the replay engines.
+//
+// The fast engine (cache/fast_cache.hpp) is only allowed to exist because
+// it is bit-identical to the behavioral reference: for every legal
+// configuration, both write policies, and victim buffer on/off, replaying
+// the same stream must produce the exact same CacheStats — every counter,
+// not just miss rates. This is the guarantee that lets every figure bench
+// default to --engine=fast while the paper's numbers stay attributable to
+// the reference model.
+//
+// Streams: bounded prefixes of three real captured workloads (instruction
+// + data mix, so loads, stores, and fetches all appear) plus one synthetic
+// uniform-random stream whose working set exceeds the largest cache, to
+// stress eviction, write-back, and victim-buffer churn harder than the
+// well-behaved kernels do.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <span>
+#include <string>
+
+#include "cache/config.hpp"
+#include "trace/replay.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace stcache {
+namespace {
+
+// Kept modest so the whole suite stays fast under ASan/UBSan; equivalence
+// over a 120k-record prefix exercises every kernel path (fills, evictions,
+// rescues, mispredicts) thousands of times per configuration.
+constexpr std::size_t kMaxRecords = 120'000;
+
+std::span<const TraceRecord> workload_prefix(const std::string& name) {
+  static std::map<std::string, Trace>* traces = new std::map<std::string, Trace>();
+  auto it = traces->find(name);
+  if (it == traces->end()) {
+    it = traces->emplace(name, capture_trace(find_workload(name))).first;
+  }
+  const Trace& t = it->second;
+  return std::span<const TraceRecord>(t.data(), std::min(t.size(), kMaxRecords));
+}
+
+std::span<const TraceRecord> synthetic_stream() {
+  static const Trace t = [] {
+    Rng rng(0xFA57CACE);
+    // 64 KB working set (8x the largest cache), 30% writes.
+    return gen_uniform(0x10000, 64 * 1024, kMaxRecords, 0.30, rng);
+  }();
+  return t;
+}
+
+void expect_identical(std::span<const TraceRecord> stream,
+                      const std::string& stream_name) {
+  for (const CacheConfig& cfg : all_configs()) {
+    for (const WritePolicy wp :
+         {WritePolicy::kWriteBack, WritePolicy::kWriteThrough}) {
+      for (const std::uint32_t victim_entries : {0u, 8u}) {
+        ReplayParams params;
+        params.write_policy = wp;
+        params.victim_entries = victim_entries;
+
+        params.engine = ReplayEngine::kReference;
+        const CacheStats ref = measure_config_ex(cfg, stream, params);
+        params.engine = ReplayEngine::kFast;
+        const CacheStats fast = measure_config_ex(cfg, stream, params);
+
+        EXPECT_EQ(ref, fast)
+            << stream_name << " x " << cfg.name() << " wp="
+            << (wp == WritePolicy::kWriteBack ? "WB" : "WT")
+            << " victim=" << victim_entries;
+      }
+    }
+  }
+}
+
+TEST(ReplayEquivalence, WorkloadCrc) { expect_identical(workload_prefix("crc"), "crc"); }
+
+TEST(ReplayEquivalence, WorkloadBcnt) {
+  expect_identical(workload_prefix("bcnt"), "bcnt");
+}
+
+TEST(ReplayEquivalence, WorkloadUcbqsort) {
+  expect_identical(workload_prefix("ucbqsort"), "ucbqsort");
+}
+
+TEST(ReplayEquivalence, SyntheticUniformThrash) {
+  expect_identical(synthetic_stream(), "uniform64k");
+}
+
+// Non-default timing must flow through both engines identically (the miss
+// stall is precomputed per configuration on the fast path).
+TEST(ReplayEquivalence, CustomTiming) {
+  TimingParams timing;
+  timing.hit_cycles = 2;
+  timing.mispredict_penalty = 3;
+  timing.victim_hit_penalty = 5;
+  timing.mem_latency = 41;
+  timing.cycles_per_beat = 7;
+  const std::span<const TraceRecord> stream = workload_prefix("crc");
+  for (const CacheConfig& cfg : all_configs()) {
+    ReplayParams params;
+    params.timing = timing;
+    params.victim_entries = 4;
+    params.engine = ReplayEngine::kReference;
+    const CacheStats ref = measure_config_ex(cfg, stream, params);
+    params.engine = ReplayEngine::kFast;
+    const CacheStats fast = measure_config_ex(cfg, stream, params);
+    EXPECT_EQ(ref, fast) << "crc x " << cfg.name() << " custom timing";
+  }
+}
+
+// The bank path (pack once, config-major) must equal per-config
+// measurement under both engines.
+TEST(ReplayEquivalence, BankMatchesPerConfig) {
+  const std::span<const TraceRecord> stream = workload_prefix("bcnt");
+  const std::vector<CacheConfig>& configs = all_configs();
+  for (const ReplayEngine engine :
+       {ReplayEngine::kReference, ReplayEngine::kFast}) {
+    const std::vector<CacheStats> bank =
+        measure_config_bank(configs, stream, {}, engine);
+    ASSERT_EQ(bank.size(), configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      EXPECT_EQ(bank[c], measure_config(configs[c], stream, {}, engine))
+          << configs[c].name() << " engine=" << to_string(engine);
+    }
+  }
+}
+
+// The engine selector: kDefault resolves to the process default, which is
+// fast unless overridden.
+TEST(ReplayEquivalence, EngineSelector) {
+  EXPECT_EQ(default_replay_engine(), ReplayEngine::kFast);
+  set_default_replay_engine(ReplayEngine::kReference);
+  EXPECT_EQ(default_replay_engine(), ReplayEngine::kReference);
+  set_default_replay_engine(ReplayEngine::kDefault);  // reset
+  EXPECT_EQ(default_replay_engine(), ReplayEngine::kFast);
+  EXPECT_EQ(parse_replay_engine("fast"), ReplayEngine::kFast);
+  EXPECT_EQ(parse_replay_engine("reference"), ReplayEngine::kReference);
+  EXPECT_THROW(parse_replay_engine("warp"), Error);
+}
+
+}  // namespace
+}  // namespace stcache

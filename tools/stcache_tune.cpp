@@ -1,7 +1,7 @@
 // stcache_tune — run the paper's tuning heuristic on a saved trace.
 //
 //   stcache_tune <file.stct> [I|D] [--exhaustive] [--jobs N]
-//                [--metrics-out file.json]
+//                [--metrics-out file.json] [--engine reference|fast]
 //
 // Splits the trace, tunes the selected stream's cache (instruction by
 // default) with the Figure 6 heuristic, and prints the decision. With
@@ -27,7 +27,8 @@ namespace {
 int run(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: stcache_tune <file.stct> [I|D] [--exhaustive] "
-                 "[--jobs N] [--metrics-out file.json]\n";
+                 "[--jobs N] [--metrics-out file.json] "
+                 "[--engine reference|fast]\n";
     return 2;
   }
   const std::string path = argv[1];
@@ -43,11 +44,14 @@ int run(int argc, char** argv) {
       sweep.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc)
       metrics_out = argv[++i];
+    else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc)
+      set_default_replay_engine(parse_replay_engine(argv[++i]));
     else {
       std::cerr << "unknown argument: " << argv[i] << "\n";
       return 2;
     }
   }
+  std::cerr << "[replay] engine=" << to_string(default_replay_engine()) << "\n";
 
   const Trace trace = load_trace(path);
   const SplitTrace split = split_trace(trace);
