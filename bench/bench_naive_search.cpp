@@ -10,6 +10,12 @@
 //   * cache flushes and the dirty write-back energy they force,
 //   * total energy consumed DURING the search phase itself (the
 //     application runs in mostly-wrong configurations for much longer).
+//
+// This harness walks ONE warm ConfigurableCache through flush+reconfigure
+// cycles — the mid-stream reconfiguration cost is the thing being
+// measured — so it is inherently a reference-model experiment: the cold
+// fixed-config fast/oneshot replay engines do not apply here (see
+// docs/performance.md on engine scope).
 #include <functional>
 #include <iostream>
 

@@ -7,6 +7,10 @@
 // up to 8-way, 16-128 B lines) on every benchmark stream and report, per
 // space: evaluations used, how often the heuristic finds the optimum, and
 // the distribution of its energy gap.
+//
+// The scaled spaces are generic CacheModel geometries, outside the
+// platform cache's nested-index mapping, so the oneshot stack-distance
+// engine does not apply; replay goes through measure_geometry() directly.
 #include <iostream>
 
 #include "common.hpp"

@@ -88,7 +88,7 @@ inline ReplayEngine checked_engine(const char* prog, const std::string& name) {
 struct BenchOptions {
   SweepOptions sweep;       // --jobs N (0 = hardware_concurrency)
   std::string metrics_out;  // --metrics-out PATH (JSON)
-  ReplayEngine engine = ReplayEngine::kFast;  // --engine reference|fast
+  ReplayEngine engine = ReplayEngine::kOneshot;  // --engine reference|fast|oneshot
 };
 
 // Parse the common sweep flags; exits with usage on anything unknown.
@@ -111,7 +111,7 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--jobs N] [--metrics-out file.json]"
-                << " [--engine reference|fast]\n";
+                << " [--engine reference|fast|oneshot]\n";
       std::exit(2);
     }
   }
@@ -144,9 +144,13 @@ namespace stcache::bench {
 // per-benchmark to the 8 KB 4-way 32 B base, as the figures normalize
 // fetch energy).
 //
-// The (workload x configuration) grid is evaluated by a SweepRunner, one
-// job per cell; the averages are then reduced serially in workload-major
-// order, so the table is byte-identical for any --jobs value.
+// The (workload x configuration) grid is evaluated by a SweepRunner with
+// one BANK job per workload — measure_config_bank() decodes each stream
+// once and, under the oneshot engine, covers a whole line-size group in a
+// single stack-distance traversal. The averages are then reduced serially
+// in workload-major order, so the table is byte-identical for any --jobs
+// value and any --engine (per-cell stats are engine-invariant by the
+// equivalence suite).
 inline int run_config_space_figure(bool instruction_stream,
                                    const BenchOptions& opts) {
   const char* which = instruction_stream ? "instruction" : "data";
@@ -171,21 +175,29 @@ inline int run_config_space_figure(bool instruction_stream,
     double energy = 0.0;
   };
   SweepRunner runner(opts.sweep);
-  const std::vector<Cell> cells = runner.map<Cell>(
-      traces.size() * cfgs.size(),
-      [&](std::size_t j) {
-        const NamedSplitTrace& t = traces[j / cfgs.size()];
-        const CacheConfig& cfg = cfgs[j % cfgs.size()];
-        const Trace& stream =
-            instruction_stream ? t.split->ifetch : t.split->data;
-        const CacheStats stats = measure_config(cfg, stream);
-        runner.add_accesses(stream.size());
-        return Cell{stats.miss_rate(), model.evaluate(cfg, stats).total()};
-      },
-      [&](std::size_t j) {
-        return *traces[j / cfgs.size()].name + " x " +
-               cfgs[j % cfgs.size()].name();
-      });
+  const std::vector<std::vector<Cell>> rows_by_workload =
+      runner.map<std::vector<Cell>>(
+          traces.size(),
+          [&](std::size_t w) {
+            const NamedSplitTrace& t = traces[w];
+            const Trace& stream =
+                instruction_stream ? t.split->ifetch : t.split->data;
+            const std::vector<CacheStats> bank =
+                measure_config_bank(cfgs, stream);
+            runner.add_accesses(stream.size() * cfgs.size());
+            std::vector<Cell> row(cfgs.size());
+            for (std::size_t c = 0; c < cfgs.size(); ++c) {
+              row[c] = Cell{bank[c].miss_rate(),
+                            model.evaluate(cfgs[c], bank[c]).total()};
+            }
+            return row;
+          },
+          [&](std::size_t w) { return *traces[w].name + " x all configs"; });
+  std::vector<Cell> cells;
+  cells.reserve(traces.size() * cfgs.size());
+  for (const std::vector<Cell>& row : rows_by_workload) {
+    cells.insert(cells.end(), row.begin(), row.end());
+  }
 
   Table table({"config", "avg miss rate", "avg normalized energy"});
   struct Row {

@@ -4,12 +4,14 @@
 # at the repository root (the files EXPERIMENTS.md numbers come from).
 #
 #   ./repro.sh           full pipeline (build, all tests, TSan sweep tests,
-#                        ASan/UBSan fault+trace tests, every bench binary)
+#                        ASan/UBSan fault+trace tests, the throughput
+#                        regression gate, every bench binary)
 #   ./repro.sh --quick   build + the parallel-sweep tests (native and TSan) +
-#                        the fault-injection, trace-format and
-#                        replay-equivalence tests (native and ASan/UBSan) +
-#                        --jobs and --engine determinism checks on
-#                        bench_fig3; minutes, not the full regeneration
+#                        the fault-injection, trace-format,
+#                        replay-equivalence and stack-sweep tests (native
+#                        and ASan/UBSan) + --jobs and --engine determinism
+#                        checks on bench_fig3; minutes, not the full
+#                        regeneration
 #
 # See docs/experiments.md for what each bench binary reproduces.
 set -e
@@ -33,36 +35,54 @@ cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_te
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/sweep_runner_test
 
-# The fault-injection, trace-format and replay-equivalence tests run under
-# Address/UB sanitizers too: they exercise bit-level corruption, CRC
-# footers, retry paths, and the fast engine's SoA indexing / bitmap
-# arithmetic, where an off-by-one would read out of bounds without
-# necessarily failing a functional assertion.
+# The fault-injection, trace-format, replay-equivalence and stack-sweep
+# tests run under Address/UB sanitizers too: they exercise bit-level
+# corruption, CRC footers, retry paths, and the fast/oneshot engines' SoA
+# indexing / bitmap arithmetic, where an off-by-one would read out of
+# bounds without necessarily failing a functional assertion.
 cmake -B build-asan -S . -DSTCACHE_SANITIZE=address,undefined > /dev/null
-cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test replay_equivalence_test
+cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test replay_equivalence_test stack_sweep_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/trace_io_test
 ./build-asan/tests/replay_equivalence_test
+./build-asan/tests/stack_sweep_test
 
 if [ "$QUICK" = "1" ]; then
-    ctest --test-dir build -R 'ThreadPool|SweepRunner|Fault|TraceIo|ReplayEquivalence' --output-on-failure
+    ctest --test-dir build -R 'ThreadPool|SweepRunner|Fault|TraceIo|ReplayEquivalence|StackSweep' --output-on-failure
 
     # Determinism gate: the parallel sweep must reproduce the serial table
     # byte for byte (metrics go to stderr, so stdout is comparable).
     ./build/bench/bench_fig3_icache_space --jobs 1 > /tmp/stcache_fig3_j1.txt
     ./build/bench/bench_fig3_icache_space --jobs "$(nproc)" > /tmp/stcache_fig3_jn.txt
     cmp /tmp/stcache_fig3_j1.txt /tmp/stcache_fig3_jn.txt
-    # Engine gate: the fast replay engine must reproduce the reference
-    # figure byte for byte (the equivalence suite proves bit-identical
-    # CacheStats; this proves it end to end through a figure binary).
+    # Engine gate: the fast and oneshot replay engines must reproduce the
+    # reference figure byte for byte (the equivalence suite proves
+    # bit-identical CacheStats; this proves it end to end through a figure
+    # binary).
     ./build/bench/bench_fig3_icache_space --engine reference > /tmp/stcache_fig3_ref.txt
     ./build/bench/bench_fig3_icache_space --engine fast > /tmp/stcache_fig3_fast.txt
+    ./build/bench/bench_fig3_icache_space --engine oneshot > /tmp/stcache_fig3_oneshot.txt
     cmp /tmp/stcache_fig3_ref.txt /tmp/stcache_fig3_fast.txt
+    cmp /tmp/stcache_fig3_ref.txt /tmp/stcache_fig3_oneshot.txt
     echo "Quick pass done: sweep/equivalence tests (native + sanitizers), --jobs and --engine determinism ok."
     exit 0
 fi
 
 ctest --test-dir build 2>&1 | tee test_output.txt
+
+# Throughput gate: a fresh bench_replay_throughput run must stay within
+# tolerance (default 20% per engine; STCACHE_BENCH_TOLERANCE overrides) of
+# the committed BENCH_replay.json. Skipped when the main build tree is
+# sanitized (throughput is not comparable) or python3 is unavailable.
+SAN=$(grep -E '^STCACHE_SANITIZE:' build/CMakeCache.txt | cut -d= -f2)
+if [ -n "$SAN" ]; then
+  echo "[bench_check] skipped: build/ is sanitized (STCACHE_SANITIZE=$SAN)"
+elif ! command -v python3 > /dev/null 2>&1; then
+  echo "[bench_check] skipped: python3 not available"
+else
+  ./build/bench/bench_replay_throughput --out /tmp/stcache_bench_replay.json > /dev/null
+  python3 scripts/bench_check.py BENCH_replay.json /tmp/stcache_bench_replay.json
+fi
 
 : > bench_output.txt
 for b in build/bench/*; do

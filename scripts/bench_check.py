@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Gate replay-engine throughput against the committed baseline.
+
+Usage: bench_check.py BASELINE.json FRESH.json [--tolerance FRAC]
+
+Both files are bench_replay_throughput --out snapshots. The check compares
+the overall records/second of each engine (reference, fast, oneshot) and
+fails if any engine regressed by more than the tolerance (default 0.20,
+i.e. a fresh run slower than 80% of baseline; override with --tolerance or
+the STCACHE_BENCH_TOLERANCE environment variable). Speedups are never a
+failure — the baseline is a floor, not a target band — so a faster machine
+or compiler passes trivially, and the committed BENCH_replay.json should be
+regenerated whenever the floor moves up for real.
+
+repro.sh runs this in full (non-sanitizer) mode; sanitizer builds skip it
+because their throughput is not comparable to the committed snapshot.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+ENGINES = ("reference", "fast", "oneshot")
+
+
+def overall_rates(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    overall = doc.get("overall")
+    if not isinstance(overall, dict):
+        sys.exit(f"error: {path}: no 'overall' object")
+    rates = {}
+    for engine in ENGINES:
+        key = f"{engine}_records_per_second"
+        value = overall.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            sys.exit(f"error: {path}: missing or non-positive '{key}'")
+        rates[engine] = float(value)
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("STCACHE_BENCH_TOLERANCE", "0.20")),
+        help="allowed fractional regression per engine (default 0.20)",
+    )
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        sys.exit("error: --tolerance must be in [0, 1)")
+
+    base = overall_rates(args.baseline)
+    fresh = overall_rates(args.fresh)
+
+    failed = False
+    for engine in ENGINES:
+        ratio = fresh[engine] / base[engine]
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSION"
+            failed = True
+        print(
+            f"[bench_check] {engine:9s} baseline {base[engine]:.3e} rec/s, "
+            f"fresh {fresh[engine]:.3e} rec/s ({ratio:.2f}x) {status}"
+        )
+    if failed:
+        print(
+            f"[bench_check] FAILED: an engine fell below "
+            f"{1.0 - args.tolerance:.0%} of the committed BENCH_replay.json; "
+            "investigate or regenerate the baseline if the change is intended."
+        )
+        return 1
+    print("[bench_check] all engines within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

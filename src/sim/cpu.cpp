@@ -1,5 +1,6 @@
 #include "sim/cpu.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 
@@ -28,9 +29,30 @@ Cpu::Cpu(const Program& program, MemorySystem& memory, std::uint32_t mem_bytes)
   }
   text_end_ = text_end;
   decode_cache_.resize(text_end_ / 4 + 1);
-  decode_valid_.assign(decode_cache_.size(), false);
+  decode_ok_.assign(decode_cache_.size(), 0);
+  for (std::uint32_t slot = 0; slot * 4 < text_end_; ++slot) {
+    decode_slot(slot);
+  }
   pc_ = program.entry;
   regs_[kSp] = mem_bytes - 16;
+}
+
+void Cpu::decode_slot(std::uint32_t slot) {
+  try {
+    decode_cache_[slot] = decode(read_mem(slot * 4, 4));
+    decode_ok_[slot] = 1;
+  } catch (const Error&) {
+    // Not every low word is an instruction (interleaved data, or a store
+    // just scribbled over code); the error is only the program's problem if
+    // the word is actually fetched, and fetch_decoded re-raises it then.
+    decode_ok_[slot] = 0;
+  }
+}
+
+void Cpu::redecode_range(std::uint32_t addr, std::uint32_t bytes) {
+  const std::uint32_t first = (addr & ~3u) / 4;
+  const std::uint32_t last = std::min(addr + bytes - 1, text_end_ - 1) / 4;
+  for (std::uint32_t slot = first; slot <= last; ++slot) decode_slot(slot);
 }
 
 std::uint32_t Cpu::reg(std::uint8_t r) const {
@@ -61,13 +83,11 @@ std::uint32_t Cpu::read_mem(std::uint32_t addr, std::uint32_t bytes) const {
 }
 
 void Cpu::write_mem(std::uint32_t addr, std::uint32_t bytes, std::uint32_t value) {
-  if (addr < text_end_) {
-    trap("store into text segment (self-modifying code is not supported)");
-  }
   for (std::uint32_t i = 0; i < bytes; ++i) {
     if (addr + i >= mem_.size()) trap("store out of range");
     mem_[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
   }
+  if (addr < text_end_) redecode_range(addr, bytes);
 }
 
 std::uint32_t Cpu::load_word(std::uint32_t addr) const { return read_mem(addr, 4); }
@@ -76,15 +96,16 @@ void Cpu::store_word(std::uint32_t addr, std::uint32_t value) {
   for (std::uint32_t i = 0; i < 4; ++i) {
     mem_.at(addr + i) = static_cast<std::uint8_t>(value >> (8 * i));
   }
+  if (addr < text_end_) redecode_range(addr, 4);
 }
 
 const Instr& Cpu::fetch_decoded(std::uint32_t addr) {
   if (addr % 4 != 0) trap("unaligned instruction fetch");
   if (addr >= text_end_) trap("instruction fetch outside text segment");
   const std::uint32_t slot = addr / 4;
-  if (!decode_valid_[slot]) {
-    decode_cache_[slot] = decode(read_mem(addr, 4));
-    decode_valid_[slot] = true;
+  if (!decode_ok_[slot]) {
+    decode(read_mem(addr, 4));  // re-raises the word's decode error
+    trap("undecodable instruction");
   }
   return decode_cache_[slot];
 }

@@ -45,13 +45,21 @@ class Cpu {
   std::uint32_t read_mem(std::uint32_t addr, std::uint32_t bytes) const;
   void write_mem(std::uint32_t addr, std::uint32_t bytes, std::uint32_t value);
   const Instr& fetch_decoded(std::uint32_t addr);
+  // Re-decode the word slots overlapping [addr, addr+bytes) after a store
+  // into the text segment (self-modifying code).
+  void redecode_range(std::uint32_t addr, std::uint32_t bytes);
+  void decode_slot(std::uint32_t slot);
 
   [[noreturn]] void trap(const std::string& what) const;
 
   std::vector<std::uint8_t> mem_;
+  // Every text word is decoded once up front (decode_slot); words that do
+  // not decode — data placed low, or garbage — are marked not-ok and only
+  // raise their decode error if fetched. Stores below text_end_ re-decode
+  // the words they touch.
   std::vector<Instr> decode_cache_;
-  std::vector<bool> decode_valid_;
-  std::uint32_t text_end_ = 0;  // stores below this address are rejected
+  std::vector<std::uint8_t> decode_ok_;
+  std::uint32_t text_end_ = 0;
   std::uint32_t regs_[kNumRegs] = {};
   std::uint32_t pc_ = 0;
   MemorySystem* memory_;

@@ -3,13 +3,14 @@
 #include <atomic>
 
 #include "cache/fast_cache.hpp"
+#include "cache/stack_sweep.hpp"
 #include "util/error.hpp"
 
 namespace stcache {
 
 namespace {
 
-std::atomic<ReplayEngine> g_default_engine{ReplayEngine::kFast};
+std::atomic<ReplayEngine> g_default_engine{ReplayEngine::kOneshot};
 
 ReplayEngine resolve(ReplayEngine engine) {
   return engine == ReplayEngine::kDefault
@@ -25,7 +26,7 @@ ReplayEngine default_replay_engine() {
 
 void set_default_replay_engine(ReplayEngine engine) {
   g_default_engine.store(
-      engine == ReplayEngine::kDefault ? ReplayEngine::kFast : engine,
+      engine == ReplayEngine::kDefault ? ReplayEngine::kOneshot : engine,
       std::memory_order_relaxed);
 }
 
@@ -34,6 +35,7 @@ const char* to_string(ReplayEngine engine) {
     case ReplayEngine::kDefault: return "default";
     case ReplayEngine::kReference: return "reference";
     case ReplayEngine::kFast: return "fast";
+    case ReplayEngine::kOneshot: return "oneshot";
   }
   return "?";
 }
@@ -41,17 +43,24 @@ const char* to_string(ReplayEngine engine) {
 ReplayEngine parse_replay_engine(const std::string& name) {
   if (name == "reference") return ReplayEngine::kReference;
   if (name == "fast") return ReplayEngine::kFast;
-  fail("unknown replay engine '" + name + "' (expected reference|fast)");
+  if (name == "oneshot") return ReplayEngine::kOneshot;
+  fail("unknown replay engine '" + name + "' (expected reference|fast|oneshot)");
+}
+
+void pack_stream(std::span<const TraceRecord> stream,
+                 std::vector<std::uint32_t>& out) {
+  out.clear();
+  out.reserve(stream.size());
+  for (const TraceRecord& r : stream) {
+    out.push_back((r.addr >> 4) | (r.kind == AccessKind::kWrite
+                                       ? FastCacheSim::kPackedWriteBit
+                                       : 0u));
+  }
 }
 
 std::vector<std::uint32_t> pack_stream(std::span<const TraceRecord> stream) {
   std::vector<std::uint32_t> packed;
-  packed.reserve(stream.size());
-  for (const TraceRecord& r : stream) {
-    packed.push_back((r.addr >> 4) | (r.kind == AccessKind::kWrite
-                                          ? FastCacheSim::kPackedWriteBit
-                                          : 0u));
-  }
+  pack_stream(stream, packed);
   return packed;
 }
 
@@ -74,7 +83,11 @@ CacheStats replay(CacheModel& cache, std::span<const TraceRecord> stream) {
 CacheStats measure_config_ex(const CacheConfig& cfg,
                              std::span<const TraceRecord> stream,
                              const ReplayParams& params) {
-  if (resolve(params.engine) == ReplayEngine::kFast) {
+  const ReplayEngine engine = resolve(params.engine);
+  // The oneshot kernel only pays off across a bank; a single-configuration
+  // measurement (and anything write-through or victim-buffered, which is
+  // outside the stack kernel's scope) runs on the fast engine.
+  if (engine == ReplayEngine::kFast || engine == ReplayEngine::kOneshot) {
     FastCacheSim sim(cfg, params.timing, params.write_policy,
                      params.victim_entries);
     sim.replay(pack_stream(stream));
@@ -103,30 +116,69 @@ CacheStats measure_geometry(const CacheGeometry& g,
 
 std::vector<CacheStats> measure_config_bank(
     std::span<const CacheConfig> configs, std::span<const TraceRecord> stream,
-    const TimingParams& timing, ReplayEngine engine) {
-  std::vector<CacheStats> stats;
-  stats.reserve(configs.size());
-  if (resolve(engine) == ReplayEngine::kFast) {
-    // Decode/pack once, then run config-major: each cache's few-KB SoA
-    // state stays cache-resident while it streams the shared packed
-    // records, instead of thrashing the whole bank's state per record.
-    const std::vector<std::uint32_t> packed = pack_stream(stream);
-    for (const CacheConfig& cfg : configs) {
-      FastCacheSim sim(cfg, timing);
-      sim.replay(packed);
-      stats.push_back(sim.stats());
+    const TimingParams& timing, ReplayEngine engine,
+    std::vector<std::uint32_t>& packed_scratch) {
+  std::vector<CacheStats> stats(configs.size());
+  const ReplayEngine resolved = resolve(engine);
+  if (resolved == ReplayEngine::kReference) {
+    std::vector<ConfigurableCache> bank;
+    bank.reserve(configs.size());
+    for (const CacheConfig& cfg : configs) bank.emplace_back(cfg, timing);
+    for (const TraceRecord& r : stream) {
+      const bool write = r.kind == AccessKind::kWrite;
+      for (ConfigurableCache& cache : bank) cache.access(r.addr, write);
+    }
+    for (std::size_t i = 0; i < configs.size(); ++i) stats[i] = bank[i].stats();
+    return stats;
+  }
+
+  // Decode/pack once; both remaining engines stream the shared packed
+  // records with their few-KB working state cache-resident.
+  pack_stream(stream, packed_scratch);
+  const std::span<const std::uint32_t> packed(packed_scratch);
+
+  if (resolved == ReplayEngine::kOneshot) {
+    // One stack-distance traversal per line size evaluates every config of
+    // that group at once; a singleton group gains nothing from the shared
+    // traversal and runs on the fast kernel instead.
+    for (const LineBytes line : kLineSizes) {
+      std::vector<CacheConfig> group;
+      std::vector<std::size_t> where;
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (configs[i].line == line) {
+          group.push_back(configs[i]);
+          where.push_back(i);
+        }
+      }
+      if (group.empty()) continue;
+      if (group.size() == 1) {
+        FastCacheSim sim(group.front(), timing);
+        sim.replay(packed);
+        stats[where.front()] = sim.stats();
+        continue;
+      }
+      StackSweepSim sweep(group, timing);
+      sweep.replay(packed);
+      for (std::size_t j = 0; j < group.size(); ++j) {
+        stats[where[j]] = sweep.stats(group[j]);
+      }
     }
     return stats;
   }
-  std::vector<ConfigurableCache> bank;
-  bank.reserve(configs.size());
-  for (const CacheConfig& cfg : configs) bank.emplace_back(cfg, timing);
-  for (const TraceRecord& r : stream) {
-    const bool write = r.kind == AccessKind::kWrite;
-    for (ConfigurableCache& cache : bank) cache.access(r.addr, write);
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    FastCacheSim sim(configs[i], timing);
+    sim.replay(packed);
+    stats[i] = sim.stats();
   }
-  for (const ConfigurableCache& cache : bank) stats.push_back(cache.stats());
   return stats;
+}
+
+std::vector<CacheStats> measure_config_bank(
+    std::span<const CacheConfig> configs, std::span<const TraceRecord> stream,
+    const TimingParams& timing, ReplayEngine engine) {
+  std::vector<std::uint32_t> packed;
+  return measure_config_bank(configs, stream, timing, engine, packed);
 }
 
 }  // namespace stcache

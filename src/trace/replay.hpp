@@ -1,18 +1,27 @@
 // Replay drivers: feed a captured address stream through a cache model and
 // collect the CacheStats that Equation 1 consumes.
 //
-// Two engines implement cold-start configuration measurement:
+// Three engines implement cold-start configuration measurement:
 //
 //   kReference  ConfigurableCache::access() per record — the behavioral
 //               model, also usable warm and across reconfigurations.
 //   kFast       FastCacheSim (cache/fast_cache.hpp) — SoA line store,
 //               precomputed mapping constants, compile-time specialized
 //               access loop. Bit-identical CacheStats, several times the
-//               throughput; the default for all sweeps.
+//               throughput, one traversal per configuration.
+//   kOneshot    StackSweepSim (cache/stack_sweep.hpp) — single-pass
+//               stack-distance sweep that evaluates every write-back,
+//               victim-buffer-off configuration of one line size in ONE
+//               traversal (the 27-point space in three). It only applies
+//               to measure_config_bank() requests: a bank's configs are
+//               grouped by line size, groups of two or more go through the
+//               stack kernel, and everything else (single-config groups,
+//               per-config measurement, write-through, victim buffers)
+//               falls back to the fast engine. The process default.
 //
 // The engines are interchangeable by construction and the differential
-// suite (tests/replay_equivalence_test.cpp) enforces it: every figure or
-// table produced with --engine=fast is byte-identical to --engine=reference.
+// suites (tests/replay_equivalence_test.cpp, tests/stack_sweep_test.cpp)
+// enforce it: every figure or table is byte-identical under any --engine.
 #pragma once
 
 #include <cstdint>
@@ -28,25 +37,30 @@
 namespace stcache {
 
 enum class ReplayEngine : std::uint8_t {
-  kDefault = 0,  // resolve to the process-wide default (fast unless overridden)
+  kDefault = 0,  // resolve to the process-wide default (oneshot unless overridden)
   kReference,
   kFast,
+  kOneshot,
 };
 
 // Process-wide default engine used when a measure call passes kDefault.
-// Benches set this from --engine=reference|fast before sweeping; reads are
-// atomic so sweep worker threads may resolve it concurrently.
+// Benches set this from --engine=reference|fast|oneshot before sweeping;
+// reads are atomic so sweep worker threads may resolve it concurrently.
 ReplayEngine default_replay_engine();
-void set_default_replay_engine(ReplayEngine engine);  // kDefault resets to kFast
+void set_default_replay_engine(ReplayEngine engine);  // kDefault resets to kOneshot
 
 const char* to_string(ReplayEngine engine);
-// Parses "reference" or "fast"; throws stcache::Error on anything else.
+// Parses "reference", "fast" or "oneshot"; throws stcache::Error otherwise.
 ReplayEngine parse_replay_engine(const std::string& name);
 
-// Encode a record stream for FastCacheSim::replay (bit 31 = write, bits
-// 30..0 = 16 B block number). Done once per stream and shared by every
-// cache in a bank sweep.
+// Encode a record stream for FastCacheSim/StackSweepSim::replay (bit 31 =
+// write, bits 30..0 = 16 B block number). Done once per stream and shared
+// by every cache in a bank sweep. The out-parameter overload reuses the
+// buffer's capacity, so a loop of bank sweeps (bench_replay_throughput,
+// repeated measurements of one workload) packs without reallocating.
 std::vector<std::uint32_t> pack_stream(std::span<const TraceRecord> stream);
+void pack_stream(std::span<const TraceRecord> stream,
+                 std::vector<std::uint32_t>& out);
 
 // Replay `stream` through an existing cache (state and stats accumulate;
 // callers that want a cold run construct a fresh cache). Returns the stats
@@ -82,13 +96,20 @@ CacheStats measure_geometry(const CacheGeometry& g,
 // Bank evaluation: evaluate every configuration cold against one stream,
 // decoding the trace once. stats[i] is bit-identical to
 // measure_config(configs[i], stream, timing); the sweep tests assert this.
-// The fast engine packs the stream once and runs config-major (each
-// cache's SoA state stays resident while it streams the shared packed
-// records); the reference engine interleaves all caches over a single
-// record pass, as before.
+// The oneshot engine groups the bank's configs by line size and evaluates
+// every group of two or more in a single stack-distance traversal
+// (StackSweepSim), falling back to the fast kernel for singleton groups;
+// the fast engine packs the stream once and runs config-major; the
+// reference engine interleaves all caches over a single record pass.
+// The scratch overload reuses a caller-provided packed-stream buffer
+// across calls (the packing is otherwise reallocated per bank).
 std::vector<CacheStats> measure_config_bank(
     std::span<const CacheConfig> configs, std::span<const TraceRecord> stream,
     const TimingParams& timing = {},
     ReplayEngine engine = ReplayEngine::kDefault);
+std::vector<CacheStats> measure_config_bank(
+    std::span<const CacheConfig> configs, std::span<const TraceRecord> stream,
+    const TimingParams& timing, ReplayEngine engine,
+    std::vector<std::uint32_t>& packed_scratch);
 
 }  // namespace stcache

@@ -76,6 +76,13 @@ void write_trace(std::ostream& os, const Trace& trace) {
 }
 
 Trace read_trace(std::istream& is) {
+  Trace trace;
+  read_trace(is, trace);
+  return trace;
+}
+
+void read_trace(std::istream& is, Trace& trace) {
+  trace.clear();
   char magic[4];
   is.read(magic, 4);
   if (!is || std::memcmp(magic, kTraceMagic, 4) != 0) {
@@ -121,7 +128,6 @@ Trace read_trace(std::istream& is) {
     if (!is) fail("trace read: truncated record section");
   }
 
-  Trace trace;
   trace.reserve(count);
   Crc32 crc;
   constexpr std::uint64_t kSliceRecords = 8192;
@@ -154,7 +160,6 @@ Trace read_trace(std::istream& is) {
            ") — the record payload is corrupted");
     }
   }
-  return trace;
 }
 
 void save_trace(const std::string& path, const Trace& trace) {
@@ -166,10 +171,16 @@ void save_trace(const std::string& path, const Trace& trace) {
 }
 
 Trace load_trace(const std::string& path) {
+  Trace trace;
+  load_trace(path, trace);
+  return trace;
+}
+
+void load_trace(const std::string& path, Trace& trace) {
   std::ifstream is(path, std::ios::binary);
   if (!is) fail("load_trace: cannot open '" + path + "'");
   const auto start = std::chrono::steady_clock::now();
-  Trace trace = read_trace(is);
+  read_trace(is, trace);
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
   // Load-throughput metric on stderr (stdout stays reserved for figure
@@ -180,7 +191,6 @@ Trace load_trace(const std::string& path) {
                elapsed.count() > 0 ? static_cast<double>(trace.size()) /
                                          elapsed.count()
                                    : 0.0);
-  return trace;
 }
 
 }  // namespace stcache

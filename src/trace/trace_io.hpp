@@ -27,13 +27,18 @@ inline constexpr std::uint32_t kTraceFormatVersion = 2;
 // Oldest version read_trace still accepts (v1 lacks the CRC footer).
 inline constexpr std::uint32_t kTraceMinFormatVersion = 1;
 
-// Stream-level primitives.
+// Stream-level primitives. The out-parameter overloads clear `out` and
+// reuse its capacity, so a loop that reads many traces (per-workload bank
+// sweeps, the fault-injection campaigns) does not reallocate the record
+// vector each iteration; the by-value forms delegate to them.
 void write_trace(std::ostream& os, const Trace& trace);
 Trace read_trace(std::istream& is);
+void read_trace(std::istream& is, Trace& out);
 
 // File-level convenience; throws stcache::Error on any I/O or format
 // problem, with the path in the message.
 void save_trace(const std::string& path, const Trace& trace);
 Trace load_trace(const std::string& path);
+void load_trace(const std::string& path, Trace& out);
 
 }  // namespace stcache

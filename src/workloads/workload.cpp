@@ -1,5 +1,8 @@
 #include "workloads/workload.hpp"
 
+#include <chrono>
+#include <cstdio>
+
 #include "isa/assembler.hpp"
 #include "sim/memory_system.hpp"
 #include "util/error.hpp"
@@ -94,7 +97,15 @@ RunResult run_functional(const Workload& w) {
 Trace capture_trace(const Workload& w) {
   TracingMemory mem;
   mem.reserve(static_cast<std::size_t>(w.max_instructions / 4));
-  execute(w, mem);
+  const auto start = std::chrono::steady_clock::now();
+  const RunResult r = execute(w, mem);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  // Simulator throughput on stderr, like load_trace's [trace_io] line;
+  // stdout stays reserved for tables/figures.
+  std::fprintf(stderr, "[sim] %s: %llu instructions in %.3f s (%.3g instructions/s)\n",
+               w.name.c_str(), static_cast<unsigned long long>(r.instructions),
+               elapsed.count(), static_cast<double>(r.instructions) / elapsed.count());
   return mem.take();
 }
 

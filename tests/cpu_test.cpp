@@ -227,11 +227,29 @@ main:   li   t0, 2
 )"), Error);
 }
 
-TEST(CpuTraps, StoreIntoText) {
-  EXPECT_THROW(run(R"(
-main:   li   t0, 0
-        sw   t0, 0(t0)
+// A store into the text segment re-decodes the patched words, so
+// self-modifying code executes the new instruction, not a stale decode.
+TEST(Cpu, SelfModifyingCodeRedecodes) {
+  auto out = run(R"(
+main:   lw   t0, patch(zero)
+        sw   t0, slot(zero)
+        li   t1, 7
+        li   t2, 5
+slot:   add  v0, t1, t2
         halt
+patch:  sub  v0, t1, t2
+)");
+  EXPECT_TRUE(out.result.halted);
+  EXPECT_EQ(out.v0, 2u);  // the patched sub, not the assembled add
+}
+
+// Scribbling a non-instruction over code is only an error if the word is
+// actually fetched afterwards.
+TEST(CpuTraps, FetchOverwrittenGarbage) {
+  EXPECT_THROW(run(R"(
+main:   li   t0, -1
+        sw   t0, next(zero)
+next:   halt
 )"), Error);
 }
 

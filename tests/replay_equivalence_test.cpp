@@ -1,24 +1,28 @@
 // Differential equivalence suite for the replay engines.
 //
-// The fast engine (cache/fast_cache.hpp) is only allowed to exist because
-// it is bit-identical to the behavioral reference: for every legal
+// The fast engine (cache/fast_cache.hpp) and the oneshot engine
+// (cache/stack_sweep.hpp) are only allowed to exist because they are
+// bit-identical to the behavioral reference: for every legal
 // configuration, both write policies, and victim buffer on/off, replaying
 // the same stream must produce the exact same CacheStats — every counter,
 // not just miss rates. This is the guarantee that lets every figure bench
-// default to --engine=fast while the paper's numbers stay attributable to
-// the reference model.
+// default to --engine=oneshot while the paper's numbers stay attributable
+// to the reference model.
 //
 // Streams: bounded prefixes of three real captured workloads (instruction
-// + data mix, so loads, stores, and fetches all appear) plus one synthetic
-// uniform-random stream whose working set exceeds the largest cache, to
-// stress eviction, write-back, and victim-buffer churn harder than the
-// well-behaved kernels do.
+// + data mix, so loads, stores, and fetches all appear) plus adversarial
+// synthetics — a uniform-random stream whose working set exceeds the
+// largest cache (eviction/write-back churn), a cache-line-stride write
+// scan (pathological set conflicts), a pointer chase (temporal reuse with
+// no spatial locality), and a tight fetch loop (the repeat fast path).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <map>
 #include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cache/config.hpp"
 #include "trace/replay.hpp"
@@ -52,6 +56,22 @@ std::span<const TraceRecord> synthetic_stream() {
     return gen_uniform(0x10000, 64 * 1024, kMaxRecords, 0.30, rng);
   }();
   return t;
+}
+
+// Adversarial streams for the bank/oneshot path: conflict-heavy strides,
+// pure temporal reuse, and a tight loop that lives on the repeat fast path.
+const std::vector<std::pair<std::string, Trace>>& adversarial_streams() {
+  static const auto* streams = [] {
+    auto* v = new std::vector<std::pair<std::string, Trace>>();
+    Rng rng(0x5EED5EED);
+    v->emplace_back("strided64",
+                    gen_strided(0x2000, 64, kMaxRecords / 2, 0.5, rng));
+    v->emplace_back("chase32k",
+                    gen_pointer_chase(0x8000, 32 * 1024, 16, kMaxRecords / 2, rng));
+    v->emplace_back("loop4k", gen_loop_ifetch(0x400, 4096, 100));
+    return v;
+  }();
+  return *streams;
 }
 
 void expect_identical(std::span<const TraceRecord> stream,
@@ -114,13 +134,14 @@ TEST(ReplayEquivalence, CustomTiming) {
   }
 }
 
-// The bank path (pack once, config-major) must equal per-config
-// measurement under both engines.
+// The bank path must equal per-config measurement under every engine.
+// (Per-config measurement resolves kOneshot to the fast kernel, so the
+// kOneshot row proves the stack-distance traversal against FastCacheSim.)
 TEST(ReplayEquivalence, BankMatchesPerConfig) {
   const std::span<const TraceRecord> stream = workload_prefix("bcnt");
   const std::vector<CacheConfig>& configs = all_configs();
   for (const ReplayEngine engine :
-       {ReplayEngine::kReference, ReplayEngine::kFast}) {
+       {ReplayEngine::kReference, ReplayEngine::kFast, ReplayEngine::kOneshot}) {
     const std::vector<CacheStats> bank =
         measure_config_bank(configs, stream, {}, engine);
     ASSERT_EQ(bank.size(), configs.size());
@@ -131,16 +152,87 @@ TEST(ReplayEquivalence, BankMatchesPerConfig) {
   }
 }
 
+// The oneshot bank must be bit-identical to the reference bank over the
+// full configuration space, on real workloads and on the adversarial
+// synthetics designed to break a shared-stack argument.
+void expect_bank_identical(std::span<const TraceRecord> stream,
+                           const std::string& stream_name) {
+  const std::vector<CacheConfig>& configs = all_configs();
+  const std::vector<CacheStats> ref =
+      measure_config_bank(configs, stream, {}, ReplayEngine::kReference);
+  const std::vector<CacheStats> oneshot =
+      measure_config_bank(configs, stream, {}, ReplayEngine::kOneshot);
+  ASSERT_EQ(ref.size(), oneshot.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    EXPECT_EQ(ref[c], oneshot[c])
+        << stream_name << " x " << configs[c].name() << " oneshot bank";
+  }
+}
+
+TEST(ReplayEquivalence, OneshotBankCrc) {
+  expect_bank_identical(workload_prefix("crc"), "crc");
+}
+
+TEST(ReplayEquivalence, OneshotBankUcbqsort) {
+  expect_bank_identical(workload_prefix("ucbqsort"), "ucbqsort");
+}
+
+TEST(ReplayEquivalence, OneshotBankAdversarial) {
+  expect_bank_identical(synthetic_stream(), "uniform64k");
+  for (const auto& [name, trace] : adversarial_streams()) {
+    expect_bank_identical(trace, name);
+  }
+}
+
+// Non-default timing through the bank path: the oneshot kernel derives
+// cycle/stall totals from its histogram at stats() time, which must match
+// the fast engine's per-access accumulation for any TimingParams.
+TEST(ReplayEquivalence, OneshotBankCustomTiming) {
+  TimingParams timing;
+  timing.hit_cycles = 2;
+  timing.mispredict_penalty = 3;
+  timing.victim_hit_penalty = 5;
+  timing.mem_latency = 41;
+  timing.cycles_per_beat = 7;
+  const std::span<const TraceRecord> stream = workload_prefix("crc");
+  const std::vector<CacheConfig>& configs = all_configs();
+  const std::vector<CacheStats> fast =
+      measure_config_bank(configs, stream, timing, ReplayEngine::kFast);
+  const std::vector<CacheStats> oneshot =
+      measure_config_bank(configs, stream, timing, ReplayEngine::kOneshot);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    EXPECT_EQ(fast[c], oneshot[c]) << configs[c].name() << " custom timing";
+  }
+}
+
+// The scratch-buffer overload is a pure allocation optimization: repeated
+// banks through one buffer must return the same stats as the plain call.
+TEST(ReplayEquivalence, BankScratchOverload) {
+  const std::span<const TraceRecord> stream = workload_prefix("bcnt");
+  const std::vector<CacheConfig>& configs = all_configs();
+  std::vector<std::uint32_t> scratch;
+  for (const ReplayEngine engine :
+       {ReplayEngine::kFast, ReplayEngine::kOneshot}) {
+    const std::vector<CacheStats> plain =
+        measure_config_bank(configs, stream, {}, engine);
+    const std::vector<CacheStats> reused =
+        measure_config_bank(configs, stream, {}, engine, scratch);
+    EXPECT_EQ(plain, reused) << to_string(engine);
+    EXPECT_EQ(scratch.size(), stream.size());
+  }
+}
+
 // The engine selector: kDefault resolves to the process default, which is
-// fast unless overridden.
+// oneshot unless overridden.
 TEST(ReplayEquivalence, EngineSelector) {
-  EXPECT_EQ(default_replay_engine(), ReplayEngine::kFast);
+  EXPECT_EQ(default_replay_engine(), ReplayEngine::kOneshot);
   set_default_replay_engine(ReplayEngine::kReference);
   EXPECT_EQ(default_replay_engine(), ReplayEngine::kReference);
   set_default_replay_engine(ReplayEngine::kDefault);  // reset
-  EXPECT_EQ(default_replay_engine(), ReplayEngine::kFast);
+  EXPECT_EQ(default_replay_engine(), ReplayEngine::kOneshot);
   EXPECT_EQ(parse_replay_engine("fast"), ReplayEngine::kFast);
   EXPECT_EQ(parse_replay_engine("reference"), ReplayEngine::kReference);
+  EXPECT_EQ(parse_replay_engine("oneshot"), ReplayEngine::kOneshot);
   EXPECT_THROW(parse_replay_engine("warp"), Error);
 }
 

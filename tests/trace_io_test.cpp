@@ -152,5 +152,34 @@ TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(load_trace("/nonexistent/dir/trace.stct"), Error);
 }
 
+// The out-parameter overloads must behave like the by-value forms while
+// reusing the buffer: rereading into a vector that already held a larger
+// trace clears the stale records and keeps the capacity.
+TEST(TraceIo, OutParamOverloadsReuseBuffer) {
+  const Trace big = random_trace(7, 10'000);
+  const Trace small = random_trace(8, 100);
+
+  std::stringstream ss;
+  write_trace(ss, big);
+  Trace out;
+  read_trace(ss, out);
+  EXPECT_EQ(out, big);
+  const std::size_t cap = out.capacity();
+
+  std::stringstream ss2;
+  write_trace(ss2, small);
+  read_trace(ss2, out);
+  EXPECT_EQ(out, small);
+  EXPECT_EQ(out.capacity(), cap);  // no reallocation for the smaller read
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "stc_trace_io_reuse.stct")
+          .string();
+  save_trace(path, big);
+  load_trace(path, out);
+  EXPECT_EQ(out, big);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace stcache

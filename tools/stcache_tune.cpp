@@ -1,7 +1,7 @@
 // stcache_tune — run the paper's tuning heuristic on a saved trace.
 //
 //   stcache_tune <file.stct> [I|D] [--exhaustive] [--jobs N]
-//                [--metrics-out file.json] [--engine reference|fast]
+//                [--metrics-out file.json] [--engine reference|fast|oneshot]
 //
 // Splits the trace, tunes the selected stream's cache (instruction by
 // default) with the Figure 6 heuristic, and prints the decision. With
@@ -28,7 +28,7 @@ int run(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: stcache_tune <file.stct> [I|D] [--exhaustive] "
                  "[--jobs N] [--metrics-out file.json] "
-                 "[--engine reference|fast]\n";
+                 "[--engine reference|fast|oneshot]\n";
     return 2;
   }
   const std::string path = argv[1];
@@ -75,18 +75,24 @@ int run(int argc, char** argv) {
                  fmt_si_energy(heur.best_energy),
                  fmt_percent(1.0 - heur.best_energy / base, 1)});
   if (exhaustive) {
-    // Evaluate the full 27-point space with one sweep job per
-    // configuration, then prime a fresh evaluator so tune_exhaustive()
-    // (and its registry-order tie-breaking) runs as pure lookups.
+    // Evaluate the full 27-point space as one bank job — the stream is
+    // decoded once, and under the oneshot engine each line-size group is
+    // covered by a single stack-distance traversal — then prime a fresh
+    // evaluator so tune_exhaustive() (and its registry-order tie-breaking)
+    // runs as pure lookups. A single trace leaves nothing to shard by
+    // workload, so the sweep is one job; --jobs still bounds the pool.
     SweepRunner runner(sweep);
     const auto& configs = all_configs();
-    const std::vector<CacheStats> measured = runner.map<CacheStats>(
-        configs.size(),
-        [&](std::size_t j) {
-          runner.add_accesses(stream.size());
-          return measure_config(configs[j], stream);
-        },
-        [&](std::size_t j) { return configs[j].name(); });
+    const std::vector<CacheStats> measured =
+        runner
+            .map<std::vector<CacheStats>>(
+                1,
+                [&](std::size_t) {
+                  runner.add_accesses(stream.size() * configs.size());
+                  return measure_config_bank(configs, stream);
+                },
+                [&](std::size_t) { return std::string("all configs"); })
+            .front();
     TraceEvaluator primed(stream, model);
     for (std::size_t j = 0; j < configs.size(); ++j) {
       primed.prime(configs[j], measured[j]);
