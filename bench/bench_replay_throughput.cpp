@@ -1,18 +1,33 @@
 // bench_replay_throughput — differential throughput of the three replay
-// engines on the exhaustive 27-configuration bank sweep.
+// engines on the exhaustive 27-configuration bank sweep, of the two
+// interpreters on trace capture, and of the streaming pipeline against the
+// capture-to-disk round trip.
 //
 // Usage: bench_replay_throughput [--reps N] [--max-records N]
 //                                [--out file.json]
 //
-// For each workload, the 27 legal configurations are grouped into
-// specialization classes by (ways, way prediction) — 1W:9, 2W:6, 2W_P:6,
-// 4W:3, 4W_P:3 — and each class's bank sweep is timed under all three
-// engines (best of --reps runs; default 3). The exhaustive row ("all") is
-// timed DIRECTLY as one 27-configuration bank, not summed from the class
-// rows: the oneshot engine shares one stack-distance traversal per line
-// size across every specialization class, so a class-major sum would
-// charge it three traversals per class and understate the sharing. The
-// directly-timed all-27 row is the acceptance metric (oneshot vs fast).
+// Replay section: for each workload, the 27 legal configurations are
+// grouped into specialization classes by (ways, way prediction) — 1W:9,
+// 2W:6, 2W_P:6, 4W:3, 4W_P:3 — and each class's bank sweep is timed under
+// all three engines (best of --reps runs; default 3). The exhaustive row
+// ("all") is timed DIRECTLY as one 27-configuration bank, not summed from
+// the class rows: the oneshot engine shares one stack-distance traversal
+// per line size across every specialization class, so a class-major sum
+// would charge it three traversals per class and understate the sharing.
+//
+// Capture section: each workload is captured end to end by the reference
+// interpreter (Cpu + TracingMemory, the stcache_trace path) and by the
+// fast interpreter (FastCpu + PackedBufferSink, the capture_packed path),
+// reported in instructions/second. The fast/reference ratio is the PR's
+// capture acceptance metric (>= 3x, gated by scripts/bench_check.py).
+//
+// End-to-end section: the full exhaustive-tune pipeline per workload,
+// (a) the old round trip — reference capture, save_trace to disk,
+// load_packed_trace back, 27-config bank sweep — against (b) the streaming
+// pipeline — stream_workload folding chunks straight into a
+// BankAccumulator, no trace ever materialized. The streaming/disk ratio is
+// the second acceptance metric (>= 2x, also gated by bench_check.py).
+//
 // Results land on stdout as a table and in --out (default
 // BENCH_replay.json) as JSON; the committed BENCH_replay.json at the repo
 // root is a snapshot from the container this repo is developed in, and
@@ -29,8 +44,13 @@
 #include <string>
 #include <vector>
 
+#include "isa/assembler.hpp"
+#include "sim/cpu.hpp"
+#include "sim/fast_cpu.hpp"
 #include "trace/replay.hpp"
+#include "trace/stream.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 #include "workloads/workload.hpp"
@@ -95,6 +115,97 @@ std::string json_rates(const EngineTimes& t, double recs) {
          ", \"oneshot_records_per_second\": " + fmt(recs / t.oneshot) +
          ", \"fast_speedup\": " + fmt(t.ref / t.fast) +
          ", \"oneshot_speedup\": " + fmt(t.fast / t.oneshot);
+}
+
+template <typename F>
+double best_of(unsigned reps, F&& body) {
+  double best = 0.0;
+  for (unsigned r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (r == 0 || elapsed.count() < best) best = elapsed.count();
+  }
+  return best;
+}
+
+// --- capture throughput ------------------------------------------------------
+
+struct CaptureTimes {
+  std::uint64_t instructions = 0;
+  double ref = 0.0;   // reference interpreter, TraceRecord capture
+  double fast = 0.0;  // fast interpreter, packed capture
+};
+
+// Times workload -> packed split streams, the product every replay path
+// consumes, with assembly hoisted out. The reference route is the old
+// round trip: Cpu + TracingMemory capture, split_trace, pack_stream on
+// both halves. The fast route emits the packed split streams directly
+// (FastCpu + PackedBufferSink) — interpreter construction including the
+// predecode pass is inside the timed region.
+CaptureTimes time_capture(const Workload& w, unsigned reps) {
+  CaptureTimes t;
+  const Program p = assemble(w.source);
+  std::vector<std::uint32_t> iscratch, dscratch;
+  t.ref = best_of(reps, [&] {
+    TracingMemory tm;
+    Cpu cpu(p, tm, w.mem_bytes);
+    const RunResult r = cpu.run(w.max_instructions);
+    if (!r.halted || cpu.reg(kV0) != w.expected_checksum) {
+      fail("reference capture failed for " + w.name);
+    }
+    t.instructions = r.instructions;
+    const SplitTrace split = split_trace(tm.trace());
+    pack_stream(split.ifetch, iscratch);
+    pack_stream(split.data, dscratch);
+  });
+  t.fast = best_of(reps, [&] {
+    FastCpu cpu(p, w.mem_bytes);
+    PackedBufferSink sink;
+    const RunResult r = cpu.run(w.max_instructions, sink);
+    if (!r.halted || cpu.reg(kV0) != w.expected_checksum ||
+        r.instructions != t.instructions) {
+      fail("fast capture diverged for " + w.name);
+    }
+  });
+  return t;
+}
+
+// --- end-to-end exhaustive tune ----------------------------------------------
+
+struct EndToEndTimes {
+  double disk = 0.0;       // reference capture -> save -> load -> bank sweep
+  double streaming = 0.0;  // stream_workload -> BankAccumulator, no trace
+};
+
+EndToEndTimes time_end_to_end(const Workload& w, unsigned reps,
+                              const std::string& scratch_path) {
+  EndToEndTimes t;
+  const std::vector<CacheConfig>& configs = all_configs();
+  t.disk = best_of(reps, [&] {
+    const Program p = assemble(w.source);
+    TracingMemory tm;
+    Cpu cpu(p, tm, w.mem_bytes);
+    const RunResult r = cpu.run(w.max_instructions);
+    if (!r.halted || cpu.reg(kV0) != w.expected_checksum) {
+      fail("reference capture failed for " + w.name);
+    }
+    save_trace(scratch_path, tm.trace());
+    const PackedSplitTrace split = load_packed_trace(scratch_path);
+    BankAccumulator bank(configs);
+    bank.feed(split.ifetch);
+    if (bank.stats().size() != configs.size()) fail("bank dropped configs");
+  });
+  t.streaming = best_of(reps, [&] {
+    BankAccumulator bank(configs);
+    stream_workload(w, [&](const PackedChunk& chunk) {
+      bank.feed(chunk.ifetch_words());
+    });
+    if (bank.stats().size() != configs.size()) fail("bank dropped configs");
+  });
+  std::remove(scratch_path.c_str());
+  return t;
 }
 
 int run(int argc, char** argv) {
@@ -178,7 +289,80 @@ int run(int argc, char** argv) {
             << fmt(total.ref / total.fast) << "x, oneshot vs fast "
             << fmt(total.fast / total.oneshot) << "x\n";
 
-  json += "  ],\n  \"overall\": {" + json_rates(total, recs) + "}\n}\n";
+  // --- capture throughput: reference vs fast interpreter --------------------
+  Table cap_table({"workload", "instructions", "reference instr/s",
+                   "fast instr/s", "fast/ref"});
+  std::string cap_json;
+  CaptureTimes cap_total;
+  std::uint64_t cap_instr = 0;
+  for (std::size_t wi = 0; wi < workload_set.size(); ++wi) {
+    const Workload& w = find_workload(workload_set[wi]);
+    const CaptureTimes t = time_capture(w, opts.reps);
+    const double instr = static_cast<double>(t.instructions);
+    cap_table.add_row({w.name, std::to_string(t.instructions),
+                       fmt(instr / t.ref), fmt(instr / t.fast),
+                       fmt(t.ref / t.fast)});
+    cap_total.ref += t.ref;
+    cap_total.fast += t.fast;
+    cap_instr += t.instructions;
+    if (!cap_json.empty()) cap_json += ",\n";
+    cap_json += "      {\"name\": \"" + w.name +
+                "\", \"instructions\": " + std::to_string(t.instructions) +
+                ", \"reference_instructions_per_second\": " +
+                fmt(instr / t.ref) + ", \"fast_instructions_per_second\": " +
+                fmt(instr / t.fast) + ", \"speedup\": " + fmt(t.ref / t.fast) +
+                "}";
+  }
+  const double cap_instr_d = static_cast<double>(cap_instr);
+  cap_table.add_row({"OVERALL", std::to_string(cap_instr),
+                     fmt(cap_instr_d / cap_total.ref),
+                     fmt(cap_instr_d / cap_total.fast),
+                     fmt(cap_total.ref / cap_total.fast)});
+  std::cout << "\n";
+  cap_table.print(std::cout);
+  std::cout << "\nTrace capture: fast interpreter vs reference "
+            << fmt(cap_total.ref / cap_total.fast) << "x\n";
+
+  // --- end-to-end exhaustive tune: streaming vs disk round trip -------------
+  const std::string scratch_path = opts.out + ".e2e.stct";
+  Table e2e_table({"workload", "disk round trip (s)", "streaming (s)",
+                   "streaming/disk"});
+  std::string e2e_json;
+  EndToEndTimes e2e_total;
+  for (std::size_t wi = 0; wi < workload_set.size(); ++wi) {
+    const Workload& w = find_workload(workload_set[wi]);
+    const EndToEndTimes t = time_end_to_end(w, opts.reps, scratch_path);
+    e2e_table.add_row({w.name, fmt(t.disk), fmt(t.streaming),
+                       fmt(t.disk / t.streaming)});
+    e2e_total.disk += t.disk;
+    e2e_total.streaming += t.streaming;
+    if (!e2e_json.empty()) e2e_json += ",\n";
+    e2e_json += "      {\"name\": \"" + w.name + "\", \"disk_seconds\": " +
+                fmt(t.disk) + ", \"streaming_seconds\": " + fmt(t.streaming) +
+                ", \"speedup\": " + fmt(t.disk / t.streaming) + "}";
+  }
+  e2e_table.add_row({"OVERALL", fmt(e2e_total.disk), fmt(e2e_total.streaming),
+                     fmt(e2e_total.disk / e2e_total.streaming)});
+  std::cout << "\n";
+  e2e_table.print(std::cout);
+  std::cout << "\nExhaustive tune end to end: streaming vs capture-to-disk "
+            << fmt(e2e_total.disk / e2e_total.streaming) << "x\n";
+
+  json += "  ],\n  \"overall\": {" + json_rates(total, recs) + "},\n";
+  json += "  \"capture\": {\n    \"workloads\": [\n" + cap_json +
+          "\n    ],\n    \"overall\": {\"instructions\": " +
+          std::to_string(cap_instr) +
+          ", \"reference_instructions_per_second\": " +
+          fmt(cap_instr_d / cap_total.ref) +
+          ", \"fast_instructions_per_second\": " +
+          fmt(cap_instr_d / cap_total.fast) +
+          ", \"speedup\": " + fmt(cap_total.ref / cap_total.fast) + "}\n  },\n";
+  json += "  \"end_to_end\": {\n    \"workloads\": [\n" + e2e_json +
+          "\n    ],\n    \"overall\": {\"disk_seconds\": " +
+          fmt(e2e_total.disk) + ", \"streaming_seconds\": " +
+          fmt(e2e_total.streaming) +
+          ", \"speedup\": " + fmt(e2e_total.disk / e2e_total.streaming) +
+          "}\n  }\n}\n";
   if (!opts.out.empty()) {
     std::ofstream os(opts.out);
     if (!os) {

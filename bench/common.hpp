@@ -7,6 +7,8 @@
 // of core/sweep.hpp.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -18,7 +20,9 @@
 #include "core/sweep.hpp"
 #include "energy/energy_model.hpp"
 #include "trace/replay.hpp"
+#include "trace/stream.hpp"
 #include "trace/trace.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "workloads/workload.hpp"
 
@@ -89,14 +93,18 @@ struct BenchOptions {
   SweepOptions sweep;       // --jobs N (0 = hardware_concurrency)
   std::string metrics_out;  // --metrics-out PATH (JSON)
   ReplayEngine engine = ReplayEngine::kOneshot;  // --engine reference|fast|oneshot
+  bool streaming = true;    // --pipeline streaming|materialized
 };
 
 // Parse the common sweep flags; exits with usage on anything unknown.
 // Installs the chosen replay engine as the process default and reports it
 // on stderr so every figure run is attributable to an engine (stdout stays
 // byte-identical across engines — that is what the equivalence suite
-// proves).
+// proves). Benches are measurement binaries, so the informational
+// [sim]/[trace_io]/[replay] stderr metrics stay on by default here (tools
+// default them off; see util/metrics.hpp).
 inline BenchOptions parse_bench_args(int argc, char** argv) {
+  set_metrics_enabled(true);
   BenchOptions opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -108,10 +116,20 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
       opts.engine = checked_engine(argv[0], argv[++i]);
     } else if (arg.rfind("--engine=", 0) == 0) {
       opts.engine = checked_engine(argv[0], arg.substr(9));
+    } else if (arg == "--pipeline" && i + 1 < argc) {
+      const std::string p = argv[++i];
+      if (p == "streaming") opts.streaming = true;
+      else if (p == "materialized") opts.streaming = false;
+      else {
+        std::cerr << argv[0] << ": unknown pipeline '" << p
+                  << "' (expected streaming|materialized)\n";
+        std::exit(2);
+      }
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--jobs N] [--metrics-out file.json]"
-                << " [--engine reference|fast|oneshot]\n";
+                << " [--engine reference|fast|oneshot]"
+                << " [--pipeline streaming|materialized]\n";
       std::exit(2);
     }
   }
@@ -138,6 +156,18 @@ inline void finish_sweep(const SweepRunner& runner, const BenchOptions& opts) {
 
 namespace stcache::bench {
 
+// The workloads in the same deterministic (name-sorted) order that
+// ordered_split_traces() uses, for benches that capture per job instead of
+// priming the process-wide trace cache. Keeping the order identical keeps
+// every serial floating-point reduction — and therefore stdout — identical.
+inline std::vector<const Workload*> ordered_workloads() {
+  std::vector<const Workload*> out;
+  for (const Workload& w : all_workloads()) out.push_back(&w);
+  std::sort(out.begin(), out.end(),
+            [](const Workload* a, const Workload* b) { return a->name < b->name; });
+  return out;
+}
+
 // Shared implementation of Figures 3 and 4: sweep the 18 base
 // configurations over all benchmarks' instruction or data streams,
 // reporting average miss rate and average normalized energy (normalized
@@ -145,12 +175,17 @@ namespace stcache::bench {
 // fetch energy).
 //
 // The (workload x configuration) grid is evaluated by a SweepRunner with
-// one BANK job per workload — measure_config_bank() decodes each stream
-// once and, under the oneshot engine, covers a whole line-size group in a
-// single stack-distance traversal. The averages are then reduced serially
-// in workload-major order, so the table is byte-identical for any --jobs
-// value and any --engine (per-cell stats are engine-invariant by the
-// equivalence suite).
+// one BANK job per workload. Each job captures its workload with the fast
+// interpreter directly in packed form — no TraceRecord AoS, no disk — and
+// folds it through a BankAccumulator, which under the oneshot engine
+// covers a whole line-size group in a single stack-distance traversal.
+// Under --pipeline streaming (the default) the capture thread overlaps the
+// sweep chunk by chunk; --pipeline materialized captures first and sweeps
+// after. The averages are then reduced serially in workload-major
+// (name-sorted) order, so the table is byte-identical for any --jobs
+// value, any --engine, and either pipeline (per-cell stats are
+// engine-invariant by the equivalence suite; chunked and one-shot feeding
+// are bit-identical by construction).
 inline int run_config_space_figure(bool instruction_stream,
                                    const BenchOptions& opts) {
   const char* which = instruction_stream ? "instruction" : "data";
@@ -160,7 +195,7 @@ inline int run_config_space_figure(bool instruction_stream,
                instruction_stream ? "Figure 3" : "Figure 4");
 
   const EnergyModel model;
-  const std::vector<NamedSplitTrace> traces = ordered_split_traces();
+  const std::vector<const Workload*> workloads = ordered_workloads();
   const std::vector<CacheConfig>& cfgs = base_configs();
 
   // Index of the normalization base (8K_4W_32B) inside the swept grid, so
@@ -177,24 +212,30 @@ inline int run_config_space_figure(bool instruction_stream,
   SweepRunner runner(opts.sweep);
   const std::vector<std::vector<Cell>> rows_by_workload =
       runner.map<std::vector<Cell>>(
-          traces.size(),
+          workloads.size(),
           [&](std::size_t w) {
-            const NamedSplitTrace& t = traces[w];
-            const Trace& stream =
-                instruction_stream ? t.split->ifetch : t.split->data;
-            const std::vector<CacheStats> bank =
-                measure_config_bank(cfgs, stream);
-            runner.add_accesses(stream.size() * cfgs.size());
+            BankAccumulator bank(cfgs);
+            if (opts.streaming) {
+              stream_workload(*workloads[w], [&](const PackedChunk& chunk) {
+                bank.feed(instruction_stream ? chunk.ifetch_words()
+                                             : chunk.data_words());
+              });
+            } else {
+              const PackedCapture cap = capture_packed(*workloads[w]);
+              bank.feed(instruction_stream ? cap.ifetch : cap.data);
+            }
+            const std::vector<CacheStats> stats = bank.stats();
+            runner.add_accesses(bank.words_fed() * cfgs.size());
             std::vector<Cell> row(cfgs.size());
             for (std::size_t c = 0; c < cfgs.size(); ++c) {
-              row[c] = Cell{bank[c].miss_rate(),
-                            model.evaluate(cfgs[c], bank[c]).total()};
+              row[c] = Cell{stats[c].miss_rate(),
+                            model.evaluate(cfgs[c], stats[c]).total()};
             }
             return row;
           },
-          [&](std::size_t w) { return *traces[w].name + " x all configs"; });
+          [&](std::size_t w) { return workloads[w]->name + " x all configs"; });
   std::vector<Cell> cells;
-  cells.reserve(traces.size() * cfgs.size());
+  cells.reserve(workloads.size() * cfgs.size());
   for (const std::vector<Cell>& row : rows_by_workload) {
     cells.insert(cells.end(), row.begin(), row.end());
   }
@@ -208,8 +249,8 @@ inline int run_config_space_figure(bool instruction_stream,
   std::vector<Row> rows;
   for (const CacheConfig& cfg : cfgs) rows.push_back({cfg, 0, 0});
 
-  const unsigned n = static_cast<unsigned>(traces.size());
-  for (std::size_t w = 0; w < traces.size(); ++w) {
+  const unsigned n = static_cast<unsigned>(workloads.size());
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
     const double base = cells[w * cfgs.size() + base_idx].energy;
     for (std::size_t c = 0; c < cfgs.size(); ++c) {
       const Cell& cell = cells[w * cfgs.size() + c];

@@ -3,15 +3,18 @@
 # table/figure harness. Outputs land in test_output.txt and bench_output.txt
 # at the repository root (the files EXPERIMENTS.md numbers come from).
 #
-#   ./repro.sh           full pipeline (build, all tests, TSan sweep tests,
-#                        ASan/UBSan fault+trace tests, the throughput
-#                        regression gate, every bench binary)
-#   ./repro.sh --quick   build + the parallel-sweep tests (native and TSan) +
-#                        the fault-injection, trace-format,
-#                        replay-equivalence and stack-sweep tests (native
-#                        and ASan/UBSan) + --jobs and --engine determinism
-#                        checks on bench_fig3; minutes, not the full
-#                        regeneration
+#   ./repro.sh           full pipeline (build, all tests, TSan sweep+stream
+#                        tests, ASan/UBSan fault+trace+interpreter tests,
+#                        the throughput/capture/end-to-end gates, the
+#                        streaming-tune determinism gate, every bench
+#                        binary)
+#   ./repro.sh --quick   build + the parallel-sweep and streaming tests
+#                        (native, TSan) + the fault-injection,
+#                        trace-format, replay-equivalence, stack-sweep,
+#                        fast-interpreter differential and stream tests
+#                        (native and ASan/UBSan) + --jobs/--engine/
+#                        --pipeline determinism checks on bench_fig3 and
+#                        stcache_tune; minutes, not the full regeneration
 #
 # See docs/experiments.md for what each bench binary reproduces.
 set -e
@@ -26,29 +29,36 @@ QUICK=0
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 
-# The sweep engine's tests also run under ThreadSanitizer: data races in the
-# thread pool or in shared sweep state would pass the functional tests by
-# luck, so the two concurrency test binaries are rebuilt with
-# -DSTCACHE_SANITIZE=thread and executed directly.
+# The sweep engine's and streaming pipeline's tests also run under
+# ThreadSanitizer: data races in the thread pool, in shared sweep state, or
+# in the SPSC chunk queue between the capture and consumer threads would
+# pass the functional tests by luck, so the concurrency test binaries are
+# rebuilt with -DSTCACHE_SANITIZE=thread and executed directly.
 cmake -B build-tsan -S . -DSTCACHE_SANITIZE=thread > /dev/null
-cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_test
+cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_test stream_test
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/sweep_runner_test
+./build-tsan/tests/stream_test
 
 # The fault-injection, trace-format, replay-equivalence and stack-sweep
 # tests run under Address/UB sanitizers too: they exercise bit-level
 # corruption, CRC footers, retry paths, and the fast/oneshot engines' SoA
 # indexing / bitmap arithmetic, where an off-by-one would read out of
 # bounds without necessarily failing a functional assertion.
+# fast_cpu_test and stream_test join them: the fast interpreter's
+# bump-pointer trace cursors and SMC rollback arithmetic are exactly the
+# kind of code where an off-by-one scribbles out of bounds silently.
 cmake -B build-asan -S . -DSTCACHE_SANITIZE=address,undefined > /dev/null
-cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test replay_equivalence_test stack_sweep_test
+cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test replay_equivalence_test stack_sweep_test fast_cpu_test stream_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/trace_io_test
 ./build-asan/tests/replay_equivalence_test
 ./build-asan/tests/stack_sweep_test
+./build-asan/tests/fast_cpu_test
+./build-asan/tests/stream_test
 
 if [ "$QUICK" = "1" ]; then
-    ctest --test-dir build -R 'ThreadPool|SweepRunner|Fault|TraceIo|ReplayEquivalence|StackSweep' --output-on-failure
+    ctest --test-dir build -R 'ThreadPool|SweepRunner|Fault|TraceIo|ReplayEquivalence|StackSweep|FastCpu|Workload|Spsc|Stream|BankAccumulator|PackedTraceIo' --output-on-failure
 
     # Determinism gate: the parallel sweep must reproduce the serial table
     # byte for byte (metrics go to stderr, so stdout is comparable).
@@ -64,16 +74,39 @@ if [ "$QUICK" = "1" ]; then
     ./build/bench/bench_fig3_icache_space --engine oneshot > /tmp/stcache_fig3_oneshot.txt
     cmp /tmp/stcache_fig3_ref.txt /tmp/stcache_fig3_fast.txt
     cmp /tmp/stcache_fig3_ref.txt /tmp/stcache_fig3_oneshot.txt
-    echo "Quick pass done: sweep/equivalence tests (native + sanitizers), --jobs and --engine determinism ok."
+    # Pipeline gate: the streaming capture->sweep overlap must reproduce the
+    # materialized run byte for byte, in the figure harness and in the
+    # exhaustive tuner.
+    ./build/bench/bench_fig3_icache_space --pipeline materialized > /tmp/stcache_fig3_mat.txt
+    cmp /tmp/stcache_fig3_ref.txt /tmp/stcache_fig3_mat.txt
+    ./build/tools/stcache_tune --workload crc --exhaustive --pipeline streaming > /tmp/stcache_tune_stream.txt
+    ./build/tools/stcache_tune --workload crc --exhaustive --pipeline materialized > /tmp/stcache_tune_mat.txt
+    cmp /tmp/stcache_tune_stream.txt /tmp/stcache_tune_mat.txt
+    echo "Quick pass done: sweep/equivalence/interpreter tests (native + sanitizers), --jobs, --engine and --pipeline determinism ok."
     exit 0
 fi
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
-# Throughput gate: a fresh bench_replay_throughput run must stay within
+# Streaming determinism gate: the overlapped capture->sweep pipeline must
+# print byte-identical tuning output to the materialized capture, for both
+# cache streams of a representative workload.
+for wl in crc ucbqsort; do
+  for streamsel in I D; do
+    ./build/tools/stcache_tune --workload "$wl" "$streamsel" --exhaustive --pipeline streaming > /tmp/stcache_tune_stream.txt
+    ./build/tools/stcache_tune --workload "$wl" "$streamsel" --exhaustive --pipeline materialized > /tmp/stcache_tune_mat.txt
+    cmp /tmp/stcache_tune_stream.txt /tmp/stcache_tune_mat.txt
+  done
+done
+echo "[repro] streaming-vs-materialized tune determinism ok" 
+
+# Throughput gates: a fresh bench_replay_throughput run must stay within
 # tolerance (default 20% per engine; STCACHE_BENCH_TOLERANCE overrides) of
-# the committed BENCH_replay.json. Skipped when the main build tree is
-# sanitized (throughput is not comparable) or python3 is unavailable.
+# the committed BENCH_replay.json, the fast interpreter must capture at
+# least 3x faster than the reference route, and the streaming exhaustive
+# tune must beat the capture-to-disk round trip by at least 2x. Skipped
+# when the main build tree is sanitized (throughput is not comparable) or
+# python3 is unavailable.
 SAN=$(grep -E '^STCACHE_SANITIZE:' build/CMakeCache.txt | cut -d= -f2)
 if [ -n "$SAN" ]; then
   echo "[bench_check] skipped: build/ is sanitized (STCACHE_SANITIZE=$SAN)"

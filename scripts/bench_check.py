@@ -1,16 +1,24 @@
 #!/usr/bin/env python3
-"""Gate replay-engine throughput against the committed baseline.
+"""Gate replay-engine and capture throughput against the committed baseline.
 
 Usage: bench_check.py BASELINE.json FRESH.json [--tolerance FRAC]
 
-Both files are bench_replay_throughput --out snapshots. The check compares
-the overall records/second of each engine (reference, fast, oneshot) and
-fails if any engine regressed by more than the tolerance (default 0.20,
-i.e. a fresh run slower than 80% of baseline; override with --tolerance or
-the STCACHE_BENCH_TOLERANCE environment variable). Speedups are never a
-failure — the baseline is a floor, not a target band — so a faster machine
-or compiler passes trivially, and the committed BENCH_replay.json should be
-regenerated whenever the floor moves up for real.
+Both files are bench_replay_throughput --out snapshots. Three checks run:
+
+1. Engine regression: the overall records/second of each replay engine
+   (reference, fast, oneshot) must stay within the tolerance of the
+   baseline (default 0.20, i.e. a fresh run slower than 80% of baseline
+   fails; override with --tolerance or STCACHE_BENCH_TOLERANCE). Speedups
+   are never a failure — the baseline is a floor, not a target band.
+2. Capture floor: the fast interpreter's overall capture speedup over the
+   reference route (capture + split + pack) must be at least
+   --capture-min (default 3.0, STCACHE_CAPTURE_MIN) in the FRESH run.
+3. End-to-end floor: the streaming exhaustive-tune pipeline must be at
+   least --e2e-min (default 2.0, STCACHE_E2E_MIN) times faster than the
+   capture-to-disk round trip in the FRESH run.
+
+The capture/end-to-end sections also regression-compare against the
+baseline when the baseline snapshot has them (older snapshots may not).
 
 repro.sh runs this in full (non-sanitizer) mode; sanitizer builds skip it
 because their throughput is not comparable to the committed snapshot.
@@ -24,9 +32,12 @@ import sys
 ENGINES = ("reference", "fast", "oneshot")
 
 
-def overall_rates(path):
+def load(path):
     with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def overall_rates(doc, path):
     overall = doc.get("overall")
     if not isinstance(overall, dict):
         sys.exit(f"error: {path}: no 'overall' object")
@@ -40,6 +51,20 @@ def overall_rates(path):
     return rates
 
 
+def section_overall(doc, section, key, path, required):
+    sec = doc.get(section)
+    if not isinstance(sec, dict) or not isinstance(sec.get("overall"), dict):
+        if required:
+            sys.exit(f"error: {path}: no '{section}.overall' object")
+        return None
+    value = sec["overall"].get(key)
+    if not isinstance(value, (int, float)) or value <= 0:
+        if required:
+            sys.exit(f"error: {path}: missing or non-positive '{section}.overall.{key}'")
+        return None
+    return float(value)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -50,12 +75,26 @@ def main():
         default=float(os.environ.get("STCACHE_BENCH_TOLERANCE", "0.20")),
         help="allowed fractional regression per engine (default 0.20)",
     )
+    parser.add_argument(
+        "--capture-min",
+        type=float,
+        default=float(os.environ.get("STCACHE_CAPTURE_MIN", "3.0")),
+        help="minimum fast-vs-reference capture speedup (default 3.0)",
+    )
+    parser.add_argument(
+        "--e2e-min",
+        type=float,
+        default=float(os.environ.get("STCACHE_E2E_MIN", "2.0")),
+        help="minimum streaming-vs-disk end-to-end speedup (default 2.0)",
+    )
     args = parser.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         sys.exit("error: --tolerance must be in [0, 1)")
 
-    base = overall_rates(args.baseline)
-    fresh = overall_rates(args.fresh)
+    base_doc = load(args.baseline)
+    fresh_doc = load(args.fresh)
+    base = overall_rates(base_doc, args.baseline)
+    fresh = overall_rates(fresh_doc, args.fresh)
 
     failed = False
     for engine in ENGINES:
@@ -68,14 +107,48 @@ def main():
             f"[bench_check] {engine:9s} baseline {base[engine]:.3e} rec/s, "
             f"fresh {fresh[engine]:.3e} rec/s ({ratio:.2f}x) {status}"
         )
+
+    # Absolute floors on the fresh run (the PR acceptance metrics).
+    capture = section_overall(fresh_doc, "capture", "speedup", args.fresh, True)
+    status = "ok" if capture >= args.capture_min else "BELOW FLOOR"
+    failed = failed or capture < args.capture_min
+    print(
+        f"[bench_check] capture   fast vs reference {capture:.2f}x "
+        f"(floor {args.capture_min:.2f}x) {status}"
+    )
+    e2e = section_overall(fresh_doc, "end_to_end", "speedup", args.fresh, True)
+    status = "ok" if e2e >= args.e2e_min else "BELOW FLOOR"
+    failed = failed or e2e < args.e2e_min
+    print(
+        f"[bench_check] end2end   streaming vs disk {e2e:.2f}x "
+        f"(floor {args.e2e_min:.2f}x) {status}"
+    )
+
+    # Rate regressions for the capture section when the baseline has it.
+    base_cap = section_overall(
+        base_doc, "capture", "fast_instructions_per_second", args.baseline, False
+    )
+    fresh_cap = section_overall(
+        fresh_doc, "capture", "fast_instructions_per_second", args.fresh, True
+    )
+    if base_cap is not None:
+        ratio = fresh_cap / base_cap
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSION"
+            failed = True
+        print(
+            f"[bench_check] capture   baseline {base_cap:.3e} instr/s, "
+            f"fresh {fresh_cap:.3e} instr/s ({ratio:.2f}x) {status}"
+        )
+
     if failed:
         print(
-            f"[bench_check] FAILED: an engine fell below "
-            f"{1.0 - args.tolerance:.0%} of the committed BENCH_replay.json; "
+            "[bench_check] FAILED: a throughput gate fell below its floor; "
             "investigate or regenerate the baseline if the change is intended."
         )
         return 1
-    print("[bench_check] all engines within tolerance")
+    print("[bench_check] all throughput gates passed")
     return 0
 
 

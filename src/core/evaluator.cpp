@@ -8,7 +8,8 @@ const TraceEvaluator::Entry& TraceEvaluator::measure(const CacheConfig& cfg) {
   auto it = cache_.find(cfg.name());
   if (it == cache_.end()) {
     Entry e;
-    e.stats = measure_config(cfg, stream_, timing_);
+    e.stats = packed_mode_ ? measure_config_packed(cfg, packed_, timing_)
+                           : measure_config(cfg, stream_, timing_);
     e.energy = model_->evaluate(cfg, e.stats).total();
     it = cache_.emplace(cfg.name(), e).first;
   }

@@ -38,6 +38,16 @@ class TraceEvaluator final : public Evaluator {
                  TimingParams timing = {})
       : stream_(stream), model_(&model), timing_(timing) {}
 
+  // Packed-stream variant (capture_packed / load_packed_trace output):
+  // measures on demand through measure_config_packed, which is stats-
+  // identical to the record path for every engine. This is what lets the
+  // in-process tuning pipeline evaluate without ever materializing a
+  // TraceRecord AoS.
+  TraceEvaluator(std::span<const std::uint32_t> packed_stream,
+                 const EnergyModel& model, TimingParams timing = {})
+      : packed_(packed_stream), packed_mode_(true), model_(&model),
+        timing_(timing) {}
+
   double energy(const CacheConfig& cfg) override;
   unsigned evaluations() const override {
     return static_cast<unsigned>(cache_.size());
@@ -61,6 +71,8 @@ class TraceEvaluator final : public Evaluator {
   const Entry& measure(const CacheConfig& cfg);
 
   std::span<const TraceRecord> stream_;
+  std::span<const std::uint32_t> packed_;
+  bool packed_mode_ = false;
   const EnergyModel* model_;
   TimingParams timing_;
   std::map<std::string, Entry> cache_;

@@ -1,0 +1,84 @@
+// Dense execution form of a decoded instruction.
+//
+// The reference interpreter (sim/cpu.hpp) dispatches a 16-byte `Instr` per
+// step through a compiler-generated switch. The fast interpreter
+// (sim/fast_cpu.hpp) instead predecodes the whole text segment into this
+// 8-byte form: a handler index (the `Op` value, contiguous from 0, plus
+// one synthetic "bad slot" handler for words that do not decode) and the
+// three operand bytes + 32-bit immediate its handler consumes. Immediates
+// are pre-massaged so handlers do no field selection at run time:
+//
+//   R-type ALU         a=rd  b=rs  c=rt            (imm = shamt for shifts)
+//   I-type ALU         a=rt  b=rs  imm = sign-extended immediate
+//   branch             b=rs  c=rt  imm = 4 + (offset << 2)   (pc += imm)
+//   load/store         a=rt  b=rs  imm = byte offset
+//   j/jal              imm = target byte address
+//   jr/jalr            a=rd  b=rs
+//
+// The handler index doubles as the label-table index for computed-goto
+// dispatch, which is why kBadSlot must stay the last entry.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.hpp"
+
+namespace stcache {
+
+// Handler indices 0..kNumOps-1 are exactly Op values; kBadSlotHandler marks
+// a text word that failed to decode (data interleaved with code, or a store
+// that scribbled garbage over an instruction). Fetching it re-raises the
+// word's decode error, like the reference's decode_ok_ bookkeeping.
+inline constexpr std::uint8_t kNumOps = static_cast<std::uint8_t>(Op::kJal) + 1;
+inline constexpr std::uint8_t kBadSlotHandler = kNumOps;
+inline constexpr std::uint8_t kNumHandlers = kNumOps + 1;
+
+struct DenseInstr {
+  std::uint8_t h = kBadSlotHandler;  // Op value, or kBadSlotHandler
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+  std::uint8_t c = 0;
+  std::int32_t imm = 0;
+};
+static_assert(sizeof(DenseInstr) == 8, "DenseInstr must stay one dense word");
+
+// True for instructions that end a straight-line run: branches, jumps and
+// halt. Everything else (ALU, loads, stores) can execute inside a
+// superblock without touching the program counter.
+inline bool is_control(Op op) {
+  return op == Op::kHalt || is_branch(op) || is_jump(op);
+}
+
+inline DenseInstr densify(const Instr& in) {
+  DenseInstr d;
+  d.h = static_cast<std::uint8_t>(in.op);
+  if (is_branch(in.op)) {
+    d.b = in.rs;
+    d.c = in.rt;
+    d.imm = 4 + (in.imm << 2);  // taken: pc += imm; not taken: pc += 4
+  } else if (in.op == Op::kJ || in.op == Op::kJal) {
+    d.imm = static_cast<std::int32_t>(in.target);
+  } else if (is_load(in.op) || is_store(in.op)) {
+    d.a = in.rt;
+    d.b = in.rs;
+    d.imm = in.imm;
+  } else if (in.op == Op::kSll || in.op == Op::kSrl || in.op == Op::kSra) {
+    d.a = in.rd;
+    d.c = in.rt;
+    d.imm = in.shamt;
+  } else if (in.op == Op::kAddi || in.op == Op::kSlti || in.op == Op::kSltiu ||
+             in.op == Op::kAndi || in.op == Op::kOri || in.op == Op::kXori ||
+             in.op == Op::kLui) {
+    d.a = in.rt;
+    d.b = in.rs;
+    d.imm = in.imm;
+  } else {
+    // R-type ALU, jr/jalr, halt.
+    d.a = in.rd;
+    d.b = in.rs;
+    d.c = in.rt;
+  }
+  return d;
+}
+
+}  // namespace stcache

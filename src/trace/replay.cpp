@@ -114,13 +114,113 @@ CacheStats measure_geometry(const CacheGeometry& g,
   return replay(cache, stream);
 }
 
+CacheStats measure_config_packed(const CacheConfig& cfg,
+                                 std::span<const std::uint32_t> packed,
+                                 const TimingParams& timing,
+                                 ReplayEngine engine) {
+  if (resolve(engine) == ReplayEngine::kReference) {
+    ConfigurableCache cache(cfg, timing);
+    for (const std::uint32_t word : packed) {
+      cache.access((word & FastCacheSim::kPackedBlockMask) << 4,
+                   (word & FastCacheSim::kPackedWriteBit) != 0);
+    }
+    return cache.stats();
+  }
+  FastCacheSim sim(cfg, timing);
+  sim.replay(packed);
+  return sim.stats();
+}
+
+BankAccumulator::BankAccumulator(std::span<const CacheConfig> configs,
+                                 const TimingParams& timing,
+                                 ReplayEngine engine)
+    : n_(configs.size()) {
+  switch (resolve(engine)) {
+    case ReplayEngine::kReference:
+      reference_bank_.reserve(n_);
+      for (const CacheConfig& cfg : configs) {
+        reference_bank_.emplace_back(cfg, timing);
+      }
+      break;
+    case ReplayEngine::kFast:
+      fast_bank_.reserve(n_);
+      for (const CacheConfig& cfg : configs) {
+        fast_bank_.emplace_back(cfg, timing);
+      }
+      break;
+    default:
+      // Oneshot: one stack-distance traversal per line size evaluates every
+      // configuration of that group at once; a singleton group gains
+      // nothing from the shared traversal and runs on the fast kernel.
+      for (const LineBytes line : kLineSizes) {
+        std::vector<CacheConfig> group;
+        std::vector<std::size_t> where;
+        for (std::size_t i = 0; i < n_; ++i) {
+          if (configs[i].line == line) {
+            group.push_back(configs[i]);
+            where.push_back(i);
+          }
+        }
+        if (group.empty()) continue;
+        if (group.size() == 1) {
+          singleton_where_.push_back(where.front());
+          singleton_sims_.emplace_back(group.front(), timing);
+          continue;
+        }
+        StackSweepSim sweep(group, timing);
+        sweep_groups_.push_back(
+            {std::move(sweep), std::move(group), std::move(where)});
+      }
+      break;
+  }
+}
+
+void BankAccumulator::feed(std::span<const std::uint32_t> packed) {
+  words_fed_ += packed.size();
+  if (!reference_bank_.empty()) {
+    for (const std::uint32_t word : packed) {
+      const std::uint32_t addr = (word & FastCacheSim::kPackedBlockMask) << 4;
+      const bool write = (word & FastCacheSim::kPackedWriteBit) != 0;
+      for (ConfigurableCache& cache : reference_bank_) {
+        cache.access(addr, write);
+      }
+    }
+    return;
+  }
+  for (FastCacheSim& sim : fast_bank_) sim.replay(packed);
+  for (SweepGroup& g : sweep_groups_) g.sweep.replay(packed);
+  for (FastCacheSim& sim : singleton_sims_) sim.replay(packed);
+}
+
+std::vector<CacheStats> BankAccumulator::stats() const {
+  std::vector<CacheStats> out(n_);
+  for (std::size_t i = 0; i < reference_bank_.size(); ++i) {
+    out[i] = reference_bank_[i].stats();
+  }
+  for (std::size_t i = 0; i < fast_bank_.size(); ++i) {
+    out[i] = fast_bank_[i].stats();
+  }
+  for (const SweepGroup& g : sweep_groups_) {
+    for (std::size_t j = 0; j < g.configs.size(); ++j) {
+      out[g.where[j]] = g.sweep.stats(g.configs[j]);
+    }
+  }
+  for (std::size_t i = 0; i < singleton_sims_.size(); ++i) {
+    out[singleton_where_[i]] = singleton_sims_[i].stats();
+  }
+  return out;
+}
+
 std::vector<CacheStats> measure_config_bank(
     std::span<const CacheConfig> configs, std::span<const TraceRecord> stream,
     const TimingParams& timing, ReplayEngine engine,
     std::vector<std::uint32_t>& packed_scratch) {
-  std::vector<CacheStats> stats(configs.size());
   const ReplayEngine resolved = resolve(engine);
   if (resolved == ReplayEngine::kReference) {
+    // The reference bank keeps its historical record-major loop over the
+    // raw (unpacked) addresses: no packing pass, and full addresses in
+    // case a future geometry ever looks below bit 4.
+    std::vector<CacheStats> stats(configs.size());
     std::vector<ConfigurableCache> bank;
     bank.reserve(configs.size());
     for (const CacheConfig& cfg : configs) bank.emplace_back(cfg, timing);
@@ -132,46 +232,13 @@ std::vector<CacheStats> measure_config_bank(
     return stats;
   }
 
-  // Decode/pack once; both remaining engines stream the shared packed
-  // records with their few-KB working state cache-resident.
+  // Decode/pack once; the packed engines stream the shared packed records
+  // with their few-KB working state cache-resident. One whole-stream feed
+  // through the accumulator is exactly the old one-shot bank sweep.
   pack_stream(stream, packed_scratch);
-  const std::span<const std::uint32_t> packed(packed_scratch);
-
-  if (resolved == ReplayEngine::kOneshot) {
-    // One stack-distance traversal per line size evaluates every config of
-    // that group at once; a singleton group gains nothing from the shared
-    // traversal and runs on the fast kernel instead.
-    for (const LineBytes line : kLineSizes) {
-      std::vector<CacheConfig> group;
-      std::vector<std::size_t> where;
-      for (std::size_t i = 0; i < configs.size(); ++i) {
-        if (configs[i].line == line) {
-          group.push_back(configs[i]);
-          where.push_back(i);
-        }
-      }
-      if (group.empty()) continue;
-      if (group.size() == 1) {
-        FastCacheSim sim(group.front(), timing);
-        sim.replay(packed);
-        stats[where.front()] = sim.stats();
-        continue;
-      }
-      StackSweepSim sweep(group, timing);
-      sweep.replay(packed);
-      for (std::size_t j = 0; j < group.size(); ++j) {
-        stats[where[j]] = sweep.stats(group[j]);
-      }
-    }
-    return stats;
-  }
-
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    FastCacheSim sim(configs[i], timing);
-    sim.replay(packed);
-    stats[i] = sim.stats();
-  }
-  return stats;
+  BankAccumulator bank(configs, timing, resolved);
+  bank.feed(packed_scratch);
+  return bank.stats();
 }
 
 std::vector<CacheStats> measure_config_bank(

@@ -32,6 +32,8 @@
 #include "cache/cache_model.hpp"
 #include "cache/config.hpp"
 #include "cache/configurable_cache.hpp"
+#include "cache/fast_cache.hpp"
+#include "cache/stack_sweep.hpp"
 #include "trace/trace.hpp"
 
 namespace stcache {
@@ -93,6 +95,16 @@ CacheStats measure_geometry(const CacheGeometry& g,
                             std::span<const TraceRecord> stream,
                             const TimingParams& timing = {});
 
+// Cold-start evaluation of one configuration against an already-packed
+// stream (capture_packed / load_packed_trace output). Stats are
+// bit-identical to measure_config over the unpacked records for every
+// engine: the reference path replays block << 4, and no 16 B-or-wider
+// geometry inspects the discarded low bits.
+CacheStats measure_config_packed(const CacheConfig& cfg,
+                                 std::span<const std::uint32_t> packed,
+                                 const TimingParams& timing = {},
+                                 ReplayEngine engine = ReplayEngine::kDefault);
+
 // Bank evaluation: evaluate every configuration cold against one stream,
 // decoding the trace once. stats[i] is bit-identical to
 // measure_config(configs[i], stream, timing); the sweep tests assert this.
@@ -111,5 +123,44 @@ std::vector<CacheStats> measure_config_bank(
     std::span<const CacheConfig> configs, std::span<const TraceRecord> stream,
     const TimingParams& timing, ReplayEngine engine,
     std::vector<std::uint32_t>& packed_scratch);
+
+// Incremental bank evaluation over a *packed* stream. Construction fixes
+// the configurations and engine; feed() folds any number of in-order
+// packed slices — the streaming pipeline's chunks, or one whole stream —
+// and stats() returns results bit-identical to measure_config_bank() over
+// the concatenation of everything fed. All three engines accumulate across
+// replay calls by construction, which is what lets a capture thread
+// overlap the sweep chunk by chunk. The engine is resolved at
+// construction, so a bank outlives later set_default_replay_engine calls.
+//
+// The reference path feeds ConfigurableCache::access(block << 4, write):
+// packing discards the low 4 address bits, which no 16 B-or-wider cache
+// geometry ever inspects (the equivalence suite proves stats invariance).
+class BankAccumulator {
+ public:
+  BankAccumulator(std::span<const CacheConfig> configs,
+                  const TimingParams& timing = {},
+                  ReplayEngine engine = ReplayEngine::kDefault);
+
+  void feed(std::span<const std::uint32_t> packed);
+  // stats()[i] corresponds to configs[i] at construction.
+  std::vector<CacheStats> stats() const;
+  std::uint64_t words_fed() const { return words_fed_; }
+
+ private:
+  std::size_t n_;
+  std::uint64_t words_fed_ = 0;
+  // Exactly one of the following banks is populated, per the engine.
+  std::vector<ConfigurableCache> reference_bank_;
+  std::vector<FastCacheSim> fast_bank_;  // fast engine, index-aligned
+  struct SweepGroup {
+    StackSweepSim sweep;
+    std::vector<CacheConfig> configs;
+    std::vector<std::size_t> where;  // indices into the bank's stats
+  };
+  std::vector<SweepGroup> sweep_groups_;          // oneshot: per line size
+  std::vector<std::size_t> singleton_where_;      // oneshot: fallback sims
+  std::vector<FastCacheSim> singleton_sims_;
+};
 
 }  // namespace stcache

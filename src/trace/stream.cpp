@@ -1,0 +1,211 @@
+#include "trace/stream.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+namespace {
+
+// Raised inside the producer thread when the consumer abandon()ed the
+// queue: unwinds the capture run promptly; stream_capture()'s producer
+// wrapper converts it into queue.fail(), where it is usually shadowed by
+// the consumer-side exception that caused the abandonment.
+[[noreturn]] void fail_abandoned_stream() {
+  fail("stream capture: consumer abandoned the stream");
+}
+
+}  // namespace
+
+// --- SpscChunkQueue ---------------------------------------------------------
+
+SpscChunkQueue::SpscChunkQueue(std::size_t max_depth)
+    : max_depth_(std::max<std::size_t>(1, max_depth)) {}
+
+PackedChunk SpscChunkQueue::acquire() {
+  PackedChunk chunk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      chunk = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  chunk.ifetch_count = 0;
+  chunk.data_count = 0;
+  return chunk;
+}
+
+bool SpscChunkQueue::push(PackedChunk&& chunk) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_push_.wait(lock,
+                 [&] { return full_.size() < max_depth_ || abandoned_; });
+  if (abandoned_) return false;
+  full_.push_back(std::move(chunk));
+  can_pop_.notify_one();
+  return true;
+}
+
+void SpscChunkQueue::finish() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_ = true;
+  }
+  can_pop_.notify_all();
+}
+
+void SpscChunkQueue::fail(std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_) error_ = std::move(error);
+    finished_ = true;
+  }
+  can_pop_.notify_all();
+}
+
+bool SpscChunkQueue::pop(PackedChunk& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_pop_.wait(lock, [&] { return !full_.empty() || finished_; });
+  // A producer error invalidates the whole capture: surface it immediately
+  // rather than draining chunks whose run never completed.
+  if (error_) std::rethrow_exception(error_);
+  if (full_.empty()) return false;  // finished and drained
+  out = std::move(full_.front());
+  full_.pop_front();
+  can_push_.notify_one();
+  return true;
+}
+
+void SpscChunkQueue::recycle(PackedChunk&& chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(chunk));
+}
+
+void SpscChunkQueue::abandon() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    abandoned_ = true;
+  }
+  can_push_.notify_all();
+}
+
+// --- ChunkQueueSink ---------------------------------------------------------
+
+ChunkQueueSink::ChunkQueueSink(SpscChunkQueue& queue, std::size_t chunk_words)
+    : queue_(queue), chunk_words_(std::max<std::size_t>(16, chunk_words)) {}
+
+void ChunkQueueSink::commit() {
+  if (!open_) return;
+  chunk_.ifetch_count = static_cast<std::size_t>(iw_ - chunk_.ifetch.data());
+  chunk_.data_count = static_cast<std::size_t>(dw_ - chunk_.data.data());
+}
+
+void ChunkQueueSink::open_chunk(std::size_t min_words) {
+  chunk_ = queue_.acquire();
+  const std::size_t words = std::max(chunk_words_, min_words);
+  if (chunk_.ifetch.size() < words) chunk_.ifetch.resize(words);
+  if (chunk_.data.size() < words) chunk_.data.resize(words);
+  iw_ = chunk_.ifetch.data();
+  iw_end_ = iw_ + chunk_.ifetch.size();
+  dw_ = chunk_.data.data();
+  dw_end_ = dw_ + chunk_.data.size();
+  open_ = true;
+}
+
+void ChunkQueueSink::refill(std::size_t min_free) {
+  commit();
+  if (open_ && (chunk_.ifetch_count > 0 || chunk_.data_count > 0)) {
+    if (!queue_.push(std::move(chunk_))) {
+      open_ = false;
+      fail_abandoned_stream();
+    }
+  }
+  open_chunk(min_free);
+}
+
+void ChunkQueueSink::flush() {
+  commit();
+  if (open_ && (chunk_.ifetch_count > 0 || chunk_.data_count > 0)) {
+    if (!queue_.push(std::move(chunk_))) {
+      open_ = false;
+      fail_abandoned_stream();
+    }
+  }
+  open_ = false;
+  iw_ = iw_end_ = dw_ = dw_end_ = nullptr;
+}
+
+// --- PackedBufferSink -------------------------------------------------------
+
+PackedBufferSink::PackedBufferSink(std::size_t initial_words) {
+  const std::size_t words = std::max<std::size_t>(16, initial_words);
+  ifetch_.resize(words);
+  data_.resize(words);
+  iw_ = ifetch_.data();
+  iw_end_ = iw_ + ifetch_.size();
+  dw_ = data_.data();
+  dw_end_ = dw_ + data_.size();
+}
+
+void PackedBufferSink::refill(std::size_t min_free) {
+  const std::size_t iused = static_cast<std::size_t>(iw_ - ifetch_.data());
+  const std::size_t dused = static_cast<std::size_t>(dw_ - data_.data());
+  ifetch_.resize(std::max(ifetch_.size() * 2, iused + min_free));
+  data_.resize(std::max(data_.size() * 2, dused + min_free));
+  iw_ = ifetch_.data() + iused;
+  iw_end_ = ifetch_.data() + ifetch_.size();
+  dw_ = data_.data() + dused;
+  dw_end_ = data_.data() + data_.size();
+}
+
+std::vector<std::uint32_t> PackedBufferSink::take_ifetch() {
+  ifetch_.resize(static_cast<std::size_t>(iw_ - ifetch_.data()));
+  iw_ = iw_end_ = nullptr;
+  return std::move(ifetch_);
+}
+
+std::vector<std::uint32_t> PackedBufferSink::take_data() {
+  data_.resize(static_cast<std::size_t>(dw_ - data_.data()));
+  dw_ = dw_end_ = nullptr;
+  return std::move(data_);
+}
+
+// --- stream_capture ---------------------------------------------------------
+
+RunResult stream_capture(const std::function<RunResult(PackedSink&)>& produce,
+                         const std::function<void(const PackedChunk&)>& consume,
+                         std::size_t chunk_words, std::size_t queue_depth) {
+  SpscChunkQueue queue(queue_depth);
+  RunResult result;  // written by the producer thread, read after join()
+  std::thread producer([&] {
+    try {
+      ChunkQueueSink sink(queue, chunk_words);
+      result = produce(sink);
+      sink.flush();
+      queue.finish();
+    } catch (...) {
+      queue.fail(std::current_exception());
+    }
+  });
+  PackedChunk chunk;
+  try {
+    while (queue.pop(chunk)) {
+      consume(chunk);
+      queue.recycle(std::move(chunk));
+    }
+  } catch (...) {
+    // Consumer failed (or the producer's error surfaced through pop):
+    // unblock any pending push so the producer unwinds, then join before
+    // rethrowing — the thread must not outlive `queue`.
+    queue.abandon();
+    producer.join();
+    throw;
+  }
+  producer.join();
+  return result;
+}
+
+}  // namespace stcache

@@ -11,6 +11,7 @@
 
 #include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace stcache {
 
@@ -43,6 +44,72 @@ std::uint64_t get_u64(std::istream& is) {
   const std::uint64_t lo = get_u32(is);
   const std::uint64_t hi = get_u32(is);
   return lo | (hi << 32);
+}
+
+// Shared front half of the readers: header validation, record-count sizing
+// against the actual stream length, and one bulk read of the payload.
+struct RawPayload {
+  std::vector<unsigned char> bytes;
+  std::uint64_t count = 0;
+  std::uint32_t version = 0;
+};
+
+RawPayload read_payload(std::istream& is) {
+  RawPayload p;
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kTraceMagic, 4) != 0) {
+    fail("trace read: bad magic (not an STCT trace)");
+  }
+  p.version = get_u32(is);
+  if (p.version < kTraceMinFormatVersion || p.version > kTraceFormatVersion) {
+    fail("trace read: unsupported format version " + std::to_string(p.version));
+  }
+  p.count = get_u64(is);
+  // Guard against absurd counts before allocating.
+  if (p.count > (1ull << 32)) fail("trace read: implausible record count");
+  const std::uint64_t payload_bytes = p.count * kRecordBytes;
+
+  // When the stream is seekable (files, string streams — every production
+  // reader), validate the declared record count against the bytes actually
+  // present BEFORE allocating payload-sized buffers, so a corrupted header
+  // fails with a clean error instead of a multi-gigabyte allocation.
+  {
+    const std::istream::pos_type pos = is.tellg();
+    if (pos != std::istream::pos_type(-1)) {
+      is.seekg(0, std::ios::end);
+      const std::istream::pos_type end = is.tellg();
+      is.seekg(pos);
+      if (!is || end == std::istream::pos_type(-1)) {
+        fail("trace read: stream failure while sizing the record section");
+      }
+      const std::uint64_t avail = static_cast<std::uint64_t>(end - pos);
+      const std::uint64_t need =
+          payload_bytes + (p.version >= 2 ? 4u : 0u);  // records + CRC footer
+      if (avail < need) fail("trace read: truncated record section");
+    }
+  }
+
+  p.bytes.resize(payload_bytes);
+  if (payload_bytes > 0) {
+    is.read(reinterpret_cast<char*>(p.bytes.data()),
+            static_cast<std::streamsize>(payload_bytes));
+    if (!is) fail("trace read: truncated record section");
+  }
+  return p;
+}
+
+// v2 footer: CRC-32 over the raw record payload. A mismatch means the
+// records were corrupted in storage or transit — every downstream number
+// would be quietly wrong, so reject the whole trace.
+void check_footer(std::istream& is, std::uint32_t version, const Crc32& crc) {
+  if (version < 2) return;
+  const std::uint32_t stored = get_u32(is);
+  if (stored != crc.value()) {
+    fail("trace read: CRC mismatch (stored " + std::to_string(stored) +
+         ", computed " + std::to_string(crc.value()) +
+         ") — the record payload is corrupted");
+  }
 }
 
 }  // namespace
@@ -83,57 +150,17 @@ Trace read_trace(std::istream& is) {
 
 void read_trace(std::istream& is, Trace& trace) {
   trace.clear();
-  char magic[4];
-  is.read(magic, 4);
-  if (!is || std::memcmp(magic, kTraceMagic, 4) != 0) {
-    fail("trace read: bad magic (not an STCT trace)");
-  }
-  const std::uint32_t version = get_u32(is);
-  if (version < kTraceMinFormatVersion || version > kTraceFormatVersion) {
-    fail("trace read: unsupported format version " + std::to_string(version));
-  }
-  const std::uint64_t count = get_u64(is);
-  // Guard against absurd counts before allocating.
-  if (count > (1ull << 32)) fail("trace read: implausible record count");
-  const std::uint64_t payload_bytes = count * kRecordBytes;
+  const RawPayload payload = read_payload(is);
 
-  // When the stream is seekable (files, string streams — every production
-  // reader), validate the declared record count against the bytes actually
-  // present BEFORE allocating payload-sized buffers, so a corrupted header
-  // fails with a clean error instead of a multi-gigabyte allocation.
-  {
-    const std::istream::pos_type pos = is.tellg();
-    if (pos != std::istream::pos_type(-1)) {
-      is.seekg(0, std::ios::end);
-      const std::istream::pos_type end = is.tellg();
-      is.seekg(pos);
-      if (!is || end == std::istream::pos_type(-1)) {
-        fail("trace read: stream failure while sizing the record section");
-      }
-      const std::uint64_t avail = static_cast<std::uint64_t>(end - pos);
-      const std::uint64_t need =
-          payload_bytes + (version >= 2 ? 4u : 0u);  // records + CRC footer
-      if (avail < need) fail("trace read: truncated record section");
-    }
-  }
-
-  // Single bulk read of the whole record payload, then one streaming sweep
-  // that interleaves CRC accumulation and decode over 8192-record slices
-  // (the slice is re-touched while still cache-hot; the payload itself is
-  // walked exactly once).
-  std::vector<unsigned char> buffer(payload_bytes);
-  if (payload_bytes > 0) {
-    is.read(reinterpret_cast<char*>(buffer.data()),
-            static_cast<std::streamsize>(payload_bytes));
-    if (!is) fail("trace read: truncated record section");
-  }
-
-  trace.reserve(count);
+  // One streaming sweep that interleaves CRC accumulation and decode over
+  // 8192-record slices (the slice is re-touched while still cache-hot; the
+  // payload itself is walked exactly once).
+  trace.reserve(payload.count);
   Crc32 crc;
   constexpr std::uint64_t kSliceRecords = 8192;
-  for (std::uint64_t done = 0; done < count; done += kSliceRecords) {
-    const std::uint64_t batch = std::min(kSliceRecords, count - done);
-    const unsigned char* slice = buffer.data() + done * kRecordBytes;
+  for (std::uint64_t done = 0; done < payload.count; done += kSliceRecords) {
+    const std::uint64_t batch = std::min(kSliceRecords, payload.count - done);
+    const unsigned char* slice = payload.bytes.data() + done * kRecordBytes;
     crc.update(slice, static_cast<std::size_t>(batch * kRecordBytes));
     for (std::uint64_t i = 0; i < batch; ++i) {
       const unsigned char* p = slice + i * kRecordBytes;
@@ -149,17 +176,47 @@ void read_trace(std::istream& is, Trace& trace) {
       trace.push_back(r);
     }
   }
-  // v2 footer: CRC-32 over the raw record payload. A mismatch means the
-  // records were corrupted in storage or transit — every downstream number
-  // would be quietly wrong, so reject the whole trace.
-  if (version >= 2) {
-    const std::uint32_t stored = get_u32(is);
-    if (stored != crc.value()) {
-      fail("trace read: CRC mismatch (stored " + std::to_string(stored) +
-           ", computed " + std::to_string(crc.value()) +
-           ") — the record payload is corrupted");
+  check_footer(is, payload.version, crc);
+}
+
+PackedSplitTrace read_packed_trace(std::istream& is) {
+  const RawPayload payload = read_payload(is);
+  PackedSplitTrace out;
+  // A trace is mostly instruction fetches (one per instruction vs. one
+  // data access per load/store), so the exact split is only known after
+  // the walk; reserving the full count for each stream wastes at most one
+  // transient allocation and never reallocates mid-decode.
+  out.ifetch.reserve(payload.count);
+  out.data.reserve(payload.count);
+  Crc32 crc;
+  constexpr std::uint64_t kSliceRecords = 8192;
+  for (std::uint64_t done = 0; done < payload.count; done += kSliceRecords) {
+    const std::uint64_t batch = std::min(kSliceRecords, payload.count - done);
+    const unsigned char* slice = payload.bytes.data() + done * kRecordBytes;
+    crc.update(slice, static_cast<std::size_t>(batch * kRecordBytes));
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      const unsigned char* p = slice + i * kRecordBytes;
+      const std::uint32_t addr = static_cast<std::uint32_t>(p[1]) |
+                                 (static_cast<std::uint32_t>(p[2]) << 8) |
+                                 (static_cast<std::uint32_t>(p[3]) << 16) |
+                                 (static_cast<std::uint32_t>(p[4]) << 24);
+      switch (p[0]) {
+        case static_cast<unsigned char>(AccessKind::kIFetch):
+          out.ifetch.push_back(addr >> 4);
+          break;
+        case static_cast<unsigned char>(AccessKind::kRead):
+          out.data.push_back(addr >> 4);
+          break;
+        case static_cast<unsigned char>(AccessKind::kWrite):
+          out.data.push_back((addr >> 4) | 0x8000'0000u);
+          break;
+        default:
+          fail("trace read: invalid access kind " + std::to_string(p[0]));
+      }
     }
   }
+  check_footer(is, payload.version, crc);
+  return out;
 }
 
 void save_trace(const std::string& path, const Trace& trace) {
@@ -176,6 +233,21 @@ Trace load_trace(const std::string& path) {
   return trace;
 }
 
+namespace {
+
+// Load-throughput metric on stderr (stdout stays reserved for figure
+// data), gated behind util/metrics.hpp so tool stderr stays clean by
+// default. Deliberately not prefixed "error:" — the CLI contract counts
+// only '^error: ' lines as failures.
+void io_metric(const std::string& path, std::size_t records, double seconds) {
+  if (!metrics_enabled()) return;
+  std::fprintf(stderr, "[trace_io] %s: %zu records in %.3f s (%.3g records/s)\n",
+               path.c_str(), records, seconds,
+               seconds > 0 ? static_cast<double>(records) / seconds : 0.0);
+}
+
+}  // namespace
+
 void load_trace(const std::string& path, Trace& trace) {
   std::ifstream is(path, std::ios::binary);
   if (!is) fail("load_trace: cannot open '" + path + "'");
@@ -183,14 +255,18 @@ void load_trace(const std::string& path, Trace& trace) {
   read_trace(is, trace);
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
-  // Load-throughput metric on stderr (stdout stays reserved for figure
-  // data). Deliberately not prefixed "error:" — the CLI contract counts
-  // only '^error: ' lines as failures.
-  std::fprintf(stderr, "[trace_io] %s: %zu records in %.3f s (%.3g records/s)\n",
-               path.c_str(), trace.size(), elapsed.count(),
-               elapsed.count() > 0 ? static_cast<double>(trace.size()) /
-                                         elapsed.count()
-                                   : 0.0);
+  io_metric(path, trace.size(), elapsed.count());
+}
+
+PackedSplitTrace load_packed_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail("load_packed_trace: cannot open '" + path + "'");
+  const auto start = std::chrono::steady_clock::now();
+  PackedSplitTrace split = read_packed_trace(is);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  io_metric(path, split.ifetch.size() + split.data.size(), elapsed.count());
+  return split;
 }
 
 }  // namespace stcache

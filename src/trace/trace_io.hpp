@@ -15,8 +15,10 @@
 // Version-1 files (no footer) are still accepted unchanged.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "trace/trace.hpp"
 
@@ -40,5 +42,18 @@ void read_trace(std::istream& is, Trace& out);
 void save_trace(const std::string& path, const Trace& trace);
 Trace load_trace(const std::string& path);
 void load_trace(const std::string& path, Trace& out);
+
+// Replay-only bulk reader: decode an STCT file's records straight into the
+// two split packed streams (pack_stream format: bit 31 = write, bits 30..0
+// = 16 B block number), skipping the TraceRecord AoS intermediate that
+// replay paths immediately split and pack anyway. One bulk read of the
+// payload, same validation as read_trace including the v2 CRC-32 footer.
+// Bit-identical to pack_stream over split_trace(load_trace(path)).
+struct PackedSplitTrace {
+  std::vector<std::uint32_t> ifetch;  // instruction fetches
+  std::vector<std::uint32_t> data;    // reads and writes
+};
+PackedSplitTrace read_packed_trace(std::istream& is);
+PackedSplitTrace load_packed_trace(const std::string& path);
 
 }  // namespace stcache

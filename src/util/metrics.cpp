@@ -1,0 +1,33 @@
+#include "util/metrics.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace stcache {
+
+namespace {
+
+// -1 = not yet resolved (consult STCACHE_METRICS), 0 = off, 1 = on.
+std::atomic<int> g_metrics{-1};
+
+int resolve_from_env() {
+  const char* v = std::getenv("STCACHE_METRICS");
+  const int on = (v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0) ? 1 : 0;
+  int expected = -1;
+  g_metrics.compare_exchange_strong(expected, on, std::memory_order_relaxed);
+  return g_metrics.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  const int s = g_metrics.load(std::memory_order_relaxed);
+  return (s < 0 ? resolve_from_env() : s) != 0;
+}
+
+void set_metrics_enabled(bool on) {
+  g_metrics.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace stcache

@@ -4,8 +4,10 @@
 #include <cstdio>
 
 #include "isa/assembler.hpp"
+#include "sim/fast_cpu.hpp"
 #include "sim/memory_system.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace stcache {
 
@@ -68,15 +70,14 @@ const Workload& find_workload(const std::string& name) {
 
 namespace {
 
-RunResult execute(const Workload& w, MemorySystem& mem) {
-  const Program program = assemble(w.source, w.name);
-  Cpu cpu(program, mem, w.mem_bytes);
-  RunResult r = cpu.run(w.max_instructions);
+// Shared halt/checksum verification: both interpreters must run the kernel
+// to completion and leave the reference checksum in v0 before any of its
+// trace is trusted.
+void check_run(const Workload& w, const RunResult& r, std::uint32_t v0) {
   if (!r.halted) {
     fail("workload '" + w.name + "' exceeded its instruction budget (" +
          std::to_string(w.max_instructions) + ")");
   }
-  const std::uint32_t v0 = cpu.reg(kV0);
   if (v0 != w.expected_checksum) {
     char buf[96];
     std::snprintf(buf, sizeof buf,
@@ -84,7 +85,24 @@ RunResult execute(const Workload& w, MemorySystem& mem) {
                   w.expected_checksum);
     fail("workload '" + w.name + "': " + buf);
   }
+}
+
+RunResult execute(const Workload& w, MemorySystem& mem) {
+  const Program program = assemble(w.source, w.name);
+  Cpu cpu(program, mem, w.mem_bytes);
+  RunResult r = cpu.run(w.max_instructions);
+  check_run(w, r, cpu.reg(kV0));
   return r;
+}
+
+// Simulator throughput on stderr (gated: util/metrics.hpp); stdout stays
+// reserved for tables/figures.
+void sim_metric(const Workload& w, const RunResult& r, double seconds) {
+  if (!metrics_enabled()) return;
+  std::fprintf(stderr,
+               "[sim] %s: %llu instructions in %.3f s (%.3g instructions/s)\n",
+               w.name.c_str(), static_cast<unsigned long long>(r.instructions),
+               seconds, static_cast<double>(r.instructions) / seconds);
 }
 
 }  // namespace
@@ -101,12 +119,46 @@ Trace capture_trace(const Workload& w) {
   const RunResult r = execute(w, mem);
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
-  // Simulator throughput on stderr, like load_trace's [trace_io] line;
-  // stdout stays reserved for tables/figures.
-  std::fprintf(stderr, "[sim] %s: %llu instructions in %.3f s (%.3g instructions/s)\n",
-               w.name.c_str(), static_cast<unsigned long long>(r.instructions),
-               elapsed.count(), static_cast<double>(r.instructions) / elapsed.count());
+  sim_metric(w, r, elapsed.count());
   return mem.take();
+}
+
+PackedCapture capture_packed(const Workload& w) {
+  const Program program = assemble(w.source, w.name);
+  FastCpu cpu(program, w.mem_bytes);
+  PackedBufferSink sink;
+  const auto start = std::chrono::steady_clock::now();
+  const RunResult r = cpu.run(w.max_instructions, sink);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  check_run(w, r, cpu.reg(kV0));
+  sim_metric(w, r, elapsed.count());
+  PackedCapture out;
+  out.ifetch = sink.take_ifetch();
+  out.data = sink.take_data();
+  out.run = r;
+  return out;
+}
+
+RunResult stream_workload(
+    const Workload& w, const std::function<void(const PackedChunk&)>& consume) {
+  const Program program = assemble(w.source, w.name);
+  FastCpu cpu(program, w.mem_bytes);  // built here; touched only by the producer
+  const auto start = std::chrono::steady_clock::now();
+  const RunResult r = stream_capture(
+      [&](PackedSink& sink) {
+        const RunResult rr = cpu.run(w.max_instructions, sink);
+        // Verify on the producer thread, before the tail chunk is
+        // published: a failing run reaches the consumer as an error, never
+        // as a complete-looking stream.
+        check_run(w, rr, cpu.reg(kV0));
+        return rr;
+      },
+      consume);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  sim_metric(w, r, elapsed.count());
+  return r;
 }
 
 }  // namespace stcache

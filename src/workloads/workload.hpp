@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sim/cpu.hpp"
+#include "trace/stream.hpp"
 #include "trace/trace.hpp"
 
 namespace stcache {
@@ -52,6 +53,28 @@ RunResult run_functional(const Workload& w);
 // is verified. (Trace capture uses 1-cycle accesses; timing is applied at
 // replay time.)
 Trace capture_trace(const Workload& w);
+
+// Fast-interpreter capture: the two split streams already in pack_stream()
+// format (bit 31 = write, bits 30..0 = 16 B block). Checksum verified.
+// Equivalent to split_trace(capture_trace(w)) + pack_stream on each half —
+// the differential suite (tests/fast_cpu_test.cpp) proves it bit-identical
+// — at several times the reference interpreter's throughput and without
+// the TraceRecord AoS intermediate.
+struct PackedCapture {
+  std::vector<std::uint32_t> ifetch;
+  std::vector<std::uint32_t> data;
+  RunResult run;
+};
+PackedCapture capture_packed(const Workload& w);
+
+// Streaming capture: run the fast interpreter on a producer thread and
+// fold each packed chunk into `consume` as it is published (in capture
+// order; each chunk carries both split streams). The checksum is verified
+// before the final chunk is released, so a consumer never folds a chunk
+// of a run that later fails verification into durable state without the
+// surrounding call throwing. Returns the run result.
+RunResult stream_workload(const Workload& w,
+                          const std::function<void(const PackedChunk&)>& consume);
 
 // The deterministic 32-bit LCG all kernels use to self-generate input data
 // (x <- x * 1103515245 + 12345). Reference implementations share it.

@@ -1,0 +1,245 @@
+// Tests of the streaming capture pipeline (trace/stream.hpp): the SPSC
+// chunk queue, the chunked sinks, stream_workload determinism against the
+// materialized capture, incremental bank accumulation, and the bulk packed
+// trace reader. The queue tests are the ones repro.sh runs under TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <span>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "isa/assembler.hpp"
+#include "sim/fast_cpu.hpp"
+#include "trace/replay.hpp"
+#include "trace/stream.hpp"
+#include "trace/trace_io.hpp"
+#include "util/error.hpp"
+#include "workloads/workload.hpp"
+
+namespace stcache {
+namespace {
+
+// --- SPSC queue -------------------------------------------------------------
+
+TEST(SpscChunkQueue, DeliversChunksInOrder) {
+  SpscChunkQueue q(2);
+  std::thread producer([&] {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      PackedChunk c = q.acquire();
+      c.ifetch.assign(100, i);
+      c.ifetch_count = 100;
+      c.data.assign(3, i);
+      c.data_count = 3;
+      ASSERT_TRUE(q.push(std::move(c)));
+    }
+    q.finish();
+  });
+  std::uint32_t expect = 0;
+  PackedChunk c;
+  while (q.pop(c)) {
+    ASSERT_EQ(c.ifetch_words().size(), 100u);
+    EXPECT_EQ(c.ifetch_words().front(), expect);
+    EXPECT_EQ(c.data_words().size(), 3u);
+    EXPECT_EQ(c.data_words().front(), expect);
+    ++expect;
+    q.recycle(std::move(c));
+  }
+  EXPECT_EQ(expect, 64u);
+  producer.join();
+}
+
+TEST(SpscChunkQueue, BoundedDepthBlocksProducerNotForever) {
+  // With depth 1 and a slow consumer, the producer must block rather than
+  // grow without bound, and everything must still arrive in order.
+  SpscChunkQueue q(1);
+  std::atomic<int> produced{0};
+  std::thread producer([&] {
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      PackedChunk c = q.acquire();
+      c.ifetch.assign(1, i);
+      c.ifetch_count = 1;
+      ASSERT_TRUE(q.push(std::move(c)));
+      produced.fetch_add(1);
+    }
+    q.finish();
+  });
+  std::uint32_t expect = 0;
+  PackedChunk c;
+  while (q.pop(c)) {
+    EXPECT_EQ(c.ifetch_words().front(), expect++);
+    q.recycle(std::move(c));
+  }
+  EXPECT_EQ(expect, 16u);
+  producer.join();
+}
+
+TEST(SpscChunkQueue, ProducerErrorReachesConsumer) {
+  SpscChunkQueue q(2);
+  std::thread producer([&] {
+    PackedChunk c = q.acquire();
+    c.ifetch.assign(1, 42u);
+    c.ifetch_count = 1;
+    ASSERT_TRUE(q.push(std::move(c)));
+    try {
+      fail("producer exploded");
+    } catch (...) {
+      q.fail(std::current_exception());
+    }
+  });
+  PackedChunk c;
+  EXPECT_THROW(
+      {
+        while (q.pop(c)) q.recycle(std::move(c));
+      },
+      Error);
+  producer.join();
+}
+
+TEST(SpscChunkQueue, AbandonUnblocksProducer) {
+  SpscChunkQueue q(1);
+  std::atomic<bool> saw_false_push{false};
+  std::thread producer([&] {
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+      PackedChunk c = q.acquire();
+      c.ifetch.assign(1, i);
+      c.ifetch_count = 1;
+      if (!q.push(std::move(c))) {
+        saw_false_push = true;
+        return;
+      }
+    }
+  });
+  PackedChunk c;
+  ASSERT_TRUE(q.pop(c));  // take one, then walk away
+  q.abandon();
+  producer.join();
+  EXPECT_TRUE(saw_false_push);
+}
+
+// --- stream_capture / sinks -------------------------------------------------
+
+TEST(StreamCapture, ConcatenatedChunksMatchBufferSink) {
+  // Run the real producer — a workload — at a chunk size small enough to
+  // force many refills mid-run; the reassembled chunks must equal what the
+  // one-shot buffer sink records.
+  const Workload& w = find_workload("bcnt");
+  const PackedCapture one = capture_packed(w);
+
+  std::vector<std::uint32_t> ifetch, data;
+  const RunResult rr = stream_capture(
+      [&](PackedSink& sink) {
+        const Program p = assemble(w.source);
+        FastCpu cpu(p, w.mem_bytes);
+        return cpu.run(w.max_instructions, sink);
+      },
+      [&](const PackedChunk& c) {
+        ifetch.insert(ifetch.end(), c.ifetch_words().begin(),
+                      c.ifetch_words().end());
+        data.insert(data.end(), c.data_words().begin(), c.data_words().end());
+      },
+      /*chunk_words=*/256, /*queue_depth=*/3);
+  EXPECT_EQ(rr.instructions, one.run.instructions);
+  EXPECT_TRUE(ifetch == one.ifetch);
+  EXPECT_TRUE(data == one.data);
+}
+
+TEST(StreamWorkload, MatchesMaterializedCaptureForEveryWorkload) {
+  for (const Workload& w : all_workloads()) {
+    const PackedCapture one = capture_packed(w);
+    std::vector<std::uint32_t> ifetch, data;
+    const RunResult rr = stream_workload(w, [&](const PackedChunk& c) {
+      ifetch.insert(ifetch.end(), c.ifetch_words().begin(),
+                    c.ifetch_words().end());
+      data.insert(data.end(), c.data_words().begin(), c.data_words().end());
+    });
+    EXPECT_EQ(rr.instructions, one.run.instructions) << w.name;
+    EXPECT_EQ(rr.cycles, one.run.cycles) << w.name;
+    EXPECT_TRUE(ifetch == one.ifetch) << w.name << ": ifetch stream differs";
+    EXPECT_TRUE(data == one.data) << w.name << ": data stream differs";
+  }
+}
+
+TEST(StreamWorkload, ChecksumFailurePropagatesToCaller) {
+  // A workload with a falsified checksum must throw out of stream_workload
+  // even though the failure happens on the producer thread.
+  Workload w = find_workload("bcnt");
+  w.expected_checksum ^= 1u;
+  EXPECT_THROW(stream_workload(w, [](const PackedChunk&) {}), Error);
+}
+
+TEST(StreamWorkload, ConsumerExceptionAbandonsCleanly) {
+  const Workload& w = find_workload("crc");
+  EXPECT_THROW(stream_workload(
+                   w, [](const PackedChunk&) { fail("consumer exploded"); }),
+               Error);
+}
+
+// --- incremental bank accumulation ------------------------------------------
+
+TEST(BankAccumulator, ChunkedFeedMatchesOneShotForEveryEngine) {
+  const Workload& w = find_workload("crc");
+  const PackedCapture cap = capture_packed(w);
+  const std::vector<CacheConfig>& configs = all_configs();
+  for (const ReplayEngine engine :
+       {ReplayEngine::kReference, ReplayEngine::kFast, ReplayEngine::kOneshot}) {
+    BankAccumulator oneshot(configs, {}, engine);
+    oneshot.feed(cap.ifetch);
+    const std::vector<CacheStats> expect = oneshot.stats();
+
+    BankAccumulator chunked(configs, {}, engine);
+    const std::span<const std::uint32_t> words(cap.ifetch);
+    for (std::size_t at = 0; at < words.size(); at += 1237) {
+      chunked.feed(words.subspan(at, std::min<std::size_t>(1237, words.size() - at)));
+    }
+    EXPECT_EQ(chunked.words_fed(), words.size());
+    const std::vector<CacheStats> got = chunked.stats();
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(got[i], expect[i])
+          << to_string(engine) << " config " << configs[i].name();
+    }
+  }
+}
+
+// --- bulk packed trace reader -----------------------------------------------
+
+TEST(PackedTraceIo, ReadPackedMatchesReadPlusSplitPlusPack) {
+  const Workload& w = find_workload("bcnt");
+  const Trace trace = capture_trace(w);
+  std::stringstream file;
+  write_trace(file, trace);
+
+  const PackedSplitTrace packed = read_packed_trace(file);
+  const SplitTrace split = split_trace(trace);
+  EXPECT_TRUE(packed.ifetch == pack_stream(split.ifetch));
+  EXPECT_TRUE(packed.data == pack_stream(split.data));
+}
+
+TEST(PackedTraceIo, RejectsCorruptedPayload) {
+  const Workload& w = find_workload("bcnt");
+  const Trace trace = capture_trace(w);
+  std::stringstream file;
+  write_trace(file, trace);
+  std::string bytes = file.str();
+  bytes[bytes.size() / 2] ^= 0x40;  // flip a payload bit; CRC must catch it
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_packed_trace(corrupted), Error);
+}
+
+TEST(PackedTraceIo, LoadPackedTraceErrorsNameThePath) {
+  try {
+    load_packed_trace("/nonexistent/trace.stct");
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/trace.stct"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace stcache

@@ -1,45 +1,79 @@
-// stcache_tune — run the paper's tuning heuristic on a saved trace.
+// stcache_tune — run the paper's tuning heuristic on a saved trace or on a
+// workload captured in-process.
 //
-//   stcache_tune <file.stct> [I|D] [--exhaustive] [--jobs N]
-//                [--metrics-out file.json] [--engine reference|fast|oneshot]
+//   stcache_tune <file.stct> [I|D] [options]
+//   stcache_tune --workload NAME [I|D] [options]
 //
-// Splits the trace, tunes the selected stream's cache (instruction by
-// default) with the Figure 6 heuristic, and prints the decision. With
-// --exhaustive the 27-point optimum and the heuristic's gap are printed as
-// well; the exhaustive sweep is evaluated by the parallel SweepRunner
-// (--jobs N worker threads, default hardware_concurrency) and primes a
-// serial evaluator, so the printed table is identical for every N. Sweep
-// metrics go to stderr, and to a JSON file with --metrics-out.
+// options: [--exhaustive] [--jobs N] [--metrics-out file.json]
+//          [--engine reference|fast|oneshot]
+//          [--pipeline streaming|materialized] [--metrics]
+//
+// Both modes tune the selected stream's cache (instruction by default)
+// with the Figure 6 heuristic and print the decision; with --exhaustive
+// the 27-point optimum and the heuristic's gap are printed as well. The
+// file mode bulk-loads the trace straight into packed split streams
+// (load_packed_trace — no TraceRecord intermediate). The workload mode
+// never touches disk: --pipeline streaming (the default) runs the fast
+// interpreter on a capture thread and folds each packed chunk into the
+// exhaustive configuration bank as it is produced, so capture and sweep
+// overlap; --pipeline materialized captures the packed streams first and
+// sweeps after, as a determinism baseline (repro.sh cmp's the two).
+// Stdout is byte-identical across file/workload modes, engines, pipelines
+// and --jobs values for the same trace. Sweep metrics go to stderr, and
+// to a JSON file with --metrics-out; the informational [sim]/[trace_io]/
+// [replay] lines appear only under --metrics (or STCACHE_METRICS=1).
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "core/evaluator.hpp"
 #include "core/heuristic.hpp"
 #include "core/sweep.hpp"
 #include "trace/replay.hpp"
+#include "trace/stream.hpp"
 #include "trace/trace_io.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
+#include "workloads/workload.hpp"
 
 namespace stcache {
 namespace {
 
+int usage() {
+  std::cerr << "usage: stcache_tune <file.stct | --workload NAME> [I|D] "
+               "[--exhaustive] [--jobs N] [--metrics-out file.json] "
+               "[--engine reference|fast|oneshot] "
+               "[--pipeline streaming|materialized] [--metrics]\n";
+  return 2;
+}
+
 int run(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: stcache_tune <file.stct> [I|D] [--exhaustive] "
-                 "[--jobs N] [--metrics-out file.json] "
-                 "[--engine reference|fast|oneshot]\n";
-    return 2;
-  }
-  const std::string path = argv[1];
+  if (argc < 2) return usage();
+  std::string path;
+  std::string workload_name;
+  std::string pipeline = "streaming";
   bool instruction = true;
   bool exhaustive = false;
   SweepOptions sweep;
   std::string metrics_out;
-  for (int i = 2; i < argc; ++i) {
+  int i = 1;
+  if (argv[1][0] != '-') {
+    path = argv[1];
+    i = 2;
+  }
+  for (; i < argc; ++i) {
     if (std::strcmp(argv[i], "D") == 0) instruction = false;
     else if (std::strcmp(argv[i], "I") == 0) instruction = true;
     else if (std::strcmp(argv[i], "--exhaustive") == 0) exhaustive = true;
+    else if (std::strcmp(argv[i], "--metrics") == 0) set_metrics_enabled(true);
+    else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc)
+      workload_name = argv[++i];
+    else if (std::strcmp(argv[i], "--pipeline") == 0 && i + 1 < argc)
+      pipeline = argv[++i];
     else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
       sweep.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc)
@@ -51,20 +85,70 @@ int run(int argc, char** argv) {
       return 2;
     }
   }
-  std::cerr << "[replay] engine=" << to_string(default_replay_engine()) << "\n";
+  if (path.empty() == workload_name.empty()) return usage();  // exactly one
+  if (pipeline != "streaming" && pipeline != "materialized") {
+    std::cerr << "unknown pipeline '" << pipeline
+              << "' (expected streaming|materialized)\n";
+    return 2;
+  }
+  if (metrics_enabled()) {
+    std::cerr << "[replay] engine=" << to_string(default_replay_engine())
+              << "\n";
+  }
 
-  const Trace trace = load_trace(path);
-  const SplitTrace split = split_trace(trace);
-  const Trace& stream = instruction ? split.ifetch : split.data;
-  if (stream.empty()) {
+  const EnergyModel model;
+  const std::vector<CacheConfig>& configs = all_configs();
+  SweepRunner runner(sweep);
+
+  // The selected stream, packed (bit 31 = write, bits 30..0 = 16 B block):
+  // the heuristic evaluator measures configurations against it on demand.
+  // No TraceRecord AoS is ever built in any mode.
+  std::vector<std::uint32_t> sel;
+  std::vector<CacheStats> measured;  // exhaustive bank, if already folded
+  bool have_measured = false;
+
+  if (!workload_name.empty()) {
+    const Workload& w = find_workload(workload_name);
+    if (pipeline == "streaming") {
+      // One sweep job: the capture thread produces packed chunks while
+      // this thread folds them into the exhaustive bank (when asked) and
+      // appends the selected stream for the heuristic's on-demand replays.
+      runner.map<int>(
+          1,
+          [&](std::size_t) {
+            std::optional<BankAccumulator> bank;
+            if (exhaustive) bank.emplace(configs);
+            stream_workload(w, [&](const PackedChunk& chunk) {
+              const std::span<const std::uint32_t> words =
+                  instruction ? chunk.ifetch_words() : chunk.data_words();
+              sel.insert(sel.end(), words.begin(), words.end());
+              if (bank) bank->feed(words);
+            });
+            if (bank) {
+              measured = bank->stats();
+              have_measured = true;
+              runner.add_accesses(bank->words_fed() * configs.size());
+            }
+            return 0;
+          },
+          [&](std::size_t) { return w.name + ": streaming capture+sweep"; });
+    } else {
+      PackedCapture cap = capture_packed(w);
+      sel = instruction ? std::move(cap.ifetch) : std::move(cap.data);
+    }
+  } else {
+    PackedSplitTrace split = load_packed_trace(path);
+    sel = instruction ? std::move(split.ifetch) : std::move(split.data);
+  }
+
+  if (sel.empty()) {
     std::cerr << "error: the selected stream is empty\n";
     return 1;
   }
   std::cout << "Tuning the " << (instruction ? "instruction" : "data")
-            << " cache on " << stream.size() << " accesses...\n\n";
+            << " cache on " << sel.size() << " accesses...\n\n";
 
-  const EnergyModel model;
-  TraceEvaluator eval(stream, model);
+  TraceEvaluator eval(std::span<const std::uint32_t>(sel), model);
   const SearchResult heur = tune(eval);
   const double base = eval.energy(base_cache());
 
@@ -75,25 +159,28 @@ int run(int argc, char** argv) {
                  fmt_si_energy(heur.best_energy),
                  fmt_percent(1.0 - heur.best_energy / base, 1)});
   if (exhaustive) {
-    // Evaluate the full 27-point space as one bank job — the stream is
-    // decoded once, and under the oneshot engine each line-size group is
-    // covered by a single stack-distance traversal — then prime a fresh
-    // evaluator so tune_exhaustive() (and its registry-order tie-breaking)
-    // runs as pure lookups. A single trace leaves nothing to shard by
-    // workload, so the sweep is one job; --jobs still bounds the pool.
-    SweepRunner runner(sweep);
-    const auto& configs = all_configs();
-    const std::vector<CacheStats> measured =
-        runner
-            .map<std::vector<CacheStats>>(
-                1,
-                [&](std::size_t) {
-                  runner.add_accesses(stream.size() * configs.size());
-                  return measure_config_bank(configs, stream);
-                },
-                [&](std::size_t) { return std::string("all configs"); })
-            .front();
-    TraceEvaluator primed(stream, model);
+    if (!have_measured) {
+      // Evaluate the full 27-point space as one bank job — the stream is
+      // already packed, and under the oneshot engine each line-size group
+      // is covered by a single stack-distance traversal. A single stream
+      // leaves nothing to shard by workload, so the sweep is one job;
+      // --jobs still bounds the pool.
+      measured =
+          runner
+              .map<std::vector<CacheStats>>(
+                  1,
+                  [&](std::size_t) {
+                    runner.add_accesses(sel.size() * configs.size());
+                    BankAccumulator bank(configs);
+                    bank.feed(sel);
+                    return bank.stats();
+                  },
+                  [&](std::size_t) { return std::string("all configs"); })
+              .front();
+    }
+    // Prime a fresh evaluator so tune_exhaustive() (and its registry-order
+    // tie-breaking) runs as pure lookups.
+    TraceEvaluator primed(std::span<const std::uint32_t>(sel), model);
     for (std::size_t j = 0; j < configs.size(); ++j) {
       primed.prime(configs[j], measured[j]);
     }
@@ -108,8 +195,8 @@ int run(int argc, char** argv) {
   table.print(std::cout);
 
   std::cout << "\nVisited: ";
-  for (std::size_t i = 0; i < heur.visited.size(); ++i) {
-    std::cout << (i ? " -> " : "") << heur.visited[i].name();
+  for (std::size_t v = 0; v < heur.visited.size(); ++v) {
+    std::cout << (v ? " -> " : "") << heur.visited[v].name();
   }
   std::cout << "\n";
   return 0;
