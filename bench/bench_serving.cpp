@@ -1,0 +1,204 @@
+// bench_serving — throughput of the tuning service (stcache_tuned's
+// TuningServer) over a loopback unix-domain socket.
+//
+//   bench_serving [--clients N] [--reps N] [--workers N] [--out file.json]
+//
+// Two timed phases, both end-to-end (HELLO -> CHUNK stream -> FIN ->
+// VERDICT) against one live server:
+//
+//   single  one client streams the packed crc instruction trace --reps
+//           times back to back; words/second of the lone session.
+//   multi   --clients clients do the same concurrently; aggregate
+//           words/second across all sessions.
+//
+// The aggregate/single ratio is the serving scaling factor the ISSUE gates
+// at >= 2x — ONLY meaningful on a multi-core host, since one CPU cannot
+// run two sweep workers faster than one. The JSON snapshot therefore
+// records "cpus" so scripts/bench_check.py can skip the scaling floor
+// (while still regression-gating the absolute rates) when the measuring
+// host is single-core.
+//
+// Results land on stdout as a table and in --out (default
+// BENCH_serving.json) as JSON; the committed BENCH_serving.json at the
+// repo root is the baseline snapshot bench_check.py compares against.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <fstream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "trace/replay.hpp"
+#include "util/error.hpp"
+
+namespace stcache {
+namespace {
+
+struct Options {
+  unsigned clients = 4;
+  unsigned reps = 3;
+  unsigned workers = 0;  // 0 = hardware_concurrency
+  std::string out = "BENCH_serving.json";
+};
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc)
+      opts.clients = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+      opts.reps = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc)
+      opts.workers = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      opts.out = argv[++i];
+    else {
+      std::cerr << "usage: " << argv[0]
+                << " [--clients N] [--reps N] [--workers N] [--out file.json]\n";
+      std::exit(2);
+    }
+  }
+  if (opts.clients == 0 || opts.reps == 0) {
+    std::cerr << argv[0] << ": --clients and --reps must be positive\n";
+    std::exit(2);
+  }
+  return opts;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// One full session: stream `sel` in kDefaultChunkWords chunks, wait for
+// the verdict. Returns the verdict so callers can sanity-check it.
+serve::Verdict one_session(const std::string& socket_path,
+                           std::span<const std::uint32_t> sel) {
+  return serve::tune_remote(socket_path, /*instruction=*/true, sel);
+}
+
+int run(int argc, char** argv) {
+  const Options opts = parse_args(argc, argv);
+  const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+
+  bench::print_header(
+      "Tuning-service throughput: single client vs " +
+          std::to_string(opts.clients) + " concurrent clients",
+      "the exhaustive sweep");
+
+  // The workload stream is captured once, outside every timed region: the
+  // bench measures serving (wire + sharded queues + sweep workers), not
+  // trace capture.
+  const std::vector<std::uint32_t> sel =
+      capture_packed(find_workload("crc")).ifetch;
+
+  serve::ServerOptions server_opts;
+  char tmpl[] = "/tmp/stcbenXXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  STC_ASSERT(dir != nullptr, "mkdtemp failed");
+  server_opts.socket_path = std::string(dir) + "/b.sock";
+  server_opts.workers = opts.workers;
+  // Enough pooled chunks that clients are never throttled by the buffer
+  // pool itself — the bench measures worker scaling, not pool sizing.
+  server_opts.pool_chunks = std::max<std::size_t>(64, 8 * opts.clients);
+  serve::TuningServer server(server_opts);
+  server.start();
+
+  // Warmup + correctness guard: the served verdict must be bit-identical
+  // to the in-process bank before any number is worth reporting.
+  {
+    const serve::Verdict v = one_session(server_opts.socket_path, sel);
+    BankAccumulator bank(all_configs());
+    bank.feed(sel);
+    STC_ASSERT(v.accesses == sel.size() && v.stats == bank.stats(),
+               "served verdict diverged from the in-process bank");
+  }
+
+  // Phase 1: one client, sessions back to back.
+  const auto t_single = std::chrono::steady_clock::now();
+  for (unsigned r = 0; r < opts.reps; ++r) {
+    one_session(server_opts.socket_path, sel);
+  }
+  const double single_secs = seconds_since(t_single);
+  const double single_words = static_cast<double>(sel.size()) * opts.reps;
+  const double single_rate = single_words / single_secs;
+
+  // Phase 2: N clients at once, each the same --reps sessions.
+  const auto t_multi = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < opts.clients; ++c) {
+    threads.emplace_back([&] {
+      for (unsigned r = 0; r < opts.reps; ++r) {
+        one_session(server_opts.socket_path, sel);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double multi_secs = seconds_since(t_multi);
+  const double multi_words = single_words * opts.clients;
+  const double multi_rate = multi_words / multi_secs;
+  const double scaling = multi_rate / single_rate;
+
+  server.stop();
+  std::string rmdir_cmd = dir;  // best-effort cleanup of the socket dir
+  ::rmdir(rmdir_cmd.c_str());
+
+  Table table({"mode", "sessions", "words", "seconds", "words/s"});
+  table.add_row({"single-client", std::to_string(opts.reps),
+                 std::to_string(static_cast<std::uint64_t>(single_words)),
+                 fmt_double(single_secs, 3), fmt_double(single_rate, 0)});
+  table.add_row({std::to_string(opts.clients) + "-client aggregate",
+                 std::to_string(opts.reps * opts.clients),
+                 std::to_string(static_cast<std::uint64_t>(multi_words)),
+                 fmt_double(multi_secs, 3), fmt_double(multi_rate, 0)});
+  table.print(std::cout);
+  std::cout << "\nAggregate scaling over single client: "
+            << fmt_double(scaling, 2) << "x on " << cpus
+            << " cpu(s), workers=" << server.workers() << "\n";
+  if (cpus < 2) {
+    std::cout << "(single-core host: the >= 2x scaling floor does not "
+                 "apply; see scripts/bench_check.py)\n";
+  }
+
+  std::ofstream out(opts.out);
+  if (!out) {
+    std::cerr << "error: cannot write " << opts.out << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"serving_throughput\",\n"
+      << "  \"cpus\": " << cpus << ",\n"
+      << "  \"workers\": " << server.workers() << ",\n"
+      << "  \"clients\": " << opts.clients << ",\n"
+      << "  \"reps\": " << opts.reps << ",\n"
+      << "  \"stream_words\": " << sel.size() << ",\n"
+      << "  \"single\": {\"seconds\": " << single_secs
+      << ", \"words_per_second\": " << single_rate << "},\n"
+      << "  \"multi\": {\"clients\": " << opts.clients
+      << ", \"seconds\": " << multi_secs
+      << ", \"aggregate_words_per_second\": " << multi_rate << "},\n"
+      << "  \"scaling\": " << scaling << "\n"
+      << "}\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main(int argc, char** argv) {
+  try {
+    return stcache::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -4,17 +4,18 @@
 # at the repository root (the files EXPERIMENTS.md numbers come from).
 #
 #   ./repro.sh           full pipeline (build, all tests, TSan sweep+stream
-#                        tests, ASan/UBSan fault+trace+interpreter tests,
-#                        the throughput/capture/end-to-end gates, the
-#                        streaming-tune determinism gate, every bench
-#                        binary)
-#   ./repro.sh --quick   build + the parallel-sweep and streaming tests
-#                        (native, TSan) + the fault-injection,
+#                        +serving tests, ASan/UBSan fault+trace+interpreter
+#                        +serving tests, the throughput/capture/end-to-end/
+#                        serving gates, the streaming-tune and serving
+#                        determinism gates, every bench binary)
+#   ./repro.sh --quick   build + the parallel-sweep, streaming and serving
+#                        tests (native, TSan) + the fault-injection,
 #                        trace-format, replay-equivalence, stack-sweep,
-#                        fast-interpreter differential and stream tests
-#                        (native and ASan/UBSan) + --jobs/--engine/
+#                        fast-interpreter differential, stream and serving
+#                        tests (native and ASan/UBSan) + --jobs/--engine/
 #                        --pipeline determinism checks on bench_fig3 and
-#                        stcache_tune; minutes, not the full regeneration
+#                        stcache_tune + the daemon-vs-in-process serving
+#                        cmp; minutes, not the full regeneration
 #
 # See docs/experiments.md for what each bench binary reproduces.
 set -e
@@ -33,12 +34,16 @@ cmake --build build -j "$(nproc)"
 # ThreadSanitizer: data races in the thread pool, in shared sweep state, or
 # in the SPSC chunk queue between the capture and consumer threads would
 # pass the functional tests by luck, so the concurrency test binaries are
-# rebuilt with -DSTCACHE_SANITIZE=thread and executed directly.
+# rebuilt with -DSTCACHE_SANITIZE=thread and executed directly. The
+# sharded N-producer queues and the tuning server (accept thread, reader
+# threads, shard workers, client threads) join them for the same reason.
 cmake -B build-tsan -S . -DSTCACHE_SANITIZE=thread > /dev/null
-cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_test stream_test
+cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_test stream_test shard_queue_test serving_test
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/sweep_runner_test
 ./build-tsan/tests/stream_test
+./build-tsan/tests/shard_queue_test
+./build-tsan/tests/serving_test
 
 # The fault-injection, trace-format, replay-equivalence and stack-sweep
 # tests run under Address/UB sanitizers too: they exercise bit-level
@@ -48,17 +53,54 @@ cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_te
 # fast_cpu_test and stream_test join them: the fast interpreter's
 # bump-pointer trace cursors and SMC rollback arithmetic are exactly the
 # kind of code where an off-by-one scribbles out of bounds silently.
+# shard_queue_test and serving_test run here too: the wire codec's
+# length-prefixed frame parsing and the chunk pool's recycled buffers are
+# classic overrun territory.
 cmake -B build-asan -S . -DSTCACHE_SANITIZE=address,undefined > /dev/null
-cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test replay_equivalence_test stack_sweep_test fast_cpu_test stream_test
+cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test replay_equivalence_test stack_sweep_test fast_cpu_test stream_test shard_queue_test serving_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/trace_io_test
 ./build-asan/tests/replay_equivalence_test
 ./build-asan/tests/stack_sweep_test
 ./build-asan/tests/fast_cpu_test
 ./build-asan/tests/stream_test
+./build-asan/tests/shard_queue_test
+./build-asan/tests/serving_test
+
+# Serving determinism gate helpers: a loopback stcache_tuned daemon must
+# render verdicts byte-identical to the in-process `stcache_tune
+# --exhaustive` on the same stream (same bank, same renderer, a socket in
+# between). The daemon is started once per batch and shut down via
+# SIGTERM, which must itself exit 0.
+start_serving_daemon() {
+    STC_SRVDIR=$(mktemp -d /tmp/stcreproXXXXXX)
+    STC_SOCK="$STC_SRVDIR/repro.sock"
+    ./build/tools/stcache_tuned --socket "$STC_SOCK" > "$STC_SRVDIR/log" 2>&1 &
+    STC_SRVPID=$!
+    i=0
+    until grep -q '^listening on ' "$STC_SRVDIR/log" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ] || ! kill -0 "$STC_SRVPID" 2>/dev/null; then
+            echo "error: stcache_tuned did not become ready" >&2
+            cat "$STC_SRVDIR/log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+stop_serving_daemon() {
+    kill -TERM "$STC_SRVPID"
+    wait "$STC_SRVPID"
+    rm -rf "$STC_SRVDIR"
+}
+serve_cmp() {
+    ./build/tools/stcache_tunec --socket "$STC_SOCK" --workload "$1" "$2" > /tmp/stcache_serve_remote.txt
+    ./build/tools/stcache_tune --workload "$1" "$2" --exhaustive > /tmp/stcache_serve_local.txt
+    cmp /tmp/stcache_serve_remote.txt /tmp/stcache_serve_local.txt
+}
 
 if [ "$QUICK" = "1" ]; then
-    ctest --test-dir build -R 'ThreadPool|SweepRunner|Fault|TraceIo|ReplayEquivalence|StackSweep|FastCpu|Workload|Spsc|Stream|BankAccumulator|PackedTraceIo' --output-on-failure
+    ctest --test-dir build -R 'ThreadPool|SweepRunner|Fault|TraceIo|ReplayEquivalence|StackSweep|FastCpu|Workload|Spsc|Stream|BankAccumulator|PackedTraceIo|ChunkPool|ShardQueue|Serving' --output-on-failure
 
     # Determinism gate: the parallel sweep must reproduce the serial table
     # byte for byte (metrics go to stderr, so stdout is comparable).
@@ -82,7 +124,11 @@ if [ "$QUICK" = "1" ]; then
     ./build/tools/stcache_tune --workload crc --exhaustive --pipeline streaming > /tmp/stcache_tune_stream.txt
     ./build/tools/stcache_tune --workload crc --exhaustive --pipeline materialized > /tmp/stcache_tune_mat.txt
     cmp /tmp/stcache_tune_stream.txt /tmp/stcache_tune_mat.txt
-    echo "Quick pass done: sweep/equivalence/interpreter tests (native + sanitizers), --jobs, --engine and --pipeline determinism ok."
+    # Serving gate: a daemon round trip must be byte-identical too.
+    start_serving_daemon
+    serve_cmp crc I
+    stop_serving_daemon
+    echo "Quick pass done: sweep/equivalence/interpreter/serving tests (native + sanitizers), --jobs, --engine, --pipeline and daemon determinism ok."
     exit 0
 fi
 
@@ -98,7 +144,19 @@ for wl in crc ucbqsort; do
     cmp /tmp/stcache_tune_stream.txt /tmp/stcache_tune_mat.txt
   done
 done
-echo "[repro] streaming-vs-materialized tune determinism ok" 
+echo "[repro] streaming-vs-materialized tune determinism ok"
+
+# Serving determinism gate: the daemon's verdict over the wire must be
+# byte-identical to the in-process exhaustive tuner for both cache streams
+# of two representative workloads.
+start_serving_daemon
+for wl in crc ucbqsort; do
+  for streamsel in I D; do
+    serve_cmp "$wl" "$streamsel"
+  done
+done
+stop_serving_daemon
+echo "[repro] daemon-vs-in-process serving determinism ok"
 
 # Throughput gates: a fresh bench_replay_throughput run must stay within
 # tolerance (default 20% per engine; STCACHE_BENCH_TOLERANCE overrides) of
@@ -115,6 +173,12 @@ elif ! command -v python3 > /dev/null 2>&1; then
 else
   ./build/bench/bench_replay_throughput --out /tmp/stcache_bench_replay.json > /dev/null
   python3 scripts/bench_check.py BENCH_replay.json /tmp/stcache_bench_replay.json
+  # Serving gate: single/aggregate serving throughput vs the committed
+  # BENCH_serving.json, plus the >= 2x aggregate-over-single scaling floor
+  # (enforced only on multi-core hosts; one CPU cannot run two sweep
+  # workers faster than one).
+  ./build/bench/bench_serving --out /tmp/stcache_bench_serving.json > /dev/null
+  python3 scripts/bench_check.py BENCH_serving.json /tmp/stcache_bench_serving.json --mode serving
 fi
 
 : > bench_output.txt

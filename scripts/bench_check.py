@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Gate replay-engine and capture throughput against the committed baseline.
+"""Gate replay-engine, capture, and serving throughput against baselines.
 
-Usage: bench_check.py BASELINE.json FRESH.json [--tolerance FRAC]
+Usage: bench_check.py BASELINE.json FRESH.json [--mode replay|serving]
+                      [--tolerance FRAC]
 
-Both files are bench_replay_throughput --out snapshots. Three checks run:
+In the default --mode replay, both files are bench_replay_throughput --out
+snapshots. Three checks run:
 
 1. Engine regression: the overall records/second of each replay engine
    (reference, fast, oneshot) must stay within the tolerance of the
@@ -19,6 +21,14 @@ Both files are bench_replay_throughput --out snapshots. Three checks run:
 
 The capture/end-to-end sections also regression-compare against the
 baseline when the baseline snapshot has them (older snapshots may not).
+
+In --mode serving, both files are bench_serving --out snapshots. The
+single-client and multi-client aggregate words/second must stay within the
+tolerance of the baseline, and the fresh run's aggregate/single scaling
+must be at least --serving-min (default 2.0, STCACHE_SERVING_MIN). One CPU
+cannot run two sweep workers faster than one, so the scaling floor is
+enforced only when the fresh snapshot reports cpus >= 2; on a single-core
+host the check prints an explicit skip and only the rate regressions gate.
 
 repro.sh runs this in full (non-sanitizer) mode; sanitizer builds skip it
 because their throughput is not comparable to the committed snapshot.
@@ -65,10 +75,73 @@ def section_overall(doc, section, key, path, required):
     return float(value)
 
 
+def serving_rate(doc, section, key, path):
+    sec = doc.get(section)
+    if not isinstance(sec, dict):
+        sys.exit(f"error: {path}: no '{section}' object")
+    value = sec.get(key)
+    if not isinstance(value, (int, float)) or value <= 0:
+        sys.exit(f"error: {path}: missing or non-positive '{section}.{key}'")
+    return float(value)
+
+
+def check_serving(base_doc, fresh_doc, args):
+    failed = False
+    rates = (
+        ("single", "single", "words_per_second"),
+        ("aggregate", "multi", "aggregate_words_per_second"),
+    )
+    for label, section, key in rates:
+        base = serving_rate(base_doc, section, key, args.baseline)
+        fresh = serving_rate(fresh_doc, section, key, args.fresh)
+        ratio = fresh / base
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSION"
+            failed = True
+        print(
+            f"[bench_check] serving {label:9s} baseline {base:.3e} words/s, "
+            f"fresh {fresh:.3e} words/s ({ratio:.2f}x) {status}"
+        )
+
+    scaling = fresh_doc.get("scaling")
+    cpus = fresh_doc.get("cpus")
+    if not isinstance(scaling, (int, float)) or scaling <= 0:
+        sys.exit(f"error: {args.fresh}: missing or non-positive 'scaling'")
+    if not isinstance(cpus, int) or cpus < 1:
+        sys.exit(f"error: {args.fresh}: missing or non-positive 'cpus'")
+    if cpus < 2:
+        print(
+            f"[bench_check] serving scaling   {scaling:.2f}x measured, floor "
+            f"{args.serving_min:.2f}x SKIPPED (fresh run had {cpus} cpu; "
+            "concurrent sessions cannot outrun one worker on one core)"
+        )
+    else:
+        status = "ok" if scaling >= args.serving_min else "BELOW FLOOR"
+        failed = failed or scaling < args.serving_min
+        print(
+            f"[bench_check] serving scaling   aggregate vs single "
+            f"{scaling:.2f}x (floor {args.serving_min:.2f}x) {status}"
+        )
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
     parser.add_argument("fresh")
+    parser.add_argument(
+        "--mode",
+        choices=("replay", "serving"),
+        default="replay",
+        help="which bench snapshot pair is being gated (default replay)",
+    )
+    parser.add_argument(
+        "--serving-min",
+        type=float,
+        default=float(os.environ.get("STCACHE_SERVING_MIN", "2.0")),
+        help="minimum aggregate-vs-single serving scaling (default 2.0)",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -93,6 +166,17 @@ def main():
 
     base_doc = load(args.baseline)
     fresh_doc = load(args.fresh)
+
+    if args.mode == "serving":
+        if check_serving(base_doc, fresh_doc, args):
+            print(
+                "[bench_check] FAILED: a serving gate fell below its floor; "
+                "investigate or regenerate the baseline if intended."
+            )
+            return 1
+        print("[bench_check] all serving gates passed")
+        return 0
+
     base = overall_rates(base_doc, args.baseline)
     fresh = overall_rates(fresh_doc, args.fresh)
 

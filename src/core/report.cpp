@@ -1,0 +1,52 @@
+#include "core/report.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "core/evaluator.hpp"
+#include "core/heuristic.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace stcache {
+
+void print_exhaustive_report(std::ostream& out, bool instruction,
+                             std::uint64_t accesses,
+                             std::span<const CacheConfig> configs,
+                             std::span<const CacheStats> measured,
+                             const EnergyModel& model) {
+  STC_ASSERT(configs.size() == measured.size(),
+             "report: configs/measured size mismatch");
+  out << "Tuning the " << (instruction ? "instruction" : "data")
+      << " cache on " << accesses << " accesses...\n\n";
+
+  // Both searches only ever visit registry configurations, all of which
+  // are primed, so the empty packed span is never replayed.
+  TraceEvaluator eval(std::span<const std::uint32_t>{}, model);
+  for (std::size_t j = 0; j < configs.size(); ++j) {
+    eval.prime(configs[j], measured[j]);
+  }
+  const SearchResult heur = tune(eval);
+  const double base = eval.energy(base_cache());
+
+  Table table({"search", "configuration", "configs examined", "energy",
+               "savings vs 8K_4W_32B"});
+  table.add_row({"heuristic", heur.best.name(),
+                 std::to_string(heur.configs_examined),
+                 fmt_si_energy(heur.best_energy),
+                 fmt_percent(1.0 - heur.best_energy / base, 1)});
+  const SearchResult ex = tune_exhaustive(eval);
+  table.add_row({"exhaustive", ex.best.name(),
+                 std::to_string(ex.configs_examined),
+                 fmt_si_energy(ex.best_energy),
+                 fmt_percent(1.0 - ex.best_energy / base, 1)});
+  table.print(out);
+
+  out << "\nVisited: ";
+  for (std::size_t v = 0; v < heur.visited.size(); ++v) {
+    out << (v ? " -> " : "") << heur.visited[v].name();
+  }
+  out << "\n";
+}
+
+}  // namespace stcache

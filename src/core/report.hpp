@@ -1,0 +1,29 @@
+// Renderer of the `stcache_tune --exhaustive` report, factored out so the
+// in-process tool, the stcache_tunec serving client, and the loopback
+// tests all print THE SAME bytes from the same inputs: a measured
+// 27-configuration stats bank plus the access count. repro.sh cmp's the
+// tool against the daemon end to end on exactly this property.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+
+#include "cache/config.hpp"
+#include "cache/stats.hpp"
+#include "energy/energy_model.hpp"
+
+namespace stcache {
+
+// Print the full report (header, heuristic + exhaustive table, Visited
+// chain) for the selected stream. `measured[i]` must be the replay stats
+// of `configs[i]`; both searches then run as pure memo lookups over a
+// primed evaluator, deriving energies exactly as the measuring path does —
+// which is what makes the output byte-identical to an in-process run.
+void print_exhaustive_report(std::ostream& out, bool instruction,
+                             std::uint64_t accesses,
+                             std::span<const CacheConfig> configs,
+                             std::span<const CacheStats> measured,
+                             const EnergyModel& model);
+
+}  // namespace stcache

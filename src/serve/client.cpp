@@ -1,0 +1,89 @@
+#include "serve/client.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace stcache::serve {
+
+namespace {
+
+[[noreturn]] void throw_server_error(const WireError& err) {
+  fail(std::string("server: ") + to_string(err.code) + ": " + err.message);
+}
+
+}  // namespace
+
+TuneClient::TuneClient(const std::string& socket_path, bool instruction,
+                       std::size_t chunk_words)
+    : chunk_words_(std::clamp<std::size_t>(chunk_words, 1, kMaxChunkWords)) {
+  fd_ = unix_connect(socket_path);
+  try {
+    write_frame(fd_, FrameType::kHello, encode_hello(instruction));
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+TuneClient::~TuneClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TuneClient::send(std::span<const std::uint32_t> packed) {
+  STC_ASSERT(!finished_, "tune client: send() after finish()");
+  while (!packed.empty()) {
+    const std::size_t n = std::min(packed.size(), chunk_words_);
+    const std::vector<std::uint8_t> payload = encode_chunk(packed.first(n));
+    try {
+      write_frame(fd_, FrameType::kChunk, payload);
+    } catch (const std::exception& e) {
+      // The server closed on us mid-stream — if it left an ERROR frame
+      // explaining why, prefer that over the raw transport error.
+      std::string message = e.what();
+      try {
+        Frame frame;
+        if (read_frame(fd_, frame) && frame.type == FrameType::kError) {
+          const WireError err = decode_error(frame.payload);
+          message = std::string("server: ") + to_string(err.code) + ": " +
+                    err.message;
+        }
+      } catch (...) {
+      }
+      fail(message);
+    }
+    packed = packed.subspan(n);
+  }
+}
+
+Verdict TuneClient::finish() {
+  STC_ASSERT(!finished_, "tune client: finish() called twice");
+  finished_ = true;
+  write_frame(fd_, FrameType::kFin, {});
+  Frame frame;
+  if (!read_frame(fd_, frame)) {
+    fail("server closed the connection without a response");
+  }
+  if (frame.type == FrameType::kError) {
+    throw_server_error(decode_error(frame.payload));
+  }
+  if (frame.type != FrameType::kVerdict) {
+    fail("unexpected response frame type " +
+         std::to_string(static_cast<unsigned>(frame.type)));
+  }
+  return decode_verdict(frame.payload);
+}
+
+Verdict tune_remote(const std::string& socket_path, bool instruction,
+                    std::span<const std::uint32_t> packed,
+                    std::size_t chunk_words) {
+  TuneClient client(socket_path, instruction, chunk_words);
+  client.send(packed);
+  return client.finish();
+}
+
+}  // namespace stcache::serve

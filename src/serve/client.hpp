@@ -1,0 +1,55 @@
+// Client side of the tuning service: a thin session wrapper over the wire
+// protocol (serve/wire.hpp) used by the stcache_tunec CLI, the loopback
+// integration tests, and bench_serving. One TuneClient is one session:
+// HELLO at construction, send() any number of packed slices (re-chunked to
+// the configured frame size), finish() to FIN and collect the server's
+// verdict. Server-side ERROR frames surface as stcache::Error with the
+// server's code and message, so callers get the daemon's diagnostic, not a
+// bare EPIPE.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "serve/wire.hpp"
+
+namespace stcache::serve {
+
+class TuneClient {
+ public:
+  // Matches ServerOptions::chunk_words: 64 KB of packed words per CHUNK.
+  static constexpr std::size_t kDefaultChunkWords = std::size_t{1} << 14;
+
+  // Connects and sends HELLO. Throws stcache::Error if the daemon is not
+  // listening on `socket_path`.
+  TuneClient(const std::string& socket_path, bool instruction,
+             std::size_t chunk_words = kDefaultChunkWords);
+  ~TuneClient();
+
+  TuneClient(const TuneClient&) = delete;
+  TuneClient& operator=(const TuneClient&) = delete;
+
+  // Stream a packed slice in order, split into CHUNK frames of at most
+  // chunk_words each. If the server has already poisoned the session its
+  // pending ERROR frame is surfaced as the thrown message.
+  void send(std::span<const std::uint32_t> packed);
+
+  // Send FIN and block for the single VERDICT/ERROR response. Throws
+  // stcache::Error on ERROR (message prefixed "server:") or a dropped
+  // connection. Call at most once.
+  Verdict finish();
+
+ private:
+  int fd_ = -1;
+  std::size_t chunk_words_;
+  bool finished_ = false;
+};
+
+// One-shot convenience: open a session, stream `packed`, return the
+// verdict.
+Verdict tune_remote(const std::string& socket_path, bool instruction,
+                    std::span<const std::uint32_t> packed,
+                    std::size_t chunk_words = TuneClient::kDefaultChunkWords);
+
+}  // namespace stcache::serve

@@ -1,0 +1,300 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <string>
+#include <utility>
+
+#include "cache/config.hpp"
+#include "util/error.hpp"
+
+namespace stcache::serve {
+
+TuningServer::TuningServer(ServerOptions opts) : opts_(std::move(opts)) {}
+
+TuningServer::~TuningServer() { stop(); }
+
+void TuningServer::start() {
+  if (running_) fail("tuning server: already running");
+  workers_ = opts_.workers != 0
+                 ? opts_.workers
+                 : std::max(1u, std::thread::hardware_concurrency());
+  pool_ = std::make_unique<ChunkPool>(opts_.pool_chunks, opts_.chunk_words);
+  queues_ = std::make_unique<ShardedSessionQueues>(workers_, *pool_,
+                                                   opts_.session_budget);
+  listen_fd_ = unix_listen(opts_.socket_path, opts_.listen_backlog);
+  stopping_ = false;
+  running_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  worker_threads_.reserve(workers_);
+  for (std::size_t shard = 0; shard < workers_; ++shard) {
+    worker_threads_.emplace_back([this, shard] { worker_loop(shard); });
+  }
+}
+
+void TuningServer::stop() {
+  if (!running_) return;
+  stopping_ = true;
+  // Wake the accept loop; the fd is closed after the thread joins.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  // Force every open connection out of its blocking read, and every
+  // FIN-waiter out of its verdict wait.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (auto& [id, entry] : sessions_) {
+      {
+        std::lock_guard<std::mutex> elock(entry->write_mu);
+        entry->done = true;
+      }
+      entry->done_cv.notify_all();
+    }
+  }
+  queues_->shutdown();  // workers drain, then exit
+  pool_->shutdown();    // readers blocked on a dry pool unwind
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    connections_drained_.wait(lock, [&] { return active_connections_ == 0; });
+  }
+  for (std::thread& t : worker_threads_) t.join();
+  worker_threads_.clear();
+  accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(opts_.socket_path.c_str());
+  running_ = false;
+}
+
+void TuningServer::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (stop) or unrecoverable
+    }
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conn_fds_.push_back(fd);
+      ++active_connections_;
+    }
+    // Detached on purpose: lifetime is tracked by active_connections_,
+    // which stop() waits on, so no thread outlives the server.
+    std::thread([this, fd] { serve_connection(fd); }).detach();
+  }
+}
+
+TuningServer::EntryPtr TuningServer::find_entry(std::uint64_t session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool TuningServer::send_response(const EntryPtr& entry, FrameType type,
+                                 std::span<const std::uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(entry->write_mu);
+  if (entry->replied) return false;
+  entry->replied = true;
+  ++sessions_served_;
+  try {
+    write_frame(entry->fd, type, payload);
+  } catch (...) {
+    // The client may already be gone; the session is answered either way.
+  }
+  return true;
+}
+
+void TuningServer::send_error(const EntryPtr& entry, WireErrorCode code,
+                              const std::string& message) {
+  send_response(entry, FrameType::kError, encode_error(code, message));
+}
+
+void TuningServer::mark_entry_done(const EntryPtr& entry) {
+  {
+    std::lock_guard<std::mutex> lock(entry->write_mu);
+    entry->done = true;
+  }
+  entry->done_cv.notify_all();
+}
+
+void TuningServer::serve_connection(int fd) {
+  std::uint64_t session = 0;
+  EntryPtr entry;
+  bool fin_sent = false;
+
+  // Pre-session protocol failures answer on the raw fd (there is no
+  // session to poison yet).
+  auto raw_error = [&](WireErrorCode code, const std::string& message) {
+    try {
+      const auto payload = encode_error(code, message);
+      write_frame(fd, FrameType::kError, payload);
+    } catch (...) {
+    }
+  };
+
+  try {
+    Frame frame;
+    bool instruction = true;
+    bool hello_ok = false;
+    if (read_frame(fd, frame)) {
+      if (frame.type != FrameType::kHello) {
+        raw_error(WireErrorCode::kProtocol,
+                  "expected HELLO, got frame type " +
+                      std::to_string(static_cast<unsigned>(frame.type)));
+      } else {
+        try {
+          instruction = decode_hello(frame.payload);
+          hello_ok = true;
+        } catch (const std::exception& e) {
+          raw_error(WireErrorCode::kProtocol, e.what());
+        }
+      }
+    }
+
+    if (hello_ok) {
+      try {
+        session = queues_->open_session();
+      } catch (const std::exception& e) {
+        raw_error(WireErrorCode::kOverload, e.what());
+      }
+    }
+
+    if (session != 0) {
+      entry = std::make_shared<SessionEntry>(
+          std::span<const CacheConfig>(all_configs()), opts_.engine);
+      entry->fd = fd;
+      entry->instruction = instruction;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        sessions_.emplace(session, entry);
+      }
+
+      while (!fin_sent) {
+        bool got = false;
+        bool malformed = false;
+        std::string why;
+        try {
+          got = read_frame(fd, frame);
+        } catch (const std::exception& e) {
+          // Oversized/unknown frame or mid-frame EOF: the stream is
+          // unusable either way.
+          malformed = true;
+          why = e.what();
+        }
+        if (malformed) {
+          queues_->poison(session);
+          send_error(entry, WireErrorCode::kProtocol, why);
+          break;
+        }
+        if (!got) {
+          // Clean disconnect without FIN: abandoned, no response owed.
+          queues_->abandon(session);
+          break;
+        }
+        if (frame.type == FrameType::kChunk) {
+          PooledChunk chunk = pool_->acquire();  // global backpressure
+          try {
+            decode_chunk(frame.payload, chunk);
+          } catch (const std::exception& e) {
+            pool_->release(std::move(chunk));
+            queues_->poison(session);
+            const std::string message = e.what();
+            const WireErrorCode code =
+                message.find("crc") != std::string::npos
+                    ? WireErrorCode::kChunkCrc
+                    : WireErrorCode::kProtocol;
+            send_error(entry, code, message);
+            break;
+          }
+          if (!queues_->push(session, std::move(chunk))) {
+            // Poisoned by the worker (its ERROR frame is authoritative),
+            // or the server is stopping.
+            break;
+          }
+        } else if (frame.type == FrameType::kFin) {
+          fin_sent = true;
+          queues_->finish(session);
+          // Wait for the shard worker to retire the FIN and answer.
+          std::unique_lock<std::mutex> lock(entry->write_mu);
+          entry->done_cv.wait(lock, [&] { return entry->done; });
+        } else {
+          queues_->poison(session);
+          send_error(entry, WireErrorCode::kProtocol,
+                     "unexpected frame type " +
+                         std::to_string(static_cast<unsigned>(frame.type)) +
+                         " inside a session");
+          break;
+        }
+      }
+    }
+  } catch (const std::exception&) {
+    // Pool shutdown or a socket error outside the per-frame handling:
+    // treat as a dead connection.
+    if (session != 0) queues_->abandon(session);
+  }
+
+  if (session != 0) {
+    queues_->abandon(session);  // no-op unless still streaming
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sessions_.erase(session);
+    }
+    queues_->close_session(session);
+  }
+  ::close(fd);
+  {
+    // Notify under mu_: once the count hits zero stop() may return and the
+    // server be destroyed, so the broadcast must complete before the
+    // waiter can re-check the predicate (it re-acquires mu_ to do so).
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+    --active_connections_;
+    connections_drained_.notify_all();
+  }
+}
+
+void TuningServer::worker_loop(std::size_t shard) {
+  ShardedSessionQueues::Item item;
+  while (queues_->pop(shard, item)) {
+    const EntryPtr entry = find_entry(item.session);
+    const SessionState st = queues_->state(item.session);
+    if (entry) {
+      try {
+        if (item.fin) {
+          if (st == SessionState::kFinishing) {
+            if (entry->bank.words_fed() == 0) {
+              send_error(entry, WireErrorCode::kEmptyStream,
+                         "fin: no packed words were streamed");
+            } else {
+              const std::vector<CacheStats> stats = entry->bank.stats();
+              const auto payload =
+                  encode_verdict(entry->bank.words_fed(), stats);
+              send_response(entry, FrameType::kVerdict, payload);
+            }
+            queues_->mark_done(item.session);
+          }
+          mark_entry_done(entry);
+        } else if (st == SessionState::kStreaming ||
+                   st == SessionState::kFinishing) {
+          entry->bank.feed(item.chunk.valid_words());
+        }
+      } catch (const std::exception& e) {
+        // A failure inside THIS session's sweep poisons only this session;
+        // the worker — and every other session on this shard — lives on.
+        queues_->poison(item.session);
+        send_error(entry, WireErrorCode::kInternal, e.what());
+        mark_entry_done(entry);
+      }
+    }
+    queues_->release(std::move(item));
+  }
+}
+
+}  // namespace stcache::serve

@@ -1,0 +1,135 @@
+// TuningServer — the multi-tenant tuning service core shared by the
+// stcache_tuned daemon and the in-process embedding example
+// (examples/tuning_service.cpp).
+//
+// Topology (docs/serving.md has the full architecture):
+//
+//   client sockets          connection readers         sharded queues
+//   ──────────────          ------------------         --------------
+//   HELLO/CHUNK/FIN  ──▶  one thread per connection ──▶ ChunkPool +
+//                          (frame parse, CRC check,     ShardedSessionQueues
+//                           backpressure via pool)          │ 1 worker/shard
+//                                                           ▼
+//   VERDICT/ERROR  ◀───── verdict writer (the shard     BankAccumulator
+//                          worker that retires FIN)     per session
+//
+// Every session is pinned to one shard worker, which owns that session's
+// BankAccumulator — per-session sweep state is single-threaded by
+// construction, exactly like the SPSC pipeline's consumer. A malformed
+// session (bad frame, CRC mismatch, decode failure) is poisoned and
+// answered with ERROR; the worker pool and every concurrent session are
+// untouched, and a poisoned session NEVER gets a verdict computed from
+// partial data (the serving analogue of the PR 2 controller's refusal to
+// act on distrusted measurements; docs/robustness.md).
+//
+// Verdicts are computed by the same BankAccumulator the in-process
+// pipeline uses, so a daemon verdict is bit-identical to
+// `stcache_tune --exhaustive` on the same stream — repro.sh byte-compares
+// the two end to end.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/wire.hpp"
+#include "trace/replay.hpp"
+#include "trace/shard.hpp"
+
+namespace stcache::serve {
+
+struct ServerOptions {
+  std::string socket_path;
+  // Sweep worker threads == queue shards. 0 = hardware_concurrency.
+  std::size_t workers = 0;
+  // Fixed buffer pool shared by every session: total serving memory is
+  // pool_chunks × chunk_words × 4 bytes, decided here and never exceeded.
+  std::size_t pool_chunks = 64;
+  std::size_t chunk_words = std::size_t{1} << 14;
+  // Max chunks one session may have in flight before its reader blocks.
+  std::size_t session_budget = 4;
+  // Replay engine for the per-session banks (kDefault = process default).
+  ReplayEngine engine = ReplayEngine::kDefault;
+  int listen_backlog = 16;
+};
+
+class TuningServer {
+ public:
+  explicit TuningServer(ServerOptions opts);
+  ~TuningServer();  // stop()s if still running
+
+  TuningServer(const TuningServer&) = delete;
+  TuningServer& operator=(const TuningServer&) = delete;
+
+  // Bind the socket and launch the accept loop and shard workers. Throws
+  // stcache::Error (e.g. path in use) without leaking threads.
+  void start();
+  // Stop serving: in-flight sessions are aborted, all threads join, the
+  // socket file is unlinked. Idempotent.
+  void stop();
+
+  bool running() const { return running_; }
+  const std::string& socket_path() const { return opts_.socket_path; }
+  std::size_t workers() const { return workers_; }
+  // Sessions answered so far (VERDICT or ERROR).
+  std::uint64_t sessions_served() const { return sessions_served_; }
+
+ private:
+  // Server-side session record. The connection reader owns the lifecycle;
+  // the shard worker owns `bank`. `write_mu` serializes the single
+  // response frame (reader-side protocol errors vs worker verdicts).
+  struct SessionEntry {
+    explicit SessionEntry(std::span<const CacheConfig> configs,
+                          ReplayEngine engine)
+        : bank(configs, {}, engine) {}
+    BankAccumulator bank;
+    int fd = -1;
+    bool instruction = true;
+    std::mutex write_mu;
+    bool replied = false;       // at most one VERDICT/ERROR per session
+    std::condition_variable done_cv;
+    bool done = false;          // response sent (or session dead)
+  };
+  using EntryPtr = std::shared_ptr<SessionEntry>;
+
+  void accept_loop();
+  void serve_connection(int fd);
+  void worker_loop(std::size_t shard);
+
+  EntryPtr find_entry(std::uint64_t session);
+  // Send the session's single response frame; returns false if one was
+  // already sent. Socket errors are swallowed (the client may be gone).
+  bool send_response(const EntryPtr& entry, FrameType type,
+                     std::span<const std::uint8_t> payload);
+  void send_error(const EntryPtr& entry, WireErrorCode code,
+                  const std::string& message);
+  void mark_entry_done(const EntryPtr& entry);
+
+  ServerOptions opts_;
+  std::size_t workers_ = 0;
+  std::unique_ptr<ChunkPool> pool_;
+  std::unique_ptr<ShardedSessionQueues> queues_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+
+  std::mutex mu_;  // guards sessions_, conn_fds_, active_connections_
+  std::unordered_map<std::uint64_t, EntryPtr> sessions_;
+  std::vector<int> conn_fds_;  // open connection fds, for forced shutdown
+  std::size_t active_connections_ = 0;
+  std::condition_variable connections_drained_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> sessions_served_{0};
+};
+
+}  // namespace stcache::serve

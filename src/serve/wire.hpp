@@ -1,0 +1,123 @@
+// Wire protocol of the tuning service (version 1) — the length-prefixed
+// frames stcache_tuned and stcache_tunec exchange over a unix-domain
+// stream socket. docs/serving.md is the normative spec; this header is its
+// implementation.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset 0  u8   type        (FrameType)
+//   offset 1  u32  length      payload byte count (bounded by
+//                              kMaxFramePayload; larger is a protocol
+//                              violation)
+//   offset 5  u8[] payload
+//
+// Session message sequence: the client sends HELLO, any number of CHUNKs,
+// then FIN; the server answers with exactly one VERDICT or ERROR and
+// closes. Payloads:
+//
+//   HELLO    char[4] magic "STCH", u16 version (=1), u8 stream
+//            (0 = instruction, 1 = data), u8 reserved (=0)
+//   CHUNK    u32 word_count, u32 crc32 (IEEE, over the word bytes as
+//            transmitted), then word_count packed u32 words in
+//            pack_stream() format (bit 31 = write, bits 30..0 = 16 B
+//            block)
+//   FIN      empty
+//   VERDICT  u64 accesses (total words folded), u32 n_configs, then
+//            n_configs CacheStats blocks (17 u64 counters each, in
+//            cache/stats.hpp declaration order), index-aligned with
+//            all_configs() — the registry order is part of the protocol
+//            contract and versioned with it
+//   ERROR    u16 code (WireErrorCode), u16 reserved (=0), UTF-8 message
+//
+// Everything here throws stcache::Error on malformed input or I/O
+// failure; the server maps those to per-session ERROR frames, never to a
+// worker death (docs/serving.md, "failure isolation").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/stats.hpp"
+#include "trace/shard.hpp"
+
+namespace stcache::serve {
+
+inline constexpr char kHelloMagic[4] = {'S', 'T', 'C', 'H'};
+inline constexpr std::uint16_t kProtocolVersion = 1;
+// Frames above this size are rejected before allocation: a client cannot
+// make the server buffer unbounded garbage.
+inline constexpr std::size_t kMaxFramePayload = (std::size_t{1} << 22) + 64;
+inline constexpr std::size_t kMaxChunkWords = std::size_t{1} << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kChunk = 2,
+  kFin = 3,
+  kVerdict = 4,
+  kError = 5,
+};
+
+enum class WireErrorCode : std::uint16_t {
+  kProtocol = 1,     // framing, ordering, or size violation
+  kChunkCrc = 2,     // CHUNK payload failed its CRC-32
+  kEmptyStream = 3,  // FIN with zero words streamed
+  kOverload = 4,     // server refused the session (at capacity)
+  kInternal = 5,     // decode/sweep failure inside the server
+};
+const char* to_string(WireErrorCode code);
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+// --- payload encode/decode --------------------------------------------------
+
+std::vector<std::uint8_t> encode_hello(bool instruction);
+// true = instruction stream; throws on bad magic/version/reserved bytes.
+bool decode_hello(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_chunk(std::span<const std::uint32_t> words);
+// Copies the words into `out` (resizing as needed) and verifies the
+// declared CRC-32; throws Error mentioning "crc" on a checksum mismatch
+// and "chunk" on structural problems.
+void decode_chunk(std::span<const std::uint8_t> payload, PooledChunk& out);
+
+std::vector<std::uint8_t> encode_verdict(std::uint64_t accesses,
+                                         std::span<const CacheStats> stats);
+struct Verdict {
+  std::uint64_t accesses = 0;
+  std::vector<CacheStats> stats;  // index-aligned with all_configs()
+};
+Verdict decode_verdict(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_error(WireErrorCode code,
+                                       const std::string& message);
+struct WireError {
+  WireErrorCode code = WireErrorCode::kInternal;
+  std::string message;
+};
+WireError decode_error(std::span<const std::uint8_t> payload);
+
+// --- framed socket I/O ------------------------------------------------------
+
+// Write one frame (header + payload) to `fd`; throws on any short write
+// or peer reset (SIGPIPE is suppressed).
+void write_frame(int fd, FrameType type, std::span<const std::uint8_t> payload);
+
+// Read one frame. Returns false on clean EOF at a frame boundary; throws
+// on mid-frame EOF, I/O errors, unknown frame types, or an oversized
+// declared payload.
+bool read_frame(int fd, Frame& out, std::size_t max_payload = kMaxFramePayload);
+
+// --- unix-domain sockets ----------------------------------------------------
+
+// Bind + listen on `path` (unlinking a stale socket first). Throws with
+// the path in the message on failure. Returns the listening fd.
+int unix_listen(const std::string& path, int backlog);
+// Connect to a listening socket; throws with the path in the message.
+int unix_connect(const std::string& path);
+
+}  // namespace stcache::serve

@@ -32,6 +32,7 @@
 
 #include "core/evaluator.hpp"
 #include "core/heuristic.hpp"
+#include "core/report.hpp"
 #include "core/sweep.hpp"
 #include "trace/replay.hpp"
 #include "trace/stream.hpp"
@@ -145,19 +146,7 @@ int run(int argc, char** argv) {
     std::cerr << "error: the selected stream is empty\n";
     return 1;
   }
-  std::cout << "Tuning the " << (instruction ? "instruction" : "data")
-            << " cache on " << sel.size() << " accesses...\n\n";
 
-  TraceEvaluator eval(std::span<const std::uint32_t>(sel), model);
-  const SearchResult heur = tune(eval);
-  const double base = eval.energy(base_cache());
-
-  Table table({"search", "configuration", "configs examined", "energy",
-               "savings vs 8K_4W_32B"});
-  table.add_row({"heuristic", heur.best.name(),
-                 std::to_string(heur.configs_examined),
-                 fmt_si_energy(heur.best_energy),
-                 fmt_percent(1.0 - heur.best_energy / base, 1)});
   if (exhaustive) {
     if (!have_measured) {
       // Evaluate the full 27-point space as one bank job — the stream is
@@ -178,20 +167,29 @@ int run(int argc, char** argv) {
                   [&](std::size_t) { return std::string("all configs"); })
               .front();
     }
-    // Prime a fresh evaluator so tune_exhaustive() (and its registry-order
-    // tie-breaking) runs as pure lookups.
-    TraceEvaluator primed(std::span<const std::uint32_t>(sel), model);
-    for (std::size_t j = 0; j < configs.size(); ++j) {
-      primed.prime(configs[j], measured[j]);
-    }
-    const SearchResult ex = tune_exhaustive(primed);
-    table.add_row({"exhaustive", ex.best.name(),
-                   std::to_string(ex.configs_examined),
-                   fmt_si_energy(ex.best_energy),
-                   fmt_percent(1.0 - ex.best_energy / base, 1)});
     runner.print_metrics(std::cerr);
     runner.write_metrics_json(metrics_out);
+    // The measured bank covers every configuration either search visits,
+    // so the shared renderer replays nothing — stcache_tunec renders the
+    // daemon's VERDICT through the same function, byte-identically.
+    print_exhaustive_report(std::cout, instruction, sel.size(), configs,
+                            measured, model);
+    return 0;
   }
+
+  std::cout << "Tuning the " << (instruction ? "instruction" : "data")
+            << " cache on " << sel.size() << " accesses...\n\n";
+
+  TraceEvaluator eval(std::span<const std::uint32_t>(sel), model);
+  const SearchResult heur = tune(eval);
+  const double base = eval.energy(base_cache());
+
+  Table table({"search", "configuration", "configs examined", "energy",
+               "savings vs 8K_4W_32B"});
+  table.add_row({"heuristic", heur.best.name(),
+                 std::to_string(heur.configs_examined),
+                 fmt_si_energy(heur.best_energy),
+                 fmt_percent(1.0 - heur.best_energy / base, 1)});
   table.print(std::cout);
 
   std::cout << "\nVisited: ";

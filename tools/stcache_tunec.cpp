@@ -1,0 +1,166 @@
+// stcache_tunec — serving client of stcache_tuned: streams a packed trace
+// to the daemon and renders the exhaustive tuning report from the VERDICT.
+//
+//   stcache_tunec --socket PATH <file.stct> [I|D] [options]
+//   stcache_tunec --socket PATH --workload NAME [I|D] [options]
+//
+// options: [--pipeline streaming|materialized] [--chunk-words N]
+//
+// The workload mode with --pipeline streaming (the default) captures on a
+// producer thread and ships each packed chunk over the socket as it is
+// produced — capture, network, and the daemon's sweep all overlap, and no
+// full trace is ever materialized on either side. Because the daemon folds
+// chunks with the same BankAccumulator the in-process pipeline uses, and
+// both sides render through print_exhaustive_report, stdout is
+// byte-identical to `stcache_tune --exhaustive` on the same stream
+// (repro.sh cmp's the two). Server-side failures surface as a single
+// "error: server: ..." line with exit code 1.
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "serve/client.hpp"
+#include "trace/trace_io.hpp"
+#include "util/error.hpp"
+#include "workloads/workload.hpp"
+
+namespace stcache {
+namespace {
+
+int usage() {
+  std::cerr << "usage: stcache_tunec --socket PATH "
+               "(<file.stct> | --workload NAME | --probe empty|bad-crc) "
+               "[I|D] [--pipeline streaming|materialized] [--chunk-words N]\n";
+  return 2;
+}
+
+// Health probe: deliberately misbehave and verify the daemon answers with
+// the expected typed ERROR instead of dying or hanging — a scriptable
+// check of the failure-isolation contract (exit 0 iff the daemon behaved).
+int run_probe(const std::string& socket_path, const std::string& probe,
+              bool instruction) {
+  const int fd = serve::unix_connect(socket_path);
+  serve::write_frame(fd, serve::FrameType::kHello,
+                     serve::encode_hello(instruction));
+  if (probe == "bad-crc") {
+    const std::uint32_t words[4] = {1, 2, 3, 4};
+    std::vector<std::uint8_t> payload =
+        serve::encode_chunk(std::span<const std::uint32_t>(words, 4));
+    payload[8] ^= 0xff;  // flip a word byte: the declared CRC is now wrong
+    serve::write_frame(fd, serve::FrameType::kChunk, payload);
+  } else {
+    serve::write_frame(fd, serve::FrameType::kFin, {});  // empty stream
+  }
+  serve::Frame frame;
+  const bool got = serve::read_frame(fd, frame);
+  ::close(fd);
+  if (!got) fail("probe: server closed without a response");
+  if (frame.type != serve::FrameType::kError) {
+    fail("probe: expected an ERROR frame, got type " +
+         std::to_string(static_cast<unsigned>(frame.type)));
+  }
+  const serve::WireError err = serve::decode_error(frame.payload);
+  const char* expected = probe == "bad-crc" ? "chunk-crc" : "empty-stream";
+  if (std::string(serve::to_string(err.code)) != expected) {
+    fail(std::string("probe: expected ") + expected + ", server answered " +
+         serve::to_string(err.code));
+  }
+  std::cout << "probe " << probe << ": server answered "
+            << serve::to_string(err.code) << "\n";
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string socket_path;
+  std::string path;
+  std::string workload_name;
+  std::string pipeline = "streaming";
+  std::string probe;
+  bool instruction = true;
+  std::size_t chunk_words = serve::TuneClient::kDefaultChunkWords;
+  int i = 1;
+  if (argv[1][0] != '-') {
+    path = argv[1];
+    i = 2;
+  }
+  for (; i < argc; ++i) {
+    if (std::strcmp(argv[i], "D") == 0) instruction = false;
+    else if (std::strcmp(argv[i], "I") == 0) instruction = true;
+    else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc)
+      socket_path = argv[++i];
+    else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc)
+      workload_name = argv[++i];
+    else if (std::strcmp(argv[i], "--pipeline") == 0 && i + 1 < argc)
+      pipeline = argv[++i];
+    else if (std::strcmp(argv[i], "--probe") == 0 && i + 1 < argc)
+      probe = argv[++i];
+    else if (std::strcmp(argv[i], "--chunk-words") == 0 && i + 1 < argc)
+      chunk_words = static_cast<std::size_t>(std::atol(argv[++i]));
+    else if (argv[i][0] != '-' && path.empty() && workload_name.empty())
+      path = argv[i];
+    else {
+      std::cerr << "unknown argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (socket_path.empty()) return usage();
+  if (!probe.empty()) {
+    if (probe != "empty" && probe != "bad-crc") return usage();
+    if (!path.empty() || !workload_name.empty()) return usage();
+    return run_probe(socket_path, probe, instruction);
+  }
+  if (path.empty() == workload_name.empty()) return usage();  // exactly one
+  if (pipeline != "streaming" && pipeline != "materialized") {
+    std::cerr << "unknown pipeline '" << pipeline
+              << "' (expected streaming|materialized)\n";
+    return 2;
+  }
+
+  serve::Verdict verdict;
+  if (!workload_name.empty() && pipeline == "streaming") {
+    // Chunks go straight from the capture thread's queue onto the wire.
+    const Workload& w = find_workload(workload_name);
+    serve::TuneClient client(socket_path, instruction, chunk_words);
+    stream_workload(w, [&](const PackedChunk& chunk) {
+      client.send(instruction ? chunk.ifetch_words() : chunk.data_words());
+    });
+    verdict = client.finish();
+  } else {
+    std::vector<std::uint32_t> sel;
+    if (!workload_name.empty()) {
+      PackedCapture cap = capture_packed(find_workload(workload_name));
+      sel = instruction ? std::move(cap.ifetch) : std::move(cap.data);
+    } else {
+      PackedSplitTrace split = load_packed_trace(path);
+      sel = instruction ? std::move(split.ifetch) : std::move(split.data);
+    }
+    verdict = serve::tune_remote(socket_path, instruction, sel, chunk_words);
+  }
+
+  const EnergyModel model;
+  print_exhaustive_report(std::cout, instruction, verdict.accesses,
+                          all_configs(), verdict.stats, model);
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main(int argc, char** argv) {
+  try {
+    return stcache::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    std::cerr << "error: unknown exception\n";
+    return 1;
+  }
+}

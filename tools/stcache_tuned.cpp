@@ -1,0 +1,98 @@
+// stcache_tuned — the tuning-as-a-service daemon: accepts packed trace
+// streams from many concurrent clients over a unix-domain socket and
+// answers each session with the exhaustive 27-configuration sweep verdict.
+//
+//   stcache_tuned --socket PATH [--workers N] [--pool-chunks N]
+//                 [--chunk-words N] [--session-budget N]
+//                 [--engine reference|fast|oneshot] [--max-sessions N]
+//
+// Prints one `listening on ...` line to stdout once the socket is bound
+// (scripts use it as the readiness signal), then serves until SIGINT /
+// SIGTERM — or until --max-sessions sessions have been answered, which is
+// how the integration tests get a deterministic shutdown. Verdicts are
+// computed by the same BankAccumulator the in-process pipeline uses, so a
+// client's rendered report is byte-identical to `stcache_tune
+// --exhaustive` on the same stream (repro.sh cmp's the two). A malformed
+// session (bad frame, CRC mismatch) is answered with ERROR and poisoned;
+// concurrent sessions and the worker pool are untouched. docs/serving.md
+// documents the protocol and the architecture.
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "trace/replay.hpp"
+
+namespace stcache {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::cerr << "usage: stcache_tuned --socket PATH [--workers N] "
+               "[--pool-chunks N] [--chunk-words N] [--session-budget N] "
+               "[--engine reference|fast|oneshot] [--max-sessions N]\n";
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  serve::ServerOptions opts;
+  std::uint64_t max_sessions = 0;  // 0 = serve until a signal arrives
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc)
+      opts.socket_path = argv[++i];
+    else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc)
+      opts.workers = static_cast<std::size_t>(std::atol(argv[++i]));
+    else if (std::strcmp(argv[i], "--pool-chunks") == 0 && i + 1 < argc)
+      opts.pool_chunks = static_cast<std::size_t>(std::atol(argv[++i]));
+    else if (std::strcmp(argv[i], "--chunk-words") == 0 && i + 1 < argc)
+      opts.chunk_words = static_cast<std::size_t>(std::atol(argv[++i]));
+    else if (std::strcmp(argv[i], "--session-budget") == 0 && i + 1 < argc)
+      opts.session_budget = static_cast<std::size_t>(std::atol(argv[++i]));
+    else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc)
+      opts.engine = parse_replay_engine(argv[++i]);
+    else if (std::strcmp(argv[i], "--max-sessions") == 0 && i + 1 < argc)
+      max_sessions = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else {
+      std::cerr << "unknown argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (opts.socket_path.empty()) return usage();
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  serve::TuningServer server(opts);
+  server.start();
+  std::cout << "listening on " << server.socket_path()
+            << " (workers=" << server.workers() << ")" << std::endl;
+
+  while (!g_stop &&
+         (max_sessions == 0 || server.sessions_served() < max_sessions)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  server.stop();
+  std::cout << "served " << server.sessions_served() << " sessions\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace stcache
+
+int main(int argc, char** argv) {
+  try {
+    return stcache::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    std::cerr << "error: unknown exception\n";
+    return 1;
+  }
+}
