@@ -4,18 +4,20 @@
 # at the repository root (the files EXPERIMENTS.md numbers come from).
 #
 #   ./repro.sh           full pipeline (build, all tests, TSan sweep+stream
-#                        +serving tests, ASan/UBSan fault+trace+interpreter
-#                        +serving tests, the throughput/capture/end-to-end/
-#                        serving gates, the streaming-tune and serving
-#                        determinism gates, every bench binary)
+#                        +serving+chaos tests, ASan/UBSan fault+trace+
+#                        interpreter+serving+wire+chaos tests, the
+#                        throughput/capture/end-to-end/serving/resilience
+#                        gates, the streaming-tune and serving determinism
+#                        gates, every bench binary)
 #   ./repro.sh --quick   build + the parallel-sweep, streaming and serving
-#                        tests (native, TSan) + the fault-injection,
-#                        trace-format, replay-equivalence, stack-sweep,
-#                        fast-interpreter differential, stream and serving
-#                        tests (native and ASan/UBSan) + --jobs/--engine/
-#                        --pipeline determinism checks on bench_fig3 and
-#                        stcache_tune + the daemon-vs-in-process serving
-#                        cmp; minutes, not the full regeneration
+#                        tests (native, TSan, one chaos campaign) + the
+#                        fault-injection, trace-format, replay-equivalence,
+#                        stack-sweep, fast-interpreter differential, stream,
+#                        serving, wire and chaos tests (native and
+#                        ASan/UBSan) + --jobs/--engine/--pipeline
+#                        determinism checks on bench_fig3 and stcache_tune
+#                        + the daemon-vs-in-process serving cmp; minutes,
+#                        not the full regeneration
 #
 # See docs/experiments.md for what each bench binary reproduces.
 set -e
@@ -38,12 +40,19 @@ cmake --build build -j "$(nproc)"
 # sharded N-producer queues and the tuning server (accept thread, reader
 # threads, shard workers, client threads) join them for the same reason.
 cmake -B build-tsan -S . -DSTCACHE_SANITIZE=thread > /dev/null
-cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_test stream_test shard_queue_test serving_test
+cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_test stream_test shard_queue_test serving_test serving_resilience_test
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/sweep_runner_test
 ./build-tsan/tests/stream_test
 ./build-tsan/tests/shard_queue_test
 ./build-tsan/tests/serving_test
+# The chaos campaigns race a misbehaving wire client against clean tenants,
+# server timeouts, and a drain — the richest thread interleavings the
+# serving stack has; TSan must stay silent through all of them. --quick
+# picks one campaign; the full run replays all five fault classes.
+RESILIENCE_FILTER=
+[ "$QUICK" = "1" ] && RESILIENCE_FILTER='--gtest_filter=ServingResilience.CorruptFrameCampaign:ServingResilience.GracefulDrainFinishesInFlightAndRefusesNew'
+./build-tsan/tests/serving_resilience_test $RESILIENCE_FILTER
 
 # The fault-injection, trace-format, replay-equivalence and stack-sweep
 # tests run under Address/UB sanitizers too: they exercise bit-level
@@ -57,7 +66,7 @@ cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_te
 # length-prefixed frame parsing and the chunk pool's recycled buffers are
 # classic overrun territory.
 cmake -B build-asan -S . -DSTCACHE_SANITIZE=address,undefined > /dev/null
-cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test replay_equivalence_test stack_sweep_test fast_cpu_test stream_test shard_queue_test serving_test
+cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test replay_equivalence_test stack_sweep_test fast_cpu_test stream_test shard_queue_test serving_test wire_test serving_resilience_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/trace_io_test
 ./build-asan/tests/replay_equivalence_test
@@ -66,6 +75,12 @@ cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test replay_
 ./build-asan/tests/stream_test
 ./build-asan/tests/shard_queue_test
 ./build-asan/tests/serving_test
+# wire_test feeds the frame codec torn prefixes, oversized declarations and
+# zero-length payloads; serving_resilience_test feeds the whole server
+# corrupted and truncated frames — precisely where an overrun would hide.
+# --quick picks one chaos campaign (same filter as the TSan leg).
+./build-asan/tests/wire_test
+./build-asan/tests/serving_resilience_test $RESILIENCE_FILTER
 
 # Serving determinism gate helpers: a loopback stcache_tuned daemon must
 # render verdicts byte-identical to the in-process `stcache_tune
@@ -100,7 +115,7 @@ serve_cmp() {
 }
 
 if [ "$QUICK" = "1" ]; then
-    ctest --test-dir build -R 'ThreadPool|SweepRunner|Fault|TraceIo|ReplayEquivalence|StackSweep|FastCpu|Workload|Spsc|Stream|BankAccumulator|PackedTraceIo|ChunkPool|ShardQueue|Serving' --output-on-failure
+    ctest --test-dir build -R 'ThreadPool|SweepRunner|Fault|TraceIo|ReplayEquivalence|StackSweep|FastCpu|Workload|Spsc|Stream|BankAccumulator|PackedTraceIo|ChunkPool|ShardQueue|Serving|Wire' --output-on-failure
 
     # Determinism gate: the parallel sweep must reproduce the serial table
     # byte for byte (metrics go to stderr, so stdout is comparable).
@@ -179,6 +194,12 @@ else
   # workers faster than one).
   ./build/bench/bench_serving --out /tmp/stcache_bench_serving.json > /dev/null
   python3 scripts/bench_check.py BENCH_serving.json /tmp/stcache_bench_serving.json --mode serving
+  # Resilience gate: clean-tenant throughput with a fault-injecting
+  # neighbor vs the committed BENCH_serving_resilience.json, plus the
+  # >= 0.8x clean-under-chaos floor (enforced only on multi-core hosts;
+  # on one CPU the neighbor steals cycles, not just service capacity).
+  ./build/bench/bench_serving_resilience --out /tmp/stcache_bench_resilience.json > /dev/null
+  python3 scripts/bench_check.py BENCH_serving_resilience.json /tmp/stcache_bench_resilience.json --mode resilience
 fi
 
 : > bench_output.txt

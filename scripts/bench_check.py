@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Gate replay-engine, capture, and serving throughput against baselines.
 
-Usage: bench_check.py BASELINE.json FRESH.json [--mode replay|serving]
-                      [--tolerance FRAC]
+Usage: bench_check.py BASELINE.json FRESH.json
+                      [--mode replay|serving|resilience] [--tolerance FRAC]
 
 In the default --mode replay, both files are bench_replay_throughput --out
 snapshots. Three checks run:
@@ -29,6 +29,15 @@ must be at least --serving-min (default 2.0, STCACHE_SERVING_MIN). One CPU
 cannot run two sweep workers faster than one, so the scaling floor is
 enforced only when the fresh snapshot reports cpus >= 2; on a single-core
 host the check prints an explicit skip and only the rate regressions gate.
+
+In --mode resilience, both files are bench_serving_resilience --out
+snapshots. The clean and under-chaos words/second must stay within the
+tolerance of the baseline, and the fresh run's chaos/clean ratio — the
+clean tenant's throughput while a neighbor injects wire faults — must be
+at least --resilience-min (default 0.8, STCACHE_RESILIENCE_MIN). On a
+single-core host the neighbor steals real CPU from the clean tenant, so
+(like the serving scaling floor) the ratio floor is enforced only when
+the fresh snapshot reports cpus >= 2; the rate regressions always gate.
 
 repro.sh runs this in full (non-sanitizer) mode; sanitizer builds skip it
 because their throughput is not comparable to the committed snapshot.
@@ -126,13 +135,57 @@ def check_serving(base_doc, fresh_doc, args):
     return failed
 
 
+def check_resilience(base_doc, fresh_doc, args):
+    for doc, path in ((base_doc, args.baseline), (fresh_doc, args.fresh)):
+        if doc.get("bench") != "serving_resilience":
+            sys.exit(f"error: {path}: not a serving_resilience snapshot")
+    failed = False
+    rates = (
+        ("clean", "clean", "words_per_second"),
+        ("chaos", "chaos", "words_per_second"),
+    )
+    for label, section, key in rates:
+        base = serving_rate(base_doc, section, key, args.baseline)
+        fresh = serving_rate(fresh_doc, section, key, args.fresh)
+        ratio = fresh / base
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSION"
+            failed = True
+        print(
+            f"[bench_check] resilience {label:6s} baseline {base:.3e} words/s, "
+            f"fresh {fresh:.3e} words/s ({ratio:.2f}x) {status}"
+        )
+
+    ratio = fresh_doc.get("ratio")
+    cpus = fresh_doc.get("cpus")
+    if not isinstance(ratio, (int, float)) or ratio <= 0:
+        sys.exit(f"error: {args.fresh}: missing or non-positive 'ratio'")
+    if not isinstance(cpus, int) or cpus < 1:
+        sys.exit(f"error: {args.fresh}: missing or non-positive 'cpus'")
+    if cpus < 2:
+        print(
+            f"[bench_check] resilience ratio  {ratio:.2f}x measured, floor "
+            f"{args.resilience_min:.2f}x SKIPPED (fresh run had {cpus} cpu; "
+            "the chaos neighbor steals real CPU from the clean tenant)"
+        )
+    else:
+        status = "ok" if ratio >= args.resilience_min else "BELOW FLOOR"
+        failed = failed or ratio < args.resilience_min
+        print(
+            f"[bench_check] resilience ratio  clean-under-chaos "
+            f"{ratio:.2f}x (floor {args.resilience_min:.2f}x) {status}"
+        )
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
     parser.add_argument("fresh")
     parser.add_argument(
         "--mode",
-        choices=("replay", "serving"),
+        choices=("replay", "serving", "resilience"),
         default="replay",
         help="which bench snapshot pair is being gated (default replay)",
     )
@@ -141,6 +194,12 @@ def main():
         type=float,
         default=float(os.environ.get("STCACHE_SERVING_MIN", "2.0")),
         help="minimum aggregate-vs-single serving scaling (default 2.0)",
+    )
+    parser.add_argument(
+        "--resilience-min",
+        type=float,
+        default=float(os.environ.get("STCACHE_RESILIENCE_MIN", "0.8")),
+        help="minimum clean-under-chaos throughput ratio (default 0.8)",
     )
     parser.add_argument(
         "--tolerance",
@@ -175,6 +234,16 @@ def main():
             )
             return 1
         print("[bench_check] all serving gates passed")
+        return 0
+
+    if args.mode == "resilience":
+        if check_resilience(base_doc, fresh_doc, args):
+            print(
+                "[bench_check] FAILED: a resilience gate fell below its "
+                "floor; investigate or regenerate the baseline if intended."
+            )
+            return 1
+        print("[bench_check] all resilience gates passed")
         return 0
 
     base = overall_rates(base_doc, args.baseline)

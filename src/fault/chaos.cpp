@@ -1,0 +1,234 @@
+#include "fault/chaos.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace stcache {
+
+const char* to_string(WireFaultClass c) {
+  switch (c) {
+    case WireFaultClass::kNone: return "none";
+    case WireFaultClass::kCorrupt: return "corrupt";
+    case WireFaultClass::kTruncate: return "truncate";
+    case WireFaultClass::kDisconnect: return "disconnect";
+    case WireFaultClass::kStall: return "stall";
+    case WireFaultClass::kDuplicate: return "duplicate";
+  }
+  return "?";
+}
+
+const char* to_string(ChaosOutcome o) {
+  switch (o) {
+    case ChaosOutcome::kVerdict: return "verdict";
+    case ChaosOutcome::kMismatch: return "mismatch";
+    case ChaosOutcome::kServerError: return "server-error";
+    case ChaosOutcome::kSelfDisconnect: return "self-disconnect";
+    case ChaosOutcome::kTransportError: return "transport-error";
+  }
+  return "?";
+}
+
+namespace {
+
+// Raw byte send — faulted frames are deliberately NOT valid wire frames,
+// so this bypasses write_frame. Returns false on any error (EPIPE after
+// the server poisoned us is the expected failure, not an exception).
+bool send_bytes(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// One encoded frame, header + payload, ready for fault surgery.
+std::vector<std::uint8_t> encode_frame(serve::FrameType type,
+                                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> bytes(5 + payload.size());
+  bytes[0] = static_cast<std::uint8_t>(type);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  bytes[1] = static_cast<std::uint8_t>(len);
+  bytes[2] = static_cast<std::uint8_t>(len >> 8);
+  bytes[3] = static_cast<std::uint8_t>(len >> 16);
+  bytes[4] = static_cast<std::uint8_t>(len >> 24);
+  std::copy(payload.begin(), payload.end(), bytes.begin() + 5);
+  return bytes;
+}
+
+}  // namespace
+
+ChaosEndpoint::ChaosEndpoint(const FaultPlan& plan,
+                             std::uint32_t response_timeout_ms)
+    : plan_(plan), response_timeout_ms_(response_timeout_ms),
+      rng_(plan.seed) {}
+
+ChaosReport ChaosEndpoint::run(const std::string& socket_path,
+                               bool instruction,
+                               std::span<const std::uint32_t> packed,
+                               std::size_t chunk_words) {
+  STC_ASSERT(chunk_words > 0, "chaos: chunk_words must be positive");
+  ChaosReport report;
+  report.clean_words = packed.size();
+
+  int fd = -1;
+  try {
+    fd = serve::unix_connect(socket_path);
+  } catch (const std::exception& e) {
+    report.outcome = ChaosOutcome::kTransportError;
+    report.detail = e.what();
+    return report;
+  }
+
+  // Bounded response read + classification; owns the final outcome for
+  // every path that expects the server to say something.
+  const auto read_response = [&] {
+    try {
+      serve::Frame frame;
+      if (!serve::read_frame(fd, frame, serve::kMaxFramePayload,
+                             serve::wire_deadline_after(response_timeout_ms_))) {
+        report.outcome = ChaosOutcome::kTransportError;
+        report.detail = "server closed without a response";
+      } else if (frame.type == serve::FrameType::kError) {
+        const serve::WireError err = serve::decode_error(frame.payload);
+        report.outcome = ChaosOutcome::kServerError;
+        report.server_code = err.code;
+        report.detail = err.message;
+      } else if (frame.type == serve::FrameType::kVerdict) {
+        report.verdict = serve::decode_verdict(frame.payload);
+        report.outcome = report.verdict.accesses == report.clean_words
+                             ? ChaosOutcome::kVerdict
+                             : ChaosOutcome::kMismatch;
+        if (report.outcome == ChaosOutcome::kMismatch) {
+          report.detail = "verdict folded " +
+                          std::to_string(report.verdict.accesses) +
+                          " words, clean stream has " +
+                          std::to_string(report.clean_words);
+        }
+      } else {
+        report.outcome = ChaosOutcome::kTransportError;
+        report.detail = "unexpected response frame type " +
+                        std::to_string(static_cast<unsigned>(frame.type));
+      }
+    } catch (const serve::WireTimeout& e) {
+      report.outcome = ChaosOutcome::kTransportError;
+      report.detail = std::string("response deadline: ") + e.what();
+    } catch (const std::exception& e) {
+      report.outcome = ChaosOutcome::kTransportError;
+      report.detail = e.what();
+    }
+  };
+
+  // The session's frame sequence, materialized so faults can operate on
+  // raw bytes: HELLO, CHUNK..., FIN.
+  struct Outgoing {
+    serve::FrameType type;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<Outgoing> frames;
+  frames.push_back({serve::FrameType::kHello,
+                    encode_frame(serve::FrameType::kHello,
+                                 serve::encode_hello(instruction))});
+  for (std::size_t off = 0; off < packed.size(); off += chunk_words) {
+    const std::size_t n = std::min(chunk_words, packed.size() - off);
+    frames.push_back(
+        {serve::FrameType::kChunk,
+         encode_frame(serve::FrameType::kChunk,
+                      serve::encode_chunk(packed.subspan(off, n)))});
+  }
+  frames.push_back({serve::FrameType::kFin,
+                    encode_frame(serve::FrameType::kFin, {})});
+
+  bool awaiting_response = true;  // false once the plan closed the socket
+  for (const Outgoing& out : frames) {
+    // One uniform draw per frame picks at most one class (the counter-path
+    // idiom); corrupt/duplicate downgrade to none off CHUNK frames.
+    WireFaultClass cls = WireFaultClass::kNone;
+    const double u = rng_.next_double();
+    double acc = 0.0;
+    if (u < (acc += plan_.wire_corrupt)) cls = WireFaultClass::kCorrupt;
+    else if (u < (acc += plan_.wire_truncate)) cls = WireFaultClass::kTruncate;
+    else if (u < (acc += plan_.wire_disconnect)) cls = WireFaultClass::kDisconnect;
+    else if (u < (acc += plan_.wire_stall)) cls = WireFaultClass::kStall;
+    else if (u < (acc += plan_.wire_duplicate)) cls = WireFaultClass::kDuplicate;
+    if ((cls == WireFaultClass::kCorrupt ||
+         cls == WireFaultClass::kDuplicate) &&
+        out.type != serve::FrameType::kChunk) {
+      cls = WireFaultClass::kNone;
+    }
+
+    if (cls == WireFaultClass::kDisconnect) {
+      ++report.counts.disconnects;
+      report.outcome = ChaosOutcome::kSelfDisconnect;
+      report.detail = "plan dropped the connection before a " +
+                      std::to_string(static_cast<unsigned>(out.type)) +
+                      " frame";
+      awaiting_response = false;
+      break;
+    }
+
+    if (cls == WireFaultClass::kStall) {
+      ++report.counts.stalls;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(plan_.wire_stall_ms));
+      // Fall through: the frame is sent unmodified after the stall.
+    }
+
+    std::vector<std::uint8_t> bytes = out.bytes;
+    bool half_close = false;
+    if (cls == WireFaultClass::kCorrupt) {
+      ++report.counts.corrupted;
+      // Flip a payload bit: framing stays intact, so the server must
+      // catch this with the CRC or the chunk structure check.
+      const std::size_t payload_bits = (bytes.size() - 5) * 8;
+      const std::size_t bit = rng_.next_below(payload_bits);
+      bytes[5 + bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      half_close = true;  // the stream is untrustworthy; force the verdict
+    } else if (cls == WireFaultClass::kTruncate) {
+      ++report.counts.truncated;
+      // A strict prefix: at least 1 byte, never the whole frame, so the
+      // server always sees a torn frame, not a short session.
+      const std::size_t cut = 1 + rng_.next_below(bytes.size() - 1);
+      bytes.resize(cut);
+      half_close = true;
+    }
+
+    ++report.counts.frames_sent;
+    bool sent = send_bytes(fd, bytes.data(), bytes.size());
+    if (sent && cls == WireFaultClass::kDuplicate) {
+      ++report.counts.duplicates;
+      ++report.counts.frames_sent;
+      sent = send_bytes(fd, bytes.data(), bytes.size());
+    }
+    if (half_close && sent) {
+      // EOF the write side so the server's reader terminates its frame
+      // parse NOW instead of waiting out its idle deadline.
+      ::shutdown(fd, SHUT_WR);
+    }
+    if (!sent || half_close) {
+      // Either the server already poisoned us (send failed: its ERROR is
+      // pending) or we just invalidated the stream — read the response.
+      read_response();
+      awaiting_response = false;
+      break;
+    }
+  }
+
+  if (awaiting_response) read_response();
+  ::close(fd);
+  return report;
+}
+
+}  // namespace stcache

@@ -1,0 +1,117 @@
+// Deterministic wire-chaos harness for the tuning service — the serving
+// tier's analogue of FaultInjector (fault.hpp).
+//
+// FaultInjector perturbs the two trust boundaries of the in-process
+// model (counters, trace records); ChaosEndpoint perturbs the third one a
+// deployment adds: the socket between stcache_tunec and stcache_tuned. It
+// plays one complete client session against a live daemon, but routes
+// every outgoing frame through a seeded fault draw:
+//
+//   kCorrupt     flip one random payload bit of a CHUNK — must trip the
+//                CRC (or the chunk structure check), never reach a bank
+//   kTruncate    send a strict prefix of a frame, then half-close — the
+//                server must diagnose mid-frame EOF, not hang waiting
+//   kDisconnect  drop the connection cold — the server must abandon the
+//                session and recycle its chunks, owing no response
+//   kStall       sleep wire_stall_ms before the frame — exercises the
+//                server's idle deadline (stall < idle completes cleanly;
+//                stall > idle must produce `ERROR timeout`)
+//   kDuplicate   send a CHUNK twice — framing and CRC both pass, so only
+//                the verdict/words-sent cross-check can catch it
+//
+// Determinism: all draws (class, bit position, cut point) come from one
+// splitmix64 stream seeded by the FaultPlan, so a (plan, workload) pair
+// replays the identical fault sequence on every run — the serving
+// resilience tests sweep seeds and assert a typed outcome for every one,
+// with a deadline on every read so "hang" is a test failure, not a
+// timeout in CI. docs/serving.md §7 maps fault classes to the outcomes
+// asserted here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "serve/wire.hpp"
+#include "util/rng.hpp"
+
+namespace stcache {
+
+enum class WireFaultClass : std::uint8_t {
+  kNone = 0,
+  kCorrupt,
+  kTruncate,
+  kDisconnect,
+  kStall,
+  kDuplicate,
+};
+const char* to_string(WireFaultClass c);
+
+// What actually fired during one chaos session.
+struct WireFaultCounts {
+  std::uint64_t corrupted = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t frames_sent = 0;  // frames that reached the wire (dups count)
+
+  std::uint64_t total() const {
+    return corrupted + truncated + disconnects + stalls + duplicates;
+  }
+};
+
+// How one chaos session ended. Every enumerator is a *terminated* state:
+// ChaosEndpoint bounds every socket read, so a hung server surfaces as
+// kTransportError with "deadline" in the detail, never as a stuck test.
+enum class ChaosOutcome : std::uint8_t {
+  kVerdict,         // VERDICT arrived and folded exactly the clean stream
+  kMismatch,        // VERDICT arrived but folded a different word count
+                    // (the duplicate class, caught by the cross-check)
+  kServerError,     // typed ERROR frame (server_code says which)
+  kSelfDisconnect,  // the plan dropped the connection; no response owed
+  kTransportError,  // transport died without a typed frame (EOF/EPIPE/
+                    // response deadline)
+};
+const char* to_string(ChaosOutcome o);
+
+struct ChaosReport {
+  ChaosOutcome outcome = ChaosOutcome::kTransportError;
+  serve::WireErrorCode server_code = serve::WireErrorCode::kInternal;
+  std::string detail;
+  WireFaultCounts counts;
+  serve::Verdict verdict;        // valid for kVerdict / kMismatch
+  std::uint64_t clean_words = 0; // words of `packed` (what a clean verdict folds)
+
+  // A retry (sessions are idempotent) is the sanctioned reaction to
+  // everything except a typed rejection of the stream itself.
+  bool retryable() const {
+    return outcome != ChaosOutcome::kServerError ||
+           server_code == serve::WireErrorCode::kOverload ||
+           server_code == serve::WireErrorCode::kTimeout;
+  }
+};
+
+class ChaosEndpoint {
+ public:
+  // `plan` supplies the wire_* rates and the seed; `response_timeout_ms`
+  // bounds every read so a wedged server can never hang the harness.
+  explicit ChaosEndpoint(const FaultPlan& plan,
+                         std::uint32_t response_timeout_ms = 30'000);
+
+  // Play one session of `packed` (chunked to `chunk_words`) against the
+  // daemon at `socket_path`, faults included, and report how it ended.
+  // Never throws on wire trouble — that is the point — only on internal
+  // misuse (e.g. empty chunk_words).
+  ChaosReport run(const std::string& socket_path, bool instruction,
+                  std::span<const std::uint32_t> packed,
+                  std::size_t chunk_words);
+
+ private:
+  FaultPlan plan_;
+  std::uint32_t response_timeout_ms_;
+  Rng rng_;
+};
+
+}  // namespace stcache

@@ -51,8 +51,27 @@ struct FaultPlan {
   // --- trace path (probability per record) ---
   double record_bitflip = 0.0;  // flip one address bit of a record
 
+  // --- wire path (probability per outgoing frame; fault/chaos.hpp) ---
+  // Executed by ChaosEndpoint against a live tuning daemon. Like the
+  // counter classes, a single uniform draw per frame picks at most one
+  // class. Corrupt and duplicate only fire on CHUNK frames (the classes
+  // exist to prove CRC and verdict-consistency detection); the draw
+  // downgrades to "no fault" on other frame types so the decision stream
+  // stays frame-aligned.
+  double wire_corrupt = 0.0;     // flip one random payload bit of the frame
+  double wire_truncate = 0.0;    // send a strict prefix, then half-close
+  double wire_disconnect = 0.0;  // drop the connection instead of the frame
+  double wire_stall = 0.0;       // sleep wire_stall_ms before the frame
+  double wire_duplicate = 0.0;   // send the frame twice
+  std::uint32_t wire_stall_ms = 50;
+
   double interval_rate() const {
     return drop + bitflip + saturate + duplicate + noise;
+  }
+
+  double wire_rate() const {
+    return wire_corrupt + wire_truncate + wire_disconnect + wire_stall +
+           wire_duplicate;
   }
 
   // The default campaign: `rate` of all measurement intervals corrupted,

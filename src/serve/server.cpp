@@ -27,6 +27,7 @@ void TuningServer::start() {
                                                    opts_.session_budget);
   listen_fd_ = unix_listen(opts_.socket_path, opts_.listen_backlog);
   stopping_ = false;
+  draining_ = false;
   running_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
   worker_threads_.reserve(workers_);
@@ -68,6 +69,27 @@ void TuningServer::stop() {
   running_ = false;
 }
 
+bool TuningServer::drain(std::uint32_t deadline_ms) {
+  if (!running_) return true;
+  // New HELLOs are refused from here on (serve_connection's admission
+  // check); connections already past HELLO run to completion.
+  draining_ = true;
+  const WireDeadline deadline = wire_deadline_after(deadline_ms);
+  bool drained;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto idle = [&] { return active_connections_ == 0; };
+    if (deadline == kNoWireDeadline) {
+      connections_drained_.wait(lock, idle);
+      drained = true;
+    } else {
+      drained = connections_drained_.wait_until(lock, deadline, idle);
+    }
+  }
+  stop();  // stragglers past the deadline are aborted here
+  return drained;
+}
+
 void TuningServer::accept_loop() {
   while (true) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -103,16 +125,28 @@ bool TuningServer::send_response(const EntryPtr& entry, FrameType type,
   entry->replied = true;
   ++sessions_served_;
   try {
-    write_frame(entry->fd, type, payload);
+    write_frame(entry->fd, type, payload, response_deadline());
   } catch (...) {
-    // The client may already be gone; the session is answered either way.
+    // The client may already be gone (or too stalled to take the frame
+    // before the write deadline); the session is answered either way.
   }
   return true;
 }
 
 void TuningServer::send_error(const EntryPtr& entry, WireErrorCode code,
-                              const std::string& message) {
-  send_response(entry, FrameType::kError, encode_error(code, message));
+                              const std::string& message,
+                              std::uint16_t retry_after_ms) {
+  send_response(entry, FrameType::kError,
+                encode_error(code, message, retry_after_ms));
+}
+
+void TuningServer::fail_session(std::uint64_t session, const EntryPtr& entry,
+                                WireErrorCode code, const std::string& message,
+                                std::uint16_t retry_after_ms) {
+  queues_->poison(session);  // purge queued chunks back to the pool
+  ++sessions_poisoned_;
+  if (code == WireErrorCode::kTimeout) ++sessions_timed_out_;
+  send_error(entry, code, message, retry_after_ms);
 }
 
 void TuningServer::mark_entry_done(const EntryPtr& entry) {
@@ -128,32 +162,79 @@ void TuningServer::serve_connection(int fd) {
   EntryPtr entry;
   bool fin_sent = false;
 
-  // Pre-session protocol failures answer on the raw fd (there is no
-  // session to poison yet).
-  auto raw_error = [&](WireErrorCode code, const std::string& message) {
+  // Pre-session failures answer on the raw fd (there is no session to
+  // poison yet).
+  auto raw_error = [&](WireErrorCode code, const std::string& message,
+                       std::uint16_t retry_after = 0) {
     try {
-      const auto payload = encode_error(code, message);
-      write_frame(fd, FrameType::kError, payload);
+      const auto payload = encode_error(code, message, retry_after);
+      write_frame(fd, FrameType::kError, payload, response_deadline());
     } catch (...) {
     }
+  };
+
+  // The total-session clock starts at accept; every frame read is bounded
+  // by the sooner of the idle deadline (reset per frame) and this one.
+  const WireDeadline session_deadline =
+      wire_deadline_after(opts_.session_timeout_ms);
+  const auto frame_deadline = [&] {
+    return std::min(wire_deadline_after(opts_.idle_timeout_ms),
+                    session_deadline);
   };
 
   try {
     Frame frame;
     bool instruction = true;
     bool hello_ok = false;
-    if (read_frame(fd, frame)) {
-      if (frame.type != FrameType::kHello) {
-        raw_error(WireErrorCode::kProtocol,
-                  "expected HELLO, got frame type " +
-                      std::to_string(static_cast<unsigned>(frame.type)));
-      } else {
-        try {
-          instruction = decode_hello(frame.payload);
-          hello_ok = true;
-        } catch (const std::exception& e) {
-          raw_error(WireErrorCode::kProtocol, e.what());
+    try {
+      if (read_frame(fd, frame, kMaxFramePayload, frame_deadline())) {
+        if (frame.type != FrameType::kHello) {
+          raw_error(WireErrorCode::kProtocol,
+                    "expected HELLO, got frame type " +
+                        std::to_string(static_cast<unsigned>(frame.type)));
+        } else {
+          try {
+            const Hello hello = decode_hello(frame.payload);
+            instruction = hello.instruction;
+            hello_ok = true;
+          } catch (const std::exception& e) {
+            raw_error(WireErrorCode::kProtocol, e.what());
+          }
         }
+      }
+    } catch (const WireTimeout& e) {
+      // Slow-loris: connected but never produced a HELLO in time.
+      ++sessions_timed_out_;
+      raw_error(WireErrorCode::kTimeout, e.what());
+      hello_ok = false;
+    } catch (const std::exception& e) {
+      // Torn or malformed bytes before a session exists (e.g. a HELLO cut
+      // mid-frame): still answered with a typed ERROR, never a bare close.
+      raw_error(WireErrorCode::kProtocol, e.what());
+      hello_ok = false;
+    }
+
+    // Admission control: shed BEFORE the session touches the pool, so an
+    // overloaded server answers cheaply instead of piling readers onto
+    // already-contended buffers (docs/serving.md §6).
+    if (hello_ok) {
+      std::string refuse;
+      if (draining_ || stopping_) {
+        refuse = "draining: not accepting new sessions";
+      } else if (opts_.max_inflight_sessions != 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (sessions_.size() >= opts_.max_inflight_sessions) {
+          refuse = "overloaded: session capacity reached";
+        }
+      }
+      if (refuse.empty() && opts_.shed_pool_min != 0 &&
+          pool_->available() < opts_.shed_pool_min) {
+        refuse = "overloaded: chunk pool pressure";
+      }
+      if (!refuse.empty()) {
+        ++sessions_shed_;
+        raw_error(WireErrorCode::kOverload, refuse, opts_.retry_after_ms);
+        hello_ok = false;
       }
     }
 
@@ -161,7 +242,7 @@ void TuningServer::serve_connection(int fd) {
       try {
         session = queues_->open_session();
       } catch (const std::exception& e) {
-        raw_error(WireErrorCode::kOverload, e.what());
+        raw_error(WireErrorCode::kOverload, e.what(), opts_.retry_after_ms);
       }
     }
 
@@ -178,18 +259,26 @@ void TuningServer::serve_connection(int fd) {
       while (!fin_sent) {
         bool got = false;
         bool malformed = false;
+        bool timed_out = false;
         std::string why;
         try {
-          got = read_frame(fd, frame);
+          got = read_frame(fd, frame, kMaxFramePayload, frame_deadline());
+        } catch (const WireTimeout& e) {
+          timed_out = true;
+          why = e.what();
         } catch (const std::exception& e) {
           // Oversized/unknown frame or mid-frame EOF: the stream is
           // unusable either way.
           malformed = true;
           why = e.what();
         }
+        if (timed_out) {
+          fail_session(session, entry, WireErrorCode::kTimeout, why,
+                       opts_.retry_after_ms);
+          break;
+        }
         if (malformed) {
-          queues_->poison(session);
-          send_error(entry, WireErrorCode::kProtocol, why);
+          fail_session(session, entry, WireErrorCode::kProtocol, why);
           break;
         }
         if (!got) {
@@ -198,21 +287,36 @@ void TuningServer::serve_connection(int fd) {
           break;
         }
         if (frame.type == FrameType::kChunk) {
-          PooledChunk chunk = pool_->acquire();  // global backpressure
+          PooledChunk chunk;
+          // Global backpressure, bounded: a dry pool past the deadline
+          // sheds this session instead of pinning its reader forever.
+          if (!pool_->acquire_until(frame_deadline(), chunk)) {
+            fail_session(session, entry, WireErrorCode::kTimeout,
+                         "timeout: chunk pool exhausted past the deadline",
+                         opts_.retry_after_ms);
+            break;
+          }
           try {
             decode_chunk(frame.payload, chunk);
           } catch (const std::exception& e) {
             pool_->release(std::move(chunk));
-            queues_->poison(session);
             const std::string message = e.what();
             const WireErrorCode code =
                 message.find("crc") != std::string::npos
                     ? WireErrorCode::kChunkCrc
                     : WireErrorCode::kProtocol;
-            send_error(entry, code, message);
+            fail_session(session, entry, code, message);
             break;
           }
-          if (!queues_->push(session, std::move(chunk))) {
+          const auto pushed =
+              queues_->push_until(session, std::move(chunk), frame_deadline());
+          if (pushed == ShardedSessionQueues::PushResult::kTimedOut) {
+            fail_session(session, entry, WireErrorCode::kTimeout,
+                         "timeout: session budget saturated past the deadline",
+                         opts_.retry_after_ms);
+            break;
+          }
+          if (pushed == ShardedSessionQueues::PushResult::kRefused) {
             // Poisoned by the worker (its ERROR frame is authoritative),
             // or the server is stopping.
             break;
@@ -220,15 +324,30 @@ void TuningServer::serve_connection(int fd) {
         } else if (frame.type == FrameType::kFin) {
           fin_sent = true;
           queues_->finish(session);
-          // Wait for the shard worker to retire the FIN and answer.
-          std::unique_lock<std::mutex> lock(entry->write_mu);
-          entry->done_cv.wait(lock, [&] { return entry->done; });
+          // Wait for the shard worker to retire the FIN and answer —
+          // bounded, so a wedged shard cannot pin this reader forever.
+          const WireDeadline deadline = frame_deadline();
+          bool finished;
+          {
+            std::unique_lock<std::mutex> lock(entry->write_mu);
+            const auto done = [&] { return entry->done; };
+            if (deadline == kNoWireDeadline) {
+              entry->done_cv.wait(lock, done);
+              finished = true;
+            } else {
+              finished = entry->done_cv.wait_until(lock, deadline, done);
+            }
+          }
+          if (!finished) {
+            fail_session(session, entry, WireErrorCode::kTimeout,
+                         "timeout: verdict not ready before the deadline",
+                         opts_.retry_after_ms);
+          }
         } else {
-          queues_->poison(session);
-          send_error(entry, WireErrorCode::kProtocol,
-                     "unexpected frame type " +
-                         std::to_string(static_cast<unsigned>(frame.type)) +
-                         " inside a session");
+          fail_session(session, entry, WireErrorCode::kProtocol,
+                       "unexpected frame type " +
+                           std::to_string(static_cast<unsigned>(frame.type)) +
+                           " inside a session");
           break;
         }
       }
@@ -288,8 +407,7 @@ void TuningServer::worker_loop(std::size_t shard) {
       } catch (const std::exception& e) {
         // A failure inside THIS session's sweep poisons only this session;
         // the worker — and every other session on this shard — lives on.
-        queues_->poison(item.session);
-        send_error(entry, WireErrorCode::kInternal, e.what());
+        fail_session(item.session, entry, WireErrorCode::kInternal, e.what());
         mark_entry_done(entry);
       }
     }

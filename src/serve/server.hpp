@@ -58,6 +58,25 @@ struct ServerOptions {
   // Replay engine for the per-session banks (kDefault = process default).
   ReplayEngine engine = ReplayEngine::kDefault;
   int listen_backlog = 16;
+
+  // --- resilience knobs (docs/serving.md §6) --------------------------------
+  // A connection that makes no frame progress for this long is timed out:
+  // the session is poisoned (chunks purged back to the pool), answered
+  // with `ERROR timeout`, and closed. 0 = no idle deadline.
+  std::uint32_t idle_timeout_ms = 30'000;
+  // Total wall-clock budget for one session, HELLO to response. A byzantine
+  // client that trickles frames forever hits this even if it never idles.
+  // 0 = no total deadline.
+  std::uint32_t session_timeout_ms = 0;
+  // Admission control: refuse HELLOs (ERROR overload + retry-after) once
+  // this many sessions are in flight, instead of letting readers pile onto
+  // the pool. 0 = unlimited.
+  std::size_t max_inflight_sessions = 0;
+  // Pool-pressure shedding: refuse HELLOs while fewer than this many pool
+  // chunks are free. 0 = disabled.
+  std::size_t shed_pool_min = 0;
+  // The retry-after hint attached to overload/drain refusals.
+  std::uint16_t retry_after_ms = 50;
 };
 
 class TuningServer {
@@ -75,11 +94,26 @@ class TuningServer {
   // socket file is unlinked. Idempotent.
   void stop();
 
+  // Graceful drain, the SIGTERM/SIGINT path: new HELLOs are refused with
+  // `ERROR overload "draining"` + retry-after, in-flight sessions run to
+  // completion up to `deadline_ms` (0 = wait forever), then stop().
+  // Returns true if every in-flight session finished before the deadline
+  // (stragglers past it are aborted by stop() as usual). Idempotent-safe
+  // with stop().
+  bool drain(std::uint32_t deadline_ms);
+  bool draining() const { return draining_; }
+
   bool running() const { return running_; }
   const std::string& socket_path() const { return opts_.socket_path; }
   std::size_t workers() const { return workers_; }
   // Sessions answered so far (VERDICT or ERROR).
   std::uint64_t sessions_served() const { return sessions_served_; }
+  // Sessions poisoned (CRC/protocol/internal/timeout failures).
+  std::uint64_t sessions_poisoned() const { return sessions_poisoned_; }
+  // HELLOs refused by admission control (capacity, pool pressure, drain).
+  std::uint64_t sessions_shed() const { return sessions_shed_; }
+  // Connections/sessions that blew an idle/total deadline.
+  std::uint64_t sessions_timed_out() const { return sessions_timed_out_; }
 
  private:
   // Server-side session record. The connection reader owns the lifecycle;
@@ -105,12 +139,21 @@ class TuningServer {
 
   EntryPtr find_entry(std::uint64_t session);
   // Send the session's single response frame; returns false if one was
-  // already sent. Socket errors are swallowed (the client may be gone).
+  // already sent. Socket errors are swallowed (the client may be gone),
+  // and the write itself is deadline-bounded by idle_timeout_ms so a
+  // stalled client cannot pin the sender.
   bool send_response(const EntryPtr& entry, FrameType type,
                      std::span<const std::uint8_t> payload);
   void send_error(const EntryPtr& entry, WireErrorCode code,
-                  const std::string& message);
+                  const std::string& message, std::uint16_t retry_after_ms = 0);
   void mark_entry_done(const EntryPtr& entry);
+  // Poison + typed ERROR + accounting, the reader-side failure epilogue.
+  void fail_session(std::uint64_t session, const EntryPtr& entry,
+                    WireErrorCode code, const std::string& message,
+                    std::uint16_t retry_after_ms = 0);
+  WireDeadline response_deadline() const {
+    return wire_deadline_after(opts_.idle_timeout_ms);
+  }
 
   ServerOptions opts_;
   std::size_t workers_ = 0;
@@ -129,7 +172,11 @@ class TuningServer {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> sessions_served_{0};
+  std::atomic<std::uint64_t> sessions_poisoned_{0};
+  std::atomic<std::uint64_t> sessions_shed_{0};
+  std::atomic<std::uint64_t> sessions_timed_out_{0};
 };
 
 }  // namespace stcache::serve

@@ -1,9 +1,11 @@
 #include "serve/wire.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -102,34 +104,38 @@ const char* to_string(WireErrorCode code) {
     case WireErrorCode::kEmptyStream: return "empty-stream";
     case WireErrorCode::kOverload: return "overload";
     case WireErrorCode::kInternal: return "internal";
+    case WireErrorCode::kTimeout: return "timeout";
   }
   return "?";
 }
 
 // --- payload encode/decode --------------------------------------------------
 
-std::vector<std::uint8_t> encode_hello(bool instruction) {
+std::vector<std::uint8_t> encode_hello(bool instruction,
+                                       std::uint16_t version) {
   std::vector<std::uint8_t> out;
   out.insert(out.end(), kHelloMagic, kHelloMagic + 4);
-  put_u16(out, kProtocolVersion);
+  put_u16(out, version);
   out.push_back(instruction ? 0 : 1);
   out.push_back(0);  // reserved
   return out;
 }
 
-bool decode_hello(std::span<const std::uint8_t> payload) {
+Hello decode_hello(std::span<const std::uint8_t> payload) {
   if (payload.size() != 8) fail("hello: payload must be 8 bytes");
   if (std::memcmp(payload.data(), kHelloMagic, 4) != 0) {
     fail("hello: bad magic");
   }
-  const std::uint16_t version = get_u16(payload.data() + 4);
-  if (version != kProtocolVersion) {
-    fail("hello: unsupported protocol version " + std::to_string(version));
+  Hello hello;
+  hello.version = get_u16(payload.data() + 4);
+  if (hello.version < kMinProtocolVersion || hello.version > kProtocolVersion) {
+    fail("hello: unsupported protocol version " + std::to_string(hello.version));
   }
   const std::uint8_t stream = payload[6];
   if (stream > 1) fail("hello: bad stream selector");
   if (payload[7] != 0) fail("hello: reserved byte must be zero");
-  return stream == 0;
+  hello.instruction = stream == 0;
+  return hello;
 }
 
 std::vector<std::uint8_t> encode_chunk(std::span<const std::uint32_t> words) {
@@ -196,10 +202,11 @@ Verdict decode_verdict(std::span<const std::uint8_t> payload) {
 }
 
 std::vector<std::uint8_t> encode_error(WireErrorCode code,
-                                       const std::string& message) {
+                                       const std::string& message,
+                                       std::uint16_t retry_after_ms) {
   std::vector<std::uint8_t> out;
   put_u16(out, static_cast<std::uint16_t>(code));
-  put_u16(out, 0);  // reserved
+  put_u16(out, retry_after_ms);  // reserved-zero in protocol v1
   out.insert(out.end(), message.begin(), message.end());
   return out;
 }
@@ -208,6 +215,7 @@ WireError decode_error(std::span<const std::uint8_t> payload) {
   if (payload.size() < 4) fail("error frame: truncated header");
   WireError e;
   e.code = static_cast<WireErrorCode>(get_u16(payload.data()));
+  e.retry_after_ms = get_u16(payload.data() + 2);
   e.message.assign(payload.begin() + 4, payload.end());
   return e;
 }
@@ -216,14 +224,45 @@ WireError decode_error(std::span<const std::uint8_t> payload) {
 
 namespace {
 
-void write_all(int fd, const void* data, std::size_t len) {
+// Block until `fd` is ready for `events` or `deadline` passes; throws
+// WireTimeout on expiry. POLLERR/POLLHUP readiness is returned to the
+// caller — the subsequent recv/send surfaces the real errno (or EOF).
+void poll_or_timeout(int fd, short events, WireDeadline deadline,
+                     const char* what) {
+  while (true) {
+    const auto now = WireClock::now();
+    if (now >= deadline) {
+      throw WireTimeout(std::string(what) + ": deadline expired");
+    }
+    const auto left =
+        std::chrono::ceil<std::chrono::milliseconds>(deadline - now).count();
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(
+        &pfd, 1,
+        static_cast<int>(std::min<long long>(left, 60'000)));  // re-check hour+
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail(std::string(what) + ": poll: " + std::strerror(errno));
+    }
+    if (rc > 0) return;  // ready (or error/hup: let recv/send report it)
+  }
+}
+
+void write_all(int fd, const void* data, std::size_t len,
+               WireDeadline deadline) {
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
     // MSG_NOSIGNAL: a peer that closed mid-write surfaces as EPIPE, not a
-    // process-killing SIGPIPE.
-    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    // process-killing SIGPIPE. Under a deadline the send is non-blocking
+    // and gated by poll(): a blocking send() may not return until the
+    // WHOLE buffer is queued, which would sail past the deadline.
+    const bool bounded = deadline != kNoWireDeadline;
+    if (bounded) poll_or_timeout(fd, POLLOUT, deadline, "socket write");
+    const ssize_t n =
+        ::send(fd, p, len, MSG_NOSIGNAL | (bounded ? MSG_DONTWAIT : 0));
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (bounded && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
       fail(std::string("socket write: ") + std::strerror(errno));
     }
     p += n;
@@ -231,14 +270,19 @@ void write_all(int fd, const void* data, std::size_t len) {
   }
 }
 
-// false only on EOF before the first byte; throws on mid-buffer EOF.
-bool read_exact(int fd, void* data, std::size_t len) {
+// false only on EOF before the first byte; throws on mid-buffer EOF, and
+// WireTimeout once `deadline` passes.
+bool read_exact(int fd, void* data, std::size_t len, WireDeadline deadline) {
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
   while (got < len) {
-    const ssize_t n = ::recv(fd, p + got, len - got, 0);
+    const bool bounded = deadline != kNoWireDeadline;
+    if (bounded) poll_or_timeout(fd, POLLIN, deadline, "socket read");
+    const ssize_t n =
+        ::recv(fd, p + got, len - got, bounded ? MSG_DONTWAIT : 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (bounded && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
       fail(std::string("socket read: ") + std::strerror(errno));
     }
     if (n == 0) {
@@ -252,7 +296,8 @@ bool read_exact(int fd, void* data, std::size_t len) {
 
 }  // namespace
 
-void write_frame(int fd, FrameType type, std::span<const std::uint8_t> payload) {
+void write_frame(int fd, FrameType type, std::span<const std::uint8_t> payload,
+                 WireDeadline deadline) {
   std::uint8_t header[5];
   header[0] = static_cast<std::uint8_t>(type);
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
@@ -260,13 +305,14 @@ void write_frame(int fd, FrameType type, std::span<const std::uint8_t> payload) 
   header[2] = static_cast<std::uint8_t>(len >> 8);
   header[3] = static_cast<std::uint8_t>(len >> 16);
   header[4] = static_cast<std::uint8_t>(len >> 24);
-  write_all(fd, header, sizeof header);
-  if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+  write_all(fd, header, sizeof header, deadline);
+  if (!payload.empty()) write_all(fd, payload.data(), payload.size(), deadline);
 }
 
-bool read_frame(int fd, Frame& out, std::size_t max_payload) {
+bool read_frame(int fd, Frame& out, std::size_t max_payload,
+                WireDeadline deadline) {
   std::uint8_t header[5];
-  if (!read_exact(fd, header, sizeof header)) return false;
+  if (!read_exact(fd, header, sizeof header, deadline)) return false;
   if (header[0] < static_cast<std::uint8_t>(FrameType::kHello) ||
       header[0] > static_cast<std::uint8_t>(FrameType::kError)) {
     fail("frame: unknown type " + std::to_string(header[0]));
@@ -277,7 +323,7 @@ bool read_frame(int fd, Frame& out, std::size_t max_payload) {
     fail("frame: declared payload " + std::to_string(len) + " exceeds limit");
   }
   out.payload.resize(len);
-  if (len > 0 && !read_exact(fd, out.payload.data(), len)) {
+  if (len > 0 && !read_exact(fd, out.payload.data(), len, deadline)) {
     fail("frame: connection closed mid-frame");
   }
   return true;

@@ -13,21 +13,34 @@ ChunkPool::ChunkPool(std::size_t capacity, std::size_t chunk_words)
       chunk_words_(std::max<std::size_t>(16, chunk_words)) {}
 
 PooledChunk ChunkPool::acquire() {
-  std::unique_lock<std::mutex> lock(mu_);
-  can_acquire_.wait(lock, [&] {
-    return !free_.empty() || allocated_ < capacity_ || shutdown_;
-  });
-  if (shutdown_) fail("chunk pool: shut down");
   PooledChunk chunk;
+  const bool ok =
+      acquire_until(std::chrono::steady_clock::time_point::max(), chunk);
+  STC_ASSERT(ok, "chunk pool: unbounded acquire timed out");
+  return chunk;
+}
+
+bool ChunkPool::acquire_until(std::chrono::steady_clock::time_point deadline,
+                              PooledChunk& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto ready = [&] {
+    return !free_.empty() || allocated_ < capacity_ || shutdown_;
+  };
+  if (deadline == std::chrono::steady_clock::time_point::max()) {
+    can_acquire_.wait(lock, ready);
+  } else if (!can_acquire_.wait_until(lock, deadline, ready)) {
+    return false;  // pool still dry at the deadline: shed, don't pin
+  }
+  if (shutdown_) fail("chunk pool: shut down");
   if (!free_.empty()) {
-    chunk = std::move(free_.back());
+    out = std::move(free_.back());
     free_.pop_back();
   } else {
     ++allocated_;
-    chunk.words.resize(chunk_words_);
+    out.words.resize(chunk_words_);
   }
-  chunk.count = 0;
-  return chunk;
+  out.count = 0;
+  return true;
 }
 
 void ChunkPool::release(PooledChunk&& chunk) {
@@ -94,25 +107,40 @@ std::size_t ShardedSessionQueues::shard_of(std::uint64_t session) const {
 }
 
 bool ShardedSessionQueues::push(std::uint64_t session, PooledChunk&& chunk) {
+  return push_until(session, std::move(chunk),
+                    std::chrono::steady_clock::time_point::max()) ==
+         PushResult::kAccepted;
+}
+
+ShardedSessionQueues::PushResult ShardedSessionQueues::push_until(
+    std::uint64_t session, PooledChunk&& chunk,
+    std::chrono::steady_clock::time_point deadline) {
   std::size_t shard;
   {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = sessions_.find(session);
     // Budget backpressure: wait for the worker to drain this session, or
     // for the session to stop accepting.
-    can_push_.wait(lock, [&] {
+    const auto unblocked = [&] {
       if (shutdown_) return true;
       it = sessions_.find(session);
       if (it == sessions_.end()) return true;
       return it->second.state != SessionState::kStreaming ||
              it->second.in_flight < session_budget_;
-    });
+    };
+    bool ready;
+    if (deadline == std::chrono::steady_clock::time_point::max()) {
+      can_push_.wait(lock, unblocked);
+      ready = true;
+    } else {
+      ready = can_push_.wait_until(lock, deadline, unblocked);
+    }
     it = sessions_.find(session);
-    if (shutdown_ || it == sessions_.end() ||
+    if (!ready || shutdown_ || it == sessions_.end() ||
         it->second.state != SessionState::kStreaming) {
       lock.unlock();
       pool_.release(std::move(chunk));
-      return false;
+      return ready ? PushResult::kRefused : PushResult::kTimedOut;
     }
     Session& s = it->second;
     ++s.in_flight;
@@ -123,7 +151,7 @@ bool ShardedSessionQueues::push(std::uint64_t session, PooledChunk&& chunk) {
     q.push_back(Item{session, std::move(chunk), /*fin=*/false});
   }
   can_pop_[shard].notify_one();
-  return true;
+  return PushResult::kAccepted;
 }
 
 bool ShardedSessionQueues::finish(std::uint64_t session) {

@@ -53,6 +53,7 @@
 // sharing by construction.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -86,6 +87,12 @@ class ChunkPool {
   // flight; throws stcache::Error after shutdown() (so blocked producers
   // unwind when the server stops).
   PooledChunk acquire();
+  // Deadline-bounded acquire: true and a buffer in `out`, or false once
+  // `deadline` passes with the pool still dry (the caller's cue to shed
+  // its session instead of pinning a reader thread forever). Still throws
+  // after shutdown().
+  bool acquire_until(std::chrono::steady_clock::time_point deadline,
+                     PooledChunk& out);
   // Hand a buffer back; never blocks.
   void release(PooledChunk&& chunk);
   // Unblock every acquire() with an error; release() still accepted.
@@ -143,6 +150,12 @@ class ShardedSessionQueues {
   // Returns false — recycling the chunk — if the session stopped accepting
   // (poisoned, abandoned, or shutdown).
   bool push(std::uint64_t session, PooledChunk&& chunk);
+  // Deadline-bounded push: kTimedOut (chunk recycled) if the session is
+  // still over budget when `deadline` passes — a worker wedged on this
+  // shard must not pin the reader past its session deadline.
+  enum class PushResult { kAccepted, kRefused, kTimedOut };
+  PushResult push_until(std::uint64_t session, PooledChunk&& chunk,
+                        std::chrono::steady_clock::time_point deadline);
   // Queue the end-of-stream marker; kStreaming -> kFinishing. Returns
   // false if the session is not streaming (e.g. already poisoned).
   bool finish(std::uint64_t session);

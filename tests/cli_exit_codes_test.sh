@@ -1,14 +1,17 @@
 #!/bin/sh
 # Exit-code contract of the CLI tools, exercised end to end:
 #   0 = success, 1 = runtime error (one-line "error: ..." on stderr),
-#   2 = usage / bad arguments.
+#   2 = usage / bad arguments, 3 = stcache_tunec could not connect.
 # Invoked by ctest as:
-#   cli_exit_codes_test.sh <stcache_tune> <stcache_trace> <stcache_asm>
+#   cli_exit_codes_test.sh <stcache_tune> <stcache_trace> <stcache_asm> \
+#                          <stcache_tuned> <stcache_tunec>
 set -u
 
 TUNE=$1
 TRACE=$2
 ASM=$3
+TUNED=$4
+TUNEC=$5
 
 TMPDIR=$(mktemp -d)
 trap 'rm -rf "$TMPDIR"' EXIT
@@ -31,7 +34,7 @@ expect() {
         failures=$((failures + 1))
         return
     fi
-    if [ "$want" -eq 1 ]; then
+    if [ "$want" -eq 1 ] || [ "$want" -eq 3 ]; then
         errlines=$(grep -c '^error: ' "$err")
         if [ "$errlines" -ne 1 ]; then
             echo "FAIL: $desc: expected one 'error: ...' line, got $errlines" >&2
@@ -94,6 +97,38 @@ expect 1 "asm on a missing file" "$ASM" "$TMPDIR/nope.s"
 expect 1 "asm on a bad source file" "$ASM" "$BAD_ASM"
 expect 1 "asm --workload with unknown name" "$ASM" --workload nope
 expect 2 "asm --run with a non-numeric budget" "$ASM" "$GOOD_ASM" --run twelve
+
+# --- stcache_tuned: strict flag validation ----------------------------------
+# A daemon that silently misreads a knob is a production incident: every
+# numeric flag is parsed strictly (whole token, no sign, bounded).
+
+SOCK="$TMPDIR/cli.sock"
+expect 2 "tuned with --workers 0" "$TUNED" --socket "$SOCK" --workers 0
+expect 2 "tuned with a negative session budget" \
+    "$TUNED" --socket "$SOCK" --session-budget -1
+expect 2 "tuned with a non-numeric pool size" \
+    "$TUNED" --socket "$SOCK" --pool-chunks many
+expect 2 "tuned with a negative idle timeout" \
+    "$TUNED" --socket "$SOCK" --idle-timeout-ms -5
+expect 2 "tuned with an oversized retry-after" \
+    "$TUNED" --socket "$SOCK" --retry-after-ms 70000
+expect 2 "tuned with trailing junk in --max-inflight" \
+    "$TUNED" --socket "$SOCK" --max-inflight 4x
+expect 1 "tuned with an unbindable socket path" \
+    "$TUNED" --socket /nonexistent/dir/t.sock --max-sessions 1
+
+# --- stcache_tunec: strict flag validation + connect exit code --------------
+
+expect 2 "tunec with --chunk-words 0" \
+    "$TUNEC" --socket "$SOCK" --workload crc --chunk-words 0
+expect 2 "tunec with a negative timeout" \
+    "$TUNEC" --socket "$SOCK" --workload crc --timeout -1
+expect 2 "tunec with a non-numeric retry count" \
+    "$TUNEC" --socket "$SOCK" --workload crc --retries lots
+expect 2 "tunec with --backoff 0" \
+    "$TUNEC" --socket "$SOCK" --workload crc --backoff 0
+expect 3 "tunec distinguishes connect-refused (exit 3)" \
+    "$TUNEC" --socket "$SOCK" --workload crc
 
 if [ "$failures" -ne 0 ]; then
     echo "$failures check(s) failed" >&2

@@ -5,8 +5,11 @@
 #     on SIGTERM and when --max-sessions is reached;
 #   - stcache_tunec renders a verdict byte-identical to
 #     `stcache_tune --exhaustive` on the same stream;
-#   - runtime failures (no daemon, empty stream, poisoned session) exit 1
-#     with exactly one "error: ..." line; usage errors exit 2.
+#   - runtime failures (empty stream, poisoned session) exit 1 with
+#     exactly one "error: ..." line; usage errors exit 2; a daemon that
+#     cannot be reached exits 3 (distinct from mid-session loss);
+#   - SIGINT and SIGTERM both drain gracefully and print the shutdown
+#     summary (`served N sessions (P poisoned, S shed, T timed out)`).
 # Invoked by ctest as:
 #   serving_cli_test.sh <stcache_tuned> <stcache_tunec> <stcache_tune> <stcache_trace>
 set -u
@@ -37,7 +40,7 @@ expect() {
         failures=$((failures + 1))
         return
     fi
-    if [ "$want" -eq 1 ]; then
+    if [ "$want" -eq 1 ] || [ "$want" -eq 3 ]; then
         errlines=$(grep -c '^error: ' "$err")
         if [ "$errlines" -ne 1 ]; then
             echo "FAIL: $desc: expected one 'error: ...' line, got $errlines" >&2
@@ -91,7 +94,19 @@ expect 2 "tunec with bad probe" "$TUNEC" --socket "$SOCK" --probe frobnicate
 expect 2 "tunec with probe and workload at once" "$TUNEC" --socket "$SOCK" --probe empty --workload crc
 expect 2 "tuned without --socket" "$TUNED"
 expect 2 "tuned with unknown flag" "$TUNED" --socket "$SOCK" --frobnicate
-expect 1 "tunec with no daemon listening" "$TUNEC" --socket "$SOCK" --workload crc
+expect 3 "tunec with no daemon listening" "$TUNEC" --socket "$SOCK" --workload crc
+
+# With retries the client backs off, tries again, and still reports the
+# connect failure distinctly (exit 3, "cannot connect" in the message).
+: > "$TMPDIR/retry.err"
+"$TUNEC" --socket "$SOCK" --workload crc --retries 2 --backoff 5 \
+    >/dev/null 2>"$TMPDIR/retry.err"
+code=$?
+check "tunec exits 3 after exhausting retries" [ "$code" -eq 3 ]
+check "tunec printed its retry notices" \
+    [ "$(grep -c '^retrying in ' "$TMPDIR/retry.err")" -eq 2 ]
+check "tunec names the connect failure" \
+    grep -q '^error: cannot connect: ' "$TMPDIR/retry.err"
 
 # --- happy path: daemon verdict == in-process exhaustive tune ---------------
 
@@ -116,6 +131,8 @@ wait "$DAEMON_PID"
 code=$?
 check "daemon exits 0 after --max-sessions" [ "$code" -eq 0 ]
 check "daemon reports served sessions" grep -q '^served 4 sessions' "$TMPDIR/daemon.log"
+check "clean batch summary shows zero failures" \
+    grep -q '^served 4 sessions (0 poisoned, 0 shed, 0 timed out)' "$TMPDIR/daemon.log"
 DAEMON_PID=
 
 # --- protocol violations: sessions get typed ERRORs, the daemon survives ----
@@ -135,6 +152,8 @@ expect 0 "daemon survives the poisoned sessions" \
 wait "$DAEMON_PID"
 code=$?
 check "daemon exits 0 after its second session batch" [ "$code" -eq 0 ]
+check "summary counts the poisoned session" \
+    grep -q '^served 3 sessions (1 poisoned, 0 shed, 0 timed out)' "$TMPDIR/daemon.log"
 DAEMON_PID=
 
 # --- SIGTERM shutdown --------------------------------------------------------
@@ -145,6 +164,20 @@ wait "$DAEMON_PID"
 code=$?
 check "daemon exits 0 on SIGTERM" [ "$code" -eq 0 ]
 check "daemon unlinked its socket" [ ! -e "$SOCK" ]
+check "SIGTERM prints the shutdown summary" \
+    grep -q '^served 0 sessions (0 poisoned, 0 shed, 0 timed out)' "$TMPDIR/daemon.log"
+DAEMON_PID=
+
+# --- SIGINT drains exactly like SIGTERM --------------------------------------
+
+start_daemon "$SOCK"
+kill -INT "$DAEMON_PID"
+wait "$DAEMON_PID"
+code=$?
+check "daemon exits 0 on SIGINT" [ "$code" -eq 0 ]
+check "daemon unlinked its socket after SIGINT" [ ! -e "$SOCK" ]
+check "SIGINT prints the shutdown summary" \
+    grep -q '^served 0 sessions (0 poisoned, 0 shed, 0 timed out)' "$TMPDIR/daemon.log"
 DAEMON_PID=
 
 if [ "$failures" -ne 0 ]; then

@@ -241,6 +241,67 @@ TEST(ShardQueue, PoisonRefusesFurtherTraffic) {
   EXPECT_EQ(pool.available(), 4u);
 }
 
+TEST(ChunkPool, AcquireUntilTimesOutOnADryPool) {
+  ChunkPool pool(1, 16);
+  PooledChunk held = pool.acquire();  // the pool is now dry
+  PooledChunk out;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(pool.acquire_until(
+      t0 + std::chrono::milliseconds(50), out));
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(40));
+  // A released buffer satisfies the next bounded acquire immediately.
+  pool.release(std::move(held));
+  EXPECT_TRUE(pool.acquire_until(
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(1'000),
+      out));
+  pool.release(std::move(out));
+}
+
+TEST(ChunkPool, AcquireUntilStillThrowsAfterShutdown) {
+  ChunkPool pool(1, 16);
+  pool.shutdown();
+  PooledChunk out;
+  EXPECT_THROW(pool.acquire_until(std::chrono::steady_clock::now() +
+                                      std::chrono::milliseconds(100),
+                                  out),
+               Error);
+}
+
+TEST(ShardQueue, PushUntilTimesOutWhenTheBudgetStaysSaturated) {
+  ChunkPool pool(4, 16);
+  ShardedSessionQueues q(1, pool, /*session_budget=*/1);
+  const std::uint64_t s = q.open_session();
+  ASSERT_TRUE(q.push(s, make_chunk(pool, 1)));  // budget now saturated
+  const std::size_t before = pool.available();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  EXPECT_EQ(q.push_until(s, make_chunk(pool, 2), deadline),
+            ShardedSessionQueues::PushResult::kTimedOut);
+  // The refused chunk went straight back to the pool, not into limbo.
+  EXPECT_EQ(pool.available(), before);
+
+  // Draining the worker side frees the budget; the next bounded push lands.
+  ShardedSessionQueues::Item item;
+  ASSERT_TRUE(q.pop(0, item));
+  q.release(std::move(item));
+  EXPECT_EQ(q.push_until(s, make_chunk(pool, 3),
+                         std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(1'000)),
+            ShardedSessionQueues::PushResult::kAccepted);
+}
+
+TEST(ShardQueue, PushUntilReportsRefusalDistinctFromTimeout) {
+  ChunkPool pool(4, 16);
+  ShardedSessionQueues q(1, pool, 4);
+  const std::uint64_t s = q.open_session();
+  q.poison(s);  // the session stopped accepting: refusal, not a timeout
+  EXPECT_EQ(q.push_until(s, make_chunk(pool, 1),
+                         std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(1'000)),
+            ShardedSessionQueues::PushResult::kRefused);
+}
+
 TEST(ShardQueue, ShutdownDrainsThenStopsConsumers) {
   ChunkPool pool(4, 16);
   ShardedSessionQueues q(1, pool, 4);

@@ -5,6 +5,7 @@
 //   stcache_tunec --socket PATH --workload NAME [I|D] [options]
 //
 // options: [--pipeline streaming|materialized] [--chunk-words N]
+//          [--timeout MS] [--retries N] [--backoff MS]
 //
 // The workload mode with --pipeline streaming (the default) captures on a
 // producer thread and ships each packed chunk over the socket as it is
@@ -13,15 +14,30 @@
 // chunks with the same BankAccumulator the in-process pipeline uses, and
 // both sides render through print_exhaustive_report, stdout is
 // byte-identical to `stcache_tune --exhaustive` on the same stream
-// (repro.sh cmp's the two). Server-side failures surface as a single
-// "error: server: ..." line with exit code 1.
+// (repro.sh cmp's the two).
+//
+// Resilience: sessions are idempotent (a verdict is a pure function of the
+// stream), so --retries N replays the whole session up to N extra times on
+// any retryable failure — daemon restart, overload shed, timeout, dropped
+// connection — with seeded exponential backoff (base --backoff MS,
+// honoring the server's retry-after hint). --timeout MS bounds every
+// frame write and the verdict wait, so a wedged daemon yields a typed
+// error instead of a hung client.
+//
+// Exit codes: 0 success; 1 runtime failure (one `error:` line, including
+// mid-session disconnects); 2 usage; 3 could not connect (daemon down /
+// wrong socket path) — scripts can tell "never reached the daemon" from
+// "the daemon turned me down".
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/report.hpp"
@@ -36,29 +52,50 @@ namespace {
 int usage() {
   std::cerr << "usage: stcache_tunec --socket PATH "
                "(<file.stct> | --workload NAME | --probe empty|bad-crc) "
-               "[I|D] [--pipeline streaming|materialized] [--chunk-words N]\n";
+               "[I|D] [--pipeline streaming|materialized] [--chunk-words N] "
+               "[--timeout MS] [--retries N] [--backoff MS]\n";
+  return 2;
+}
+
+// Strict decimal parse: whole token, no sign, no trailing junk.
+bool parse_u64(const char* s, std::uint64_t& out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+int bad_value(const char* flag, const char* value) {
+  std::cerr << "invalid value for " << flag << ": '" << value << "'\n";
   return 2;
 }
 
 // Health probe: deliberately misbehave and verify the daemon answers with
 // the expected typed ERROR instead of dying or hanging — a scriptable
 // check of the failure-isolation contract (exit 0 iff the daemon behaved).
+// Every read is deadline-bounded so a wedged daemon fails the probe
+// instead of hanging it.
 int run_probe(const std::string& socket_path, const std::string& probe,
-              bool instruction) {
+              bool instruction, std::uint32_t timeout_ms) {
+  const serve::WireDeadline deadline = serve::wire_deadline_after(timeout_ms);
   const int fd = serve::unix_connect(socket_path);
   serve::write_frame(fd, serve::FrameType::kHello,
-                     serve::encode_hello(instruction));
+                     serve::encode_hello(instruction), deadline);
   if (probe == "bad-crc") {
     const std::uint32_t words[4] = {1, 2, 3, 4};
     std::vector<std::uint8_t> payload =
         serve::encode_chunk(std::span<const std::uint32_t>(words, 4));
     payload[8] ^= 0xff;  // flip a word byte: the declared CRC is now wrong
-    serve::write_frame(fd, serve::FrameType::kChunk, payload);
+    serve::write_frame(fd, serve::FrameType::kChunk, payload, deadline);
   } else {
-    serve::write_frame(fd, serve::FrameType::kFin, {});  // empty stream
+    serve::write_frame(fd, serve::FrameType::kFin, {}, deadline);  // empty
   }
   serve::Frame frame;
-  const bool got = serve::read_frame(fd, frame);
+  const bool got =
+      serve::read_frame(fd, frame, serve::kMaxFramePayload, deadline);
   ::close(fd);
   if (!got) fail("probe: server closed without a response");
   if (frame.type != serve::FrameType::kError) {
@@ -84,13 +121,17 @@ int run(int argc, char** argv) {
   std::string pipeline = "streaming";
   std::string probe;
   bool instruction = true;
-  std::size_t chunk_words = serve::TuneClient::kDefaultChunkWords;
+  serve::ClientOptions copts;
+  serve::RetryPolicy policy;
+  policy.max_attempts = 1;  // --retries N => N extra attempts
+  std::uint64_t timeout_ms = 0;  // 0 = library defaults
   int i = 1;
   if (argv[1][0] != '-') {
     path = argv[1];
     i = 2;
   }
   for (; i < argc; ++i) {
+    std::uint64_t v = 0;
     if (std::strcmp(argv[i], "D") == 0) instruction = false;
     else if (std::strcmp(argv[i], "I") == 0) instruction = true;
     else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc)
@@ -101,9 +142,27 @@ int run(int argc, char** argv) {
       pipeline = argv[++i];
     else if (std::strcmp(argv[i], "--probe") == 0 && i + 1 < argc)
       probe = argv[++i];
-    else if (std::strcmp(argv[i], "--chunk-words") == 0 && i + 1 < argc)
-      chunk_words = static_cast<std::size_t>(std::atol(argv[++i]));
-    else if (argv[i][0] != '-' && path.empty() && workload_name.empty())
+    else if (std::strcmp(argv[i], "--chunk-words") == 0 && i + 1 < argc) {
+      if (!parse_u64(argv[i + 1], v) || v == 0 || v > serve::kMaxChunkWords)
+        return bad_value("--chunk-words", argv[i + 1]);
+      copts.chunk_words = static_cast<std::size_t>(v);
+      ++i;
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      if (!parse_u64(argv[i + 1], v) || v > ~std::uint32_t{0})
+        return bad_value("--timeout", argv[i + 1]);
+      timeout_ms = v;
+      ++i;
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      if (!parse_u64(argv[i + 1], v) || v > 100)
+        return bad_value("--retries", argv[i + 1]);
+      policy.max_attempts = static_cast<std::uint32_t>(v) + 1;
+      ++i;
+    } else if (std::strcmp(argv[i], "--backoff") == 0 && i + 1 < argc) {
+      if (!parse_u64(argv[i + 1], v) || v == 0 || v > 60'000)
+        return bad_value("--backoff", argv[i + 1]);
+      policy.backoff_ms = static_cast<std::uint32_t>(v);
+      ++i;
+    } else if (argv[i][0] != '-' && path.empty() && workload_name.empty())
       path = argv[i];
     else {
       std::cerr << "unknown argument: " << argv[i] << "\n";
@@ -111,10 +170,14 @@ int run(int argc, char** argv) {
     }
   }
   if (socket_path.empty()) return usage();
+  if (timeout_ms != 0) {
+    copts.io_timeout_ms = static_cast<std::uint32_t>(timeout_ms);
+    copts.verdict_timeout_ms = static_cast<std::uint32_t>(timeout_ms);
+  }
   if (!probe.empty()) {
     if (probe != "empty" && probe != "bad-crc") return usage();
     if (!path.empty() || !workload_name.empty()) return usage();
-    return run_probe(socket_path, probe, instruction);
+    return run_probe(socket_path, probe, instruction, copts.io_timeout_ms);
   }
   if (path.empty() == workload_name.empty()) return usage();  // exactly one
   if (pipeline != "streaming" && pipeline != "materialized") {
@@ -126,12 +189,27 @@ int run(int argc, char** argv) {
   serve::Verdict verdict;
   if (!workload_name.empty() && pipeline == "streaming") {
     // Chunks go straight from the capture thread's queue onto the wire.
+    // The retry loop re-captures the workload per attempt — capture is
+    // deterministic, so a replayed session streams the identical bytes.
     const Workload& w = find_workload(workload_name);
-    serve::TuneClient client(socket_path, instruction, chunk_words);
-    stream_workload(w, [&](const PackedChunk& chunk) {
-      client.send(instruction ? chunk.ifetch_words() : chunk.data_words());
-    });
-    verdict = client.finish();
+    serve::RetryBackoff backoff(policy);
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      try {
+        serve::TuneClient client(socket_path, instruction, copts);
+        stream_workload(w, [&](const PackedChunk& chunk) {
+          client.send(instruction ? chunk.ifetch_words() : chunk.data_words());
+        });
+        verdict = client.finish();
+        break;
+      } catch (const serve::TuneError& e) {
+        if (!e.retryable() || attempt + 1 >= policy.max_attempts) throw;
+        const std::uint32_t delay = backoff.next_delay_ms(e.retry_after_ms());
+        std::cerr << "retrying in " << delay << " ms after "
+                  << to_string(e.kind()) << " (attempt " << (attempt + 2)
+                  << "/" << policy.max_attempts << ")\n";
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
   } else {
     std::vector<std::uint32_t> sel;
     if (!workload_name.empty()) {
@@ -141,7 +219,8 @@ int run(int argc, char** argv) {
       PackedSplitTrace split = load_packed_trace(path);
       sel = instruction ? std::move(split.ifetch) : std::move(split.data);
     }
-    verdict = serve::tune_remote(socket_path, instruction, sel, chunk_words);
+    verdict =
+        serve::tune_remote_retry(socket_path, instruction, sel, policy, copts);
   }
 
   const EnergyModel model;
@@ -156,6 +235,17 @@ int run(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return stcache::run(argc, argv);
+  } catch (const stcache::serve::TuneError& e) {
+    if (e.kind() == stcache::serve::TuneErrorKind::kConnect) {
+      std::cerr << "error: cannot connect: " << e.what() << "\n";
+      return 3;
+    }
+    if (e.kind() == stcache::serve::TuneErrorKind::kDisconnect) {
+      std::cerr << "error: connection lost mid-session: " << e.what() << "\n";
+      return 1;
+    }
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

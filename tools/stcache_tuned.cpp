@@ -5,17 +5,28 @@
 //   stcache_tuned --socket PATH [--workers N] [--pool-chunks N]
 //                 [--chunk-words N] [--session-budget N]
 //                 [--engine reference|fast|oneshot] [--max-sessions N]
+//                 [--idle-timeout-ms N] [--session-timeout-ms N]
+//                 [--max-inflight N] [--shed-pool-min N]
+//                 [--retry-after-ms N] [--drain-timeout-ms N]
 //
 // Prints one `listening on ...` line to stdout once the socket is bound
 // (scripts use it as the readiness signal), then serves until SIGINT /
 // SIGTERM — or until --max-sessions sessions have been answered, which is
-// how the integration tests get a deterministic shutdown. Verdicts are
-// computed by the same BankAccumulator the in-process pipeline uses, so a
-// client's rendered report is byte-identical to `stcache_tune
-// --exhaustive` on the same stream (repro.sh cmp's the two). A malformed
-// session (bad frame, CRC mismatch) is answered with ERROR and poisoned;
-// concurrent sessions and the worker pool are untouched. docs/serving.md
-// documents the protocol and the architecture.
+// how the integration tests get a deterministic shutdown. Both signals
+// drain gracefully: new HELLOs are refused with `ERROR overload
+// "draining"` + retry-after, in-flight sessions finish (bounded by
+// --drain-timeout-ms), then the daemon exits with a shutdown summary:
+//
+//   served N sessions (P poisoned, S shed, T timed out)
+//
+// Verdicts are computed by the same BankAccumulator the in-process
+// pipeline uses, so a client's rendered report is byte-identical to
+// `stcache_tune --exhaustive` on the same stream (repro.sh cmp's the
+// two). A malformed session (bad frame, CRC mismatch, blown deadline) is
+// answered with a typed ERROR and poisoned; concurrent sessions and the
+// worker pool are untouched. docs/serving.md documents the protocol, the
+// architecture, and the resilience knobs (§6).
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -36,29 +47,86 @@ void on_signal(int) { g_stop = 1; }
 int usage() {
   std::cerr << "usage: stcache_tuned --socket PATH [--workers N] "
                "[--pool-chunks N] [--chunk-words N] [--session-budget N] "
-               "[--engine reference|fast|oneshot] [--max-sessions N]\n";
+               "[--engine reference|fast|oneshot] [--max-sessions N] "
+               "[--idle-timeout-ms N] [--session-timeout-ms N] "
+               "[--max-inflight N] [--shed-pool-min N] [--retry-after-ms N] "
+               "[--drain-timeout-ms N]\n";
+  return 2;
+}
+
+// Strict decimal parse: the whole token, no sign, no trailing junk. A
+// daemon that silently reads `--workers -1` as a huge size_t is a
+// production incident, not a convenience.
+bool parse_u64(const char* s, std::uint64_t& out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+int bad_value(const char* flag, const char* value, const char* why) {
+  std::cerr << "invalid value for " << flag << ": '" << value << "' (" << why
+            << ")\n";
   return 2;
 }
 
 int run(int argc, char** argv) {
   serve::ServerOptions opts;
-  std::uint64_t max_sessions = 0;  // 0 = serve until a signal arrives
+  std::uint64_t max_sessions = 0;       // 0 = serve until a signal arrives
+  std::uint64_t drain_timeout_ms = 5'000;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc)
+    const auto take_u64 = [&](std::uint64_t& out, std::uint64_t min_value,
+                              std::uint64_t max_value) -> int {
+      const char* flag = argv[i];
+      const char* value = argv[++i];
+      if (!parse_u64(value, out))
+        return bad_value(flag, value, "expected a non-negative integer");
+      if (out < min_value) return bad_value(flag, value, "value too small");
+      if (out > max_value) return bad_value(flag, value, "value too large");
+      return 0;
+    };
+    std::uint64_t v = 0;
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
       opts.socket_path = argv[++i];
-    else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc)
-      opts.workers = static_cast<std::size_t>(std::atol(argv[++i]));
-    else if (std::strcmp(argv[i], "--pool-chunks") == 0 && i + 1 < argc)
-      opts.pool_chunks = static_cast<std::size_t>(std::atol(argv[++i]));
-    else if (std::strcmp(argv[i], "--chunk-words") == 0 && i + 1 < argc)
-      opts.chunk_words = static_cast<std::size_t>(std::atol(argv[++i]));
-    else if (std::strcmp(argv[i], "--session-budget") == 0 && i + 1 < argc)
-      opts.session_budget = static_cast<std::size_t>(std::atol(argv[++i]));
-    else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc)
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      if (int rc = take_u64(v, 1, 4096)) return rc;
+      opts.workers = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--pool-chunks") == 0 && i + 1 < argc) {
+      if (int rc = take_u64(v, 1, std::uint64_t{1} << 24)) return rc;
+      opts.pool_chunks = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--chunk-words") == 0 && i + 1 < argc) {
+      if (int rc = take_u64(v, 16, serve::kMaxChunkWords)) return rc;
+      opts.chunk_words = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--session-budget") == 0 && i + 1 < argc) {
+      if (int rc = take_u64(v, 1, std::uint64_t{1} << 24)) return rc;
+      opts.session_budget = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       opts.engine = parse_replay_engine(argv[++i]);
-    else if (std::strcmp(argv[i], "--max-sessions") == 0 && i + 1 < argc)
-      max_sessions = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    else {
+    } else if (std::strcmp(argv[i], "--max-sessions") == 0 && i + 1 < argc) {
+      if (int rc = take_u64(max_sessions, 0, ~std::uint64_t{0})) return rc;
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0 && i + 1 < argc) {
+      if (int rc = take_u64(v, 0, ~std::uint32_t{0})) return rc;
+      opts.idle_timeout_ms = static_cast<std::uint32_t>(v);
+    } else if (std::strcmp(argv[i], "--session-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      if (int rc = take_u64(v, 0, ~std::uint32_t{0})) return rc;
+      opts.session_timeout_ms = static_cast<std::uint32_t>(v);
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
+      if (int rc = take_u64(v, 0, std::uint64_t{1} << 32)) return rc;
+      opts.max_inflight_sessions = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--shed-pool-min") == 0 && i + 1 < argc) {
+      if (int rc = take_u64(v, 0, std::uint64_t{1} << 32)) return rc;
+      opts.shed_pool_min = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--retry-after-ms") == 0 && i + 1 < argc) {
+      if (int rc = take_u64(v, 0, 65'535)) return rc;
+      opts.retry_after_ms = static_cast<std::uint16_t>(v);
+    } else if (std::strcmp(argv[i], "--drain-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      if (int rc = take_u64(drain_timeout_ms, 0, ~std::uint32_t{0})) return rc;
+    } else {
       std::cerr << "unknown argument: " << argv[i] << "\n";
       return 2;
     }
@@ -77,8 +145,15 @@ int run(int argc, char** argv) {
          (max_sessions == 0 || server.sessions_served() < max_sessions)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
-  server.stop();
-  std::cout << "served " << server.sessions_served() << " sessions\n";
+  // Graceful drain for signals and for the --max-sessions cutoff alike:
+  // refuse new work, let in-flight sessions finish (bounded), then stop.
+  const bool drained =
+      server.drain(static_cast<std::uint32_t>(drain_timeout_ms));
+  std::cout << "served " << server.sessions_served() << " sessions ("
+            << server.sessions_poisoned() << " poisoned, "
+            << server.sessions_shed() << " shed, "
+            << server.sessions_timed_out() << " timed out)"
+            << (drained ? "" : " [drain deadline hit]") << "\n";
   return 0;
 }
 
