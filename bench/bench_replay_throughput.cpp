@@ -14,6 +14,26 @@
 // the class rows: the oneshot engine shares one stack-distance traversal
 // per line size across every specialization class, so a class-major sum
 // would charge it three traversals per class and understate the sharing.
+// The stream is captured AND packed once per workload, outside the timed
+// region: a rep times bank construction + feed + stats only, so the rows
+// measure replay, not the pack pass they all share (capture cost has its
+// own section below).
+//
+// SIMD section: the oneshot stack-sweep kernel replayed with the AVX2
+// flavor forced on vs. off (sims constructed outside the timed region so
+// the ratio is kernel time, not allocation). The kernels replay the packed
+// INSTRUCTION stream — the stream production sweeps feed — whose
+// sequential-run structure the bulk-run kernel vectorizes; the merged
+// trace the replay section uses would interleave data accesses between
+// fetches and hide it. The scalar-vs-SIMD speedup is a PR acceptance
+// metric (>= 1.3x when an AVX2 kernel is compiled in and the CPU has it;
+// gated by scripts/bench_check.py).
+//
+// Parallel section: the exhaustive oneshot sweep with the set-partitioned
+// parallel engine (--sweep-jobs) at jobs = min(cpus, 32) against serial,
+// reporting the aggregate simulated records/second. bench_check.py arms
+// the aggregate floor only when the snapshot reports cpus >= 2 — one core
+// cannot outrun itself, and the merge is bit-identical either way.
 //
 // Capture section: each workload is captured end to end by the reference
 // interpreter (Cpu + TracingMemory, the stcache_trace path) and by the
@@ -35,15 +55,19 @@
 //
 // Throughput here counts simulated records: a sweep over C configurations
 // of an N-record stream processes N*C records.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "cache/stack_sweep.hpp"
 #include "isa/assembler.hpp"
 #include "sim/cpu.hpp"
 #include "sim/fast_cpu.hpp"
@@ -70,16 +94,19 @@ std::string class_name(const CacheConfig& cfg) {
   return s;
 }
 
-// Seconds per bank sweep, best of `reps`; the packed-stream scratch buffer
-// is reused across every timing in the process (trace/replay.hpp overload).
-double time_bank(const std::vector<CacheConfig>& configs, const Trace& stream,
-                 ReplayEngine engine, unsigned reps,
-                 std::vector<std::uint32_t>& scratch) {
+// Seconds per bank sweep over an already-packed stream, best of `reps`:
+// bank construction + feed + stats. Every engine consumes the same packed
+// words through a BankAccumulator, so the rows compare replay kernels, not
+// the shared pack pass (hoisted to the caller, outside all timing).
+double time_bank(const std::vector<CacheConfig>& configs,
+                 std::span<const std::uint32_t> packed, ReplayEngine engine,
+                 unsigned reps) {
   double best = 0.0;
   for (unsigned r = 0; r < reps; ++r) {
     const auto start = std::chrono::steady_clock::now();
-    const std::vector<CacheStats> stats =
-        measure_config_bank(configs, stream, {}, engine, scratch);
+    BankAccumulator bank(configs, {}, engine);
+    bank.feed(packed);
+    const std::vector<CacheStats> stats = bank.stats();
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
     if (stats.size() != configs.size()) fail("bank sweep dropped configs");
@@ -100,13 +127,79 @@ struct EngineTimes {
 };
 
 EngineTimes time_all_engines(const std::vector<CacheConfig>& configs,
-                             const Trace& stream, unsigned reps,
-                             std::vector<std::uint32_t>& scratch) {
+                             std::span<const std::uint32_t> packed,
+                             unsigned reps) {
   EngineTimes t;
-  t.ref = time_bank(configs, stream, ReplayEngine::kReference, reps, scratch);
-  t.fast = time_bank(configs, stream, ReplayEngine::kFast, reps, scratch);
-  t.oneshot = time_bank(configs, stream, ReplayEngine::kOneshot, reps, scratch);
+  t.ref = time_bank(configs, packed, ReplayEngine::kReference, reps);
+  t.fast = time_bank(configs, packed, ReplayEngine::kFast, reps);
+  t.oneshot = time_bank(configs, packed, ReplayEngine::kOneshot, reps);
   return t;
+}
+
+// --- SIMD oneshot kernel: scalar vs AVX2 ------------------------------------
+
+// The 27 configurations grouped by line size — the three stack-distance
+// traversals the oneshot engine actually runs for an exhaustive sweep.
+std::vector<std::vector<CacheConfig>> line_size_groups() {
+  std::vector<std::vector<CacheConfig>> groups;
+  for (const LineBytes line : kLineSizes) {
+    std::vector<CacheConfig> g;
+    for (const CacheConfig& cfg : all_configs()) {
+      if (cfg.line == line) g.push_back(cfg);
+    }
+    if (g.size() > 1) groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+// Pure kernel replay time: the sims are constructed outside the timed
+// region (their allocation/zeroing would otherwise dilute the flavor
+// ratio on short streams), and each rep replays the whole stream through
+// all three traversals.
+double time_sweep_kernels(const std::vector<std::vector<CacheConfig>>& groups,
+                          std::span<const std::uint32_t> packed, bool simd,
+                          unsigned reps) {
+  double best = 0.0;
+  for (unsigned r = 0; r < reps; ++r) {
+    set_stack_sweep_simd(simd);
+    std::vector<StackSweepSim> sims;
+    sims.reserve(groups.size());
+    for (const std::vector<CacheConfig>& g : groups) sims.emplace_back(g);
+    const auto start = std::chrono::steady_clock::now();
+    for (StackSweepSim& sim : sims) sim.replay(packed);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (sims[g].stats(groups[g].front()).accesses != packed.size()) {
+        fail("sweep kernel dropped records");
+      }
+    }
+    if (r == 0 || elapsed.count() < best) best = elapsed.count();
+  }
+  return best;
+}
+
+// --- parallel set-partitioned sweep ------------------------------------------
+
+// Exhaustive oneshot bank feed+stats with an explicit shard count; the
+// bank (sims, scratch partitions) is constructed outside the timed region,
+// the lazily-spawned worker pool is inside it (a real cost of the first
+// feed, amortized in production by streaming many chunks).
+double time_parallel_bank(const std::vector<CacheConfig>& configs,
+                          std::span<const std::uint32_t> packed, unsigned jobs,
+                          unsigned reps) {
+  double best = 0.0;
+  for (unsigned r = 0; r < reps; ++r) {
+    BankAccumulator bank(configs, {}, ReplayEngine::kOneshot, jobs);
+    const auto start = std::chrono::steady_clock::now();
+    bank.feed(packed);
+    const std::vector<CacheStats> stats = bank.stats();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (stats.size() != configs.size()) fail("bank sweep dropped configs");
+    if (r == 0 || elapsed.count() < best) best = elapsed.count();
+  }
+  return best;
 }
 
 std::string json_rates(const EngineTimes& t, double recs) {
@@ -239,18 +332,33 @@ int run(int argc, char** argv) {
   std::string json = "{\n  \"reps\": " + std::to_string(opts.reps) +
                      ",\n  \"workloads\": [\n";
 
-  std::vector<std::uint32_t> scratch;
+  // Capture and pack each stream once, before any timing: the replay and
+  // parallel sections consume the packed merged trace; the SIMD section
+  // replays the packed instruction stream — the stream the production
+  // sweeps (stcache_tune, fig3) actually feed, whose sequential-run
+  // structure is what the bulk-run kernel vectorizes.
+  std::vector<std::vector<std::uint32_t>> packed_streams(workload_set.size());
+  std::vector<std::vector<std::uint32_t>> packed_ifetch(workload_set.size());
+  for (std::size_t wi = 0; wi < workload_set.size(); ++wi) {
+    Trace stream = capture_trace(find_workload(workload_set[wi]));
+    const SplitTrace split = split_trace(stream);
+    const std::span<const TraceRecord> if_span(
+        split.ifetch.data(), std::min(split.ifetch.size(), opts.max_records));
+    pack_stream(if_span, packed_ifetch[wi]);
+    if (stream.size() > opts.max_records) stream.resize(opts.max_records);
+    pack_stream(stream, packed_streams[wi]);
+  }
+
   EngineTimes total;
   std::uint64_t total_records = 0;
   for (std::size_t wi = 0; wi < workload_set.size(); ++wi) {
     const std::string& name = workload_set[wi];
-    Trace stream = capture_trace(find_workload(name));
-    if (stream.size() > opts.max_records) stream.resize(opts.max_records);
+    const std::span<const std::uint32_t> packed = packed_streams[wi];
 
     std::string class_json;
     for (const auto& [cls, cfgs] : by_class) {
-      const EngineTimes t = time_all_engines(cfgs, stream, opts.reps, scratch);
-      const double recs = static_cast<double>(stream.size()) *
+      const EngineTimes t = time_all_engines(cfgs, packed, opts.reps);
+      const double recs = static_cast<double>(packed.size()) *
                           static_cast<double>(cfgs.size());
       table.add_row({name, cls, std::to_string(cfgs.size()),
                      fmt(recs / t.ref), fmt(recs / t.fast),
@@ -264,18 +372,17 @@ int run(int argc, char** argv) {
 
     // The exhaustive sweep, timed as one bank (this is where cross-class
     // traversal sharing shows up).
-    const EngineTimes wl = time_all_engines(all_configs(), stream, opts.reps,
-                                            scratch);
-    const double wl_recs = static_cast<double>(stream.size()) * 27.0;
+    const EngineTimes wl = time_all_engines(all_configs(), packed, opts.reps);
+    const double wl_recs = static_cast<double>(packed.size()) * 27.0;
     table.add_row({name, "all", "27", fmt(wl_recs / wl.ref),
                    fmt(wl_recs / wl.fast), fmt(wl_recs / wl.oneshot),
                    fmt(wl.ref / wl.fast), fmt(wl.fast / wl.oneshot)});
     total.ref += wl.ref;
     total.fast += wl.fast;
     total.oneshot += wl.oneshot;
-    total_records += stream.size() * 27;
+    total_records += packed.size() * 27;
     json += std::string("    {\"name\": \"") + name +
-            "\", \"records\": " + std::to_string(stream.size()) + ",\n     " +
+            "\", \"records\": " + std::to_string(packed.size()) + ",\n     " +
             json_rates(wl, wl_recs) + ",\n     \"classes\": [\n" + class_json +
             "\n     ]}" + (wi + 1 < workload_set.size() ? ",\n" : "\n");
   }
@@ -288,6 +395,80 @@ int run(int argc, char** argv) {
   std::cout << "\nExhaustive 27-config bank sweep: fast vs reference "
             << fmt(total.ref / total.fast) << "x, oneshot vs fast "
             << fmt(total.fast / total.oneshot) << "x\n";
+
+  // --- SIMD: oneshot stack-sweep kernel, scalar vs AVX2 ---------------------
+  const bool simd_avail = stack_sweep_simd_available();
+  const std::vector<std::vector<CacheConfig>> groups = line_size_groups();
+  Table simd_table({"workload", "records", "scalar rec/s", "simd rec/s",
+                    "simd/scalar"});
+  std::string simd_json;
+  double simd_scalar_total = 0.0, simd_vec_total = 0.0;
+  std::uint64_t simd_records = 0;
+  for (std::size_t wi = 0; wi < workload_set.size(); ++wi) {
+    const std::span<const std::uint32_t> packed = packed_ifetch[wi];
+    const double scalar =
+        time_sweep_kernels(groups, packed, false, opts.reps);
+    const double vec = time_sweep_kernels(groups, packed, simd_avail, opts.reps);
+    const double recs = static_cast<double>(packed.size()) * 27.0;
+    simd_table.add_row({workload_set[wi], std::to_string(packed.size()),
+                        fmt(recs / scalar), fmt(recs / vec),
+                        fmt(scalar / vec)});
+    simd_scalar_total += scalar;
+    simd_vec_total += vec;
+    simd_records += packed.size() * 27;
+    if (!simd_json.empty()) simd_json += ",\n";
+    simd_json += "      {\"name\": \"" + workload_set[wi] +
+                 "\", \"records\": " + std::to_string(packed.size()) +
+                 ", \"scalar_records_per_second\": " + fmt(recs / scalar) +
+                 ", \"simd_records_per_second\": " + fmt(recs / vec) +
+                 ", \"speedup\": " + fmt(scalar / vec) + "}";
+  }
+  set_stack_sweep_simd(true);  // back to the runtime default for later sections
+  const double simd_recs_d = static_cast<double>(simd_records);
+  std::cout << "\n";
+  simd_table.print(std::cout);
+  std::cout << "\nOneshot sweep kernel: AVX2 vs scalar "
+            << fmt(simd_scalar_total / simd_vec_total) << "x"
+            << (simd_avail ? "" : " (AVX2 unavailable; both rows scalar)")
+            << "\n";
+
+  // --- parallel: set-partitioned exhaustive sweep ---------------------------
+  const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned par_jobs = std::min(cpus, 32u);
+  Table par_table({"workload", "records", "serial rec/s", "parallel rec/s",
+                   "speedup"});
+  std::string par_json;
+  double par_serial_total = 0.0, par_par_total = 0.0;
+  std::uint64_t par_records = 0;
+  for (std::size_t wi = 0; wi < workload_set.size(); ++wi) {
+    const std::span<const std::uint32_t> packed = packed_streams[wi];
+    const double serial =
+        time_parallel_bank(all_configs(), packed, 1, opts.reps);
+    const double par =
+        par_jobs > 1 ? time_parallel_bank(all_configs(), packed, par_jobs,
+                                          opts.reps)
+                     : serial;
+    const double recs = static_cast<double>(packed.size()) * 27.0;
+    par_table.add_row({workload_set[wi], std::to_string(packed.size()),
+                       fmt(recs / serial), fmt(recs / par),
+                       fmt(serial / par)});
+    par_serial_total += serial;
+    par_par_total += par;
+    par_records += packed.size() * 27;
+    if (!par_json.empty()) par_json += ",\n";
+    par_json += "      {\"name\": \"" + workload_set[wi] +
+                "\", \"records\": " + std::to_string(packed.size()) +
+                ", \"serial_records_per_second\": " + fmt(recs / serial) +
+                ", \"parallel_records_per_second\": " + fmt(recs / par) +
+                ", \"speedup\": " + fmt(serial / par) + "}";
+  }
+  const double par_recs_d = static_cast<double>(par_records);
+  std::cout << "\n";
+  par_table.print(std::cout);
+  std::cout << "\nParallel exhaustive sweep (" << par_jobs << " jobs on "
+            << cpus << " cpus): aggregate "
+            << fmt(par_recs_d / par_par_total) << " rec/s, "
+            << fmt(par_serial_total / par_par_total) << "x vs serial\n";
 
   // --- capture throughput: reference vs fast interpreter --------------------
   Table cap_table({"workload", "instructions", "reference instr/s",
@@ -349,6 +530,24 @@ int run(int argc, char** argv) {
             << fmt(e2e_total.disk / e2e_total.streaming) << "x\n";
 
   json += "  ],\n  \"overall\": {" + json_rates(total, recs) + "},\n";
+  json += std::string("  \"simd\": {\n    \"available\": ") +
+          (simd_avail ? "true" : "false") + ",\n    \"workloads\": [\n" +
+          simd_json + "\n    ],\n    \"overall\": {" +
+          "\"scalar_records_per_second\": " +
+          fmt(simd_recs_d / simd_scalar_total) +
+          ", \"simd_records_per_second\": " + fmt(simd_recs_d / simd_vec_total) +
+          ", \"speedup\": " + fmt(simd_scalar_total / simd_vec_total) +
+          "}\n  },\n";
+  json += "  \"parallel\": {\n    \"cpus\": " + std::to_string(cpus) +
+          ",\n    \"jobs\": " + std::to_string(par_jobs) +
+          ",\n    \"partitions\": " + std::to_string(sweep_partitions()) +
+          ",\n    \"workloads\": [\n" + par_json + "\n    ],\n    \"overall\": {" +
+          "\"serial_records_per_second\": " +
+          fmt(par_recs_d / par_serial_total) +
+          ", \"aggregate_records_per_second\": " +
+          fmt(par_recs_d / par_par_total) +
+          ", \"speedup\": " + fmt(par_serial_total / par_par_total) +
+          "}\n  },\n";
   json += "  \"capture\": {\n    \"workloads\": [\n" + cap_json +
           "\n    ],\n    \"overall\": {\"instructions\": " +
           std::to_string(cap_instr) +

@@ -94,6 +94,7 @@ struct BenchOptions {
   std::string metrics_out;  // --metrics-out PATH (JSON)
   ReplayEngine engine = ReplayEngine::kOneshot;  // --engine reference|fast|oneshot
   bool streaming = true;    // --pipeline streaming|materialized
+  unsigned sweep_jobs = 0;  // --sweep-jobs N (0 = keep the process default)
 };
 
 // Parse the common sweep flags; exits with usage on anything unknown.
@@ -110,6 +111,11 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--jobs" && i + 1 < argc) {
       opts.sweep.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--sweep-jobs" && i + 1 < argc) {
+      // Intra-bank shard count for the oneshot sweep (set-partitioned,
+      // exact merge — stdout stays byte-identical). Composes with the
+      // workload-level --jobs pool: total threads ~= jobs * sweep-jobs.
+      opts.sweep_jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (arg == "--metrics-out" && i + 1 < argc) {
       opts.metrics_out = argv[++i];
     } else if (arg == "--engine" && i + 1 < argc) {
@@ -127,13 +133,14 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
       }
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--jobs N] [--metrics-out file.json]"
+                << " [--jobs N] [--sweep-jobs N] [--metrics-out file.json]"
                 << " [--engine reference|fast|oneshot]"
                 << " [--pipeline streaming|materialized]\n";
       std::exit(2);
     }
   }
   set_default_replay_engine(opts.engine);
+  if (opts.sweep_jobs != 0) set_default_sweep_jobs(opts.sweep_jobs);
   std::cerr << "[replay] engine=" << to_string(default_replay_engine()) << "\n";
   return opts;
 }

@@ -3,19 +3,22 @@
 # table/figure harness. Outputs land in test_output.txt and bench_output.txt
 # at the repository root (the files EXPERIMENTS.md numbers come from).
 #
-#   ./repro.sh           full pipeline (build, all tests, TSan sweep+stream
-#                        +serving+chaos tests, ASan/UBSan fault+trace+
-#                        interpreter+serving+wire+chaos tests, the
-#                        throughput/capture/end-to-end/serving/resilience
-#                        gates, the streaming-tune and serving determinism
-#                        gates, every bench binary)
+#   ./repro.sh           full pipeline (build, all tests, TSan sweep+shard
+#                        +stream+serving+chaos tests, ASan/UBSan fault+trace
+#                        +mmap+interpreter+serving+wire+chaos tests, the
+#                        throughput/capture/end-to-end/simd/parallel/serving/
+#                        resilience gates, the streaming-tune, sharded-sweep,
+#                        mmap-reader and serving determinism gates, every
+#                        bench binary)
 #   ./repro.sh --quick   build + the parallel-sweep, streaming and serving
 #                        tests (native, TSan, one chaos campaign) + the
-#                        fault-injection, trace-format, replay-equivalence,
-#                        stack-sweep, fast-interpreter differential, stream,
+#                        fault-injection, trace-format, mmap-reader,
+#                        replay-equivalence, stack-sweep, sharded-sweep,
+#                        fast-interpreter differential, stream,
 #                        serving, wire and chaos tests (native and
-#                        ASan/UBSan) + --jobs/--engine/--pipeline
-#                        determinism checks on bench_fig3 and stcache_tune
+#                        ASan/UBSan) + --jobs/--engine/--pipeline/
+#                        --sweep-jobs/--reader determinism checks on
+#                        bench_fig3 and stcache_tune
 #                        + the daemon-vs-in-process serving cmp; minutes,
 #                        not the full regeneration
 #
@@ -40,9 +43,14 @@ cmake --build build -j "$(nproc)"
 # sharded N-producer queues and the tuning server (accept thread, reader
 # threads, shard workers, client threads) join them for the same reason.
 cmake -B build-tsan -S . -DSTCACHE_SANITIZE=thread > /dev/null
-cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_test stream_test shard_queue_test serving_test serving_resilience_test
+cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_test sharded_sweep_test stream_test shard_queue_test serving_test serving_resilience_test
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/sweep_runner_test
+# The set-partitioned parallel sweep scatters into per-partition buffers on
+# the feed thread while shard workers replay them; the exactness tests
+# re-run under TSan so a missed synchronization point in the pool handoff
+# cannot hide behind a deterministic-by-luck merge.
+./build-tsan/tests/sharded_sweep_test
 ./build-tsan/tests/stream_test
 ./build-tsan/tests/shard_queue_test
 ./build-tsan/tests/serving_test
@@ -66,9 +74,20 @@ RESILIENCE_FILTER=
 # length-prefixed frame parsing and the chunk pool's recycled buffers are
 # classic overrun territory.
 cmake -B build-asan -S . -DSTCACHE_SANITIZE=address,undefined > /dev/null
-cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test replay_equivalence_test stack_sweep_test fast_cpu_test stream_test shard_queue_test serving_test wire_test serving_resilience_test
+cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test mmap_trace_test replay_equivalence_test stack_sweep_test fast_cpu_test stream_test shard_queue_test serving_test wire_test serving_resilience_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/trace_io_test
+# The out-of-core reader does raw pointer arithmetic over an mmap'd file
+# (chunk slices, page-aligned MADV_DONTNEED spans, a hand-decoded footer):
+# exactly where an off-by-one reads out of bounds without failing a
+# functional assertion. The 100 M-record RSS-bound test runs here too —
+# --quick trims it to 2 M records to stay fast; the full run keeps the
+# acceptance-size pass.
+if [ "$QUICK" = "1" ]; then
+  STCACHE_BIG_TRACE_RECORDS=2000000 ./build-asan/tests/mmap_trace_test
+else
+  ./build-asan/tests/mmap_trace_test
+fi
 ./build-asan/tests/replay_equivalence_test
 ./build-asan/tests/stack_sweep_test
 ./build-asan/tests/fast_cpu_test
@@ -115,7 +134,7 @@ serve_cmp() {
 }
 
 if [ "$QUICK" = "1" ]; then
-    ctest --test-dir build -R 'ThreadPool|SweepRunner|Fault|TraceIo|ReplayEquivalence|StackSweep|FastCpu|Workload|Spsc|Stream|BankAccumulator|PackedTraceIo|ChunkPool|ShardQueue|Serving|Wire' --output-on-failure
+    STCACHE_BIG_TRACE_RECORDS=2000000 ctest --test-dir build -R 'ThreadPool|SweepRunner|ShardedSweep|Fault|TraceIo|MmapTrace|ReplayEquivalence|StackSweep|FastCpu|Workload|Spsc|Stream|BankAccumulator|PackedTraceIo|ChunkPool|ShardQueue|Serving|Wire' --output-on-failure
 
     # Determinism gate: the parallel sweep must reproduce the serial table
     # byte for byte (metrics go to stderr, so stdout is comparable).
@@ -139,11 +158,34 @@ if [ "$QUICK" = "1" ]; then
     ./build/tools/stcache_tune --workload crc --exhaustive --pipeline streaming > /tmp/stcache_tune_stream.txt
     ./build/tools/stcache_tune --workload crc --exhaustive --pipeline materialized > /tmp/stcache_tune_mat.txt
     cmp /tmp/stcache_tune_stream.txt /tmp/stcache_tune_mat.txt
+    # Sharded-sweep gate: the set-partitioned parallel sweep must reproduce
+    # the serial exhaustive tune byte for byte, at several shard counts and
+    # at a reduced partition count (STCACHE_SWEEP_PARTITIONS is resolved
+    # once per process, so the variation needs fresh processes — exactly
+    # what the unit suite cannot do).
+    for sj in 2 4 7; do
+        ./build/tools/stcache_tune --workload crc --exhaustive --sweep-jobs "$sj" > /tmp/stcache_tune_sj.txt
+        cmp /tmp/stcache_tune_stream.txt /tmp/stcache_tune_sj.txt
+    done
+    STCACHE_SWEEP_PARTITIONS=8 ./build/tools/stcache_tune --workload crc --exhaustive --sweep-jobs 4 > /tmp/stcache_tune_sj.txt
+    cmp /tmp/stcache_tune_stream.txt /tmp/stcache_tune_sj.txt
+    # Reader gate: the out-of-core mmap reader (and its forced pread
+    # fallback) must reproduce the buffered bulk loader byte for byte on a
+    # real captured trace, serial and sharded.
+    ./build/tools/stcache_trace capture crc /tmp/stcache_repro.stct
+    ./build/tools/stcache_tune /tmp/stcache_repro.stct --exhaustive --reader buffered > /tmp/stcache_tune_buf.txt
+    ./build/tools/stcache_tune /tmp/stcache_repro.stct --exhaustive --reader mmap > /tmp/stcache_tune_mm.txt
+    cmp /tmp/stcache_tune_buf.txt /tmp/stcache_tune_mm.txt
+    STCACHE_NO_MMAP=1 ./build/tools/stcache_tune /tmp/stcache_repro.stct --exhaustive --reader mmap > /tmp/stcache_tune_mm.txt
+    cmp /tmp/stcache_tune_buf.txt /tmp/stcache_tune_mm.txt
+    ./build/tools/stcache_tune /tmp/stcache_repro.stct --exhaustive --reader mmap --sweep-jobs 4 > /tmp/stcache_tune_mm.txt
+    cmp /tmp/stcache_tune_buf.txt /tmp/stcache_tune_mm.txt
+    rm -f /tmp/stcache_repro.stct
     # Serving gate: a daemon round trip must be byte-identical too.
     start_serving_daemon
     serve_cmp crc I
     stop_serving_daemon
-    echo "Quick pass done: sweep/equivalence/interpreter/serving tests (native + sanitizers), --jobs, --engine, --pipeline and daemon determinism ok."
+    echo "Quick pass done: sweep/equivalence/interpreter/serving tests (native + sanitizers), --jobs, --engine, --pipeline, --sweep-jobs, --reader and daemon determinism ok."
     exit 0
 fi
 
@@ -161,6 +203,32 @@ for wl in crc ucbqsort; do
 done
 echo "[repro] streaming-vs-materialized tune determinism ok"
 
+# Sharded-sweep and out-of-core reader determinism gates: shard counts,
+# reduced partition counts (fresh process each — the count is resolved once
+# per process), the mmap reader, and its forced pread fallback must all
+# reproduce the serial buffered output byte for byte.
+for wl in crc ucbqsort; do
+  for streamsel in I D; do
+    ./build/tools/stcache_tune --workload "$wl" "$streamsel" --exhaustive > /tmp/stcache_tune_serial.txt
+    for sj in 2 4 7; do
+      ./build/tools/stcache_tune --workload "$wl" "$streamsel" --exhaustive --sweep-jobs "$sj" > /tmp/stcache_tune_sj.txt
+      cmp /tmp/stcache_tune_serial.txt /tmp/stcache_tune_sj.txt
+    done
+    STCACHE_SWEEP_PARTITIONS=8 ./build/tools/stcache_tune --workload "$wl" "$streamsel" --exhaustive --sweep-jobs 4 > /tmp/stcache_tune_sj.txt
+    cmp /tmp/stcache_tune_serial.txt /tmp/stcache_tune_sj.txt
+    ./build/tools/stcache_trace capture "$wl" /tmp/stcache_repro.stct
+    ./build/tools/stcache_tune /tmp/stcache_repro.stct "$streamsel" --exhaustive --reader buffered > /tmp/stcache_tune_buf.txt
+    ./build/tools/stcache_tune /tmp/stcache_repro.stct "$streamsel" --exhaustive --reader mmap > /tmp/stcache_tune_mm.txt
+    cmp /tmp/stcache_tune_buf.txt /tmp/stcache_tune_mm.txt
+    STCACHE_NO_MMAP=1 ./build/tools/stcache_tune /tmp/stcache_repro.stct "$streamsel" --exhaustive --reader mmap > /tmp/stcache_tune_mm.txt
+    cmp /tmp/stcache_tune_buf.txt /tmp/stcache_tune_mm.txt
+    ./build/tools/stcache_tune /tmp/stcache_repro.stct "$streamsel" --exhaustive --reader mmap --sweep-jobs 4 > /tmp/stcache_tune_mm.txt
+    cmp /tmp/stcache_tune_buf.txt /tmp/stcache_tune_mm.txt
+    rm -f /tmp/stcache_repro.stct
+  done
+done
+echo "[repro] sharded-sweep and mmap-reader tune determinism ok"
+
 # Serving determinism gate: the daemon's verdict over the wire must be
 # byte-identical to the in-process exhaustive tuner for both cache streams
 # of two representative workloads.
@@ -176,10 +244,12 @@ echo "[repro] daemon-vs-in-process serving determinism ok"
 # Throughput gates: a fresh bench_replay_throughput run must stay within
 # tolerance (default 20% per engine; STCACHE_BENCH_TOLERANCE overrides) of
 # the committed BENCH_replay.json, the fast interpreter must capture at
-# least 3x faster than the reference route, and the streaming exhaustive
-# tune must beat the capture-to-disk round trip by at least 2x. Skipped
-# when the main build tree is sanitized (throughput is not comparable) or
-# python3 is unavailable.
+# least 3x faster than the reference route, the streaming exhaustive
+# tune must beat the capture-to-disk round trip by at least 2x, the AVX2
+# sweep kernel must beat scalar by at least 1.3x (when compiled in and the
+# CPU has it), and the parallel sweep must sustain 5e9 aggregate rec/s
+# (multi-core hosts only). Skipped when the main build tree is sanitized
+# (throughput is not comparable) or python3 is unavailable.
 SAN=$(grep -E '^STCACHE_SANITIZE:' build/CMakeCache.txt | cut -d= -f2)
 if [ -n "$SAN" ]; then
   echo "[bench_check] skipped: build/ is sanitized (STCACHE_SANITIZE=$SAN)"

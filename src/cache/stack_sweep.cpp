@@ -1,281 +1,72 @@
 #include "cache/stack_sweep.hpp"
 
-#include <array>
-#include <bit>
-#include <cstring>
-#include <vector>
+#include <atomic>
+#include <cstdlib>
+#include <string>
 
-#include "cache/fast_cache.hpp"
+#include "cache/stack_sweep_kernel.hpp"
 #include "util/error.hpp"
 
 namespace stcache {
 
 namespace {
 
-// The six content-distinct (num_sets, ways) pairs per line size; see the
-// slot table in the header. Way-predicted slots carry a pred bit.
-constexpr std::uint32_t kNumSlots = 6;
-constexpr std::uint32_t kSlotSets[kNumSlots] = {128, 128, 128, 256, 256, 512};
-constexpr std::uint32_t kSlotWays[kNumSlots] = {1, 2, 4, 1, 2, 1};
-constexpr int kSlotPredBit[kNumSlots] = {-1, 0, 1, -1, 2, -1};
+using sweep_detail::Kernel;
+using sweep_detail::kNumSlots;
+using sweep_detail::kSlotPredBit;
+using sweep_detail::slot_of;
 
-std::uint32_t slot_of(const CacheConfig& cfg) {
-  switch (cfg.num_sets()) {
-    case 128: return cfg.ways() == 1 ? 0u : cfg.ways() == 2 ? 1u : 2u;
-    case 256: return cfg.ways() == 1 ? 3u : 4u;
-    case 512: return 5u;
-  }
-  fail("StackSweepSim: no slot for configuration " + cfg.name());
+// -1: follow the STCACHE_SIMD environment variable (default on);
+//  0 / 1: forced by set_stack_sweep_simd().
+std::atomic<int> g_simd_override{-1};
+
+bool simd_env_enabled() {
+  const char* v = std::getenv("STCACHE_SIMD");
+  return v == nullptr || std::string(v) != "0";
+}
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
 }
 
 }  // namespace
 
-struct StackSweepSim::Impl {
-  virtual ~Impl() = default;
-  virtual void replay(std::span<const std::uint32_t> packed) = 0;
+bool stack_sweep_simd_available() {
+  static const bool avail = sweep_detail::simd_kernel_compiled() && cpu_has_avx2();
+  return avail;
+}
 
-  std::uint32_t line_bytes = 16;
-  std::uint32_t active = 0;       // slot bits maintained by the traversal
-  std::uint32_t pred_active = 0;  // pred bits (MRU memos) maintained
-  TimingParams timing{};
+bool stack_sweep_simd_enabled() {
+  if (!stack_sweep_simd_available()) return false;
+  const int ovr = g_simd_override.load(std::memory_order_relaxed);
+  if (ovr >= 0) return ovr != 0;
+  return simd_env_enabled();
+}
 
-  std::uint64_t n = 0;       // records replayed
-  std::uint64_t writes = 0;  // of which writes
-  // Bin key = hit mask (bits 0..5) | first-probe bits (bits 6..8); one
-  // increment per access, all per-configuration counters derive from it.
-  std::array<std::uint64_t, 512> hist{};
-  std::array<std::uint64_t, kNumSlots> wb_bytes{};  // eviction write-backs
-};
-
-namespace {
-
-template <unsigned SUBL>
-struct Kernel final : StackSweepSim::Impl {
-  static constexpr std::uint32_t kLog =
-      SUBL == 1 ? 0u : SUBL == 2 ? 1u : 2u;
-  // Coarse groups: the 128-set mask at line granularity. Every conflict in
-  // any slot stays inside one group, so pool entries are bucketed by it.
-  static constexpr std::uint32_t kGroups = 128 / SUBL;
-  static constexpr std::uint32_t kGroupMask = kGroups - 1;
-  // Max lines co-resident per group across all six slots: 1+2+4 (128-set
-  // slots) + 2+4 (256-set) + 4 (512-set) = 17, +1 mid-install.
-  static constexpr std::uint32_t kCap = 20;
-  static constexpr std::uint32_t kNoBlock = 0xFFFF'FFFFu;  // > any 28-bit id
-
-  // Line pool, SoA, bucketed in kCap-entry group segments. `last` ticks are
-  // slot-independent (a hit refreshes the accessed subline everywhere);
-  // `fill` ticks and dirty nibbles are per slot.
-  std::vector<std::uint32_t> line_ = std::vector<std::uint32_t>(kGroups * kCap);
-  std::vector<std::uint8_t> res_ = std::vector<std::uint8_t>(kGroups * kCap);
-  std::vector<std::uint32_t> dirty_ =
-      std::vector<std::uint32_t>(kGroups * kCap);  // bit 4*slot+offset
-  std::vector<std::uint32_t> fill_ =
-      std::vector<std::uint32_t>(kGroups * kCap * kNumSlots);
-  std::vector<std::uint32_t> last_ =
-      std::vector<std::uint32_t>(kGroups * kCap * SUBL);
-  std::array<std::uint8_t, kGroups> count_{};
-  // Repeat fast path: last accessed block per group, and its pool index.
-  std::array<std::uint32_t, kGroups> last_block_;
-  std::array<std::uint8_t, kGroups> last_idx_{};
-  // MRU memos for the pred slots, indexed by block-granularity set.
-  std::array<std::uint32_t, 128> memo1_;  // slot 1: 4K_2W
-  std::array<std::uint32_t, 128> memo2_;  // slot 2: 8K_4W
-  std::array<std::uint32_t, 256> memo4_;  // slot 4: 8K_2W
-  // spread_[mask] maps slot bit k to dirty-nibble bit 4k, so a write hit
-  // marks the accessed subline dirty in every hitting slot with one OR.
-  std::array<std::uint32_t, 64> spread_{};
-  std::uint32_t tick_ = 0;
-  std::uint32_t fast_key_ = 0;     // histogram key of a repeat access
-  std::uint32_t fast_spread_ = 0;  // spread_[active]
-
-  Kernel() {
-    last_block_.fill(kNoBlock);
-    memo1_.fill(kNoBlock);
-    memo2_.fill(kNoBlock);
-    memo4_.fill(kNoBlock);
-  }
-
-  void finalize_masks() {
-    for (std::uint32_t m = 0; m < 64; ++m) {
-      std::uint32_t s = 0;
-      for (std::uint32_t k = 0; k < kNumSlots; ++k) {
-        if (m >> k & 1u) s |= 1u << (4 * k);
-      }
-      spread_[m] = s;
-    }
-    fast_key_ = active | (pred_active << kNumSlots);
-    fast_spread_ = spread_[active];
-  }
-
-  void replay(std::span<const std::uint32_t> packed) override {
-    if (packed.size() > 0xFFFF'FFFFull - tick_) {
-      fail("StackSweepSim: stream exceeds the 32-bit tick budget");
-    }
-    n += packed.size();
-    for (const std::uint32_t rec : packed) {
-      const std::uint32_t block = rec & FastCacheSim::kPackedBlockMask;
-      const std::uint32_t is_write = rec >> 31;
-      ++tick_;
-      writes += is_write;
-      const std::uint32_t g = (block >> kLog) & kGroupMask;
-      if (last_block_[g] == block) {
-        // Repeat access: the previous access to this group installed or
-        // refreshed this very block, so it is resident in every active
-        // slot, is the MRU of every predicted set, and no memo moved.
-        const std::uint32_t e = g * kCap + last_idx_[g];
-        ++hist[fast_key_];
-        last_[e * SUBL + (block & (SUBL - 1))] = tick_;
-        if (is_write) dirty_[e] |= fast_spread_ << (block & (SUBL - 1));
-        continue;
-      }
-      slow(block, g, is_write != 0);
-    }
-  }
-
-  void slow(std::uint32_t block, std::uint32_t g, bool is_write) {
-    const std::uint32_t l = block >> kLog;
-    const std::uint32_t o = block & (SUBL - 1);
-    const std::uint32_t* gl = &line_[g * kCap];
-    std::uint32_t idx = kCap;
-    for (std::uint32_t i = 0; i < count_[g]; ++i) {
-      if (gl[i] == l) {
-        idx = i;
-        break;
-      }
-    }
-    const std::uint32_t r = idx < kCap ? res_[g * kCap + idx] : 0u;
-
-    // First-probe bits before any state moves (prediction reads the
-    // pre-access MRU, exactly like the reference).
-    std::uint32_t pbits = 0;
-    if (r != 0) {
-      if ((pred_active & 1u) && (r >> 1 & 1u) && memo1_[block & 127u] == l)
-        pbits |= 1u;
-      if ((pred_active & 2u) && (r >> 2 & 1u) && memo2_[block & 127u] == l)
-        pbits |= 2u;
-      if ((pred_active & 4u) && (r >> 4 & 1u) && memo4_[block & 255u] == l)
-        pbits |= 4u;
-    }
-    ++hist[r | (pbits << kNumSlots)];
-
-    std::uint32_t miss = active & ~r;
-    for (std::uint32_t m = miss; m != 0; m &= m - 1) {
-      const std::uint32_t k = static_cast<std::uint32_t>(std::countr_zero(m));
-      // LRU victim at the accessed set: the resident line minimizing
-      // max(last access to the accessed offset, this slot's fill tick) —
-      // the slot timestamp the reference stores at the probed row. Ticks
-      // are distinct, so there are no ties to break.
-      const std::uint32_t smask = (kSlotSets[k] >> kLog) - 1u;
-      const std::uint32_t ls = l & smask;
-      std::uint32_t found = 0;
-      std::uint32_t victim = 0;
-      std::uint32_t best = 0;
-      for (std::uint32_t i = 0; i < count_[g]; ++i) {
-        const std::uint32_t e = g * kCap + i;
-        if (!(res_[e] >> k & 1u) || (line_[e] & smask) != ls) continue;
-        const std::uint32_t ts =
-            std::max(last_[e * SUBL + o], fill_[e * kNumSlots + k]);
-        if (found == 0 || ts < best) {
-          best = ts;
-          victim = i;
-        }
-        ++found;
-      }
-      if (found >= kSlotWays[k]) {
-        const std::uint32_t e = g * kCap + victim;
-        wb_bytes[k] += kPhysicalLineBytes *
-                       std::popcount((dirty_[e] >> (4 * k)) & 0xFu);
-        res_[e] &= static_cast<std::uint8_t>(~(1u << k));
-        dirty_[e] &= ~(0xFu << (4 * k));
-        if (res_[e] == 0) free_entry(g, victim);
-      }
-    }
-
-    std::uint32_t e;
-    if (miss != 0) {
-      // Evictions may have compacted the pool; locate or allocate the
-      // accessed entry afresh, then install into every missing slot.
-      idx = kCap;
-      for (std::uint32_t i = 0; i < count_[g]; ++i) {
-        if (gl[i] == l) {
-          idx = i;
-          break;
-        }
-      }
-      if (idx == kCap) {
-        idx = count_[g]++;
-        if (idx >= kCap) fail("StackSweepSim: line pool overflow");
-        e = g * kCap + idx;
-        line_[e] = l;
-        res_[e] = 0;
-        dirty_[e] = 0;
-        // Stale last_/fill_ ticks from a previous tenant are harmless:
-        // they are all below the fill tick installed next, and
-        // max(last, fill) screens them out.
-      } else {
-        e = g * kCap + idx;
-      }
-      for (std::uint32_t m = miss; m != 0; m &= m - 1) {
-        const std::uint32_t k = static_cast<std::uint32_t>(std::countr_zero(m));
-        res_[e] |= static_cast<std::uint8_t>(1u << k);
-        fill_[e * kNumSlots + k] = tick_;
-        dirty_[e] = (dirty_[e] & ~(0xFu << (4 * k))) |
-                    (static_cast<std::uint32_t>(is_write) << (4 * k + o));
-        // A fill touches every subline's set: the new line becomes the MRU
-        // of all of them in this slot.
-        const int pb = kSlotPredBit[k];
-        if (pb >= 0 && (pred_active >> pb & 1u)) {
-          const std::uint32_t bmask = kSlotSets[k] - 1u;
-          for (std::uint32_t j = 0; j < SUBL; ++j) {
-            memo_for(pb)[((l << kLog) + j) & bmask] = l;
-          }
-        }
-      }
-    } else {
-      e = g * kCap + idx;
-    }
-
-    if (is_write && r != 0) dirty_[e] |= spread_[r] << o;
-    last_[e * SUBL + o] = tick_;
-    // A hit refreshes only the accessed subline's set in the memo.
-    if ((r >> 1 & 1u) && (pred_active & 1u)) memo1_[block & 127u] = l;
-    if ((r >> 2 & 1u) && (pred_active & 2u)) memo2_[block & 127u] = l;
-    if ((r >> 4 & 1u) && (pred_active & 4u)) memo4_[block & 255u] = l;
-    last_block_[g] = block;
-    last_idx_[g] = static_cast<std::uint8_t>(idx);
-  }
-
-  std::uint32_t* memo_for(int pred_bit) {
-    return pred_bit == 0 ? memo1_.data()
-                         : pred_bit == 1 ? memo2_.data() : memo4_.data();
-  }
-
-  void free_entry(std::uint32_t g, std::uint32_t i) {
-    const std::uint32_t tail = --count_[g];
-    if (i == tail) return;
-    const std::uint32_t dst = g * kCap + i;
-    const std::uint32_t src = g * kCap + tail;
-    line_[dst] = line_[src];
-    res_[dst] = res_[src];
-    dirty_[dst] = dirty_[src];
-    std::memcpy(&fill_[dst * kNumSlots], &fill_[src * kNumSlots],
-                kNumSlots * sizeof(std::uint32_t));
-    std::memcpy(&last_[dst * SUBL], &last_[src * SUBL],
-                SUBL * sizeof(std::uint32_t));
-  }
-};
-
-}  // namespace
+void set_stack_sweep_simd(bool on) {
+  g_simd_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
 
 StackSweepSim::StackSweepSim(std::span<const CacheConfig> configs,
                              TimingParams timing) {
   if (configs.empty()) fail("StackSweepSim: empty configuration bank");
   const std::uint32_t line = configs.front().line_bytes();
-  switch (line) {
-    case 16: impl_ = std::make_unique<Kernel<1>>(); break;
-    case 32: impl_ = std::make_unique<Kernel<2>>(); break;
-    case 64: impl_ = std::make_unique<Kernel<4>>(); break;
-    default: fail("StackSweepSim: unsupported line size");
+  if (line != 16 && line != 32 && line != 64) {
+    fail("StackSweepSim: unsupported line size");
+  }
+  if (stack_sweep_simd_enabled()) {
+    impl_ = sweep_detail::make_simd_kernel(line);
+  }
+  if (!impl_) {
+    switch (line) {
+      case 16: impl_ = std::make_unique<Kernel<1, false>>(); break;
+      case 32: impl_ = std::make_unique<Kernel<2, false>>(); break;
+      default: impl_ = std::make_unique<Kernel<4, false>>(); break;
+    }
   }
   impl_->line_bytes = line;
   impl_->timing = timing;
@@ -291,11 +82,7 @@ StackSweepSim::StackSweepSim(std::span<const CacheConfig> configs,
       impl_->pred_active |= 1u << kSlotPredBit[k];
     }
   }
-  switch (line) {
-    case 16: static_cast<Kernel<1>*>(impl_.get())->finalize_masks(); break;
-    case 32: static_cast<Kernel<2>*>(impl_.get())->finalize_masks(); break;
-    default: static_cast<Kernel<4>*>(impl_.get())->finalize_masks(); break;
-  }
+  impl_->finalize();
 }
 
 StackSweepSim::~StackSweepSim() = default;
@@ -308,7 +95,21 @@ void StackSweepSim::replay(std::span<const std::uint32_t> packed) {
 
 std::uint32_t StackSweepSim::line_bytes() const { return impl_->line_bytes; }
 
-CacheStats StackSweepSim::stats(const CacheConfig& cfg) const {
+bool StackSweepSim::simd() const { return impl_->simd; }
+
+void StackSweepSim::add_totals(Totals& into) const {
+  into.n += impl_->n;
+  into.writes += impl_->writes;
+  for (std::uint32_t key = 0; key < 512; ++key) {
+    into.hist[key] += impl_->hist[key];
+  }
+  for (std::uint32_t k = 0; k < kNumSlots; ++k) {
+    into.wb_bytes[k] += impl_->wb_bytes[k];
+  }
+}
+
+CacheStats StackSweepSim::stats_from(const Totals& totals,
+                                     const CacheConfig& cfg) const {
   if (cfg.line_bytes() != impl_->line_bytes) {
     fail("StackSweepSim::stats: " + cfg.name() + " has the wrong line size");
   }
@@ -325,7 +126,7 @@ CacheStats StackSweepSim::stats(const CacheConfig& cfg) const {
   std::uint64_t hits = 0;
   std::uint64_t first = 0;
   for (std::uint32_t key = 0; key < 512; ++key) {
-    const std::uint64_t c = impl_->hist[key];
+    const std::uint64_t c = totals.hist[key];
     if (c == 0) continue;
     if (key >> k & 1u) hits += c;
     if (pb >= 0 && (key >> (kNumSlots + static_cast<unsigned>(pb)) & 1u))
@@ -333,23 +134,29 @@ CacheStats StackSweepSim::stats(const CacheConfig& cfg) const {
   }
 
   CacheStats s;
-  s.accesses = impl_->n;
-  s.write_accesses = impl_->writes;
-  s.read_accesses = impl_->n - impl_->writes;
+  s.accesses = totals.n;
+  s.write_accesses = totals.writes;
+  s.read_accesses = totals.n - totals.writes;
   s.hits = hits;
-  s.misses = impl_->n - hits;
+  s.misses = totals.n - hits;
   s.fill_bytes = s.misses * impl_->line_bytes;
-  s.writeback_bytes = impl_->wb_bytes[k];
+  s.writeback_bytes = totals.wb_bytes[k];
   s.stall_cycles =
       s.misses * impl_->timing.miss_stall_cycles(impl_->line_bytes);
   if (pred) {
-    s.pred_accesses = impl_->n;
+    s.pred_accesses = totals.n;
     s.pred_first_hits = first;
     s.pred_mispredicts = hits - first;
     s.stall_cycles += s.pred_mispredicts * impl_->timing.mispredict_penalty;
   }
-  s.cycles = impl_->n * impl_->timing.hit_cycles + s.stall_cycles;
+  s.cycles = totals.n * impl_->timing.hit_cycles + s.stall_cycles;
   return s;
+}
+
+CacheStats StackSweepSim::stats(const CacheConfig& cfg) const {
+  Totals t;
+  add_totals(t);
+  return stats_from(t, cfg);
 }
 
 }  // namespace stcache

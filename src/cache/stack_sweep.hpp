@@ -75,8 +75,19 @@
 // Equivalence is enforced the same way FastCacheSim's is: CacheStats must
 // be bit-identical to both other engines for every in-scope configuration
 // (tests/replay_equivalence_test.cpp, tests/stack_sweep_test.cpp).
+//
+// SIMD: the hot loops (slot probe, LRU victim scan, repeat-run detection)
+// have an AVX2 path compiled into a separate translation unit
+// (stack_sweep_simd.cpp, built with -mavx2 when the toolchain supports it)
+// and selected per-sim at construction when the running CPU reports AVX2.
+// The scalar kernel stays the portable fallback and the differential
+// suites run both flavors; STCACHE_SIMD=0 in the environment or
+// set_stack_sweep_simd(false) forces scalar. Both flavors produce
+// bit-identical CacheStats by construction — the SIMD lanes only
+// restructure the probe/scan, never the update order.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -85,6 +96,16 @@
 #include "cache/stats.hpp"
 
 namespace stcache {
+
+// True when an AVX2 kernel was compiled in AND the running CPU supports it.
+bool stack_sweep_simd_available();
+// available() && not disabled (STCACHE_SIMD=0 or set_stack_sweep_simd(false)).
+// Sampled once per StackSweepSim at construction.
+bool stack_sweep_simd_enabled();
+// Force the SIMD path on/off for subsequently constructed sims (clamped to
+// availability). The differential tests and bench_replay_throughput use
+// this to time/compare both flavors in one process.
+void set_stack_sweep_simd(bool on);
 
 class StackSweepSim {
  public:
@@ -107,8 +128,29 @@ class StackSweepSim {
   CacheStats stats(const CacheConfig& cfg) const;
 
   std::uint32_t line_bytes() const;
+  // True when this sim runs the AVX2 kernel (fixed at construction).
+  bool simd() const;
 
-  // Implementation base; the .cpp derives one kernel per subline count.
+  // Raw accumulated totals. Every per-configuration counter derives from
+  // these at stats() time, and they are plain sums over the replayed
+  // records — which is what makes the set-partitioned parallel sweep
+  // exact: shards replay disjoint set partitions of one stream, their
+  // totals are added, and stats_from() on the sum is bit-identical to a
+  // serial replay (integer addition is associative and commutative).
+  struct Totals {
+    std::uint64_t n = 0;       // records replayed
+    std::uint64_t writes = 0;  // of which writes
+    std::array<std::uint64_t, 512> hist{};   // hit-mask | first-probe bins
+    std::array<std::uint64_t, 6> wb_bytes{};  // per-slot write-back bytes
+  };
+  // Add this sim's accumulated totals into `into`.
+  void add_totals(Totals& into) const;
+  // Stats for `cfg` computed from explicit totals (typically a cross-shard
+  // sum). stats(cfg) == stats_from(own totals, cfg).
+  CacheStats stats_from(const Totals& totals, const CacheConfig& cfg) const;
+
+  // Implementation base; the kernel TUs derive one kernel per subline
+  // count and SIMD flavor.
   struct Impl;
 
  private:

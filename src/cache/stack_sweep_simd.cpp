@@ -1,0 +1,176 @@
+// AVX2 flavor of the StackSweepSim kernel. This is the only translation
+// unit compiled with -mavx2 (CMake adds the flag plus STCACHE_SIMD_AVX2
+// only when the toolchain check passes), so AVX2 intrinsics must not leak
+// into any header it includes. Runtime CPU dispatch lives in
+// stack_sweep.cpp; nothing here executes unless the CPU reported AVX2.
+//
+// The SweepOps<true> policy maps the kernel's three hot scans onto 8-lane
+// vector compares over the padded 24-entry group rows (kStride in
+// stack_sweep_kernel.hpp guarantees every 8-lane load stays inside the
+// row, and every lane past `count` is masked off before use):
+//
+//   find     splat the probed line id, compare up to 3 vectors of the
+//            group's line-id row, movemask, mask to `count`, tzcnt.
+//   victim   build a 24-bit validity mask (residency bit k set AND line
+//            maps to the accessed set) with vector compares, compute
+//            max(last, fill) stamps 8 lanes at a time into a stack array,
+//            then pick the first strict minimum over the mask's set bits —
+//            a loop of `found` iterations (almost always <= 4).
+//   neq_next8  one 8-lane compare of p[i..i+7] against p[i+1..i+8] — the
+//            run-boundary mask of a whole replay window. This powers the
+//            windowed segment loop (Ops::kBulkRuns) in replay_bulk():
+//            sequential code hits the same 16 B block several times in a
+//            row, and each run collapses into one histogram addition.
+//
+// Equivalence: the policy only answers the same queries the scalar policy
+// answers (same first-match, same first-strict-min over distinct ticks),
+// and the bulk-run collapse is an exact algebraic rewrite of the repeat
+// fast path — so SIMD and scalar kernels produce bit-identical CacheStats.
+// tests/stack_sweep_test.cpp and tests/sharded_sweep_test.cpp enforce this
+// differentially on every workload.
+#include "cache/stack_sweep_kernel.hpp"
+
+#if defined(STCACHE_SIMD_AVX2)
+
+#include <immintrin.h>
+
+namespace stcache {
+namespace sweep_detail {
+
+namespace {
+
+// 8-bit lane mask of 32-bit equality.
+inline std::uint32_t eq_mask(__m256i a, __m256i b) {
+  return static_cast<std::uint32_t>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(a, b))));
+}
+
+inline __m256i load8(const std::uint32_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+// Zero-extend 8 residency bytes to 32-bit lanes.
+inline __m256i load8_u8(const std::uint8_t* p) {
+  return _mm256_cvtepu8_epi32(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+}
+
+}  // namespace
+
+template <>
+struct SweepOps<true> {
+  static constexpr std::uint32_t kNotFound = 0xFFFF'FFFFu;
+  static constexpr bool kBulkRuns = true;
+
+  static std::uint32_t find(const std::uint32_t* lines, std::uint32_t count,
+                            std::uint32_t l) {
+    // Small groups (the common case) early-exit faster scalar than any
+    // fixed-width compare; the vector probe pays off past one lane group.
+    if (count <= 8) {
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (lines[i] == l) return i;
+      }
+      return kNotFound;
+    }
+    const __m256i needle = _mm256_set1_epi32(static_cast<int>(l));
+    std::uint32_t mask = eq_mask(load8(lines), needle);
+    mask |= eq_mask(load8(lines + 8), needle) << 8;
+    if (count > 16) mask |= eq_mask(load8(lines + 16), needle) << 16;
+    mask &= (1u << count) - 1u;  // count <= kCap = 20 < 31
+    return mask != 0 ? static_cast<std::uint32_t>(std::countr_zero(mask))
+                     : kNotFound;
+  }
+
+  static VictimScan victim(const std::uint32_t* lines,
+                           const std::uint8_t* res,
+                           const std::uint32_t* last_row,
+                           const std::uint32_t* fill_row, std::uint32_t count,
+                           std::uint32_t k, std::uint32_t smask,
+                           std::uint32_t ls) {
+    if (count <= 8) {
+      // Same small-group cutover as find(): a handful of well-predicted
+      // scalar iterations beats the vector setup latency.
+      VictimScan out;
+      std::uint32_t best = 0;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (!(res[i] >> k & 1u) || (lines[i] & smask) != ls) continue;
+        const std::uint32_t ts =
+            last_row[i] > fill_row[i] ? last_row[i] : fill_row[i];
+        if (out.found == 0 || ts < best) {
+          best = ts;
+          out.victim = i;
+        }
+        ++out.found;
+      }
+      return out;
+    }
+    const __m256i vsmask = _mm256_set1_epi32(static_cast<int>(smask));
+    const __m256i vls = _mm256_set1_epi32(static_cast<int>(ls));
+    const __m256i vkbit = _mm256_set1_epi32(static_cast<int>(1u << k));
+    std::uint32_t cand[24];
+    std::uint32_t valid = 0;
+    for (std::uint32_t b = 0; b < count; b += 8) {
+      const __m256i set_eq =
+          _mm256_cmpeq_epi32(_mm256_and_si256(load8(lines + b), vsmask), vls);
+      const __m256i res_hit = _mm256_cmpeq_epi32(
+          _mm256_and_si256(load8_u8(res + b), vkbit), vkbit);
+      valid |= static_cast<std::uint32_t>(_mm256_movemask_ps(
+                   _mm256_castsi256_ps(_mm256_and_si256(set_eq, res_hit))))
+               << b;
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(cand + b),
+          _mm256_max_epu32(load8(last_row + b), load8(fill_row + b)));
+    }
+    valid &= (1u << count) - 1u;
+    VictimScan out;
+    out.found = static_cast<std::uint32_t>(std::popcount(valid));
+    // First strict minimum in ascending index order — identical tie/order
+    // semantics to the scalar scan (ticks are distinct anyway).
+    std::uint32_t best = 0;
+    bool have = false;
+    for (std::uint32_t m = valid; m != 0; m &= m - 1) {
+      const std::uint32_t i = static_cast<std::uint32_t>(std::countr_zero(m));
+      if (!have || cand[i] < best) {
+        best = cand[i];
+        out.victim = i;
+        have = true;
+      }
+    }
+    return out;
+  }
+
+  static std::uint32_t neq_next8(const std::uint32_t* p) {
+    return eq_mask(load8(p), load8(p + 1)) ^ 0xFFu;
+  }
+};
+
+bool simd_kernel_compiled() { return true; }
+
+std::unique_ptr<StackSweepSim::Impl> make_simd_kernel(
+    std::uint32_t line_bytes) {
+  switch (line_bytes) {
+    case 16: return std::make_unique<Kernel<1, true>>();
+    case 32: return std::make_unique<Kernel<2, true>>();
+    case 64: return std::make_unique<Kernel<4, true>>();
+  }
+  return nullptr;
+}
+
+}  // namespace sweep_detail
+}  // namespace stcache
+
+#else  // !STCACHE_SIMD_AVX2
+
+namespace stcache {
+namespace sweep_detail {
+
+bool simd_kernel_compiled() { return false; }
+
+std::unique_ptr<StackSweepSim::Impl> make_simd_kernel(std::uint32_t) {
+  return nullptr;
+}
+
+}  // namespace sweep_detail
+}  // namespace stcache
+
+#endif  // STCACHE_SIMD_AVX2

@@ -1,10 +1,17 @@
 #include "trace/replay.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <future>
+#include <iostream>
 
 #include "cache/fast_cache.hpp"
 #include "cache/stack_sweep.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace stcache {
 
@@ -18,7 +25,55 @@ ReplayEngine resolve(ReplayEngine engine) {
              : engine;
 }
 
+// Upper bound on partitions AND shards. The partition key uses bits 2..6
+// of the 16 B block number; those five bits are the intersection of the
+// set-index bit ranges of every supported configuration (128 sets at 64 B
+// lines indexes bits 2..8, 128 sets at 16 B lines indexes bits 0..6), so
+// a coarser key would split some configuration's set across partitions
+// and break the exact-merge argument.
+constexpr unsigned kMaxSweepPartitions = 32;
+
+// 0 = resolve from the environment (STCACHE_SWEEP_JOBS, else serial).
+std::atomic<unsigned> g_sweep_jobs{0};
+
+unsigned clamp_jobs(long v) {
+  if (v < 1) return 1;
+  if (v > static_cast<long>(kMaxSweepPartitions)) return kMaxSweepPartitions;
+  return static_cast<unsigned>(v);
+}
+
+unsigned env_sweep_jobs() {
+  static const unsigned resolved = [] {
+    if (const char* e = std::getenv("STCACHE_SWEEP_JOBS")) {
+      return clamp_jobs(std::strtol(e, nullptr, 10));
+    }
+    return 1u;
+  }();
+  return resolved;
+}
+
 }  // namespace
+
+unsigned default_sweep_jobs() {
+  const unsigned v = g_sweep_jobs.load(std::memory_order_relaxed);
+  return v != 0 ? v : env_sweep_jobs();
+}
+
+void set_default_sweep_jobs(unsigned jobs) {
+  g_sweep_jobs.store(jobs == 0 ? 0 : clamp_jobs(static_cast<long>(jobs)),
+                     std::memory_order_relaxed);
+}
+
+unsigned sweep_partitions() {
+  static const unsigned parts = [] {
+    unsigned p = kMaxSweepPartitions;
+    if (const char* e = std::getenv("STCACHE_SWEEP_PARTITIONS")) {
+      p = clamp_jobs(std::strtol(e, nullptr, 10));
+    }
+    return std::bit_floor(p);  // the scatter key is (block >> 2) & (p - 1)
+  }();
+  return parts;
+}
 
 ReplayEngine default_replay_engine() {
   return g_default_engine.load(std::memory_order_relaxed);
@@ -133,7 +188,7 @@ CacheStats measure_config_packed(const CacheConfig& cfg,
 
 BankAccumulator::BankAccumulator(std::span<const CacheConfig> configs,
                                  const TimingParams& timing,
-                                 ReplayEngine engine)
+                                 ReplayEngine engine, unsigned sweep_jobs)
     : n_(configs.size()) {
   switch (resolve(engine)) {
     case ReplayEngine::kReference:
@@ -167,12 +222,47 @@ BankAccumulator::BankAccumulator(std::span<const CacheConfig> configs,
           singleton_sims_.emplace_back(group.front(), timing);
           continue;
         }
-        StackSweepSim sweep(group, timing);
-        sweep_groups_.push_back(
-            {std::move(sweep), std::move(group), std::move(where)});
+        SweepGroup g;
+        g.shards.emplace_back(group, timing);
+        g.configs = std::move(group);
+        g.where = std::move(where);
+        sweep_groups_.push_back(std::move(g));
+      }
+      if (!sweep_groups_.empty()) {
+        if (sweep_jobs == 0) sweep_jobs = default_sweep_jobs();
+        parts_ = sweep_partitions();
+        jobs_ = std::min(clamp_jobs(static_cast<long>(sweep_jobs)), parts_);
+        if (jobs_ > 1) {
+          // One sim replica per shard per group; each shard accumulates
+          // the partitions it owns and stats() sums the Totals.
+          for (SweepGroup& g : sweep_groups_) {
+            g.shards.reserve(jobs_);
+            for (unsigned s = 1; s < jobs_; ++s) {
+              g.shards.emplace_back(g.configs, timing);
+            }
+          }
+          part_buf_.resize(parts_);
+          shard_records_.assign(jobs_, 0);
+        }
       }
       break;
   }
+}
+
+BankAccumulator::~BankAccumulator() = default;
+BankAccumulator::BankAccumulator(BankAccumulator&&) noexcept = default;
+BankAccumulator& BankAccumulator::operator=(BankAccumulator&&) noexcept =
+    default;
+
+void BankAccumulator::replay_shard(unsigned shard) {
+  std::uint64_t fed = 0;
+  for (unsigned p = shard; p < parts_; p += jobs_) {
+    const std::vector<std::uint32_t>& bucket = part_buf_[p];
+    if (bucket.empty()) continue;
+    fed += bucket.size();
+    for (SweepGroup& g : sweep_groups_) g.shards[shard].replay(bucket);
+  }
+  shard_records_[shard] += fed;
 }
 
 void BankAccumulator::feed(std::span<const std::uint32_t> packed) {
@@ -188,7 +278,29 @@ void BankAccumulator::feed(std::span<const std::uint32_t> packed) {
     return;
   }
   for (FastCacheSim& sim : fast_bank_) sim.replay(packed);
-  for (SweepGroup& g : sweep_groups_) g.sweep.replay(packed);
+  if (jobs_ > 1 && !packed.empty()) {
+    // Scatter into set partitions (stream order preserved within each
+    // bucket — the only order that matters, since partitions never share
+    // a cache set), then replay every shard's buckets through its sim
+    // replicas. Shard 0 runs here; the pool spawns on first use.
+    for (std::vector<std::uint32_t>& bucket : part_buf_) bucket.clear();
+    const std::uint32_t pmask = parts_ - 1;
+    for (const std::uint32_t word : packed) {
+      // Bits 2..6 of the block number; the write bit (31) is masked out
+      // by pmask <= 31 after the shift.
+      part_buf_[(word >> 2) & pmask].push_back(word);
+    }
+    if (!pool_) pool_ = std::make_unique<ThreadPool>(jobs_ - 1);
+    std::vector<std::future<void>> pending;
+    pending.reserve(jobs_ - 1);
+    for (unsigned s = 1; s < jobs_; ++s) {
+      pending.push_back(pool_->submit([this, s] { replay_shard(s); }));
+    }
+    replay_shard(0);
+    for (std::future<void>& f : pending) f.get();  // rethrows shard errors
+  } else {
+    for (SweepGroup& g : sweep_groups_) g.shards.front().replay(packed);
+  }
   for (FastCacheSim& sim : singleton_sims_) sim.replay(packed);
 }
 
@@ -201,12 +313,29 @@ std::vector<CacheStats> BankAccumulator::stats() const {
     out[i] = fast_bank_[i].stats();
   }
   for (const SweepGroup& g : sweep_groups_) {
+    StackSweepSim::Totals totals;
+    for (const StackSweepSim& shard : g.shards) shard.add_totals(totals);
     for (std::size_t j = 0; j < g.configs.size(); ++j) {
-      out[g.where[j]] = g.sweep.stats(g.configs[j]);
+      out[g.where[j]] = g.shards.front().stats_from(totals, g.configs[j]);
     }
   }
   for (std::size_t i = 0; i < singleton_sims_.size(); ++i) {
     out[singleton_where_[i]] = singleton_sims_[i].stats();
+  }
+  if (jobs_ > 1 && metrics_enabled()) {
+    std::uint64_t total = 0;
+    std::uint64_t peak = 0;
+    for (const std::uint64_t c : shard_records_) {
+      total += c;
+      peak = std::max(peak, c);
+    }
+    if (total > 0) {
+      const double mean = static_cast<double>(total) / jobs_;
+      std::cerr << "[sweep] shard imbalance: jobs=" << jobs_
+                << " partitions=" << parts_ << " max=" << peak
+                << " mean=" << static_cast<std::uint64_t>(mean)
+                << " max/mean=" << peak / mean << "\n";
+    }
   }
   return out;
 }

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -38,6 +39,8 @@
 
 namespace stcache {
 
+class ThreadPool;  // util/thread_pool.hpp — owned by BankAccumulator
+
 enum class ReplayEngine : std::uint8_t {
   kDefault = 0,  // resolve to the process-wide default (oneshot unless overridden)
   kReference,
@@ -50,6 +53,25 @@ enum class ReplayEngine : std::uint8_t {
 // reads are atomic so sweep worker threads may resolve it concurrently.
 ReplayEngine default_replay_engine();
 void set_default_replay_engine(ReplayEngine engine);  // kDefault resets to kOneshot
+
+// Process-wide default shard count for the set-partitioned parallel
+// oneshot sweep (BankAccumulator below). The default is 1 (serial) unless
+// the STCACHE_SWEEP_JOBS environment variable says otherwise — intra-bank
+// parallelism composes with the benches' workload-level --jobs pools, so
+// it is strictly opt-in (--sweep-jobs on the tools/benches, or
+// set_default_sweep_jobs here). Values are clamped to the partition count
+// (at most 32: the partition key must stay inside the set-index bits every
+// configuration shares; see replay.cpp). set_default_sweep_jobs(0) resets
+// to the environment-driven default.
+unsigned default_sweep_jobs();
+void set_default_sweep_jobs(unsigned jobs);
+
+// Number of set partitions the parallel sweep scatters a packed stream
+// into: a power of two in [1, 32], default 32, overridable via
+// STCACHE_SWEEP_PARTITIONS (resolved once per process). Shard s replays
+// partitions s, s+jobs, s+2*jobs, ... — more partitions than shards
+// smooths imbalance without changing results.
+unsigned sweep_partitions();
 
 const char* to_string(ReplayEngine engine);
 // Parses "reference", "fast" or "oneshot"; throws stcache::Error otherwise.
@@ -136,31 +158,65 @@ std::vector<CacheStats> measure_config_bank(
 // The reference path feeds ConfigurableCache::access(block << 4, write):
 // packing discards the low 4 address bits, which no 16 B-or-wider cache
 // geometry ever inspects (the equivalence suite proves stats invariance).
+//
+// Parallel sweep (oneshot engine only): with sweep_jobs > 1 each feed()
+// scatters the packed chunk into sweep_partitions() buckets keyed by
+// (block >> 2) & (parts - 1). Those key bits (2..6 of the 16 B block
+// number) are a subset of the set-index bits of EVERY configuration in
+// the bank — all line sizes, all set counts — so each bucket is a union
+// of whole cache sets and the sublines of any logical line land in one
+// bucket together. Cold-start set-indexed caches factorize over sets,
+// so each shard's StackSweepSim replica replays its buckets (in stream
+// order within a bucket) and accumulates exactly the histogram its sets
+// would have contributed serially. stats() sums the per-shard
+// StackSweepSim::Totals — exact integer addition — making the merged
+// CacheStats bit-identical to a serial sweep for every shard count;
+// tests/sharded_sweep_test.cpp enforces this. Shard 0 runs on the
+// calling thread; shards 1..jobs-1 run on a lazily spawned ThreadPool
+// owned by the accumulator. The reference/fast/singleton paths stay
+// serial (nothing shares their traversal, so the oneshot groups are
+// where the wall-clock lives).
 class BankAccumulator {
  public:
+  // sweep_jobs: 0 = default_sweep_jobs(); clamped to sweep_partitions().
   BankAccumulator(std::span<const CacheConfig> configs,
                   const TimingParams& timing = {},
-                  ReplayEngine engine = ReplayEngine::kDefault);
+                  ReplayEngine engine = ReplayEngine::kDefault,
+                  unsigned sweep_jobs = 0);
+  ~BankAccumulator();
+  BankAccumulator(BankAccumulator&&) noexcept;
+  BankAccumulator& operator=(BankAccumulator&&) noexcept;
 
   void feed(std::span<const std::uint32_t> packed);
-  // stats()[i] corresponds to configs[i] at construction.
+  // stats()[i] corresponds to configs[i] at construction. With metrics
+  // enabled and jobs > 1, prints the "[sweep] shard imbalance" line.
   std::vector<CacheStats> stats() const;
   std::uint64_t words_fed() const { return words_fed_; }
+  // Effective shard count for the oneshot sweep groups (1 = serial).
+  unsigned sweep_jobs() const { return jobs_; }
 
  private:
+  void replay_shard(unsigned shard);
+
   std::size_t n_;
   std::uint64_t words_fed_ = 0;
   // Exactly one of the following banks is populated, per the engine.
   std::vector<ConfigurableCache> reference_bank_;
   std::vector<FastCacheSim> fast_bank_;  // fast engine, index-aligned
   struct SweepGroup {
-    StackSweepSim sweep;
+    std::vector<StackSweepSim> shards;  // [0] runs on the calling thread
     std::vector<CacheConfig> configs;
     std::vector<std::size_t> where;  // indices into the bank's stats
   };
   std::vector<SweepGroup> sweep_groups_;          // oneshot: per line size
   std::vector<std::size_t> singleton_where_;      // oneshot: fallback sims
   std::vector<FastCacheSim> singleton_sims_;
+  // Parallel-sweep state (jobs_ > 1 only).
+  unsigned jobs_ = 1;   // sweep shard count
+  unsigned parts_ = 1;  // scatter partitions (power of two, >= jobs_)
+  std::vector<std::vector<std::uint32_t>> part_buf_;  // reused per feed
+  std::vector<std::uint64_t> shard_records_;  // per-shard records replayed
+  std::unique_ptr<ThreadPool> pool_;          // jobs_ - 1 workers, lazy
 };
 
 }  // namespace stcache

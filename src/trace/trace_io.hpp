@@ -16,7 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -55,5 +57,68 @@ struct PackedSplitTrace {
 };
 PackedSplitTrace read_packed_trace(std::istream& is);
 PackedSplitTrace load_packed_trace(const std::string& path);
+
+// Out-of-core STCT reader: replays traces far larger than memory without
+// ever materializing a Trace or a whole packed stream. The file is mapped
+// (mmap + madvise(MADV_SEQUENTIAL)) and decoded in fixed-size record
+// chunks into two reusable split packed buffers; fully-decoded pages are
+// released behind the cursor (MADV_DONTNEED), so peak RSS is bounded by
+// the chunk size — a few MB — independent of the trace size. A
+// billion-record (~5 GB) .stct therefore streams straight into a
+// BankAccumulator.
+//
+// Validation matches the buffered readers: magic/version/record-count are
+// checked against the file size up front (truncation fails before any
+// decode), record kinds are checked per record, and the v2 CRC-32 footer
+// is accumulated chunk by chunk as each chunk is first touched and
+// verified when the pass completes — a corrupt payload fails the pass
+// even though no buffer ever held the whole file.
+//
+// When mmap is unavailable — the syscall fails, or STCACHE_NO_MMAP is set
+// to anything but "0" — the reader falls back to chunked pread() into a
+// private buffer with identical semantics (mapped() reports which path is
+// live). Decoded chunks are bit-identical to load_packed_trace() slices
+// in either mode; tests/mmap_trace_test.cpp enforces all of the above.
+class MappedPackedTrace {
+ public:
+  // Spans live in buffers reused for the next chunk: consume (or copy)
+  // within the callback. first_record is the chunk's absolute index.
+  struct Chunk {
+    std::span<const std::uint32_t> ifetch;
+    std::span<const std::uint32_t> data;
+    std::uint64_t first_record = 0;
+  };
+
+  // Opens, maps and validates; throws stcache::Error (path in message) on
+  // any I/O or format problem. chunk_records is exposed for boundary
+  // tests; the default keeps the working set at ~5 MB raw + ~8 MB decoded.
+  explicit MappedPackedTrace(const std::string& path,
+                             std::size_t chunk_records = std::size_t{1} << 20);
+  ~MappedPackedTrace();
+  MappedPackedTrace(const MappedPackedTrace&) = delete;
+  MappedPackedTrace& operator=(const MappedPackedTrace&) = delete;
+
+  std::uint64_t record_count() const { return count_; }
+  // True when the record section is mmap'd; false on the pread fallback.
+  bool mapped() const { return map_ != nullptr; }
+
+  // One in-order pass over every record: decodes chunk after chunk,
+  // invoking fn for each (zero times for an empty trace), verifying the
+  // CRC footer at the end. Throws on corruption; callable again for a
+  // fresh pass (pages released by an earlier pass fault back in).
+  void for_each_chunk(const std::function<void(const Chunk&)>& fn);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  unsigned char* map_ = nullptr;  // whole file when mapped() is true
+  std::uint64_t file_bytes_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint32_t version_ = 0;
+  std::size_t chunk_records_;
+  std::vector<unsigned char> read_buf_;   // pread fallback only
+  std::vector<std::uint32_t> ifetch_buf_;  // reused chunk decode targets
+  std::vector<std::uint32_t> data_buf_;
+};
 
 }  // namespace stcache

@@ -4,22 +4,28 @@
 //   stcache_tune <file.stct> [I|D] [options]
 //   stcache_tune --workload NAME [I|D] [options]
 //
-// options: [--exhaustive] [--jobs N] [--metrics-out file.json]
-//          [--engine reference|fast|oneshot]
-//          [--pipeline streaming|materialized] [--metrics]
+// options: [--exhaustive] [--jobs N] [--sweep-jobs N]
+//          [--metrics-out file.json] [--engine reference|fast|oneshot]
+//          [--pipeline streaming|materialized] [--reader buffered|mmap]
+//          [--metrics]
 //
 // Both modes tune the selected stream's cache (instruction by default)
 // with the Figure 6 heuristic and print the decision; with --exhaustive
 // the 27-point optimum and the heuristic's gap are printed as well. The
 // file mode bulk-loads the trace straight into packed split streams
-// (load_packed_trace — no TraceRecord intermediate). The workload mode
+// (load_packed_trace — no TraceRecord intermediate); --reader mmap
+// streams the file out-of-core instead (MappedPackedTrace: mmap +
+// chunked decode, pages released behind the cursor), so an exhaustive
+// sweep of a trace far larger than memory runs in a bounded footprint. The workload mode
 // never touches disk: --pipeline streaming (the default) runs the fast
 // interpreter on a capture thread and folds each packed chunk into the
 // exhaustive configuration bank as it is produced, so capture and sweep
 // overlap; --pipeline materialized captures the packed streams first and
 // sweeps after, as a determinism baseline (repro.sh cmp's the two).
-// Stdout is byte-identical across file/workload modes, engines, pipelines
-// and --jobs values for the same trace. Sweep metrics go to stderr, and
+// Stdout is byte-identical across file/workload modes, engines, pipelines,
+// --jobs and --sweep-jobs values for the same trace (--sweep-jobs shards
+// the exhaustive oneshot sweep itself by cache-set partition; the merge is
+// exact, see trace/replay.hpp). Sweep metrics go to stderr, and
 // to a JSON file with --metrics-out; the informational [sim]/[trace_io]/
 // [replay] lines appear only under --metrics (or STCACHE_METRICS=1).
 #include <cstdlib>
@@ -46,9 +52,11 @@ namespace {
 
 int usage() {
   std::cerr << "usage: stcache_tune <file.stct | --workload NAME> [I|D] "
-               "[--exhaustive] [--jobs N] [--metrics-out file.json] "
+               "[--exhaustive] [--jobs N] [--sweep-jobs N] "
+               "[--metrics-out file.json] "
                "[--engine reference|fast|oneshot] "
-               "[--pipeline streaming|materialized] [--metrics]\n";
+               "[--pipeline streaming|materialized] "
+               "[--reader buffered|mmap] [--metrics]\n";
   return 2;
 }
 
@@ -57,6 +65,7 @@ int run(int argc, char** argv) {
   std::string path;
   std::string workload_name;
   std::string pipeline = "streaming";
+  std::string reader = "buffered";
   bool instruction = true;
   bool exhaustive = false;
   SweepOptions sweep;
@@ -75,8 +84,12 @@ int run(int argc, char** argv) {
       workload_name = argv[++i];
     else if (std::strcmp(argv[i], "--pipeline") == 0 && i + 1 < argc)
       pipeline = argv[++i];
+    else if (std::strcmp(argv[i], "--reader") == 0 && i + 1 < argc)
+      reader = argv[++i];
     else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
       sweep.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--sweep-jobs") == 0 && i + 1 < argc)
+      set_default_sweep_jobs(static_cast<unsigned>(std::atoi(argv[++i])));
     else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc)
       metrics_out = argv[++i];
     else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc)
@@ -92,6 +105,15 @@ int run(int argc, char** argv) {
               << "' (expected streaming|materialized)\n";
     return 2;
   }
+  if (reader != "buffered" && reader != "mmap") {
+    std::cerr << "unknown reader '" << reader
+              << "' (expected buffered|mmap)\n";
+    return 2;
+  }
+  if (reader == "mmap" && path.empty()) {
+    std::cerr << "--reader mmap applies to trace-file mode only\n";
+    return 2;
+  }
   if (metrics_enabled()) {
     std::cerr << "[replay] engine=" << to_string(default_replay_engine())
               << "\n";
@@ -105,6 +127,7 @@ int run(int argc, char** argv) {
   // the heuristic evaluator measures configurations against it on demand.
   // No TraceRecord AoS is ever built in any mode.
   std::vector<std::uint32_t> sel;
+  std::uint64_t sel_count = 0;       // selected records, even when unmaterialized
   std::vector<CacheStats> measured;  // exhaustive bank, if already folded
   bool have_measured = false;
 
@@ -137,12 +160,46 @@ int run(int argc, char** argv) {
       PackedCapture cap = capture_packed(w);
       sel = instruction ? std::move(cap.ifetch) : std::move(cap.data);
     }
+  } else if (reader == "mmap") {
+    MappedPackedTrace mapped(path);
+    if (exhaustive) {
+      // Out-of-core sweep: fold each decoded chunk straight into the
+      // exhaustive bank; the selected stream is never materialized, so
+      // the footprint is the chunk buffers plus the bank — independent
+      // of the trace size. Only the record count survives for the
+      // report header.
+      runner.map<int>(
+          1,
+          [&](std::size_t) {
+            BankAccumulator bank(configs);
+            mapped.for_each_chunk([&](const MappedPackedTrace::Chunk& chunk) {
+              const std::span<const std::uint32_t> words =
+                  instruction ? chunk.ifetch : chunk.data;
+              sel_count += words.size();
+              bank.feed(words);
+            });
+            measured = bank.stats();
+            have_measured = true;
+            runner.add_accesses(bank.words_fed() * configs.size());
+            return 0;
+          },
+          [&](std::size_t) { return path + ": mmap-streamed sweep"; });
+    } else {
+      // The heuristic replays the selected stream repeatedly, so it is
+      // materialized — but still decoded out-of-core, chunk by chunk.
+      mapped.for_each_chunk([&](const MappedPackedTrace::Chunk& chunk) {
+        const std::span<const std::uint32_t> words =
+            instruction ? chunk.ifetch : chunk.data;
+        sel.insert(sel.end(), words.begin(), words.end());
+      });
+    }
   } else {
     PackedSplitTrace split = load_packed_trace(path);
     sel = instruction ? std::move(split.ifetch) : std::move(split.data);
   }
 
-  if (sel.empty()) {
+  if (sel_count == 0) sel_count = sel.size();
+  if (sel_count == 0) {
     std::cerr << "error: the selected stream is empty\n";
     return 1;
   }
@@ -172,13 +229,13 @@ int run(int argc, char** argv) {
     // The measured bank covers every configuration either search visits,
     // so the shared renderer replays nothing — stcache_tunec renders the
     // daemon's VERDICT through the same function, byte-identically.
-    print_exhaustive_report(std::cout, instruction, sel.size(), configs,
+    print_exhaustive_report(std::cout, instruction, sel_count, configs,
                             measured, model);
     return 0;
   }
 
   std::cout << "Tuning the " << (instruction ? "instruction" : "data")
-            << " cache on " << sel.size() << " accesses...\n\n";
+            << " cache on " << sel_count << " accesses...\n\n";
 
   TraceEvaluator eval(std::span<const std::uint32_t>(sel), model);
   const SearchResult heur = tune(eval);

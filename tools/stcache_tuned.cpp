@@ -4,7 +4,8 @@
 //
 //   stcache_tuned --socket PATH [--workers N] [--pool-chunks N]
 //                 [--chunk-words N] [--session-budget N]
-//                 [--engine reference|fast|oneshot] [--max-sessions N]
+//                 [--engine reference|fast|oneshot] [--sweep-jobs N]
+//                 [--max-sessions N]
 //                 [--idle-timeout-ms N] [--session-timeout-ms N]
 //                 [--max-inflight N] [--shed-pool-min N]
 //                 [--retry-after-ms N] [--drain-timeout-ms N]
@@ -47,7 +48,8 @@ void on_signal(int) { g_stop = 1; }
 int usage() {
   std::cerr << "usage: stcache_tuned --socket PATH [--workers N] "
                "[--pool-chunks N] [--chunk-words N] [--session-budget N] "
-               "[--engine reference|fast|oneshot] [--max-sessions N] "
+               "[--engine reference|fast|oneshot] [--sweep-jobs N] "
+               "[--max-sessions N] "
                "[--idle-timeout-ms N] [--session-timeout-ms N] "
                "[--max-inflight N] [--shed-pool-min N] [--retry-after-ms N] "
                "[--drain-timeout-ms N]\n";
@@ -105,6 +107,14 @@ int run(int argc, char** argv) {
       opts.session_budget = static_cast<std::size_t>(v);
     } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       opts.engine = parse_replay_engine(argv[++i]);
+    } else if (std::strcmp(argv[i], "--sweep-jobs") == 0 && i + 1 < argc) {
+      // Shards each session's oneshot sweep by cache-set partition. The
+      // daemon's first axis of parallelism is sessions across --workers;
+      // this multiplies threads per in-flight session (worker pools spawn
+      // lazily inside each session's BankAccumulator), so size the product
+      // workers * sweep-jobs to the machine.
+      if (int rc = take_u64(v, 1, 32)) return rc;
+      set_default_sweep_jobs(static_cast<unsigned>(v));
     } else if (std::strcmp(argv[i], "--max-sessions") == 0 && i + 1 < argc) {
       if (int rc = take_u64(max_sessions, 0, ~std::uint64_t{0})) return rc;
     } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0 && i + 1 < argc) {
