@@ -7,9 +7,9 @@
 #                        +stream+serving+chaos tests, ASan/UBSan fault+trace
 #                        +mmap+interpreter+serving+wire+chaos tests, the
 #                        throughput/capture/end-to-end/simd/parallel/serving/
-#                        resilience gates, the streaming-tune, sharded-sweep,
-#                        mmap-reader and serving determinism gates, every
-#                        bench binary)
+#                        resilience/scaled-sweep gates, the streaming-tune,
+#                        sharded-sweep, mmap-reader, scaled-space and serving
+#                        determinism gates, every bench binary)
 #   ./repro.sh --quick   build + the parallel-sweep, streaming and serving
 #                        tests (native, TSan, one chaos campaign) + the
 #                        fault-injection, trace-format, mmap-reader,
@@ -17,7 +17,7 @@
 #                        fast-interpreter differential, stream,
 #                        serving, wire and chaos tests (native and
 #                        ASan/UBSan) + --jobs/--engine/--pipeline/
-#                        --sweep-jobs/--reader determinism checks on
+#                        --sweep-jobs/--reader/--space determinism checks on
 #                        bench_fig3 and stcache_tune
 #                        + the daemon-vs-in-process serving cmp; minutes,
 #                        not the full regeneration
@@ -181,6 +181,15 @@ if [ "$QUICK" = "1" ]; then
     ./build/tools/stcache_tune /tmp/stcache_repro.stct --exhaustive --reader mmap --sweep-jobs 4 > /tmp/stcache_tune_mm.txt
     cmp /tmp/stcache_tune_buf.txt /tmp/stcache_tune_mm.txt
     rm -f /tmp/stcache_repro.stct
+    # Scaled-space gate: the generalized oneshot sweep's --space report
+    # must be byte-identical across engines and shard counts.
+    ./build/tools/stcache_tune --workload crc I --space embedded > /tmp/stcache_tune_space.txt
+    for eng in reference fast; do
+        ./build/tools/stcache_tune --workload crc I --space embedded --engine "$eng" > /tmp/stcache_tune_space_v.txt
+        cmp /tmp/stcache_tune_space.txt /tmp/stcache_tune_space_v.txt
+    done
+    ./build/tools/stcache_tune --workload crc I --space embedded --sweep-jobs 4 > /tmp/stcache_tune_space_v.txt
+    cmp /tmp/stcache_tune_space.txt /tmp/stcache_tune_space_v.txt
     # Serving gate: a daemon round trip must be byte-identical too.
     start_serving_daemon
     serve_cmp crc I
@@ -229,6 +238,25 @@ for wl in crc ucbqsort; do
 done
 echo "[repro] sharded-sweep and mmap-reader tune determinism ok"
 
+# Scaled-space tune determinism gate: the --space report (generalized
+# oneshot sweep over 64 generic geometries, integer counts per config)
+# must be byte-identical across all three engines and across shard counts,
+# each in a fresh process.
+for wl in crc ucbqsort; do
+  for streamsel in I D; do
+    ./build/tools/stcache_tune --workload "$wl" "$streamsel" --space embedded > /tmp/stcache_tune_space.txt
+    for eng in reference fast; do
+      ./build/tools/stcache_tune --workload "$wl" "$streamsel" --space embedded --engine "$eng" > /tmp/stcache_tune_space_v.txt
+      cmp /tmp/stcache_tune_space.txt /tmp/stcache_tune_space_v.txt
+    done
+    for sj in 2 4; do
+      ./build/tools/stcache_tune --workload "$wl" "$streamsel" --space embedded --sweep-jobs "$sj" > /tmp/stcache_tune_space_v.txt
+      cmp /tmp/stcache_tune_space.txt /tmp/stcache_tune_space_v.txt
+    done
+  done
+done
+echo "[repro] scaled-space tune determinism ok"
+
 # Serving determinism gate: the daemon's verdict over the wire must be
 # byte-identical to the in-process exhaustive tuner for both cache streams
 # of two representative workloads.
@@ -270,6 +298,14 @@ else
   # on one CPU the neighbor steals cycles, not just service capacity).
   ./build/bench/bench_serving_resilience --out /tmp/stcache_bench_resilience.json > /dev/null
   python3 scripts/bench_check.py BENCH_serving_resilience.json /tmp/stcache_bench_resilience.json --mode resilience
+  # Scaled-space sweep gate: the generalized oneshot engine must sweep the
+  # full embedded_32k space at least 5x faster than the per-config fast
+  # engine on at least two workloads (STCACHE_SCALED_MIN overrides the
+  # floor; serial engine-vs-engine, so it arms even on one core), and the
+  # oneshot rate must stay within tolerance of the committed
+  # BENCH_scaled.json.
+  ./build/bench/bench_scaled_space --out /tmp/stcache_bench_scaled.json > /dev/null
+  python3 scripts/bench_check.py BENCH_scaled.json /tmp/stcache_bench_scaled.json --mode scaled
 fi
 
 : > bench_output.txt

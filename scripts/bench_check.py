@@ -2,7 +2,8 @@
 """Gate replay-engine, capture, and serving throughput against baselines.
 
 Usage: bench_check.py BASELINE.json FRESH.json
-                      [--mode replay|serving|resilience] [--tolerance FRAC]
+                      [--mode replay|serving|resilience|scaled]
+                      [--tolerance FRAC]
 
 In the default --mode replay, both files are bench_replay_throughput --out
 snapshots. Three checks run:
@@ -50,6 +51,15 @@ at least --resilience-min (default 0.8, STCACHE_RESILIENCE_MIN). On a
 single-core host the neighbor steals real CPU from the clean tenant, so
 (like the serving scaling floor) the ratio floor is enforced only when
 the fresh snapshot reports cpus >= 2; the rate regressions always gate.
+
+In --mode scaled, both files are bench_scaled_space --out snapshots. The
+full embedded_32k space sweep through the generalized oneshot engine (one
+nested traversal per line-size family) must be at least --scaled-min
+(default 5.0, STCACHE_SCALED_MIN) times faster than the per-config fast
+engine on at least two workloads in the FRESH run. The comparison is
+serial engine-vs-engine (both sides single-threaded), so the floor is
+armed even on one core. The overall oneshot records/second must also stay
+within the tolerance of the baseline.
 
 repro.sh runs this in full (non-sanitizer) mode; sanitizer builds skip it
 because their throughput is not comparable to the committed snapshot.
@@ -191,13 +201,55 @@ def check_resilience(base_doc, fresh_doc, args):
     return failed
 
 
+def check_scaled(base_doc, fresh_doc, args):
+    for doc, path in ((base_doc, args.baseline), (fresh_doc, args.fresh)):
+        if not isinstance(doc.get("workloads"), list) or doc.get("space") is None:
+            sys.exit(f"error: {path}: not a bench_scaled_space snapshot")
+    failed = False
+
+    base_rate = serving_rate(base_doc, "overall", "oneshot_records_per_second", args.baseline)
+    fresh_rate = serving_rate(fresh_doc, "overall", "oneshot_records_per_second", args.fresh)
+    ratio = fresh_rate / base_rate
+    status = "ok"
+    if ratio < 1.0 - args.tolerance:
+        status = "REGRESSION"
+        failed = True
+    print(
+        f"[bench_check] scaled oneshot   baseline {base_rate:.3e} rec/s, "
+        f"fresh {fresh_rate:.3e} rec/s ({ratio:.2f}x) {status}"
+    )
+
+    # Speedup floor: serial oneshot vs serial per-config fast, per workload.
+    # Engine against engine on the same core, so no cpu-count skip.
+    passing = 0
+    for w in fresh_doc["workloads"]:
+        name = w.get("name")
+        speedup = w.get("speedup")
+        if not isinstance(speedup, (int, float)) or speedup <= 0:
+            sys.exit(f"error: {args.fresh}: workload '{name}' has no speedup")
+        mark = "meets floor" if speedup >= args.scaled_min else "below floor"
+        if speedup >= args.scaled_min:
+            passing += 1
+        print(
+            f"[bench_check] scaled sweep     {name:10s} oneshot vs fast "
+            f"{speedup:.2f}x ({mark} {args.scaled_min:.2f}x)"
+        )
+    status = "ok" if passing >= 2 else "BELOW FLOOR"
+    failed = failed or passing < 2
+    print(
+        f"[bench_check] scaled sweep     {passing}/{len(fresh_doc['workloads'])} "
+        f"workloads >= {args.scaled_min:.2f}x (need >= 2) {status}"
+    )
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
     parser.add_argument("fresh")
     parser.add_argument(
         "--mode",
-        choices=("replay", "serving", "resilience"),
+        choices=("replay", "serving", "resilience", "scaled"),
         default="replay",
         help="which bench snapshot pair is being gated (default replay)",
     )
@@ -212,6 +264,12 @@ def main():
         type=float,
         default=float(os.environ.get("STCACHE_RESILIENCE_MIN", "0.8")),
         help="minimum clean-under-chaos throughput ratio (default 0.8)",
+    )
+    parser.add_argument(
+        "--scaled-min",
+        type=float,
+        default=float(os.environ.get("STCACHE_SCALED_MIN", "5.0")),
+        help="minimum oneshot-vs-fast scaled-space sweep speedup (default 5.0)",
     )
     parser.add_argument(
         "--tolerance",
@@ -258,6 +316,16 @@ def main():
             )
             return 1
         print("[bench_check] all serving gates passed")
+        return 0
+
+    if args.mode == "scaled":
+        if check_scaled(base_doc, fresh_doc, args):
+            print(
+                "[bench_check] FAILED: a scaled-sweep gate fell below its "
+                "floor; investigate or regenerate the baseline if intended."
+            )
+            return 1
+        print("[bench_check] all scaled-sweep gates passed")
         return 0
 
     if args.mode == "resilience":

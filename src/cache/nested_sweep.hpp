@@ -1,0 +1,200 @@
+// Generalized oneshot stack-distance sweep over an arbitrary nested-mask
+// size family, plus the runtime-parameterized fast engine it falls back to.
+//
+// StackSweepSim (stack_sweep.hpp) evaluates the paper's 27-configuration
+// platform in one traversal per line size, but its slot layout — the
+// 128 ⊂ 256 ⊂ 512-set family, per-slot way budgets, way-prediction bits,
+// subline offsets — is baked in at compile time. The scaled design spaces
+// (core/scaled_space.hpp) need the same trick over families chosen at run
+// time: ScaledSpace::embedded_32k() alone holds 16 (size, ways) geometries
+// per line size, and the 10²–10³-config spaces ROADMAP item 2 aims at are
+// out of reach for per-config replay.
+//
+// NestedSweepSim derives the layout at construction instead. Given a bank
+// of CacheGeometry (generic CacheModel caches: monolithic lines,
+// write-back write-allocate, true LRU — no sublines, no way prediction,
+// no victim buffer) sharing one line size, it groups them into LEVELS by
+// set count. Power-of-two set counts always nest: the index mask of s
+// sets at line granularity is s - 1, so s₀ < s₁ implies mask₀ ⊂ mask₁ and
+// every s₁-set is a refinement of an s₀-set. Mattson's inclusion property
+// then gives, per access, one stack distance d_ℓ per level (computed in
+// the recency order of the maximal (s_ℓ, W_ℓ) simulation, where W_ℓ is
+// the largest associativity requested at that level), with
+//
+//     d_{s₀} >= d_{s₁} >= ... (coarser sets ⇒ deeper stacks)
+//
+// and every (s_ℓ, w <= W_ℓ) LRU cache hitting exactly when d_ℓ < w. One
+// traversal therefore yields a depth histogram per level from which the
+// hit counts of EVERY family member follow exactly.
+//
+// CacheModel's LRU stamp is the line's last-access tick — updated on hits
+// AND fills — so recency order is a global property of the access stream,
+// identical in every simulated config. That lets one pooled line store
+// serve all levels: entries live in segments keyed by the COARSEST set
+// index (every finer set is a subset of a coarse set, so all the state a
+// lookup can touch sits in one segment), each entry carrying one 32-bit
+// last-access tick, a residency bitmask over levels, and per-level dirty
+// masks over ways for exact write-back accounting:
+//
+//   bit w-1 of dirty[level] set  ⇔  the line's current residency epoch in
+//   the (sets_ℓ, w) config is dirty and its eventual write-back has not
+//   been counted yet.
+//
+// On an access at depth d, configs w <= d evicted the line since its last
+// touch — their set dirty bits are settled into per-(level, w) write-back
+// counters and the masks restart (full on a write, cleared low bits on a
+// read). Eviction from the maximal simulation settles all outstanding
+// bits; stats-time finalization settles epochs whose eviction happened
+// but whose line was never touched again (non-destructively, so stats
+// may be taken mid-stream and feeding may continue).
+//
+// The produced CacheStats is bit-identical to CacheModel replay of the
+// same stream for every family member — tests/replay_equivalence_test.cpp
+// and tests/stack_sweep_test.cpp enforce this against the unbounded LRU
+// oracle and the other engines. Totals are plain integers/vectors, so the
+// set-partitioned parallel sweep (trace/replay.hpp) merges shard replicas
+// exactly, same as the platform kernel.
+//
+// What falls OUTSIDE this kernel (the fallback matrix, see
+// docs/performance.md §6): sub-16 B lines (a packed word is a 16 B block,
+// the stream granularity), mixed line sizes in one traversal (the bank
+// layer groups by line-size family), singleton families (nothing shared
+// to amortize — FastGeomSim costs less), and any non-LRU/write-through/
+// victim-buffered organization (those exist only in the platform
+// CacheConfig world, which keeps its own engines).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "cache/stats.hpp"
+
+namespace stcache {
+
+// Throughput twin of CacheModel for cold fixed-geometry replay of packed
+// streams: SoA line store, precomputed mapping constants, no per-access
+// allocation. Runtime-parameterized (the scaled spaces are not a closed
+// enum like the platform's CacheConfig, so compile-time specialization is
+// off the table) but still several times the reference throughput.
+// Requires line_bytes >= 16: packed words carry 16 B block numbers.
+class FastGeomSim {
+ public:
+  explicit FastGeomSim(const CacheGeometry& g, TimingParams timing = {});
+
+  // Replay a packed stream (state and stats accumulate across calls).
+  void replay(std::span<const std::uint32_t> packed);
+
+  CacheStats stats() const;
+  const CacheGeometry& geometry() const { return geometry_; }
+
+ private:
+  // Real line numbers are at most 2^31 - 1 >> line_log_, so the sentinel
+  // doubles as the valid bit: a probe is one load+compare per way.
+  static constexpr std::uint32_t kInvalidLine = 0xFFFF'FFFFu;
+
+  CacheGeometry geometry_;
+  TimingParams timing_;
+  std::uint32_t line_log_ = 0;  // log2(line_bytes / 16)
+  std::uint32_t set_mask_ = 0;
+  std::uint32_t ways_ = 1;
+  std::vector<std::uint32_t> line_;   // [set * ways + way]
+  std::vector<std::uint64_t> last_;   // last-use tick; 0 = invalid way
+  std::vector<std::uint8_t> dirty_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t n_ = 0, writes_ = 0, hits_ = 0, wb_lines_ = 0;
+};
+
+class NestedSweepSim {
+ public:
+  // Exact integer accumulators: two sims constructed over the same bank
+  // add their Totals to merge partial sweeps losslessly (the parallel
+  // sweep's shard replicas; see BankAccumulator in trace/replay.hpp).
+  struct Totals {
+    std::uint64_t n = 0;
+    std::uint64_t writes = 0;
+    // Repeat-fast-path hits: depth 0 at every level, folded into each
+    // level's hit count at stats_from() time instead of paying one
+    // histogram increment per level on the hot path.
+    std::uint64_t repeat_hits = 0;
+    std::vector<std::uint64_t> hist;  // depth histograms, level-flattened
+    std::vector<std::uint64_t> wb;    // write-back lines per (level, ways)
+  };
+
+  // All geometries must be valid(), share one line size >= 16 B, and stay
+  // within the 64-way dirty-mask budget. Throws stcache::Error otherwise —
+  // callers (BankAccumulator) route such banks to the fallback engines.
+  explicit NestedSweepSim(std::span<const CacheGeometry> geoms,
+                          TimingParams timing = {});
+
+  // Replay a packed stream; state accumulates across calls so the
+  // streaming pipeline can feed chunk by chunk.
+  void replay(std::span<const std::uint32_t> packed);
+
+  // Fold this sim's counters into `t` (sized on first use; shapes must
+  // match across sims of the same family). Includes the stats-time
+  // settlement of still-open dirty epochs, computed without mutating the
+  // sim: stats may be taken mid-stream.
+  void add_totals(Totals& t) const;
+
+  // Exact CacheStats for one family member from merged totals —
+  // bit-identical to CacheModel replay of the concatenated stream. `g`
+  // must match the construction line size, one of the level set counts,
+  // and ways <= that level's maximal ways (any such geometry works, even
+  // if it was not in the constructor bank — the histogram covers it).
+  CacheStats stats_from(const Totals& t, const CacheGeometry& g) const;
+
+  // Convenience for single-sim use (tests): totals of this sim alone.
+  CacheStats stats(const CacheGeometry& g) const;
+
+  std::uint32_t num_levels() const { return nlev_; }
+
+ private:
+  struct Level {
+    std::uint32_t sets = 0;  // set count at line granularity
+    std::uint32_t lg = 0;    // log2(sets)
+    std::uint32_t ways = 0;  // maximal associativity simulated here
+    std::uint64_t full = 0;  // all `ways` dirty bits set
+    std::uint32_t hist_off = 0;  // ways + 1 bins: depths 0..ways-1, miss
+    std::uint32_t wb_off = 0;    // ways counters: w = 1..ways
+  };
+
+  static constexpr std::uint32_t kNone = 0xFFFF'FFFFu;
+
+  void slow(std::uint32_t line, std::uint32_t g, bool is_write);
+  const Level& level_of(const CacheGeometry& g) const;
+
+  TimingParams timing_;
+  std::uint32_t line_bytes_ = 0;
+  std::uint32_t line_log_ = 0;  // log2(line_bytes / 16)
+  std::uint32_t nlev_ = 0;
+  std::uint32_t all_mask_ = 0;  // (1 << nlev_) - 1
+  std::uint32_t groups_ = 0;    // coarsest set count = pool segments
+  std::uint32_t gmask_ = 0;
+  std::uint32_t cap_ = 0;  // pool entries per segment
+  std::vector<Level> levels_;  // ascending set count (coarsest first)
+  // countr_zero(line ^ other_line) -> number of levels whose index mask
+  // the two lines collide under (levels are mask-nested, so "the first m
+  // levels"). Indexed by bit position 0..31.
+  std::uint8_t mlev_[32] = {};
+
+  // Pooled line store, segment-per-coarse-group SoA with swap-remove
+  // compaction (an entry is freed when evicted from its last level).
+  std::vector<std::uint32_t> line_;
+  std::vector<std::uint32_t> last_;
+  std::vector<std::uint32_t> res_;     // residency bitmask over levels
+  std::vector<std::uint64_t> dirty_;   // [entry * nlev_ + level]
+  std::vector<std::uint16_t> count_;   // live entries per segment
+  std::vector<std::uint32_t> last_line_;  // repeat fast path, per group
+  std::vector<std::uint16_t> last_idx_;
+  // Per-access scratch, one slot per level (members so slow() allocates
+  // nothing).
+  std::vector<std::uint32_t> occ_, newer_, vict_, vmin_;
+
+  std::uint32_t tick_ = 0;
+  std::uint64_t n_ = 0, writes_ = 0, repeat_hits_ = 0;
+  std::vector<std::uint64_t> hist_, wb_;
+};
+
+}  // namespace stcache

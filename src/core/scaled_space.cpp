@@ -1,9 +1,28 @@
 #include "core/scaled_space.hpp"
 
+#include <algorithm>
+
 #include "trace/replay.hpp"
 #include "util/error.hpp"
 
 namespace stcache {
+
+ScaledSpace::ScaledSpace(std::vector<std::uint32_t> sizes_in,
+                         std::vector<std::uint32_t> assocs_in,
+                         std::vector<std::uint32_t> lines_in)
+    : sizes(std::move(sizes_in)),
+      assocs(std::move(assocs_in)),
+      lines(std::move(lines_in)) {
+  configs_.reserve(sizes.size() * assocs.size() * lines.size());
+  for (std::uint32_t s : sizes) {
+    for (std::uint32_t a : assocs) {
+      for (std::uint32_t l : lines) {
+        const CacheGeometry g{s, a, l};
+        if (g.valid() && g.num_sets() >= 1) configs_.push_back(g);
+      }
+    }
+  }
+}
 
 ScaledSpace ScaledSpace::embedded_32k() {
   return ScaledSpace{{4096, 8192, 16384, 32768}, {1, 2, 4, 8}, {16, 32, 64, 128}};
@@ -14,19 +33,8 @@ ScaledSpace ScaledSpace::desktop_64k() {
 }
 
 bool ScaledSpace::valid(const CacheGeometry& g) const {
-  return g.valid() && g.num_sets() >= 1;
-}
-
-unsigned ScaledSpace::total_configs() const {
-  unsigned n = 0;
-  for (std::uint32_t s : sizes) {
-    for (std::uint32_t a : assocs) {
-      for (std::uint32_t l : lines) {
-        if (valid(CacheGeometry{s, a, l})) ++n;
-      }
-    }
-  }
-  return n;
+  if (!g.valid() || g.num_sets() < 1) return false;
+  return std::find(configs_.begin(), configs_.end(), g) != configs_.end();
 }
 
 std::string geometry_name(const CacheGeometry& g) {
@@ -38,10 +46,44 @@ double ScaledEvaluator::energy(const CacheGeometry& g) {
   const std::string key = geometry_name(g);
   auto it = memo_.find(key);
   if (it == memo_.end()) {
-    const CacheStats stats = measure_geometry(g, stream_, timing_);
+    const CacheStats stats =
+        packed_mode_ ? measure_geometry_packed(g, packed_, timing_)
+                     : measure_geometry(g, stream_, timing_);
     it = memo_.emplace(key, model_->evaluate_generic(g, stats).total()).first;
   }
   return it->second;
+}
+
+void ScaledEvaluator::prime(const ScaledSpace& space, ReplayEngine engine,
+                            unsigned sweep_jobs) {
+  const std::vector<CacheGeometry>& geoms = space.configs();
+  if (geoms.empty()) return;
+  // Already primed (e.g. via prime_from) — nothing left to measure.
+  bool all_memoized = true;
+  for (const CacheGeometry& g : geoms) {
+    if (!memo_.count(geometry_name(g))) {
+      all_memoized = false;
+      break;
+    }
+  }
+  if (all_memoized) return;
+  const std::vector<CacheStats> stats =
+      packed_mode_
+          ? measure_geometry_bank(geoms, packed_, timing_, engine, sweep_jobs)
+          : measure_geometry_bank(geoms, stream_, timing_, engine, sweep_jobs);
+  prime_from(geoms, stats);
+}
+
+void ScaledEvaluator::prime_from(std::span<const CacheGeometry> geoms,
+                                 std::span<const CacheStats> stats) {
+  if (geoms.size() != stats.size()) {
+    fail("ScaledEvaluator::prime_from: geometry/stats size mismatch");
+  }
+  for (std::size_t i = 0; i < geoms.size(); ++i) {
+    memo_.insert_or_assign(
+        geometry_name(geoms[i]),
+        model_->evaluate_generic(geoms[i], stats[i]).total());
+  }
 }
 
 ScaledSearchResult tune_scaled(ScaledEvaluator& eval, const ScaledSpace& space) {
@@ -88,21 +130,20 @@ ScaledSearchResult tune_scaled(ScaledEvaluator& eval, const ScaledSpace& space) 
 
 ScaledSearchResult tune_scaled_exhaustive(ScaledEvaluator& eval,
                                           const ScaledSpace& space) {
+  // One bank pass measures the whole space (grouped by line-size family
+  // into generalized oneshot traversals); the scan below then only reads
+  // the memo. configs() preserves the historical size-major scan order,
+  // so strict-improvement tie-breaking picks the same optimum as before.
+  eval.prime(space);
   ScaledSearchResult r;
   bool first = true;
-  for (std::uint32_t s : space.sizes) {
-    for (std::uint32_t a : space.assocs) {
-      for (std::uint32_t l : space.lines) {
-        const CacheGeometry g{s, a, l};
-        if (!space.valid(g)) continue;
-        const double e = eval.energy(g);
-        ++r.configs_examined;
-        if (first || e < r.best_energy) {
-          r.best = g;
-          r.best_energy = e;
-          first = false;
-        }
-      }
+  for (const CacheGeometry& g : space.configs()) {
+    const double e = eval.energy(g);
+    ++r.configs_examined;
+    if (first || e < r.best_energy) {
+      r.best = g;
+      r.best_energy = e;
+      first = false;
     }
   }
   if (first) fail("tune_scaled_exhaustive: no valid configuration");

@@ -21,6 +21,7 @@
 
 #include "cache/cache_model.hpp"
 #include "energy/energy_model.hpp"
+#include "trace/replay.hpp"
 #include "trace/trace.hpp"
 
 namespace stcache {
@@ -30,29 +31,70 @@ struct ScaledSpace {
   std::vector<std::uint32_t> assocs;  // ways, ascending
   std::vector<std::uint32_t> lines;   // bytes, ascending
 
+  ScaledSpace() = default;
+  // Precomputes the valid-config list (configs() below) once, so callers
+  // never triple-loop sizes x ways x lines again. The parameter vectors
+  // stay public for reading; treat them as frozen after construction.
+  ScaledSpace(std::vector<std::uint32_t> sizes,
+              std::vector<std::uint32_t> assocs,
+              std::vector<std::uint32_t> lines);
+
   // The platform of the paper scaled up one notch: 4-32 KB, up to 8-way,
   // 16-128 B lines (4*4*4 = 64 legal combinations).
   static ScaledSpace embedded_32k();
   // A desktop-ish L1 space: 8-64 KB, up to 8-way, 16-128 B (64 points).
   static ScaledSpace desktop_64k();
 
-  // Number of geometrically valid configurations.
-  unsigned total_configs() const;
+  // Every geometrically valid configuration, precomputed at construction,
+  // in deterministic size-major (size, assoc, line) ascending order — the
+  // same order the exhaustive search has always scanned in, so optimum
+  // tie-breaking (strict improvement) is unchanged.
+  const std::vector<CacheGeometry>& configs() const { return configs_; }
+  unsigned total_configs() const {
+    return static_cast<unsigned>(configs_.size());
+  }
   bool valid(const CacheGeometry& g) const;
+
+ private:
+  std::vector<CacheGeometry> configs_;
 };
 
-// Full-trace evaluator over generic geometries, memoized.
+// Full-trace evaluator over generic geometries, memoized. Single-config
+// energy() queries replay through the engine-aware measure_geometry /
+// measure_geometry_packed (fast engine under the process default);
+// prime() measures a whole space in one generalized-oneshot bank pass.
 class ScaledEvaluator {
  public:
   ScaledEvaluator(std::span<const TraceRecord> stream, const EnergyModel& model,
                   TimingParams timing = {})
       : stream_(stream), model_(&model), timing_(timing) {}
+  // Packed-stream variant (16 B-block words): every geometry evaluated
+  // through it must have line_bytes >= 16.
+  ScaledEvaluator(std::span<const std::uint32_t> packed,
+                  const EnergyModel& model, TimingParams timing = {})
+      : packed_(packed), packed_mode_(true), model_(&model), timing_(timing) {}
 
   double energy(const CacheGeometry& g);
+
+  // Measure every configuration of `space` in one bank pass — grouped by
+  // line-size family into generalized stack-distance traversals under the
+  // oneshot engine (see measure_geometry_bank) — and memoize the
+  // energies. tune_scaled_exhaustive calls this; the greedy heuristic
+  // keeps its on-demand per-config path.
+  void prime(const ScaledSpace& space,
+             ReplayEngine engine = ReplayEngine::kDefault,
+             unsigned sweep_jobs = 0);
+  // Memoize energies from externally measured stats (stats[i] ~ geoms[i]);
+  // lets report renderers re-run searches without touching the stream.
+  void prime_from(std::span<const CacheGeometry> geoms,
+                  std::span<const CacheStats> stats);
+
   unsigned evaluations() const { return static_cast<unsigned>(memo_.size()); }
 
  private:
   std::span<const TraceRecord> stream_;
+  std::span<const std::uint32_t> packed_;
+  bool packed_mode_ = false;
   const EnergyModel* model_;
   TimingParams timing_;
   std::map<std::string, double> memo_;

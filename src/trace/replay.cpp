@@ -164,9 +164,38 @@ CacheStats measure_config(const CacheConfig& cfg,
 
 CacheStats measure_geometry(const CacheGeometry& g,
                             std::span<const TraceRecord> stream,
-                            const TimingParams& timing) {
-  CacheModel cache(g, timing);
-  return replay(cache, stream);
+                            const TimingParams& timing, ReplayEngine engine) {
+  // Sub-16 B lines index below the packed 16 B block granularity, so they
+  // stay on the reference model over the raw addresses regardless of the
+  // requested engine.
+  if (resolve(engine) == ReplayEngine::kReference || g.line_bytes < 16) {
+    CacheModel cache(g, timing);
+    return replay(cache, stream);
+  }
+  FastGeomSim sim(g, timing);
+  sim.replay(pack_stream(stream));
+  return sim.stats();
+}
+
+CacheStats measure_geometry_packed(const CacheGeometry& g,
+                                   std::span<const std::uint32_t> packed,
+                                   const TimingParams& timing,
+                                   ReplayEngine engine) {
+  if (g.line_bytes < 16) {
+    fail("measure_geometry_packed: sub-16 B line geometry cannot replay a "
+         "packed 16 B-block stream");
+  }
+  if (resolve(engine) == ReplayEngine::kReference) {
+    CacheModel cache(g, timing);
+    for (const std::uint32_t word : packed) {
+      cache.access((word & FastCacheSim::kPackedBlockMask) << 4,
+                   (word & FastCacheSim::kPackedWriteBit) != 0);
+    }
+    return cache.stats();
+  }
+  FastGeomSim sim(g, timing);
+  sim.replay(packed);
+  return sim.stats();
 }
 
 CacheStats measure_config_packed(const CacheConfig& cfg,
@@ -249,6 +278,100 @@ BankAccumulator::BankAccumulator(std::span<const CacheConfig> configs,
   }
 }
 
+BankAccumulator::BankAccumulator(std::span<const CacheGeometry> geoms,
+                                 const TimingParams& timing,
+                                 ReplayEngine engine, unsigned sweep_jobs)
+    : n_(geoms.size()) {
+  for (const CacheGeometry& g : geoms) {
+    if (!g.valid() || g.line_bytes < 16) {
+      fail("BankAccumulator: geometry bank requires valid line_bytes >= 16 "
+           "geometries (measure_geometry_bank over records routes smaller "
+           "lines to the reference model)");
+    }
+  }
+  switch (resolve(engine)) {
+    case ReplayEngine::kReference:
+      geom_reference_bank_.reserve(n_);
+      for (const CacheGeometry& g : geoms) {
+        geom_reference_bank_.emplace_back(g, timing);
+      }
+      break;
+    case ReplayEngine::kFast:
+      geom_fast_bank_.reserve(n_);
+      for (const CacheGeometry& g : geoms) {
+        geom_fast_bank_.emplace_back(g, timing);
+      }
+      break;
+    default: {
+      // Oneshot: one generalized stack-distance traversal per line-size
+      // family (set counts of one family always nest: powers of two).
+      // Deterministic family order: ascending line size.
+      std::vector<std::uint32_t> lines;
+      for (const CacheGeometry& g : geoms) {
+        if (std::find(lines.begin(), lines.end(), g.line_bytes) ==
+            lines.end()) {
+          lines.push_back(g.line_bytes);
+        }
+      }
+      std::sort(lines.begin(), lines.end());
+      for (const std::uint32_t line : lines) {
+        std::vector<CacheGeometry> family;
+        std::vector<std::size_t> where;
+        for (std::size_t i = 0; i < n_; ++i) {
+          if (geoms[i].line_bytes == line) {
+            family.push_back(geoms[i]);
+            where.push_back(i);
+          }
+        }
+        if (family.size() == 1) {
+          geom_singleton_where_.push_back(where.front());
+          geom_singleton_sims_.emplace_back(family.front(), timing);
+          continue;
+        }
+        GeomSweepGroup g;
+        g.shards.emplace_back(family, timing);
+        g.geoms = std::move(family);
+        g.where = std::move(where);
+        geom_groups_.push_back(std::move(g));
+      }
+      if (!geom_groups_.empty()) {
+        if (sweep_jobs == 0) sweep_jobs = default_sweep_jobs();
+        // Partition key derivation (see the class comment): the key must
+        // sit at or above every family's line granularity and inside the
+        // narrowest set-index span of any grouped geometry.
+        unsigned max_shift = 0, min_top = 31;
+        for (const GeomSweepGroup& g : geom_groups_) {
+          for (const CacheGeometry& geo : g.geoms) {
+            const unsigned k = static_cast<unsigned>(
+                std::countr_zero(geo.line_bytes)) - 4;
+            max_shift = std::max(max_shift, k);
+            min_top = std::min(
+                min_top,
+                k + static_cast<unsigned>(std::countr_zero(geo.num_sets())));
+          }
+        }
+        scatter_shift_ = max_shift;
+        const unsigned key_bits =
+            min_top > max_shift ? min_top - max_shift : 0;
+        parts_ = std::min(sweep_partitions(),
+                          key_bits >= 5 ? kMaxSweepPartitions : 1u << key_bits);
+        jobs_ = std::min(clamp_jobs(static_cast<long>(sweep_jobs)), parts_);
+        if (jobs_ > 1) {
+          for (GeomSweepGroup& g : geom_groups_) {
+            g.shards.reserve(jobs_);
+            for (unsigned s = 1; s < jobs_; ++s) {
+              g.shards.emplace_back(g.geoms, timing);
+            }
+          }
+          part_buf_.resize(parts_);
+          shard_records_.assign(jobs_, 0);
+        }
+      }
+      break;
+    }
+  }
+}
+
 BankAccumulator::~BankAccumulator() = default;
 BankAccumulator::BankAccumulator(BankAccumulator&&) noexcept = default;
 BankAccumulator& BankAccumulator::operator=(BankAccumulator&&) noexcept =
@@ -261,23 +384,28 @@ void BankAccumulator::replay_shard(unsigned shard) {
     if (bucket.empty()) continue;
     fed += bucket.size();
     for (SweepGroup& g : sweep_groups_) g.shards[shard].replay(bucket);
+    for (GeomSweepGroup& g : geom_groups_) g.shards[shard].replay(bucket);
   }
   shard_records_[shard] += fed;
 }
 
 void BankAccumulator::feed(std::span<const std::uint32_t> packed) {
   words_fed_ += packed.size();
-  if (!reference_bank_.empty()) {
+  if (!reference_bank_.empty() || !geom_reference_bank_.empty()) {
     for (const std::uint32_t word : packed) {
       const std::uint32_t addr = (word & FastCacheSim::kPackedBlockMask) << 4;
       const bool write = (word & FastCacheSim::kPackedWriteBit) != 0;
       for (ConfigurableCache& cache : reference_bank_) {
         cache.access(addr, write);
       }
+      for (CacheModel& cache : geom_reference_bank_) {
+        cache.access(addr, write);
+      }
     }
     return;
   }
   for (FastCacheSim& sim : fast_bank_) sim.replay(packed);
+  for (FastGeomSim& sim : geom_fast_bank_) sim.replay(packed);
   if (jobs_ > 1 && !packed.empty()) {
     // Scatter into set partitions (stream order preserved within each
     // bucket — the only order that matters, since partitions never share
@@ -286,9 +414,12 @@ void BankAccumulator::feed(std::span<const std::uint32_t> packed) {
     for (std::vector<std::uint32_t>& bucket : part_buf_) bucket.clear();
     const std::uint32_t pmask = parts_ - 1;
     for (const std::uint32_t word : packed) {
-      // Bits 2..6 of the block number; the write bit (31) is masked out
-      // by pmask <= 31 after the shift.
-      part_buf_[(word >> 2) & pmask].push_back(word);
+      // Key bits [scatter_shift_, scatter_shift_ + log2(parts_)) of the
+      // block number (the write bit is stripped first; for the platform
+      // bank this is the historical bits 2..6).
+      part_buf_[((word & FastCacheSim::kPackedBlockMask) >> scatter_shift_) &
+                pmask]
+          .push_back(word);
     }
     if (!pool_) pool_ = std::make_unique<ThreadPool>(jobs_ - 1);
     std::vector<std::future<void>> pending;
@@ -300,8 +431,10 @@ void BankAccumulator::feed(std::span<const std::uint32_t> packed) {
     for (std::future<void>& f : pending) f.get();  // rethrows shard errors
   } else {
     for (SweepGroup& g : sweep_groups_) g.shards.front().replay(packed);
+    for (GeomSweepGroup& g : geom_groups_) g.shards.front().replay(packed);
   }
   for (FastCacheSim& sim : singleton_sims_) sim.replay(packed);
+  for (FastGeomSim& sim : geom_singleton_sims_) sim.replay(packed);
 }
 
 std::vector<CacheStats> BankAccumulator::stats() const {
@@ -312,6 +445,12 @@ std::vector<CacheStats> BankAccumulator::stats() const {
   for (std::size_t i = 0; i < fast_bank_.size(); ++i) {
     out[i] = fast_bank_[i].stats();
   }
+  for (std::size_t i = 0; i < geom_reference_bank_.size(); ++i) {
+    out[i] = geom_reference_bank_[i].stats();
+  }
+  for (std::size_t i = 0; i < geom_fast_bank_.size(); ++i) {
+    out[i] = geom_fast_bank_[i].stats();
+  }
   for (const SweepGroup& g : sweep_groups_) {
     StackSweepSim::Totals totals;
     for (const StackSweepSim& shard : g.shards) shard.add_totals(totals);
@@ -319,8 +458,18 @@ std::vector<CacheStats> BankAccumulator::stats() const {
       out[g.where[j]] = g.shards.front().stats_from(totals, g.configs[j]);
     }
   }
+  for (const GeomSweepGroup& g : geom_groups_) {
+    NestedSweepSim::Totals totals;
+    for (const NestedSweepSim& shard : g.shards) shard.add_totals(totals);
+    for (std::size_t j = 0; j < g.geoms.size(); ++j) {
+      out[g.where[j]] = g.shards.front().stats_from(totals, g.geoms[j]);
+    }
+  }
   for (std::size_t i = 0; i < singleton_sims_.size(); ++i) {
     out[singleton_where_[i]] = singleton_sims_[i].stats();
+  }
+  for (std::size_t i = 0; i < geom_singleton_sims_.size(); ++i) {
+    out[geom_singleton_where_[i]] = geom_singleton_sims_[i].stats();
   }
   if (jobs_ > 1 && metrics_enabled()) {
     std::uint64_t total = 0;
@@ -375,6 +524,44 @@ std::vector<CacheStats> measure_config_bank(
     const TimingParams& timing, ReplayEngine engine) {
   std::vector<std::uint32_t> packed;
   return measure_config_bank(configs, stream, timing, engine, packed);
+}
+
+std::vector<CacheStats> measure_geometry_bank(
+    std::span<const CacheGeometry> geoms,
+    std::span<const std::uint32_t> packed, const TimingParams& timing,
+    ReplayEngine engine, unsigned sweep_jobs) {
+  BankAccumulator bank(geoms, timing, engine, sweep_jobs);
+  bank.feed(packed);
+  return bank.stats();
+}
+
+std::vector<CacheStats> measure_geometry_bank(
+    std::span<const CacheGeometry> geoms, std::span<const TraceRecord> stream,
+    const TimingParams& timing, ReplayEngine engine, unsigned sweep_jobs) {
+  // Sub-16 B-line geometries cannot replay the packed stream the
+  // accumulator consumes; route them straight to the reference model over
+  // the raw records and let the accumulator sweep the rest.
+  std::vector<CacheGeometry> wide;
+  std::vector<std::size_t> wide_where;
+  std::vector<CacheStats> out(geoms.size());
+  for (std::size_t i = 0; i < geoms.size(); ++i) {
+    if (geoms[i].line_bytes >= 16) {
+      wide.push_back(geoms[i]);
+      wide_where.push_back(i);
+    } else {
+      CacheModel cache(geoms[i], timing);
+      out[i] = replay(cache, stream);
+    }
+  }
+  if (!wide.empty()) {
+    const std::vector<std::uint32_t> packed = pack_stream(stream);
+    const std::vector<CacheStats> stats =
+        measure_geometry_bank(wide, packed, timing, engine, sweep_jobs);
+    for (std::size_t j = 0; j < wide.size(); ++j) {
+      out[wide_where[j]] = stats[j];
+    }
+  }
+  return out;
 }
 
 }  // namespace stcache

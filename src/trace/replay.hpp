@@ -34,6 +34,7 @@
 #include "cache/config.hpp"
 #include "cache/configurable_cache.hpp"
 #include "cache/fast_cache.hpp"
+#include "cache/nested_sweep.hpp"
 #include "cache/stack_sweep.hpp"
 #include "trace/trace.hpp"
 
@@ -113,9 +114,42 @@ CacheStats measure_config_ex(const CacheConfig& cfg,
                              std::span<const TraceRecord> stream,
                              const ReplayParams& params);
 
+// Cold-start evaluation of one generic CacheModel geometry. Engine
+// dispatch mirrors measure_config: fast/oneshot requests run FastGeomSim
+// over the packed stream (the oneshot kernel only pays off across a bank),
+// the reference engine — and any sub-16 B line, which a packed 16 B-block
+// stream cannot represent — replays CacheModel over the raw records.
+// Bit-identical CacheStats either way (the equivalence suite proves it).
 CacheStats measure_geometry(const CacheGeometry& g,
                             std::span<const TraceRecord> stream,
-                            const TimingParams& timing = {});
+                            const TimingParams& timing = {},
+                            ReplayEngine engine = ReplayEngine::kDefault);
+
+// Same over an already-packed stream; requires line_bytes >= 16 (throws
+// otherwise — the low 4 address bits are gone).
+CacheStats measure_geometry_packed(const CacheGeometry& g,
+                                   std::span<const std::uint32_t> packed,
+                                   const TimingParams& timing = {},
+                                   ReplayEngine engine = ReplayEngine::kDefault);
+
+// Bank evaluation over generic geometries — the scaled-space analogue of
+// measure_config_bank. stats[i] is bit-identical to measure_geometry
+// (i.e. CacheModel replay) for every engine. The oneshot engine groups
+// the bank by line-size family and evaluates each group of two or more in
+// ONE generalized stack-distance traversal (NestedSweepSim), falling back
+// to FastGeomSim for singleton families; sub-16 B-line geometries (which
+// cannot replay packed streams) run on CacheModel directly. sweep_jobs
+// shards the oneshot traversals exactly like the platform sweep (0 =
+// default_sweep_jobs()).
+std::vector<CacheStats> measure_geometry_bank(
+    std::span<const CacheGeometry> geoms, std::span<const TraceRecord> stream,
+    const TimingParams& timing = {},
+    ReplayEngine engine = ReplayEngine::kDefault, unsigned sweep_jobs = 0);
+// Packed-stream variant: every geometry must have line_bytes >= 16.
+std::vector<CacheStats> measure_geometry_bank(
+    std::span<const CacheGeometry> geoms,
+    std::span<const std::uint32_t> packed, const TimingParams& timing = {},
+    ReplayEngine engine = ReplayEngine::kDefault, unsigned sweep_jobs = 0);
 
 // Cold-start evaluation of one configuration against an already-packed
 // stream (capture_packed / load_packed_trace output). Stats are
@@ -160,26 +194,44 @@ std::vector<CacheStats> measure_config_bank(
 // geometry ever inspects (the equivalence suite proves stats invariance).
 //
 // Parallel sweep (oneshot engine only): with sweep_jobs > 1 each feed()
-// scatters the packed chunk into sweep_partitions() buckets keyed by
-// (block >> 2) & (parts - 1). Those key bits (2..6 of the 16 B block
-// number) are a subset of the set-index bits of EVERY configuration in
-// the bank — all line sizes, all set counts — so each bucket is a union
-// of whole cache sets and the sublines of any logical line land in one
-// bucket together. Cold-start set-indexed caches factorize over sets,
-// so each shard's StackSweepSim replica replays its buckets (in stream
+// scatters the packed chunk into partition buckets keyed by bits
+// [B, B + log2(parts)) of the 16 B block number, where B and the
+// partition count are derived from the bank: B is the largest
+// line-size shift of any oneshot-grouped config (so the key sits at or
+// above line granularity for everyone) and the key width is capped by
+// the narrowest set-index span, min over configs of
+// log2(line/16) + log2(sets) - B. For the platform bank that yields the
+// historical bits 2..6 and up to 32 partitions; for scaled geometry
+// banks (whose smallest configs may have as few as 4 sets) the count is
+// clamped further. Either way every bucket is a union of whole cache
+// sets of EVERY grouped config and the sublines of any logical line
+// land in one bucket together. Cold-start set-indexed caches factorize
+// over sets, so each shard's sim replica replays its buckets (in stream
 // order within a bucket) and accumulates exactly the histogram its sets
-// would have contributed serially. stats() sums the per-shard
-// StackSweepSim::Totals — exact integer addition — making the merged
-// CacheStats bit-identical to a serial sweep for every shard count;
-// tests/sharded_sweep_test.cpp enforces this. Shard 0 runs on the
-// calling thread; shards 1..jobs-1 run on a lazily spawned ThreadPool
-// owned by the accumulator. The reference/fast/singleton paths stay
-// serial (nothing shares their traversal, so the oneshot groups are
-// where the wall-clock lives).
+// would have contributed serially. stats() sums the per-shard Totals —
+// exact integer addition — making the merged CacheStats bit-identical
+// to a serial sweep for every shard count; tests/sharded_sweep_test.cpp
+// enforces this. Shard 0 runs on the calling thread; shards 1..jobs-1
+// run on a lazily spawned ThreadPool owned by the accumulator. The
+// reference/fast/singleton paths stay serial (nothing shares their
+// traversal, so the oneshot groups are where the wall-clock lives).
+//
+// The geometry-bank constructor accepts a scaled space's CacheGeometry
+// list under the same contract: oneshot groups line-size families into
+// NestedSweepSim traversals, fast/reference use FastGeomSim/CacheModel,
+// and stats()[i] is bit-identical to CacheModel replay. Geometry banks
+// require line_bytes >= 16 everywhere (packed streams are 16 B blocks;
+// measure_geometry_bank over raw records routes smaller lines around
+// the accumulator).
 class BankAccumulator {
  public:
   // sweep_jobs: 0 = default_sweep_jobs(); clamped to sweep_partitions().
   BankAccumulator(std::span<const CacheConfig> configs,
+                  const TimingParams& timing = {},
+                  ReplayEngine engine = ReplayEngine::kDefault,
+                  unsigned sweep_jobs = 0);
+  // Scaled-space bank: generic CacheModel geometries, all line_bytes >= 16.
+  BankAccumulator(std::span<const CacheGeometry> geoms,
                   const TimingParams& timing = {},
                   ReplayEngine engine = ReplayEngine::kDefault,
                   unsigned sweep_jobs = 0);
@@ -211,9 +263,21 @@ class BankAccumulator {
   std::vector<SweepGroup> sweep_groups_;          // oneshot: per line size
   std::vector<std::size_t> singleton_where_;      // oneshot: fallback sims
   std::vector<FastCacheSim> singleton_sims_;
+  // Geometry-bank twins of the above (scaled spaces).
+  std::vector<CacheModel> geom_reference_bank_;
+  std::vector<FastGeomSim> geom_fast_bank_;
+  struct GeomSweepGroup {
+    std::vector<NestedSweepSim> shards;  // [0] runs on the calling thread
+    std::vector<CacheGeometry> geoms;
+    std::vector<std::size_t> where;
+  };
+  std::vector<GeomSweepGroup> geom_groups_;  // oneshot: per line-size family
+  std::vector<std::size_t> geom_singleton_where_;
+  std::vector<FastGeomSim> geom_singleton_sims_;
   // Parallel-sweep state (jobs_ > 1 only).
   unsigned jobs_ = 1;   // sweep shard count
   unsigned parts_ = 1;  // scatter partitions (power of two, >= jobs_)
+  unsigned scatter_shift_ = 2;  // low bit of the partition key
   std::vector<std::vector<std::uint32_t>> part_buf_;  // reused per feed
   std::vector<std::uint64_t> shard_records_;  // per-shard records replayed
   std::unique_ptr<ThreadPool> pool_;          // jobs_ - 1 workers, lazy

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cache/config.hpp"
+#include "core/scaled_space.hpp"
 #include "trace/replay.hpp"
 #include "trace/synthetic.hpp"
 #include "util/error.hpp"
@@ -203,6 +204,78 @@ TEST(ReplayEquivalence, OneshotBankCustomTiming) {
   for (std::size_t c = 0; c < configs.size(); ++c) {
     EXPECT_EQ(fast[c], oneshot[c]) << configs[c].name() << " custom timing";
   }
+}
+
+// The generalized geometry bank: a scaled space replayed through
+// NestedSweepSim (oneshot, one nested traversal per line-size family),
+// FastGeomSim (fast, per geometry) and CacheModel (reference) must be
+// bit-identical per geometry — the same contract the platform bank keeps,
+// extended to arbitrary generic geometries.
+void expect_scaled_bank_identical(std::span<const TraceRecord> stream,
+                                  const std::string& stream_name) {
+  const ScaledSpace space = ScaledSpace::embedded_32k();
+  const std::vector<CacheGeometry>& geoms = space.configs();
+  const std::vector<CacheStats> ref =
+      measure_geometry_bank(geoms, stream, {}, ReplayEngine::kReference);
+  const std::vector<CacheStats> fast =
+      measure_geometry_bank(geoms, stream, {}, ReplayEngine::kFast);
+  const std::vector<CacheStats> oneshot =
+      measure_geometry_bank(geoms, stream, {}, ReplayEngine::kOneshot);
+  ASSERT_EQ(ref.size(), geoms.size());
+  for (std::size_t c = 0; c < geoms.size(); ++c) {
+    EXPECT_EQ(ref[c], oneshot[c])
+        << stream_name << " x " << geometry_name(geoms[c]) << " oneshot";
+    EXPECT_EQ(ref[c], fast[c])
+        << stream_name << " x " << geometry_name(geoms[c]) << " fast";
+    EXPECT_EQ(oneshot[c], measure_geometry(geoms[c], stream, {},
+                                           ReplayEngine::kReference))
+        << stream_name << " x " << geometry_name(geoms[c]) << " per-geometry";
+  }
+}
+
+TEST(ReplayEquivalence, ScaledBankCrc) {
+  expect_scaled_bank_identical(workload_prefix("crc"), "crc");
+}
+
+TEST(ReplayEquivalence, ScaledBankUcbqsort) {
+  expect_scaled_bank_identical(workload_prefix("ucbqsort"), "ucbqsort");
+}
+
+TEST(ReplayEquivalence, ScaledBankAdversarial) {
+  expect_scaled_bank_identical(synthetic_stream(), "uniform64k");
+  for (const auto& [name, trace] : adversarial_streams()) {
+    expect_scaled_bank_identical(trace, name);
+  }
+}
+
+// Fallback matrix: a single-(size,ways) line family bypasses the nested
+// traversal (FastGeomSim singleton), and sub-16 B lines cannot be replayed
+// from packed words at all — the records overload routes them to the
+// reference model, the packed overload refuses them.
+TEST(ReplayEquivalence, ScaledBankSingletonAndSubLineFallback) {
+  const std::span<const TraceRecord> stream = workload_prefix("bcnt");
+  const std::vector<CacheGeometry> geoms = {
+      CacheGeometry{2048, 1, 8},     // 8 B line: reference-only
+      CacheGeometry{4096, 1, 16},    // }
+      CacheGeometry{8192, 2, 16},    // } 16 B family, nested traversal
+      CacheGeometry{32768, 4, 128},  // 128 B singleton family
+  };
+  const std::vector<CacheStats> bank =
+      measure_geometry_bank(geoms, stream, {}, ReplayEngine::kOneshot);
+  ASSERT_EQ(bank.size(), geoms.size());
+  for (std::size_t c = 0; c < geoms.size(); ++c) {
+    EXPECT_EQ(bank[c], measure_geometry(geoms[c], stream, {},
+                                        ReplayEngine::kReference))
+        << geometry_name(geoms[c]);
+  }
+  // Packed replay has 16 B granularity: an 8 B-line geometry must throw
+  // rather than alias two lines per word.
+  const std::vector<std::uint32_t> packed = pack_stream(stream);
+  EXPECT_THROW(
+      measure_geometry_packed(CacheGeometry{2048, 1, 8}, packed), Error);
+  EXPECT_THROW(measure_geometry_bank(geoms, std::span<const std::uint32_t>(
+                                                packed)),
+               Error);
 }
 
 // The scratch-buffer overload is a pure allocation optimization: repeated

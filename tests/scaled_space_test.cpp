@@ -40,6 +40,58 @@ TEST(ScaledSpace, GeometryNames) {
   EXPECT_EQ(geometry_name(CacheGeometry{32768, 4, 64}), "32K_4W_64B");
 }
 
+// configs() is precomputed at construction, deterministic, and preserves
+// the historical size-major (size, assoc, line) scan order that exhaustive
+// tie-breaking depends on.
+TEST(ScaledSpace, ConfigsPrecomputedInScanOrder) {
+  const ScaledSpace space = ScaledSpace::embedded_32k();
+  const std::vector<CacheGeometry>& configs = space.configs();
+  ASSERT_EQ(configs.size(), 64u);
+  std::size_t i = 0;
+  for (std::uint32_t s : space.sizes) {
+    for (std::uint32_t a : space.assocs) {
+      for (std::uint32_t l : space.lines) {
+        const CacheGeometry g{s, a, l};
+        if (!(g.valid() && g.num_sets() >= 1)) continue;
+        EXPECT_EQ(configs[i], g) << "index " << i;
+        ++i;
+      }
+    }
+  }
+  EXPECT_EQ(i, configs.size());
+}
+
+// valid() is membership in the precomputed list, not just geometric
+// sanity: a well-formed geometry outside the parameter grid is rejected.
+TEST(ScaledSpace, ValidIsMembership) {
+  const ScaledSpace space = ScaledSpace::embedded_32k();
+  EXPECT_TRUE(space.valid(CacheGeometry{8192, 2, 32}));
+  EXPECT_FALSE(space.valid(CacheGeometry{2048, 1, 32}));   // size off-grid
+  EXPECT_FALSE(space.valid(CacheGeometry{8192, 16, 32}));  // assoc off-grid
+  EXPECT_FALSE(space.valid(CacheGeometry{8192, 2, 8}));    // line off-grid
+  EXPECT_FALSE(space.valid(CacheGeometry{0, 1, 32}));      // degenerate
+}
+
+// prime() measures the whole space in one bank pass and memoizes energies
+// identical to the on-demand per-config path.
+TEST(ScaledSpace, PrimeMatchesOnDemandEnergies) {
+  const Trace t = mixed_stream(11, 16 * 1024, 40'000);
+  EnergyModel model;
+  const ScaledSpace space = ScaledSpace::embedded_32k();
+
+  ScaledEvaluator primed(t, model);
+  primed.prime(space);
+  EXPECT_EQ(primed.evaluations(), space.total_configs());
+
+  ScaledEvaluator on_demand(t, model);
+  for (const CacheGeometry& g : space.configs()) {
+    EXPECT_EQ(primed.energy(g), on_demand.energy(g)) << geometry_name(g);
+  }
+  // prime() on an already-primed evaluator is a no-op, not a re-measure.
+  primed.prime(space);
+  EXPECT_EQ(primed.evaluations(), space.total_configs());
+}
+
 TEST(ScaledTune, ExaminesFarFewerThanExhaustive) {
   const Trace t = mixed_stream(1, 24 * 1024);
   EnergyModel model;

@@ -27,6 +27,7 @@
 
 #include "cache/config.hpp"
 #include "cache/stack_sweep.hpp"
+#include "core/scaled_space.hpp"
 #include "trace/replay.hpp"
 #include "trace/synthetic.hpp"
 #include "trace/trace.hpp"
@@ -191,6 +192,39 @@ TEST(ShardedSweep, AdversarialSynthetics) {
   streams.emplace_back("loop4k", gen_loop_ifetch(0x400, 4096, 100));
   for (const auto& [name, trace] : streams) {
     expect_sharded_identical(pack(trace), name);
+  }
+}
+
+// Scaled (generic-geometry) banks shard too: the partition key is derived
+// from the family's line sizes and narrowest set-index span, so any shard
+// count must stay bit-identical to the serial generalized traversal — on
+// both stream sides, under uneven job counts, and with chunked feeding.
+TEST(ShardedSweep, ScaledBankShardsBitIdentical) {
+  const ScaledSpace space = ScaledSpace::embedded_32k();
+  const std::vector<CacheGeometry>& geoms = space.configs();
+  for (const std::string name : {"crc", "ucbqsort"}) {
+    const PackedWorkload& w = packed_workload(name);
+    for (const auto* stream : {&w.ifetch, &w.data}) {
+      const std::span<const std::uint32_t> packed = *stream;
+      BankAccumulator serial_bank(geoms, {}, ReplayEngine::kOneshot, 1);
+      serial_bank.feed(packed);
+      const std::vector<CacheStats> serial = serial_bank.stats();
+      for (const unsigned jobs : {2u, 3u, 4u}) {
+        BankAccumulator bank(geoms, {}, ReplayEngine::kOneshot, jobs);
+        // Chunked feed: boundaries never align with partitions.
+        const std::size_t chunk = 4097;
+        for (std::size_t off = 0; off < packed.size(); off += chunk) {
+          bank.feed(packed.subspan(off, std::min(chunk, packed.size() - off)));
+        }
+        const std::vector<CacheStats> sharded = bank.stats();
+        ASSERT_EQ(sharded.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+          EXPECT_EQ(sharded[i], serial[i])
+              << name << " x " << geometry_name(geoms[i]) << " jobs=" << jobs
+              << " (effective " << bank.sweep_jobs() << ")";
+        }
+      }
+    }
   }
 }
 

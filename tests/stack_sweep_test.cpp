@@ -21,13 +21,16 @@
 // the predicted way's occupant).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <span>
 #include <vector>
 
 #include "cache/config.hpp"
+#include "cache/nested_sweep.hpp"
 #include "cache/stack_sweep.hpp"
+#include "core/scaled_space.hpp"
 #include "cache/stats.hpp"
 #include "trace/replay.hpp"
 #include "trace/synthetic.hpp"
@@ -137,6 +140,76 @@ TEST(StackSweepProperty, NestedMasksAndHitCounts) {
                            ReplayEngine::kFast)
                 .pred_first_hits,
             mru128);
+}
+
+// ---------------------------------------------------------------------------
+// The same Mattson property for the generalized engine: randomized nested
+// families (3-6 set-count levels, non-power-of-two geometry counts) over
+// generic CacheGeometry spaces. The oracle runs at line granularity — a
+// (sets, ways) LRU cache of line-sized blocks hits iff the per-set stack
+// distance of the line is < ways — and the per-access distances must be
+// monotone across levels: coarser set counts splice recency lists
+// together, so d_{s0} >= d_{s1} >= ... for s0 < s1 < ... NestedSweepSim's
+// hit counters must match the oracle's #(d < ways) exactly for every
+// geometry in the family.
+
+TEST(NestedSweepProperty, RandomizedNestedFamilies) {
+  const Trace trace = property_stream();
+  Rng rng(0xBADC0FFE);
+  for (int iter = 0; iter < 4; ++iter) {
+    const std::uint32_t line = 16u << rng.next_below(3);  // 16/32/64 B
+    const unsigned nlev = 3 + static_cast<unsigned>(rng.next_below(4));
+    std::uint32_t lg = 4 + static_cast<std::uint32_t>(rng.next_below(3));
+    std::vector<std::uint32_t> set_counts;
+    std::vector<CacheGeometry> family;
+    for (unsigned l = 0; l < nlev; ++l) {
+      const std::uint32_t sets = 1u << lg;
+      set_counts.push_back(sets);
+      const std::uint32_t wmax = 1u << rng.next_below(4);  // 1/2/4/8 ways
+      for (std::uint32_t w = 1; w <= wmax; w <<= 1) {
+        if (w == wmax || rng.next_bool(0.5)) {
+          family.push_back(CacheGeometry{sets * w * line, w, line});
+        }
+      }
+      lg += 1 + static_cast<std::uint32_t>(rng.next_below(2));
+    }
+    // Non-power-of-two family sizes too: duplicates are legal, so padding
+    // with a repeat of the first geometry breaks a 2^k count.
+    if (std::has_single_bit(family.size())) family.push_back(family.front());
+
+    std::vector<StackOracle> oracles;
+    oracles.reserve(nlev);
+    for (const std::uint32_t sets : set_counts) oracles.emplace_back(sets);
+    const unsigned shift =
+        static_cast<unsigned>(std::countr_zero(line));
+    std::vector<std::uint64_t> hits(family.size(), 0);
+    std::vector<std::size_t> d(nlev);
+    for (const TraceRecord& r : trace) {
+      const std::uint32_t lblk = r.addr >> shift;
+      for (unsigned l = 0; l < nlev; ++l) d[l] = oracles[l].distance(lblk);
+      for (unsigned l = 1; l < nlev; ++l) {
+        ASSERT_LE(d[l], d[l - 1])
+            << "iter " << iter << " level " << l << " block " << lblk;
+      }
+      for (std::size_t i = 0; i < family.size(); ++i) {
+        for (unsigned l = 0; l < nlev; ++l) {
+          if (family[i].num_sets() == set_counts[l]) {
+            hits[i] += d[l] < family[i].assoc;
+            break;
+          }
+        }
+      }
+    }
+
+    NestedSweepSim sim{std::span<const CacheGeometry>(family)};
+    sim.replay(pack_stream(std::span<const TraceRecord>(trace)));
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      const CacheStats s = sim.stats(family[i]);
+      EXPECT_EQ(s.hits, hits[i])
+          << "iter " << iter << " geometry " << geometry_name(family[i]);
+      EXPECT_EQ(s.accesses, trace.size());
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

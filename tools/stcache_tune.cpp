@@ -4,8 +4,9 @@
 //   stcache_tune <file.stct> [I|D] [options]
 //   stcache_tune --workload NAME [I|D] [options]
 //
-// options: [--exhaustive] [--jobs N] [--sweep-jobs N]
-//          [--metrics-out file.json] [--engine reference|fast|oneshot]
+// options: [--exhaustive] [--space embedded|desktop] [--jobs N]
+//          [--sweep-jobs N] [--metrics-out file.json]
+//          [--engine reference|fast|oneshot]
 //          [--pipeline streaming|materialized] [--reader buffered|mmap]
 //          [--metrics]
 //
@@ -25,7 +26,17 @@
 // Stdout is byte-identical across file/workload modes, engines, pipelines,
 // --jobs and --sweep-jobs values for the same trace (--sweep-jobs shards
 // the exhaustive oneshot sweep itself by cache-set partition; the merge is
-// exact, see trace/replay.hpp). Sweep metrics go to stderr, and
+// exact, see trace/replay.hpp).
+//
+// --space embedded|desktop switches from the paper's 27-point platform to
+// a ScaledSpace (64 generic geometries): every configuration is measured
+// in one bank pass — the generalized oneshot engine covers each line-size
+// family with a single nested stack-distance traversal — and both the
+// ascending-greedy heuristic and the exhaustive optimum are reported from
+// the same measured bank. The per-config table prints raw integer
+// hit/miss/writeback counts, so a one-bit divergence between engines or
+// --sweep-jobs values breaks the byte-identity cmp. Sweep metrics go to
+// stderr, and
 // to a JSON file with --metrics-out; the informational [sim]/[trace_io]/
 // [replay] lines appear only under --metrics (or STCACHE_METRICS=1).
 #include <cstdlib>
@@ -39,6 +50,7 @@
 #include "core/evaluator.hpp"
 #include "core/heuristic.hpp"
 #include "core/report.hpp"
+#include "core/scaled_space.hpp"
 #include "core/sweep.hpp"
 #include "trace/replay.hpp"
 #include "trace/stream.hpp"
@@ -52,7 +64,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: stcache_tune <file.stct | --workload NAME> [I|D] "
-               "[--exhaustive] [--jobs N] [--sweep-jobs N] "
+               "[--exhaustive] [--space embedded|desktop] "
+               "[--jobs N] [--sweep-jobs N] "
                "[--metrics-out file.json] "
                "[--engine reference|fast|oneshot] "
                "[--pipeline streaming|materialized] "
@@ -60,10 +73,62 @@ int usage() {
   return 2;
 }
 
+// The --space report: a full per-config table (integer counts, so any
+// engine/sharding divergence is visible to cmp), then the heuristic and
+// exhaustive verdicts from the same measured bank.
+void print_scaled_report(std::ostream& os, const std::string& space_name,
+                         bool instruction, std::uint64_t accesses,
+                         const ScaledSpace& space,
+                         std::span<const CacheStats> measured,
+                         const EnergyModel& model) {
+  os << "Scaled-space tuning (" << space_name << ": "
+     << space.total_configs() << " configs) of the "
+     << (instruction ? "instruction" : "data") << " cache on " << accesses
+     << " accesses...\n\n";
+
+  Table table({"configuration", "hits", "misses", "writeback bytes",
+               "energy"});
+  const std::vector<CacheGeometry>& geoms = space.configs();
+  for (std::size_t i = 0; i < geoms.size(); ++i) {
+    table.add_row({geometry_name(geoms[i]), std::to_string(measured[i].hits),
+                   std::to_string(measured[i].misses),
+                   std::to_string(measured[i].writeback_bytes),
+                   fmt_si_energy(
+                       model.evaluate_generic(geoms[i], measured[i]).total())});
+  }
+  table.print(os);
+
+  ScaledEvaluator eval(std::span<const std::uint32_t>{}, model);
+  eval.prime_from(geoms, measured);
+  const ScaledSearchResult heur = tune_scaled(eval, space);
+  const ScaledSearchResult ex = tune_scaled_exhaustive(eval, space);
+  const double base = eval.energy(geoms.front());
+
+  os << "\n";
+  Table verdict({"search", "configuration", "configs examined", "energy",
+                 "savings vs " + geometry_name(geoms.front())});
+  verdict.add_row({"heuristic", geometry_name(heur.best),
+                   std::to_string(heur.configs_examined),
+                   fmt_si_energy(heur.best_energy),
+                   fmt_percent(1.0 - heur.best_energy / base, 1)});
+  verdict.add_row({"exhaustive", geometry_name(ex.best),
+                   std::to_string(ex.configs_examined),
+                   fmt_si_energy(ex.best_energy),
+                   fmt_percent(1.0 - ex.best_energy / base, 1)});
+  verdict.print(os);
+  os << "\nHeuristic vs optimum: "
+     << (heur.best == ex.best
+             ? std::string("found the optimum")
+             : fmt_percent(heur.best_energy / ex.best_energy - 1.0, 2) +
+                   " above")
+     << "\n";
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string path;
   std::string workload_name;
+  std::string space_name;
   std::string pipeline = "streaming";
   std::string reader = "buffered";
   bool instruction = true;
@@ -82,6 +147,8 @@ int run(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--metrics") == 0) set_metrics_enabled(true);
     else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc)
       workload_name = argv[++i];
+    else if (std::strcmp(argv[i], "--space") == 0 && i + 1 < argc)
+      space_name = argv[++i];
     else if (std::strcmp(argv[i], "--pipeline") == 0 && i + 1 < argc)
       pipeline = argv[++i];
     else if (std::strcmp(argv[i], "--reader") == 0 && i + 1 < argc)
@@ -114,6 +181,12 @@ int run(int argc, char** argv) {
     std::cerr << "--reader mmap applies to trace-file mode only\n";
     return 2;
   }
+  if (!space_name.empty() && space_name != "embedded" &&
+      space_name != "desktop") {
+    std::cerr << "unknown space '" << space_name
+              << "' (expected embedded|desktop)\n";
+    return 2;
+  }
   if (metrics_enabled()) {
     std::cerr << "[replay] engine=" << to_string(default_replay_engine())
               << "\n";
@@ -122,6 +195,10 @@ int run(int argc, char** argv) {
   const EnergyModel model;
   const std::vector<CacheConfig>& configs = all_configs();
   SweepRunner runner(sweep);
+  // --space replaces the platform sweep entirely: the streaming arms below
+  // must materialize the selected stream instead of folding it into the
+  // 27-config platform bank.
+  const bool platform_exhaustive = exhaustive && space_name.empty();
 
   // The selected stream, packed (bit 31 = write, bits 30..0 = 16 B block):
   // the heuristic evaluator measures configurations against it on demand.
@@ -141,7 +218,7 @@ int run(int argc, char** argv) {
           1,
           [&](std::size_t) {
             std::optional<BankAccumulator> bank;
-            if (exhaustive) bank.emplace(configs);
+            if (platform_exhaustive) bank.emplace(configs);
             stream_workload(w, [&](const PackedChunk& chunk) {
               const std::span<const std::uint32_t> words =
                   instruction ? chunk.ifetch_words() : chunk.data_words();
@@ -162,7 +239,7 @@ int run(int argc, char** argv) {
     }
   } else if (reader == "mmap") {
     MappedPackedTrace mapped(path);
-    if (exhaustive) {
+    if (platform_exhaustive) {
       // Out-of-core sweep: fold each decoded chunk straight into the
       // exhaustive bank; the selected stream is never materialized, so
       // the footprint is the chunk buffers plus the bank — independent
@@ -202,6 +279,33 @@ int run(int argc, char** argv) {
   if (sel_count == 0) {
     std::cerr << "error: the selected stream is empty\n";
     return 1;
+  }
+
+  if (!space_name.empty()) {
+    const ScaledSpace space = space_name == "embedded"
+                                  ? ScaledSpace::embedded_32k()
+                                  : ScaledSpace::desktop_64k();
+    // One bank pass over the packed stream measures all 64 geometries:
+    // the oneshot engine groups them into one generalized stack-distance
+    // traversal per line-size family (fast/reference loop per config).
+    // Engine and sharding come from --engine / --sweep-jobs via the
+    // process defaults; stdout depends only on the measured counts, which
+    // are bit-identical across all of them.
+    std::vector<CacheStats> sstats;
+    runner.map<int>(
+        1,
+        [&](std::size_t) {
+          runner.add_accesses(sel.size() * space.total_configs());
+          sstats = measure_geometry_bank(space.configs(),
+                                         std::span<const std::uint32_t>(sel));
+          return 0;
+        },
+        [&](std::size_t) { return space_name + " scaled space"; });
+    runner.print_metrics(std::cerr);
+    runner.write_metrics_json(metrics_out);
+    print_scaled_report(std::cout, space_name, instruction, sel_count, space,
+                        sstats, model);
+    return 0;
   }
 
   if (exhaustive) {
