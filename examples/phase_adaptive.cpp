@@ -1,100 +1,92 @@
-// Phase-adaptive tuning across a task switch.
+// Phase-adaptive tuning with phase-distance config reuse.
 //
 // Section 1 of the paper lists "whenever a program phase change is
-// detected" among the ways the self-tuning hardware can be deployed. This
-// example runs two different kernels back-to-back on the same system —
-// a task switch, the most drastic phase change an embedded system sees —
-// with the TuningController watching the I-cache:
+// detected" among the ways the self-tuning hardware can be deployed. The
+// phase subsystem (src/phase/, docs/phases.md) carries that out on long
+// phase-mixed streams: a streaming classifier folds working-set
+// signatures over the packed stream into phase boundaries, and a phase
+// table maps each new phase's signature onto previously tuned phases —
+// a phase within the reuse threshold of a tuned one *reuses* that
+// phase's configuration instead of paying for a fresh Fig. 6 sweep
+// (phase distance mapping, Adegbija/Gordon-Ross/Munir).
 //
-//   task 1: crc    (2 KB hot loop  -> a small cache wins)
-//   task 2: padpcm (8 KB live code -> the small cache thrashes)
+// This example runs the phase-adaptive tuner over one of the canned
+// phase-mixed scenarios (src/phase/scenario.hpp), prints the per-phase
+// tuning timeline, and then repeats the run with distance mapping
+// disabled — the naive tuner that re-sweeps every phase — to show how
+// much search work the phase table saves on recurring phases.
 //
-// The phase detector notices the miss-rate jump after the switch and
-// retunes. Both tasks' checksums are verified: tuning stays transparent.
-//
-// Build & run:  ./build/examples/example_phase_adaptive
+// Build & run:  ./build/examples/example_phase_adaptive [SCENARIO] [SCALE]
+//               (scenarios: squarewave | taskset | datamix)
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
-#include <memory>
+#include <span>
+#include <string>
+#include <vector>
 
-#include "core/controller.hpp"
-#include "isa/assembler.hpp"
-#include "sim/cpu.hpp"
-#include "sim/system.hpp"
+#include "cache/config.hpp"
+#include "energy/energy_model.hpp"
+#include "phase/adaptive.hpp"
+#include "phase/scenario.hpp"
+#include "trace/phase_mix.hpp"
 #include "util/table.hpp"
-#include "workloads/workload.hpp"
 
 using namespace stcache;
 
-int main() {
-  const Workload& task1 = find_workload("crc");
-  const Workload& task2 = find_workload("padpcm");
-  std::cout << "Task 1: " << task1.name << " — " << task1.description << "\n"
-            << "Task 2: " << task2.name << " — " << task2.description << "\n\n";
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "squarewave";
+  const unsigned scale =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 1;
+  const PhaseScenario& sc = find_phase_scenario(name);
+  std::cout << "Scenario: " << sc.name << " — " << sc.description << "\n";
 
-  SplitCacheSystem system(CacheConfig::parse("2K_1W_16B"),
-                          CacheConfig::parse("8K_4W_32B"));
+  const PhaseMixedStream mix = build_phase_scenario(name, scale);
+  std::cout << "Stream: " << mix.words.size() << " packed words, "
+            << mix.segments.size() << " ground-truth segments\n\n";
 
-  // The caches persist across the task switch (their contents simply stop
-  // being useful); only the CPU state is replaced.
-  const Program prog1 = assemble(task1.source, task1.name);
-  const Program prog2 = assemble(task2.source, task2.name);
-  auto cpu = std::make_unique<Cpu>(prog1, system, task1.mem_bytes);
-  const Workload* active = &task1;
-  bool all_done = false;
+  const EnergyModel model;
+  const std::vector<CacheConfig>& configs = all_configs();
 
-  auto run_some = [&](std::uint64_t instructions) {
-    if (all_done) return;
-    const RunResult r = cpu->run(instructions);
-    if (!r.halted) return;
-    // Task finished: verify it and switch to the next one.
-    if (cpu->reg(kV0) != active->expected_checksum) {
-      std::cerr << "CHECKSUM MISMATCH in " << active->name << "!\n";
-      std::exit(1);
+  // Feed in bounded chunks, the way a deployment rides the streaming
+  // capture pipeline; the timeline is invariant to the slicing.
+  const auto run = [&](bool distance_mapping) {
+    PhaseTunerParams params;
+    params.distance_mapping = distance_mapping;
+    PhaseAdaptiveTuner tuner(configs, model, params);
+    constexpr std::size_t kChunk = 1u << 16;
+    std::span<const std::uint32_t> rest(mix.words);
+    while (!rest.empty()) {
+      const std::size_t take = std::min<std::size_t>(kChunk, rest.size());
+      tuner.feed(rest.first(take));
+      rest = rest.subspan(take);
     }
-    std::cout << "  [" << active->name << " completed, checksum OK]\n";
-    if (active == &task1) {
-      active = &task2;
-      cpu = std::make_unique<Cpu>(prog2, system, task2.mem_bytes);
-    } else {
-      all_done = true;
-    }
+    return tuner;
   };
 
-  ControllerParams params;
-  params.trigger = TuningTrigger::kPhaseChange;
-  params.miss_rate_delta = 0.03;
-  params.phase_debounce = 2;
-  const EnergyModel model;
-  TuningController controller(system.icache(), model, params,
-                              TunerFsmd::shift_for(120'000));
+  PhaseAdaptiveTuner adaptive = run(true);
+  const std::vector<PhaseRecord> timeline = adaptive.finish();
+  print_phase_timeline(std::cout, timeline);
+  std::cout << "\nPhase-adaptive: " << timeline.size() << " phases, "
+            << adaptive.sweeps() << " full sweeps, " << adaptive.reuses()
+            << " config reuses (" << adaptive.swept_words() << "/"
+            << adaptive.words_seen() << " words swept)\n";
 
-  IntervalFns fns;
-  fns.quiet = [&] { run_some(50'000); };
-  fns.search = [&] { run_some(12'000); };  // short search windows
+  PhaseAdaptiveTuner naive = run(false);
+  const std::vector<PhaseRecord> naive_timeline = naive.finish();
+  std::cout << "Naive re-tuning: " << naive_timeline.size() << " phases, "
+            << naive.sweeps() << " full sweeps (" << naive.swept_words()
+            << " words swept)\n";
 
-  Table log({"interval", "event", "I-cache config"});
-  unsigned interval = 0;
-  while (!all_done) {
-    const bool tuned = controller.step(fns);
-    ++interval;
-    if (tuned) {
-      log.add_row({std::to_string(interval), "tuning session",
-                   controller.current().name()});
-    }
+  if (adaptive.sweeps() == 0 || naive.sweeps() <= adaptive.sweeps()) {
+    std::cerr << "expected distance mapping to save sweeps\n";
+    return 1;
   }
-  log.print(std::cout);
-
-  std::cout << "\nTuning sessions:\n";
-  for (const TuningSession& s : controller.sessions()) {
-    std::cout << "  chose " << s.chosen.name() << " after "
-              << s.configs_examined << " configurations ("
-              << fmt_si_energy(s.tuner_energy) << "); reference miss rate "
-              << fmt_percent(s.reference_miss_rate, 2) << "\n";
-  }
-  std::cout << "\nTotal tuner energy: "
-            << fmt_si_energy(controller.total_tuner_energy())
-            << " — both tasks ran to completion, checksums intact,\n"
-            << "and the I-cache followed the workload across the task\n"
-            << "switch without a single flush.\n";
+  const double ratio = static_cast<double>(naive.sweeps()) /
+                       static_cast<double>(adaptive.sweeps());
+  std::cout << "\nDistance mapping issued " << fmt_double(ratio, 1)
+            << "x fewer full sweeps than naive per-phase re-tuning;\n"
+            << "every reused phase skipped a " << configs.size()
+            << "-configuration search entirely.\n";
   return 0;
 }

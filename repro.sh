@@ -4,11 +4,13 @@
 # at the repository root (the files EXPERIMENTS.md numbers come from).
 #
 #   ./repro.sh           full pipeline (build, all tests, TSan sweep+shard
-#                        +stream+serving+chaos tests, ASan/UBSan fault+trace
-#                        +mmap+interpreter+serving+wire+chaos tests, the
+#                        +stream+serving+chaos+phase tests, ASan/UBSan fault
+#                        +trace+mmap+interpreter+serving+wire+chaos+phase
+#                        tests, the
 #                        throughput/capture/end-to-end/simd/parallel/serving/
-#                        resilience/scaled-sweep gates, the streaming-tune,
-#                        sharded-sweep, mmap-reader, scaled-space and serving
+#                        resilience/scaled-sweep/phase gates, the
+#                        streaming-tune, sharded-sweep, mmap-reader,
+#                        scaled-space, serving and phase-timeline
 #                        determinism gates, every bench binary)
 #   ./repro.sh --quick   build + the parallel-sweep, streaming and serving
 #                        tests (native, TSan, one chaos campaign) + the
@@ -18,7 +20,8 @@
 #                        serving, wire and chaos tests (native and
 #                        ASan/UBSan) + --jobs/--engine/--pipeline/
 #                        --sweep-jobs/--reader/--space determinism checks on
-#                        bench_fig3 and stcache_tune
+#                        bench_fig3 and stcache_tune, a --phases timeline
+#                        cmp across engines and shard counts,
 #                        + the daemon-vs-in-process serving cmp; minutes,
 #                        not the full regeneration
 #
@@ -43,7 +46,7 @@ cmake --build build -j "$(nproc)"
 # sharded N-producer queues and the tuning server (accept thread, reader
 # threads, shard workers, client threads) join them for the same reason.
 cmake -B build-tsan -S . -DSTCACHE_SANITIZE=thread > /dev/null
-cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_test sharded_sweep_test stream_test shard_queue_test serving_test serving_resilience_test
+cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_test sharded_sweep_test stream_test shard_queue_test serving_test serving_resilience_test phase_test
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/sweep_runner_test
 # The set-partitioned parallel sweep scatters into per-partition buffers on
@@ -61,6 +64,10 @@ cmake --build build-tsan -j "$(nproc)" --target thread_pool_test sweep_runner_te
 RESILIENCE_FILTER=
 [ "$QUICK" = "1" ] && RESILIENCE_FILTER='--gtest_filter=ServingResilience.CorruptFrameCampaign:ServingResilience.GracefulDrainFinishesInFlightAndRefusesNew'
 ./build-tsan/tests/serving_resilience_test $RESILIENCE_FILTER
+# The phase-adaptive tuner drives set-partitioned bank sweeps from inside
+# a streaming classifier; its engine/shard equivalence tests re-run under
+# TSan so the sweep handoff stays clean when the tuner owns the threads.
+./build-tsan/tests/phase_test
 
 # The fault-injection, trace-format, replay-equivalence and stack-sweep
 # tests run under Address/UB sanitizers too: they exercise bit-level
@@ -74,7 +81,7 @@ RESILIENCE_FILTER=
 # length-prefixed frame parsing and the chunk pool's recycled buffers are
 # classic overrun territory.
 cmake -B build-asan -S . -DSTCACHE_SANITIZE=address,undefined > /dev/null
-cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test mmap_trace_test replay_equivalence_test stack_sweep_test fast_cpu_test stream_test shard_queue_test serving_test wire_test serving_resilience_test
+cmake --build build-asan -j "$(nproc)" --target fault_test trace_io_test mmap_trace_test replay_equivalence_test stack_sweep_test fast_cpu_test stream_test shard_queue_test serving_test wire_test serving_resilience_test phase_test phase_mix_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/trace_io_test
 # The out-of-core reader does raw pointer arithmetic over an mmap'd file
@@ -100,6 +107,12 @@ fi
 # --quick picks one chaos campaign (same filter as the TSan leg).
 ./build-asan/tests/wire_test
 ./build-asan/tests/serving_resilience_test $RESILIENCE_FILTER
+# The phase classifier's sampled bitmap/histogram indexing and the phase
+# table's nearest-neighbor scan are raw-array arithmetic over packed
+# streams; the composer does cursor arithmetic over borrowed spans. Both
+# suites re-run under ASan/UBSan where an off-by-one cannot hide.
+./build-asan/tests/phase_test
+./build-asan/tests/phase_mix_test
 
 # Serving determinism gate helpers: a loopback stcache_tuned daemon must
 # render verdicts byte-identical to the in-process `stcache_tune
@@ -134,7 +147,7 @@ serve_cmp() {
 }
 
 if [ "$QUICK" = "1" ]; then
-    STCACHE_BIG_TRACE_RECORDS=2000000 ctest --test-dir build -R 'ThreadPool|SweepRunner|ShardedSweep|Fault|TraceIo|MmapTrace|ReplayEquivalence|StackSweep|FastCpu|Workload|Spsc|Stream|BankAccumulator|PackedTraceIo|ChunkPool|ShardQueue|Serving|Wire' --output-on-failure
+    STCACHE_BIG_TRACE_RECORDS=2000000 ctest --test-dir build -R 'ThreadPool|SweepRunner|ShardedSweep|Fault|TraceIo|MmapTrace|ReplayEquivalence|StackSweep|FastCpu|Workload|Spsc|Stream|BankAccumulator|PackedTraceIo|ChunkPool|ShardQueue|Serving|Wire|Phase' --output-on-failure
 
     # Determinism gate: the parallel sweep must reproduce the serial table
     # byte for byte (metrics go to stderr, so stdout is comparable).
@@ -190,11 +203,21 @@ if [ "$QUICK" = "1" ]; then
     done
     ./build/tools/stcache_tune --workload crc I --space embedded --sweep-jobs 4 > /tmp/stcache_tune_space_v.txt
     cmp /tmp/stcache_tune_space.txt /tmp/stcache_tune_space_v.txt
+    # Phase-timeline gate: the per-phase tuning timeline (verdicts,
+    # configs, distances) must be byte-identical across replay engines
+    # and shard counts on a phase-mixed scenario.
+    ./build/tools/stcache_tune --phases squarewave > /tmp/stcache_tune_phase.txt
+    for eng in reference fast; do
+        ./build/tools/stcache_tune --phases squarewave --engine "$eng" > /tmp/stcache_tune_phase_v.txt
+        cmp /tmp/stcache_tune_phase.txt /tmp/stcache_tune_phase_v.txt
+    done
+    ./build/tools/stcache_tune --phases squarewave --sweep-jobs 4 > /tmp/stcache_tune_phase_v.txt
+    cmp /tmp/stcache_tune_phase.txt /tmp/stcache_tune_phase_v.txt
     # Serving gate: a daemon round trip must be byte-identical too.
     start_serving_daemon
     serve_cmp crc I
     stop_serving_daemon
-    echo "Quick pass done: sweep/equivalence/interpreter/serving tests (native + sanitizers), --jobs, --engine, --pipeline, --sweep-jobs, --reader and daemon determinism ok."
+    echo "Quick pass done: sweep/equivalence/interpreter/serving tests (native + sanitizers), --jobs, --engine, --pipeline, --sweep-jobs, --reader, --phases and daemon determinism ok."
     exit 0
 fi
 
@@ -257,6 +280,24 @@ for wl in crc ucbqsort; do
 done
 echo "[repro] scaled-space tune determinism ok"
 
+# Phase-timeline determinism gate: the phase-adaptive tuner's per-phase
+# timeline must be byte-identical across all three engines and across
+# shard counts on every named scenario, each in a fresh process (the
+# classifier samples on global stream offsets and bank stats are
+# bit-identical, so any divergence is a real bug, not jitter).
+for scen in squarewave taskset datamix; do
+  ./build/tools/stcache_tune --phases "$scen" > /tmp/stcache_tune_phase.txt
+  for eng in reference fast; do
+    ./build/tools/stcache_tune --phases "$scen" --engine "$eng" > /tmp/stcache_tune_phase_v.txt
+    cmp /tmp/stcache_tune_phase.txt /tmp/stcache_tune_phase_v.txt
+  done
+  for sj in 2 4; do
+    ./build/tools/stcache_tune --phases "$scen" --sweep-jobs "$sj" > /tmp/stcache_tune_phase_v.txt
+    cmp /tmp/stcache_tune_phase.txt /tmp/stcache_tune_phase_v.txt
+  done
+done
+echo "[repro] phase-timeline determinism ok"
+
 # Serving determinism gate: the daemon's verdict over the wire must be
 # byte-identical to the in-process exhaustive tuner for both cache streams
 # of two representative workloads.
@@ -306,6 +347,13 @@ else
   # BENCH_scaled.json.
   ./build/bench/bench_scaled_space --out /tmp/stcache_bench_scaled.json > /dev/null
   python3 scripts/bench_check.py BENCH_scaled.json /tmp/stcache_bench_scaled.json --mode scaled
+  # Phase-adaptive gate: energy within 10% of the per-phase oracle on at
+  # least two phase-mixed scenarios while beating the static Fig. 6
+  # config, >= 3x fewer full sweeps than naive per-phase re-tuning, and
+  # classifier overhead <= 5% of the streaming sweep (serial paired legs,
+  # so it arms even on one core; STCACHE_PHASE_* override the floors).
+  ./build/bench/bench_phase_adaptive --out /tmp/stcache_bench_phase.json > /dev/null
+  python3 scripts/bench_check.py BENCH_phase.json /tmp/stcache_bench_phase.json --mode phase
 fi
 
 : > bench_output.txt

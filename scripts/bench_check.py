@@ -52,6 +52,19 @@ single-core host the neighbor steals real CPU from the clean tenant, so
 (like the serving scaling floor) the ratio floor is enforced only when
 the fresh snapshot reports cpus >= 2; the rate regressions always gate.
 
+In --mode phase, both files are bench_phase_adaptive --out snapshots. Four
+checks run on the FRESH snapshot: phase-adaptive tuning must beat the
+static Fig. 6 configuration's energy on >= 2 phase-mixed scenarios; its
+energy must be within --phase-oracle-max (default 0.10,
+STCACHE_PHASE_ORACLE_MAX) of the per-phase oracle on >= 2 scenarios; the
+overall naive/adaptive full-sweep ratio must be at least --phase-reuse-min
+(default 3.0, STCACHE_PHASE_REUSE_MIN); and the classifier's overall
+paired overhead on the streaming sweep pipeline must be at most
+--phase-overhead-max (default 0.05, STCACHE_PHASE_OVERHEAD_MAX). The
+classifier words/second must also stay within the tolerance of the
+baseline. Energy and sweep counts are deterministic (bit-identical bank
+stats), so only the overhead and throughput legs are wall-clock.
+
 In --mode scaled, both files are bench_scaled_space --out snapshots. The
 full embedded_32k space sweep through the generalized oneshot engine (one
 nested traversal per line-size family) must be at least --scaled-min
@@ -243,13 +256,95 @@ def check_scaled(base_doc, fresh_doc, args):
     return failed
 
 
+def check_phase(base_doc, fresh_doc, args):
+    for doc, path in ((base_doc, args.baseline), (fresh_doc, args.fresh)):
+        if doc.get("bench") != "phase_adaptive":
+            sys.exit(f"error: {path}: not a phase_adaptive snapshot")
+    failed = False
+
+    # Classifier throughput regression vs the committed snapshot.
+    base_rate = serving_rate(
+        base_doc, "overall", "classifier_words_per_second", args.baseline
+    )
+    fresh_rate = serving_rate(
+        fresh_doc, "overall", "classifier_words_per_second", args.fresh
+    )
+    ratio = fresh_rate / base_rate
+    status = "ok"
+    if ratio < 1.0 - args.tolerance:
+        status = "REGRESSION"
+        failed = True
+    print(
+        f"[bench_check] phase classifier baseline {base_rate:.3e} words/s, "
+        f"fresh {fresh_rate:.3e} words/s ({ratio:.2f}x) {status}"
+    )
+
+    scenarios = fresh_doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        sys.exit(f"error: {args.fresh}: no 'scenarios' list")
+    beating = 0
+    within_oracle = 0
+    for s in scenarios:
+        name = s.get("name")
+        vs_static = s.get("adaptive_vs_static")
+        vs_oracle = s.get("adaptive_vs_oracle")
+        if not isinstance(vs_static, (int, float)) or not isinstance(
+            vs_oracle, (int, float)
+        ):
+            sys.exit(f"error: {args.fresh}: scenario '{name}' has no gaps")
+        if vs_static < 0:
+            beating += 1
+        if vs_oracle <= args.phase_oracle_max:
+            within_oracle += 1
+        print(
+            f"[bench_check] phase scenario   {name:10s} vs static "
+            f"{vs_static:+.2%}, vs oracle {vs_oracle:+.2%}"
+        )
+    status = "ok" if beating >= 2 else "BELOW FLOOR"
+    failed = failed or beating < 2
+    print(
+        f"[bench_check] phase energy     beats static on {beating}/"
+        f"{len(scenarios)} scenarios (need >= 2) {status}"
+    )
+    status = "ok" if within_oracle >= 2 else "BELOW FLOOR"
+    failed = failed or within_oracle < 2
+    print(
+        f"[bench_check] phase oracle     within {args.phase_oracle_max:.0%} of "
+        f"oracle on {within_oracle}/{len(scenarios)} scenarios (need >= 2) "
+        f"{status}"
+    )
+
+    # Search-reduction floor: full sweeps issued, naive / distance-mapped.
+    sweep_ratio = serving_rate(fresh_doc, "overall", "sweep_ratio", args.fresh)
+    status = "ok" if sweep_ratio >= args.phase_reuse_min else "BELOW FLOOR"
+    failed = failed or sweep_ratio < args.phase_reuse_min
+    print(
+        f"[bench_check] phase reuse      naive/adaptive sweeps "
+        f"{sweep_ratio:.2f}x (floor {args.phase_reuse_min:.2f}x) {status}"
+    )
+
+    # Classifier overhead ceiling on the streaming sweep pipeline. The
+    # paired estimator can come out slightly negative in noise; anything
+    # at or under the ceiling passes.
+    overhead = fresh_doc.get("overall", {}).get("overhead")
+    if not isinstance(overhead, (int, float)):
+        sys.exit(f"error: {args.fresh}: missing 'overall.overhead'")
+    status = "ok" if overhead <= args.phase_overhead_max else "ABOVE CEILING"
+    failed = failed or overhead > args.phase_overhead_max
+    print(
+        f"[bench_check] phase overhead   classifier on sweep pipeline "
+        f"{overhead:+.2%} (ceiling {args.phase_overhead_max:.0%}) {status}"
+    )
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
     parser.add_argument("fresh")
     parser.add_argument(
         "--mode",
-        choices=("replay", "serving", "resilience", "scaled"),
+        choices=("replay", "serving", "resilience", "scaled", "phase"),
         default="replay",
         help="which bench snapshot pair is being gated (default replay)",
     )
@@ -270,6 +365,24 @@ def main():
         type=float,
         default=float(os.environ.get("STCACHE_SCALED_MIN", "5.0")),
         help="minimum oneshot-vs-fast scaled-space sweep speedup (default 5.0)",
+    )
+    parser.add_argument(
+        "--phase-oracle-max",
+        type=float,
+        default=float(os.environ.get("STCACHE_PHASE_ORACLE_MAX", "0.10")),
+        help="maximum adaptive-vs-oracle energy gap per scenario (default 0.10)",
+    )
+    parser.add_argument(
+        "--phase-reuse-min",
+        type=float,
+        default=float(os.environ.get("STCACHE_PHASE_REUSE_MIN", "3.0")),
+        help="minimum naive/adaptive full-sweep ratio (default 3.0)",
+    )
+    parser.add_argument(
+        "--phase-overhead-max",
+        type=float,
+        default=float(os.environ.get("STCACHE_PHASE_OVERHEAD_MAX", "0.05")),
+        help="maximum classifier overhead on the sweep pipeline (default 0.05)",
     )
     parser.add_argument(
         "--tolerance",
@@ -316,6 +429,16 @@ def main():
             )
             return 1
         print("[bench_check] all serving gates passed")
+        return 0
+
+    if args.mode == "phase":
+        if check_phase(base_doc, fresh_doc, args):
+            print(
+                "[bench_check] FAILED: a phase-adaptive gate fell below its "
+                "floor; investigate or regenerate the baseline if intended."
+            )
+            return 1
+        print("[bench_check] all phase-adaptive gates passed")
         return 0
 
     if args.mode == "scaled":

@@ -1,6 +1,7 @@
 #include "core/evaluator.hpp"
 
 #include "trace/replay.hpp"
+#include "util/error.hpp"
 
 namespace stcache {
 
@@ -28,6 +29,14 @@ double TraceEvaluator::energy(const CacheConfig& cfg) { return measure(cfg).ener
 
 const CacheStats& TraceEvaluator::stats(const CacheConfig& cfg) {
   return measure(cfg).stats;
+}
+
+void prime_all(TraceEvaluator& eval, std::span<const CacheConfig> configs,
+               std::span<const CacheStats> stats) {
+  if (configs.size() != stats.size())
+    fail("prime_all: configs/stats size mismatch");
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    eval.prime(configs[i], stats[i]);
 }
 
 }  // namespace stcache

@@ -78,4 +78,11 @@ class TraceEvaluator final : public Evaluator {
   std::map<std::string, Entry> cache_;
 };
 
+// Prime an evaluator with a whole bank sweep result (index-aligned configs
+// and stats, e.g. BankAccumulator::stats()). Searches over the primed
+// evaluator are then pure lookups — report.cpp and the phase-adaptive
+// tuner both close their sweeps this way.
+void prime_all(TraceEvaluator& eval, std::span<const CacheConfig> configs,
+               std::span<const CacheStats> stats);
+
 }  // namespace stcache

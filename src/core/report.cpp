@@ -23,9 +23,7 @@ void print_exhaustive_report(std::ostream& out, bool instruction,
   // Both searches only ever visit registry configurations, all of which
   // are primed, so the empty packed span is never replayed.
   TraceEvaluator eval(std::span<const std::uint32_t>{}, model);
-  for (std::size_t j = 0; j < configs.size(); ++j) {
-    eval.prime(configs[j], measured[j]);
-  }
+  prime_all(eval, configs, measured);
   const SearchResult heur = tune(eval);
   const double base = eval.energy(base_cache());
 

@@ -1,0 +1,73 @@
+#include "phase/scenario.hpp"
+
+#include <initializer_list>
+#include <utility>
+
+#include "trace/replay.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+#include "workloads/workload.hpp"
+
+namespace stcache {
+
+const std::vector<PhaseScenario>& phase_scenarios() {
+  static const std::vector<PhaseScenario> scenarios = {
+      {"squarewave",
+       "crc <-> padpcm instruction streams, 24 equal slices: the cleanest "
+       "recurring two-phase pattern (small hot loop vs. large kernel)",
+       true},
+      {"taskset",
+       "cyclic executive over crc/jpeg/ucbqsort/padpcm instruction "
+       "streams, 3 rounds of uneven time slices",
+       true},
+      {"datamix",
+       "seeded random interleave of five kernel data streams plus the "
+       "synthetic parser-like generator",
+       false},
+  };
+  return scenarios;
+}
+
+const PhaseScenario& find_phase_scenario(const std::string& name) {
+  for (const PhaseScenario& s : phase_scenarios())
+    if (s.name == name) return s;
+  std::string known;
+  for (const PhaseScenario& s : phase_scenarios())
+    known += (known.empty() ? "" : ", ") + s.name;
+  fail("unknown phase scenario '" + name + "' (known: " + known + ")");
+}
+
+PhaseMixedStream build_phase_scenario(const std::string& name,
+                                      unsigned scale) {
+  if (scale == 0) fail("build_phase_scenario: scale must be > 0");
+  const PhaseScenario& sc = find_phase_scenario(name);
+  constexpr std::uint64_t kKi = 1024;
+  std::vector<std::vector<std::uint32_t>> owned;
+  std::vector<PhaseSegmentSpec> plan;
+  const auto add_kernels = [&](std::initializer_list<const char*> names) {
+    for (const char* n : names) {
+      PackedCapture cap = capture_packed(find_workload(n));
+      owned.push_back(sc.instruction ? std::move(cap.ifetch)
+                                     : std::move(cap.data));
+    }
+  };
+  if (sc.name == "squarewave") {
+    add_kernels({"crc", "padpcm"});
+    plan = square_wave_plan(768 * kKi * scale, 24);
+  } else if (sc.name == "taskset") {
+    add_kernels({"crc", "jpeg", "ucbqsort", "padpcm"});
+    const std::uint64_t lens[] = {512 * kKi * scale, 768 * kKi * scale,
+                                  640 * kKi * scale, 576 * kKi * scale};
+    plan = cycle_plan(owned.size(), lens, 4);
+  } else {  // datamix
+    add_kernels({"adpcm", "jpeg", "ucbqsort", "g3fax", "epic"});
+    owned.push_back(pack_stream(gen_parser_like({})));
+    plan = interleaved_plan(owned.size(), 24, 384 * kKi * scale,
+                            768 * kKi * scale, 0xC0FFEEULL);
+  }
+  std::vector<std::span<const std::uint32_t>> spans(owned.begin(),
+                                                    owned.end());
+  return compose_phases(spans, plan);
+}
+
+}  // namespace stcache

@@ -1,0 +1,40 @@
+// Named phase-mixed scenarios: deterministic mega-traces with ground truth.
+//
+// Each scenario captures a handful of the Table 1 kernels (plus the
+// synthetic parser-like generator), picks one of the two split streams,
+// and composes a long packed stream from them via trace/phase_mix. The
+// result carries the ground-truth segment list, which is what the oracle
+// in bench_phase_adaptive and the boundary tests judge against.
+//
+// This lives in src/phase (not src/trace) because it binds the workload
+// registry: stc_workloads links stc_trace, so the binding has to sit above
+// both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/phase_mix.hpp"
+
+namespace stcache {
+
+struct PhaseScenario {
+  std::string name;
+  std::string description;
+  bool instruction = true;  // which split stream the scenario composes
+};
+
+// The scenario catalog, in fixed order.
+const std::vector<PhaseScenario>& phase_scenarios();
+
+// Look up by name; fail()s with the known names on a miss.
+const PhaseScenario& find_phase_scenario(const std::string& name);
+
+// Build the scenario's stream + ground truth. `scale` multiplies every
+// segment length (1 = the calibrated default, minutes of simulated
+// traffic). Deterministic: same name + scale -> byte-identical stream.
+PhaseMixedStream build_phase_scenario(const std::string& name,
+                                      unsigned scale = 1);
+
+}  // namespace stcache

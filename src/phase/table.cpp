@@ -1,0 +1,22 @@
+#include "phase/table.hpp"
+
+namespace stcache {
+
+std::optional<PhaseTable::Match> PhaseTable::nearest(
+    const PhaseSignature& key) const {
+  std::optional<Match> best;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const double d = signature_distance(key, entries_[i].key);
+    if (!best || d < best->distance) best = Match{i, d};
+  }
+  return best;
+}
+
+std::size_t PhaseTable::insert(const PhaseSignature& key,
+                               const CacheConfig& config,
+                               std::uint64_t phase) {
+  entries_.push_back({key, config, phase, 0});
+  return entries_.size() - 1;
+}
+
+}  // namespace stcache

@@ -1,0 +1,49 @@
+// Phase history table: signature -> tuned configuration.
+//
+// The phase-distance-mapping methodology (Adegbija, Gordon-Ross & Munir,
+// PAPERS.md): when a new phase appears, look up the nearest previously
+// tuned phase by signature distance. If it is close enough, *reuse* its
+// configuration — the whole point of the subsystem, turning an O(search)
+// re-tune into an O(table) lookup; otherwise run a fresh sweep and insert
+// the result. Lookups are deterministic: ties break toward the earliest
+// inserted entry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "phase/classifier.hpp"
+
+namespace stcache {
+
+struct PhaseTableEntry {
+  PhaseSignature key;     // signature of the phase's early windows
+  CacheConfig config;     // what the full sweep chose for it
+  std::uint64_t phase = 0;  // timeline index of the phase that was swept
+  std::uint64_t reuses = 0;
+};
+
+class PhaseTable {
+ public:
+  struct Match {
+    std::size_t entry = 0;
+    double distance = 0.0;
+  };
+
+  // Nearest entry by signature_distance; nullopt when empty.
+  std::optional<Match> nearest(const PhaseSignature& key) const;
+
+  std::size_t insert(const PhaseSignature& key, const CacheConfig& config,
+                     std::uint64_t phase);
+  void note_reuse(std::size_t entry) { ++entries_[entry].reuses; }
+
+  const std::vector<PhaseTableEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<PhaseTableEntry> entries_;
+};
+
+}  // namespace stcache

@@ -1,0 +1,131 @@
+// Determinism and ground-truth tests for the phase-mixed trace composer
+// (trace/phase_mix.hpp) and the named scenarios (phase/scenario.hpp).
+//
+// The composer is the foundation the whole phase subsystem is judged on:
+// its segment list is the oracle for boundary detection and for the
+// per-phase energy floor in bench_phase_adaptive, so it must tile the
+// stream exactly, cycle sources with wrapping cursors (a recurring phase
+// resumes, not restarts), and be byte-for-byte reproducible — including
+// the seeded random interleave.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "phase/scenario.hpp"
+#include "trace/phase_mix.hpp"
+#include "trace/replay.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace stcache {
+namespace {
+
+std::vector<std::span<const std::uint32_t>> as_spans(
+    const std::vector<std::vector<std::uint32_t>>& owned) {
+  return {owned.begin(), owned.end()};
+}
+
+TEST(PhaseMix, SquareWavePlanAlternates) {
+  const std::vector<PhaseSegmentSpec> plan = square_wave_plan(100, 5);
+  ASSERT_EQ(plan.size(), 5u);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].source, i % 2);
+    EXPECT_EQ(plan[i].words, 100u);
+  }
+}
+
+TEST(PhaseMix, CyclePlanRoundRobinsWithGlobalLengths) {
+  const std::uint64_t lens[] = {10, 20};
+  const std::vector<PhaseSegmentSpec> plan = cycle_plan(3, lens, 2);
+  ASSERT_EQ(plan.size(), 6u);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].source, i % 3);
+    EXPECT_EQ(plan[i].words, lens[i % 2]);
+  }
+}
+
+TEST(PhaseMix, ComposeTilesExactlyWithWrappingCursors) {
+  const std::vector<std::vector<std::uint32_t>> owned = {{1, 2, 3}, {10, 11}};
+  const std::vector<PhaseSegmentSpec> plan = {{0, 4}, {1, 3}, {0, 2}};
+  const PhaseMixedStream mix = compose_phases(as_spans(owned), plan);
+  // Source 0's cursor wraps 1,2,3,1 then *resumes* at 2 on the next visit.
+  const std::vector<std::uint32_t> expect = {1, 2, 3, 1, 10, 11, 10, 2, 3};
+  EXPECT_EQ(mix.words, expect);
+  ASSERT_EQ(mix.segments.size(), 3u);
+  std::uint64_t at = 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(mix.segments[i].source, plan[i].source);
+    EXPECT_EQ(mix.segments[i].begin, at);
+    at += plan[i].words;
+    EXPECT_EQ(mix.segments[i].end, at);
+  }
+  EXPECT_EQ(at, mix.words.size());
+}
+
+TEST(PhaseMix, ComposeRejectsBadInput) {
+  const std::vector<std::vector<std::uint32_t>> owned = {{1, 2}, {}};
+  const std::vector<PhaseSegmentSpec> good = {{0, 2}};
+  EXPECT_THROW(compose_phases(as_spans(owned), {{{1, 2}}}), Error);
+  EXPECT_THROW(compose_phases(as_spans(owned), {{{0, 0}}}), Error);
+  EXPECT_THROW(compose_phases(as_spans(owned), {{{2, 2}}}), Error);
+  EXPECT_NO_THROW(compose_phases(as_spans(owned), good));
+}
+
+TEST(PhaseMix, InterleavedPlanIsSeedDeterministic) {
+  const auto a = interleaved_plan(4, 40, 100, 300, 0xABCDEF);
+  const auto b = interleaved_plan(4, 40, 100, 300, 0xABCDEF);
+  ASSERT_EQ(a.size(), 40u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_EQ(a[i].words, b[i].words);
+    EXPECT_GE(a[i].words, 100u);
+    EXPECT_LE(a[i].words, 300u);
+    EXPECT_LT(a[i].source, 4u);
+    if (i > 0) {
+      EXPECT_NE(a[i].source, a[i - 1].source)
+          << "segment " << i << " repeats its source: not a behavior change";
+    }
+  }
+  // A different seed must not reproduce the same schedule.
+  const auto c = interleaved_plan(4, 40, 100, 300, 0xABCDF0);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    differs = differs || a[i].source != c[i].source || a[i].words != c[i].words;
+  EXPECT_TRUE(differs);
+}
+
+TEST(PhaseMix, ComposedInterleaveIsByteIdentical) {
+  Rng rng(7);
+  std::vector<std::vector<std::uint32_t>> owned;
+  owned.push_back(pack_stream(gen_strided(0, 4, 5000, 0.0, rng)));
+  owned.push_back(pack_stream(gen_uniform(1 << 20, 32 * 1024, 5000, 0.3, rng)));
+  owned.push_back(pack_stream(gen_loop_ifetch(1 << 24, 1024, 64)));
+  const auto plan = interleaved_plan(owned.size(), 20, 500, 2000, 42);
+  const PhaseMixedStream x = compose_phases(as_spans(owned), plan);
+  const PhaseMixedStream y = compose_phases(as_spans(owned), plan);
+  EXPECT_EQ(x.words, y.words);
+  EXPECT_EQ(x.segments, y.segments);
+  EXPECT_EQ(x.segments.size(), plan.size());
+  EXPECT_EQ(x.words.size(), x.segments.back().end);
+}
+
+// The named scenarios bind real workload captures; same name + scale must
+// reproduce byte-identically (the repro.sh cmp gates ride on this).
+TEST(PhaseMix, ScenarioCatalogAndDeterminism) {
+  ASSERT_GE(phase_scenarios().size(), 3u);
+  EXPECT_EQ(find_phase_scenario("squarewave").name, "squarewave");
+  EXPECT_THROW(find_phase_scenario("nope"), Error);
+  EXPECT_THROW(build_phase_scenario("squarewave", 0), Error);
+  const PhaseMixedStream a = build_phase_scenario("squarewave", 1);
+  const PhaseMixedStream b = build_phase_scenario("squarewave", 1);
+  EXPECT_EQ(a.words, b.words);
+  EXPECT_EQ(a.segments, b.segments);
+  ASSERT_FALSE(a.segments.empty());
+  EXPECT_EQ(a.segments.back().end, a.words.size());
+}
+
+}  // namespace
+}  // namespace stcache

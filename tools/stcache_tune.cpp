@@ -3,6 +3,7 @@
 //
 //   stcache_tune <file.stct> [I|D] [options]
 //   stcache_tune --workload NAME [I|D] [options]
+//   stcache_tune --phases SCENARIO [--naive] [--scale N] [options]
 //
 // options: [--exhaustive] [--space embedded|desktop] [--jobs N]
 //          [--sweep-jobs N] [--metrics-out file.json]
@@ -28,6 +29,17 @@
 // the exhaustive oneshot sweep itself by cache-set partition; the merge is
 // exact, see trace/replay.hpp).
 //
+// --phases SCENARIO runs the phase-adaptive tuner (src/phase) on a named
+// phase-mixed scenario (squarewave|taskset|datamix, built deterministically
+// in-process) and prints the per-phase tuning timeline: each detected
+// phase's word range, whether its configuration was reused from a close
+// earlier phase (phase distance mapping) or freshly swept, and the Fig. 6
+// verdict. --naive disables distance mapping (every phase re-sweeps) as
+// the comparison baseline; --scale N multiplies every segment length. The
+// timeline depends only on bank stats and fixed-offset window signatures,
+// so stdout is byte-identical across --engine and --sweep-jobs (repro.sh
+// cmp-gates this).
+//
 // --space embedded|desktop switches from the paper's 27-point platform to
 // a ScaledSpace (64 generic geometries): every configuration is measured
 // in one bank pass — the generalized oneshot engine covers each line-size
@@ -39,6 +51,7 @@
 // stderr, and
 // to a JSON file with --metrics-out; the informational [sim]/[trace_io]/
 // [replay] lines appear only under --metrics (or STCACHE_METRICS=1).
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -52,6 +65,8 @@
 #include "core/report.hpp"
 #include "core/scaled_space.hpp"
 #include "core/sweep.hpp"
+#include "phase/adaptive.hpp"
+#include "phase/scenario.hpp"
 #include "trace/replay.hpp"
 #include "trace/stream.hpp"
 #include "trace/trace_io.hpp"
@@ -63,8 +78,10 @@ namespace stcache {
 namespace {
 
 int usage() {
-  std::cerr << "usage: stcache_tune <file.stct | --workload NAME> [I|D] "
+  std::cerr << "usage: stcache_tune <file.stct | --workload NAME | "
+               "--phases SCENARIO> [I|D] "
                "[--exhaustive] [--space embedded|desktop] "
+               "[--naive] [--scale N] "
                "[--jobs N] [--sweep-jobs N] "
                "[--metrics-out file.json] "
                "[--engine reference|fast|oneshot] "
@@ -128,6 +145,9 @@ int run(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string path;
   std::string workload_name;
+  std::string phases_name;
+  bool phases_naive = false;
+  unsigned phases_scale = 1;
   std::string space_name;
   std::string pipeline = "streaming";
   std::string reader = "buffered";
@@ -147,6 +167,12 @@ int run(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--metrics") == 0) set_metrics_enabled(true);
     else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc)
       workload_name = argv[++i];
+    else if (std::strcmp(argv[i], "--phases") == 0 && i + 1 < argc)
+      phases_name = argv[++i];
+    else if (std::strcmp(argv[i], "--naive") == 0)
+      phases_naive = true;
+    else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+      phases_scale = static_cast<unsigned>(std::atoi(argv[++i]));
     else if (std::strcmp(argv[i], "--space") == 0 && i + 1 < argc)
       space_name = argv[++i];
     else if (std::strcmp(argv[i], "--pipeline") == 0 && i + 1 < argc)
@@ -166,7 +192,12 @@ int run(int argc, char** argv) {
       return 2;
     }
   }
-  if (path.empty() == workload_name.empty()) return usage();  // exactly one
+  if (!phases_name.empty()) {
+    // Scenario mode stands alone: it builds its stream in-process.
+    if (!path.empty() || !workload_name.empty()) return usage();
+  } else if (path.empty() == workload_name.empty()) {
+    return usage();  // exactly one of file / --workload
+  }
   if (pipeline != "streaming" && pipeline != "materialized") {
     std::cerr << "unknown pipeline '" << pipeline
               << "' (expected streaming|materialized)\n";
@@ -194,6 +225,34 @@ int run(int argc, char** argv) {
 
   const EnergyModel model;
   const std::vector<CacheConfig>& configs = all_configs();
+
+  if (!phases_name.empty()) {
+    const PhaseScenario& sc = find_phase_scenario(phases_name);
+    const PhaseMixedStream mix = build_phase_scenario(phases_name,
+                                                      phases_scale);
+    PhaseTunerParams params;
+    params.distance_mapping = !phases_naive;
+    PhaseAdaptiveTuner tuner(configs, model, params);
+    // Feed at the streaming pipeline's chunk granularity; the timeline is
+    // invariant to the slicing (tests/phase_test.cpp).
+    const std::span<const std::uint32_t> words(mix.words);
+    constexpr std::size_t kChunk = 64 * 1024;
+    for (std::size_t off = 0; off < words.size(); off += kChunk)
+      tuner.feed(words.subspan(off, std::min(kChunk, words.size() - off)));
+    const std::vector<PhaseRecord> timeline = tuner.finish();
+    std::cout << "Phase-adaptive tuning on scenario '" << sc.name << "' ("
+              << (sc.instruction ? "I" : "D") << " stream, " << words.size()
+              << " words, " << mix.segments.size() << " planned segments"
+              << (phases_naive ? ", naive re-tuning" : "") << ")...\n\n";
+    print_phase_timeline(std::cout, timeline);
+    std::cout << "\nPhases: " << timeline.size() << "; boundaries "
+              << tuner.boundaries() << "; blips " << tuner.blips()
+              << "; sweeps " << tuner.sweeps() << "; reuses "
+              << tuner.reuses() << "; swept words " << tuner.swept_words()
+              << "/" << words.size() << "\n";
+    return 0;
+  }
+
   SweepRunner runner(sweep);
   // --space replaces the platform sweep entirely: the streaming arms below
   // must materialize the selected stream instead of folding it into the
